@@ -1,0 +1,57 @@
+//! Criterion microbench of the prediction engine's per-interaction cost —
+//! the quantity §4.3.1 reports as 28.07 ms per interaction (Python). The
+//! LM fit dominates; cost grows with the history length, so we benchmark
+//! short, typical, and full histories.
+
+use a4nn_penguin::{fit_curve, CurveFamily, EngineConfig, FitConfig, ParametricCurve, PredictionEngine};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn curve(e: u32) -> f64 {
+    95.0 - 50.0 * 0.72f64.powi(e as i32)
+}
+
+fn bench_engine_interaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_interaction");
+    for &history_len in &[5u32, 12, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("observe_and_step", history_len),
+            &history_len,
+            |b, &n| {
+                b.iter(|| {
+                    let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+                    for e in 1..=n {
+                        engine.observe(e, black_box(curve(e)));
+                        let _ = black_box(engine.step());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_fit(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=12).map(f64::from).collect();
+    let ys: Vec<f64> = (1..=12).map(curve_f).collect();
+    let mut group = c.benchmark_group("curve_fit");
+    for family in CurveFamily::ALL {
+        group.bench_function(family.name(), |b| {
+            b.iter(|| {
+                let _ = black_box(fit_curve(
+                    &family,
+                    black_box(&xs),
+                    black_box(&ys),
+                    &FitConfig::default(),
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn curve_f(e: u64) -> f64 {
+    curve(e as u32)
+}
+
+criterion_group!(benches, bench_engine_interaction, bench_single_fit);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenches for the NSGA-II primitives at NAS-relevant
+//! population sizes (tens to a few hundred individuals).
+
+use a4nn_nsga::{crowding_distance, fast_non_dominated_sort, Objectives};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64) -> Vec<Objectives> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Objectives::new(vec![
+                rng.gen_range(-100.0..0.0),   // −accuracy
+                rng.gen_range(50.0..1500.0), // FLOPs
+            ])
+        })
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_non_dominated_sort");
+    for &n in &[20usize, 100, 400] {
+        let points = random_points(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| black_box(fast_non_dominated_sort(black_box(pts))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crowding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowding_distance");
+    for &n in &[20usize, 100, 400] {
+        let points = random_points(n, 43);
+        let front: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(crowding_distance(black_box(&points), black_box(&front))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_genome_ops(c: &mut Criterion) {
+    use a4nn_genome::SearchSpace;
+    let space = SearchSpace::paper_defaults();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+    let a = space.random_genome(&mut rng);
+    let b2 = space.random_genome(&mut rng);
+    c.bench_function("genome_vary", |b| {
+        b.iter(|| black_box(space.vary(black_box(&a), black_box(&b2), &mut rng)));
+    });
+    c.bench_function("genome_decode", |b| {
+        b.iter(|| black_box(space.decode(black_box(&a))));
+    });
+    let arch = space.decode(&a);
+    c.bench_function("flops_estimate", |b| {
+        b.iter(|| black_box(a4nn_genome::estimate_flops(black_box(&arch), (128, 128))));
+    });
+}
+
+criterion_group!(benches, bench_sort, bench_crowding, bench_genome_ops);
+criterion_main!(benches);

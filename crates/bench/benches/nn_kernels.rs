@@ -1,0 +1,78 @@
+//! Criterion microbenches of the training substrate's hot kernels:
+//! convolution forward/backward and a full phase-DAG training step.
+
+use a4nn_nn::layers::Conv2d;
+use a4nn_nn::{cross_entropy, NetSpec, Network, PhaseNetSpec, Sgd, Tensor4};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(7)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    for &(cin, cout, hw) in &[(1usize, 8usize, 16usize), (8, 16, 16), (16, 32, 8)] {
+        let mut conv = Conv2d::new(cin, cout, 3, &mut rng());
+        let x = Tensor4::zeros(16, cin, hw, hw);
+        group.bench_with_input(
+            BenchmarkId::new("forward", format!("{cin}x{cout}@{hw}")),
+            &x,
+            |b, x| {
+                b.iter(|| black_box(conv.forward(black_box(x))));
+            },
+        );
+        let y = conv.forward(&x);
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward", format!("{cin}x{cout}@{hw}")),
+            &x,
+            |b, x| {
+                b.iter(|| {
+                    let out = conv.forward(black_box(x));
+                    black_box(conv.backward(&out));
+                });
+            },
+        );
+        drop(y);
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let spec = NetSpec {
+        input_channels: 1,
+        phases: vec![
+            PhaseNetSpec {
+                out_channels: 8,
+                kernel: 3,
+                node_inputs: vec![vec![], vec![0]],
+                leaves: vec![1],
+                skip: true,
+            },
+            PhaseNetSpec::degenerate(16, 3),
+        ],
+        num_classes: 2,
+    };
+    let mut net = Network::new(&spec, &mut rng());
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let x = Tensor4::zeros(16, 1, 16, 16);
+    let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+    let mut group = c.benchmark_group("network");
+    group.sample_size(20);
+    group.bench_function("train_step_batch16", |b| {
+        b.iter(|| {
+            let logits = net.forward(black_box(&x), true);
+            let out = cross_entropy(&logits, &labels);
+            net.backward(&out.dlogits);
+            opt.step(&mut net);
+        });
+    });
+    group.bench_function("inference_batch16", |b| {
+        b.iter(|| black_box(net.forward(black_box(&x), false)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_training_step);
+criterion_main!(benches);

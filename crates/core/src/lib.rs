@@ -1,0 +1,76 @@
+//! # a4nn-core — the A4NN composable workflow
+//!
+//! This crate assembles the full workflow of the paper (Figure 1):
+//!
+//! - the **NAS** — NSGA-Net, realized as NSGA-II (`a4nn-nsga`) over the
+//!   macro search space (`a4nn-genome`);
+//! - the **parametric prediction engine** (`a4nn-penguin`), attached in
+//!   situ to every network's training loop (Algorithm 1, [`training`]);
+//! - the **workflow orchestrator** ([`workflow`]) moving fitness histories
+//!   to the engine and predictions back to the NAS, while checkpointing
+//!   model state and record trails;
+//! - the **lineage tracker / data commons** (`a4nn-lineage`);
+//! - the **resource manager** (`a4nn-sched`): FIFO dynamic scheduling of
+//!   models onto virtual GPUs within each generation;
+//! - two **trainers** behind one [`trainer::Trainer`] abstraction: a real
+//!   CPU trainer over the `a4nn-nn` substrate and XFEL datasets
+//!   ([`real`]), and a calibrated **surrogate trainer** ([`surrogate`])
+//!   standing in for the paper's GPU fleet (see DESIGN.md §3 for the
+//!   substitution argument) so the paper-scale experiments (100 models ×
+//!   25 epochs × 3 beams × 2 modes) run in seconds.
+//!
+//! ## Running a search
+//!
+//! ```
+//! use a4nn_core::prelude::*;
+//!
+//! let config = WorkflowConfig {
+//!     nas: NasSettings { population: 4, offspring: 4, generations: 3, ..NasSettings::paper_defaults() },
+//!     engine: Some(EngineConfig::paper_defaults()),
+//!     gpus: 2,
+//!     beam: BeamIntensity::Medium,
+//!     seed: 42,
+//! };
+//! let workflow = A4nnWorkflow::new(config.clone());
+//! let surrogate = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+//! let output = workflow.run(&surrogate);
+//! assert_eq!(output.commons.len(), 12); // 4 + 4×2 models evaluated
+//! assert!(output.total_epochs() > 0);
+//! ```
+
+pub mod bridge;
+pub mod checkpoint;
+pub mod config;
+pub mod drivers;
+pub mod eval;
+pub mod micro;
+pub mod real;
+pub mod surrogate;
+pub mod trainer;
+pub mod training;
+pub mod workflow;
+
+pub use bridge::netspec_from_arch;
+pub use checkpoint::CheckpointStore;
+pub use config::{NasSettings, WorkflowConfig};
+pub use drivers::{AgingEvolutionWorkflow, RandomSearchWorkflow};
+pub use micro::{micro_netspec, micro_random_search, MicroTrainerFactory};
+pub use real::{RealTrainerFactory, TrainingHyperparams};
+pub use surrogate::{SurrogateFactory, SurrogateParams};
+pub use trainer::{EpochResult, Trainer, TrainerFactory};
+pub use training::{train_with_engine, train_with_engine_checkpointed, TrainingOutcome};
+pub use workflow::{A4nnWorkflow, RunOutput};
+
+/// Convenience re-exports, including the satellite crates' key types.
+pub mod prelude {
+    pub use crate::{
+        netspec_from_arch, train_with_engine, A4nnWorkflow, CheckpointStore, EpochResult,
+        NasSettings,
+        RealTrainerFactory, RunOutput, SurrogateFactory, SurrogateParams, Trainer,
+        TrainerFactory, TrainingHyperparams, TrainingOutcome, WorkflowConfig,
+    };
+    pub use a4nn_genome::{Genome, SearchSpace};
+    pub use a4nn_lineage::{Analyzer, DataCommons, ModelRecord};
+    pub use a4nn_penguin::{CurveFamily, EngineConfig, PredictionEngine};
+    pub use a4nn_xfel::{BeamIntensity, XfelConfig};
+}

@@ -1,0 +1,44 @@
+//! The trainer abstraction the workflow orchestrates.
+//!
+//! Decoupling the training substrate behind this trait is what lets the
+//! same workflow run on the real CPU substrate ([`crate::real`]) and on
+//! the calibrated surrogate ([`crate::surrogate`]) — and would let it run
+//! on actual GPUs, were any attached.
+
+use a4nn_genome::Genome;
+
+/// Measurements produced by training one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochResult {
+    /// Training accuracy (%) after the epoch.
+    pub train_acc: f64,
+    /// Validation accuracy (%) — the fitness the engine models.
+    pub val_acc: f64,
+    /// Seconds the epoch took (measured for real trainers, drawn from the
+    /// cost model for the surrogate).
+    pub duration_s: f64,
+}
+
+/// Trains one network, one epoch at a time.
+pub trait Trainer: Send {
+    /// Train epoch `epoch` (1-based) and return its measurements.
+    fn train_epoch(&mut self, epoch: u32) -> EpochResult;
+
+    /// Forward FLOPs of the network (the NAS's second objective).
+    fn flops(&self) -> f64;
+
+    /// Capture the trainable state after `epoch` for checkpointing
+    /// (§2.2.2). Trainers without materialized weights (the surrogate)
+    /// return `None`, which is the default.
+    fn snapshot(&mut self, _epoch: u32) -> Option<a4nn_nn::ModelState> {
+        None
+    }
+}
+
+/// Creates trainers for genomes. Shared across worker threads, hence
+/// `Sync`.
+pub trait TrainerFactory: Sync {
+    /// Build a trainer for `genome`. `model_id` and `seed` make the
+    /// trainer's stochasticity reproducible and unique per model.
+    fn make(&self, genome: &Genome, model_id: u64, seed: u64) -> Box<dyn Trainer>;
+}

@@ -1,0 +1,202 @@
+//! Algorithm 1: the training loop with the in-situ prediction engine.
+//!
+//! After every epoch the measured validation fitness `h_e` is appended to
+//! the fitness history `H` and handed to the engine, which fits the
+//! parametric curve, extrapolates the fitness at `e_pred`, appends to the
+//! prediction history `P`, and checks convergence. On convergence the loop
+//! breaks and `P[-1]` becomes the network's fitness; otherwise training
+//! runs to the epoch budget and the last measured `h_e` is used.
+
+use crate::checkpoint::CheckpointStore;
+use crate::trainer::Trainer;
+use a4nn_lineage::EpochRecord;
+use a4nn_penguin::{EngineConfig, PredictionEngine};
+
+/// Everything Algorithm 1 produces for one network.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// Per-epoch records (fitness history + prediction history merged).
+    pub epochs: Vec<EpochRecord>,
+    /// The fitness the NAS uses: `P[-1]` if converged, else the last
+    /// measured `h_e`.
+    pub final_fitness: f64,
+    /// The converged prediction, when training stopped early.
+    pub predicted_fitness: Option<f64>,
+    /// Whether the engine terminated training early.
+    pub terminated_early: bool,
+    /// Sum of epoch durations (training cost in seconds).
+    pub train_seconds: f64,
+    /// Wall seconds spent inside the prediction engine (its overhead,
+    /// §4.3.1).
+    pub engine_seconds: f64,
+    /// Engine interactions performed (one per trained epoch).
+    pub engine_interactions: u64,
+}
+
+impl TrainingOutcome {
+    /// Epochs actually trained.
+    pub fn epochs_trained(&self) -> u32 {
+        self.epochs.len() as u32
+    }
+}
+
+/// Run Algorithm 1 over `trainer` for at most `max_epochs` epochs.
+/// `engine_config = None` reproduces the standalone NAS (built-in
+/// truncated training: always the full budget).
+pub fn train_with_engine(
+    trainer: &mut dyn Trainer,
+    engine_config: Option<&EngineConfig>,
+    max_epochs: u32,
+) -> TrainingOutcome {
+    train_with_engine_checkpointed(trainer, engine_config, max_epochs, None)
+}
+
+/// [`train_with_engine`] that additionally writes the trainer's per-epoch
+/// state into a [`CheckpointStore`] under `model_id` (§2.2.2). Trainers
+/// that cannot snapshot (the surrogate) simply contribute nothing.
+pub fn train_with_engine_checkpointed(
+    trainer: &mut dyn Trainer,
+    engine_config: Option<&EngineConfig>,
+    max_epochs: u32,
+    checkpoints: Option<(&CheckpointStore, u64)>,
+) -> TrainingOutcome {
+    let mut engine = engine_config.map(|cfg| PredictionEngine::new(cfg.clone()));
+    let mut epochs = Vec::with_capacity(max_epochs as usize);
+    let mut train_seconds = 0.0;
+    let mut final_fitness = 0.0;
+    let mut predicted_fitness = None;
+    let mut terminated_early = false;
+
+    for e in 1..=max_epochs {
+        let result = trainer.train_epoch(e);
+        if let Some((store, model_id)) = checkpoints {
+            if let Some(state) = trainer.snapshot(e) {
+                store.put(model_id, e, state);
+            }
+        }
+        train_seconds += result.duration_s;
+        final_fitness = result.val_acc;
+        let mut prediction = None;
+        let mut converged = None;
+        if let Some(engine) = engine.as_mut() {
+            engine.observe(e, result.val_acc);
+            converged = engine.step();
+            prediction = engine.predictions().last().copied().flatten();
+        }
+        epochs.push(EpochRecord {
+            epoch: e,
+            train_acc: result.train_acc,
+            val_acc: result.val_acc,
+            duration_s: result.duration_s,
+            prediction,
+        });
+        if let Some(p) = converged {
+            final_fitness = p;
+            predicted_fitness = Some(p);
+            terminated_early = true;
+            break;
+        }
+    }
+    let (engine_seconds, engine_interactions) = engine
+        .map(|e| (e.stats().total_seconds, e.stats().interactions))
+        .unwrap_or((0.0, 0));
+    TrainingOutcome {
+        epochs,
+        final_fitness,
+        predicted_fitness,
+        terminated_early,
+        train_seconds,
+        engine_seconds,
+        engine_interactions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::EpochResult;
+    use a4nn_penguin::EngineConfig;
+
+    /// A trainer replaying a fixed learning curve.
+    struct CurveTrainer {
+        curve: Box<dyn Fn(u32) -> f64 + Send>,
+        flops: f64,
+    }
+
+    impl Trainer for CurveTrainer {
+        fn train_epoch(&mut self, epoch: u32) -> EpochResult {
+            let v = (self.curve)(epoch);
+            EpochResult {
+                train_acc: (v + 2.0).min(100.0),
+                val_acc: v,
+                duration_s: 10.0,
+            }
+        }
+        fn flops(&self) -> f64 {
+            self.flops
+        }
+    }
+
+    fn saturating(a: f64, rho: f64, scale: f64) -> CurveTrainer {
+        CurveTrainer {
+            curve: Box::new(move |e| a - scale * rho.powi(e as i32)),
+            flops: 100.0,
+        }
+    }
+
+    #[test]
+    fn engine_terminates_well_behaved_curve_early() {
+        let mut t = saturating(95.0, 0.65, 50.0);
+        let out = train_with_engine(&mut t, Some(&EngineConfig::paper_defaults()), 25);
+        assert!(out.terminated_early);
+        assert!(out.epochs_trained() < 25);
+        assert!((out.final_fitness - 95.0).abs() < 1.5);
+        assert_eq!(out.predicted_fitness, Some(out.final_fitness));
+        assert_eq!(out.engine_interactions, u64::from(out.epochs_trained()));
+        assert!((out.train_seconds - 10.0 * f64::from(out.epochs_trained())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standalone_trains_full_budget() {
+        let mut t = saturating(95.0, 0.65, 50.0);
+        let out = train_with_engine(&mut t, None, 25);
+        assert!(!out.terminated_early);
+        assert_eq!(out.epochs_trained(), 25);
+        assert!(out.predicted_fitness.is_none());
+        assert_eq!(out.engine_interactions, 0);
+        assert_eq!(out.engine_seconds, 0.0);
+        // Final fitness is the measured h_25.
+        assert!((out.final_fitness - (95.0 - 50.0 * 0.65f64.powi(25))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_converging_curve_exhausts_budget_with_engine() {
+        let mut t = CurveTrainer {
+            curve: Box::new(|e| 0.14 * f64::from(e) * f64::from(e)),
+            flops: 1.0,
+        };
+        let out = train_with_engine(&mut t, Some(&EngineConfig::paper_defaults()), 25);
+        assert!(!out.terminated_early);
+        assert_eq!(out.epochs_trained(), 25);
+    }
+
+    #[test]
+    fn epoch_records_carry_predictions_once_available() {
+        let mut t = saturating(92.0, 0.7, 45.0);
+        let out = train_with_engine(&mut t, Some(&EngineConfig::paper_defaults()), 25);
+        // Before C_min = 3 points: no predictions.
+        assert!(out.epochs[0].prediction.is_none());
+        assert!(out.epochs[1].prediction.is_none());
+        // After: predictions recorded.
+        assert!(out.epochs.last().unwrap().prediction.is_some());
+    }
+
+    #[test]
+    fn zero_epoch_budget_is_degenerate_but_safe() {
+        let mut t = saturating(95.0, 0.65, 50.0);
+        let out = train_with_engine(&mut t, Some(&EngineConfig::paper_defaults()), 0);
+        assert_eq!(out.epochs_trained(), 0);
+        assert!(!out.terminated_early);
+        assert_eq!(out.final_fitness, 0.0);
+    }
+}

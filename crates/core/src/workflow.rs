@@ -1,0 +1,354 @@
+//! The workflow orchestrator: NSGA-Net's generational loop with the
+//! prediction engine in situ, FIFO multi-GPU scheduling per generation,
+//! and full lineage recording.
+//!
+//! The loop reuses `a4nn-nsga`'s primitives (non-dominated sort, crowding,
+//! tournament, environmental selection) but drives evaluation itself so a
+//! whole generation can be trained concurrently across the virtual GPUs —
+//! exactly the Ray-style resource management of §2.5.
+
+use crate::checkpoint::CheckpointStore;
+use crate::config::WorkflowConfig;
+use crate::eval::evaluate_generation;
+use crate::trainer::TrainerFactory;
+use a4nn_genome::{Genome, SearchSpace};
+use a4nn_lineage::{DataCommons, ModelRecord};
+use a4nn_nsga::{
+    crowding_distance, environmental_selection, fast_non_dominated_sort, ranks_from_fronts,
+    tournament_select, Individual, Objectives, RankedIndividual,
+};
+use a4nn_sched::{GenerationSchedule, ScheduleResult};
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Everything a workflow run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The data commons: one record trail per evaluated model.
+    pub commons: DataCommons,
+    /// The simulated cluster schedule (per-generation, with barriers).
+    pub schedule: GenerationSchedule,
+    /// The configuration that produced this run.
+    pub config: WorkflowConfig,
+    /// Total seconds spent inside the prediction engine (overhead).
+    pub engine_seconds: f64,
+    /// Total engine interactions across all models.
+    pub engine_interactions: u64,
+}
+
+impl RunOutput {
+    /// Total training epochs consumed (Figure 7's bars).
+    pub fn total_epochs(&self) -> u64 {
+        self.commons
+            .records
+            .iter()
+            .map(|r| u64::from(r.epochs_trained()))
+            .sum()
+    }
+
+    /// Simulated wall time of the whole run in seconds (Figure 9's bars).
+    pub fn wall_time_s(&self) -> f64 {
+        self.schedule.total_wall_time()
+    }
+
+    /// Percentage of epochs saved versus the full-budget baseline
+    /// (`epochs × models`).
+    pub fn epochs_saved_pct(&self) -> f64 {
+        let budget = (self.config.nas.epochs as u64
+            * self.config.nas.total_models() as u64) as f64;
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.total_epochs() as f64 / budget)
+    }
+
+    /// Mean engine seconds per interaction (§4.3.1's 28 ms figure).
+    pub fn engine_seconds_per_interaction(&self) -> f64 {
+        if self.engine_interactions == 0 {
+            0.0
+        } else {
+            self.engine_seconds / self.engine_interactions as f64
+        }
+    }
+}
+
+/// The A4NN workflow.
+#[derive(Debug, Clone)]
+pub struct A4nnWorkflow {
+    config: WorkflowConfig,
+    space: SearchSpace,
+}
+
+/// Retries against the duplicate-architecture filter.
+const DUPLICATE_RETRIES: usize = 16;
+
+impl A4nnWorkflow {
+    /// Build a workflow from its configuration.
+    pub fn new(config: WorkflowConfig) -> Self {
+        assert!(config.gpus > 0, "need at least one GPU");
+        assert!(config.nas.population > 0, "population must be positive");
+        assert!(config.nas.generations > 0, "need at least one generation");
+        let space = config.search_space();
+        A4nnWorkflow { config, space }
+    }
+
+    /// The search space in use.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Run the complete search using trainers from `factory`.
+    pub fn run(&self, factory: &dyn TrainerFactory) -> RunOutput {
+        self.run_checkpointed(factory, None)
+    }
+
+    /// [`run`](Self::run) that additionally checkpoints every model's
+    /// per-epoch state into `checkpoints` when the trainer supports it
+    /// (§2.2.2's "model can be loaded and re-evaluated from any point").
+    pub fn run_checkpointed(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+    ) -> RunOutput {
+        let cfg = &self.config;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut records: Vec<ModelRecord> = Vec::with_capacity(cfg.nas.total_models());
+        let mut archive: Vec<Individual<Genome>> = Vec::with_capacity(cfg.nas.total_models());
+        let mut schedules: Vec<ScheduleResult> = Vec::with_capacity(cfg.nas.generations);
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut engine_seconds = 0.0f64;
+        let mut engine_interactions = 0u64;
+        let mut next_id = 0u64;
+
+        // Generation 0: random initial population.
+        let mut genomes: Vec<Genome> = (0..cfg.nas.population)
+            .map(|_| self.space.random_genome(&mut rng))
+            .collect();
+        for g in &genomes {
+            seen.insert(g.to_compact_string());
+        }
+        let mut parents: Vec<usize> = Vec::new();
+
+        for generation in 0..cfg.nas.generations {
+            if generation > 0 {
+                // Rank current parents and vary into offspring.
+                let parent_objs: Vec<Objectives> = parents
+                    .iter()
+                    .map(|&i| archive[i].objectives.clone())
+                    .collect();
+                let fronts = fast_non_dominated_sort(&parent_objs);
+                let ranks = ranks_from_fronts(&fronts, parents.len());
+                let mut crowding = vec![0.0f64; parents.len()];
+                for front in &fronts {
+                    for (&i, &d) in front.iter().zip(crowding_distance(&parent_objs, front).iter())
+                    {
+                        crowding[i] = d;
+                    }
+                }
+                let ranked: Vec<RankedIndividual> = ranks
+                    .iter()
+                    .zip(&crowding)
+                    .map(|(&rank, &crowding)| RankedIndividual { rank, crowding })
+                    .collect();
+                genomes = (0..cfg.nas.offspring)
+                    .map(|_| {
+                        let pa = &archive[parents[tournament_select(&ranked, &mut rng)]].genome;
+                        let pb = &archive[parents[tournament_select(&ranked, &mut rng)]].genome;
+                        let mut child = self.space.vary(pa, pb, &mut rng);
+                        for _ in 0..DUPLICATE_RETRIES {
+                            if !seen.contains(&child.to_compact_string()) {
+                                break;
+                            }
+                            child = self.space.vary(pa, pb, &mut rng);
+                        }
+                        seen.insert(child.to_compact_string());
+                        child
+                    })
+                    .collect();
+            }
+
+            // Train the whole generation on the shared batch evaluator.
+            let base_id = next_id;
+            let batch = evaluate_generation(
+                cfg,
+                &self.space,
+                factory,
+                &genomes,
+                generation,
+                base_id,
+                checkpoints,
+            );
+            let mut generation_indices = Vec::with_capacity(genomes.len());
+            for (k, (genome, record)) in genomes.iter().zip(batch.records).enumerate() {
+                let model_id = base_id + k as u64;
+                let (outcome, flops) = &batch.outcomes[k];
+                engine_seconds += outcome.engine_seconds;
+                engine_interactions += outcome.engine_interactions;
+                archive.push(Individual {
+                    id: model_id,
+                    generation,
+                    genome: genome.clone(),
+                    objectives: Objectives::new(vec![-outcome.final_fitness, *flops]),
+                });
+                records.push(record);
+                generation_indices.push(archive.len() - 1);
+            }
+            let schedule = batch.schedule;
+            next_id += genomes.len() as u64;
+            schedules.push(schedule);
+
+            // Elitist environmental selection (μ+λ).
+            if generation == 0 {
+                parents = generation_indices;
+            } else {
+                let mut pool = parents.clone();
+                pool.extend_from_slice(&generation_indices);
+                parents = environmental_selection(&archive, &pool, cfg.nas.population);
+            }
+        }
+
+        RunOutput {
+            commons: DataCommons::new(records),
+            schedule: GenerationSchedule {
+                generations: schedules,
+            },
+            config: cfg.clone(),
+            engine_seconds,
+            engine_interactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NasSettings;
+    use crate::surrogate::{SurrogateFactory, SurrogateParams};
+    use a4nn_lineage::Analyzer;
+    use a4nn_penguin::EngineConfig;
+    use a4nn_xfel::BeamIntensity;
+
+    fn small_config(engine: bool, gpus: usize, seed: u64) -> WorkflowConfig {
+        WorkflowConfig {
+            nas: NasSettings {
+                population: 6,
+                offspring: 6,
+                generations: 4,
+                ..NasSettings::paper_defaults()
+            },
+            engine: engine.then(EngineConfig::paper_defaults),
+            gpus,
+            beam: BeamIntensity::Medium,
+            seed,
+        }
+    }
+
+    fn run(engine: bool, gpus: usize, seed: u64) -> RunOutput {
+        let config = small_config(engine, gpus, seed);
+        let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+        A4nnWorkflow::new(config).run(&factory)
+    }
+
+    #[test]
+    fn evaluates_expected_model_count() {
+        let out = run(true, 2, 1);
+        assert_eq!(out.commons.len(), 6 + 6 * 3);
+        // Model ids sequential.
+        for (k, r) in out.commons.records.iter().enumerate() {
+            assert_eq!(r.model_id as usize, k);
+        }
+        assert_eq!(out.schedule.generations.len(), 4);
+    }
+
+    #[test]
+    fn engine_saves_epochs_versus_standalone() {
+        let with_engine = run(true, 1, 2);
+        let standalone = run(false, 1, 2);
+        assert_eq!(
+            standalone.total_epochs(),
+            24 * 25,
+            "standalone always trains the full budget"
+        );
+        assert!(
+            with_engine.total_epochs() < standalone.total_epochs(),
+            "{} vs {}",
+            with_engine.total_epochs(),
+            standalone.total_epochs()
+        );
+        assert!(with_engine.epochs_saved_pct() > 0.0);
+        assert!(with_engine.wall_time_s() < standalone.wall_time_s());
+    }
+
+    #[test]
+    fn multi_gpu_reduces_wall_time_not_epochs_much() {
+        let one = run(true, 1, 3);
+        let four = run(true, 4, 3);
+        // Same seed ⇒ same search ⇒ same epochs.
+        assert_eq!(one.total_epochs(), four.total_epochs());
+        let speedup = one.wall_time_s() / four.wall_time_s();
+        assert!(
+            speedup > 2.0,
+            "expected near-linear speedup, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(true, 2, 5);
+        let b = run(true, 2, 5);
+        assert_eq!(a.commons, b.commons);
+        assert_eq!(a.total_epochs(), b.total_epochs());
+        let c = run(true, 2, 6);
+        assert_ne!(a.commons, c.commons);
+    }
+
+    #[test]
+    fn records_carry_engine_params_and_gpu() {
+        let out = run(true, 2, 7);
+        for r in &out.commons.records {
+            let e = r.engine.as_ref().expect("engine attached");
+            assert_eq!(e.function, "exp-base");
+            assert_eq!(e.e_pred, 25);
+            assert!(r.gpu.unwrap() < 2);
+            assert_eq!(r.beam, "medium");
+            assert!(!r.epochs.is_empty());
+        }
+        assert!(out.engine_interactions >= out.total_epochs());
+    }
+
+    #[test]
+    fn standalone_records_have_no_engine_or_predictions() {
+        let out = run(false, 1, 8);
+        for r in &out.commons.records {
+            assert!(r.engine.is_none());
+            assert!(r.predicted_fitness.is_none());
+            assert!(!r.terminated_early);
+            assert_eq!(r.epochs_trained(), 25);
+        }
+        assert_eq!(out.engine_interactions, 0);
+        assert_eq!(out.engine_seconds, 0.0);
+    }
+
+    #[test]
+    fn search_improves_over_random_initialization() {
+        let out = run(true, 2, 9);
+        let analyzer = Analyzer::new(&out.commons);
+        let gen0_best = out
+            .commons
+            .records
+            .iter()
+            .filter(|r| r.generation == 0)
+            .map(|r| r.final_fitness)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let overall_best = analyzer.best_by_fitness().unwrap().final_fitness;
+        assert!(overall_best >= gen0_best);
+    }
+
+    #[test]
+    fn engine_overhead_is_small_but_nonzero() {
+        let out = run(true, 1, 10);
+        assert!(out.engine_seconds > 0.0);
+        // Way below one simulated epoch per interaction.
+        assert!(out.engine_seconds_per_interaction() < 0.1);
+    }
+}

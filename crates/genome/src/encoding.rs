@@ -1,0 +1,216 @@
+//! The bit-string genome encoding.
+
+use serde::{Deserialize, Serialize};
+
+/// Genome of a single phase: `K·(K−1)/2` edge bits (ordered
+/// `(0→1), (0→2), (1→2), (0→3), (1→3), (2→3), …` — i.e. grouped by target
+/// node) followed by one skip bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhaseGenome {
+    /// Number of computational nodes `K` in the phase DAG.
+    pub nodes: usize,
+    /// `K·(K−1)/2 + 1` bits: edges then skip.
+    pub bits: Vec<bool>,
+}
+
+impl PhaseGenome {
+    /// Number of bits a phase with `nodes` nodes requires.
+    pub fn bits_for(nodes: usize) -> usize {
+        nodes * (nodes - 1) / 2 + 1
+    }
+
+    /// Construct from raw bits, validating the length.
+    pub fn new(nodes: usize, bits: Vec<bool>) -> Self {
+        assert!(nodes >= 1, "a phase needs at least one node");
+        assert_eq!(
+            bits.len(),
+            Self::bits_for(nodes),
+            "phase with {nodes} nodes needs {} bits",
+            Self::bits_for(nodes)
+        );
+        PhaseGenome { nodes, bits }
+    }
+
+    /// An all-zeros phase (decodes to a single pass-through conv block).
+    pub fn zeros(nodes: usize) -> Self {
+        PhaseGenome {
+            nodes,
+            bits: vec![false; Self::bits_for(nodes)],
+        }
+    }
+
+    /// Bit index of edge `j → i` (requires `j < i`).
+    #[inline]
+    pub fn edge_bit_index(j: usize, i: usize) -> usize {
+        debug_assert!(j < i);
+        // Bits for target node i start after all bits for targets < i:
+        // Σ_{t<i} (t) = i(i−1)/2.
+        i * (i - 1) / 2 + j
+    }
+
+    /// Whether edge `j → i` is present.
+    #[inline]
+    pub fn edge(&self, j: usize, i: usize) -> bool {
+        self.bits[Self::edge_bit_index(j, i)]
+    }
+
+    /// The residual/skip bit (last bit).
+    #[inline]
+    pub fn skip(&self) -> bool {
+        *self.bits.last().expect("phase has at least the skip bit")
+    }
+}
+
+/// A full genome: one [`PhaseGenome`] per phase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Genome {
+    /// The phases, input side first.
+    pub phases: Vec<PhaseGenome>,
+}
+
+impl Genome {
+    /// Total number of bits across phases.
+    pub fn bit_len(&self) -> usize {
+        self.phases.iter().map(|p| p.bits.len()).sum()
+    }
+
+    /// Flatten to a single bit vector (phase order preserved).
+    pub fn to_bits(&self) -> Vec<bool> {
+        self.phases.iter().flat_map(|p| p.bits.iter().copied()).collect()
+    }
+
+    /// Rebuild from a flat bit vector with the given per-phase node counts.
+    pub fn from_bits(nodes_per_phase: &[usize], bits: &[bool]) -> Self {
+        let expected: usize = nodes_per_phase.iter().map(|&k| PhaseGenome::bits_for(k)).sum();
+        assert_eq!(bits.len(), expected, "bit length mismatch");
+        let mut phases = Vec::with_capacity(nodes_per_phase.len());
+        let mut cursor = 0;
+        for &k in nodes_per_phase {
+            let len = PhaseGenome::bits_for(k);
+            phases.push(PhaseGenome::new(k, bits[cursor..cursor + len].to_vec()));
+            cursor += len;
+        }
+        Genome { phases }
+    }
+
+    /// Compact human-readable form, e.g. `"1011010-0110101-0000001"`.
+    pub fn to_compact_string(&self) -> String {
+        self.phases
+            .iter()
+            .map(|p| {
+                p.bits
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// Parse the compact form produced by
+    /// [`to_compact_string`](Self::to_compact_string). Node counts are
+    /// inferred from segment lengths.
+    pub fn from_compact_string(s: &str) -> Result<Self, String> {
+        let mut phases = Vec::new();
+        for seg in s.split('-') {
+            let bits: Vec<bool> = seg
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(format!("invalid genome character {other:?}")),
+                })
+                .collect::<Result<_, _>>()?;
+            // Invert bits_for: find K with K(K−1)/2 + 1 == len.
+            let len = bits.len();
+            let mut nodes = None;
+            for k in 1..=64 {
+                if PhaseGenome::bits_for(k) == len {
+                    nodes = Some(k);
+                    break;
+                }
+            }
+            let nodes =
+                nodes.ok_or_else(|| format!("segment length {len} is not K(K-1)/2+1"))?;
+            phases.push(PhaseGenome::new(nodes, bits));
+        }
+        if phases.is_empty() {
+            return Err("empty genome string".to_string());
+        }
+        Ok(Genome { phases })
+    }
+}
+
+impl std::fmt::Display for Genome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_matches_formula() {
+        assert_eq!(PhaseGenome::bits_for(1), 1);
+        assert_eq!(PhaseGenome::bits_for(2), 2);
+        assert_eq!(PhaseGenome::bits_for(4), 7);
+        assert_eq!(PhaseGenome::bits_for(6), 16);
+    }
+
+    #[test]
+    fn edge_bit_index_layout() {
+        // K=4: (0→1)=0, (0→2)=1, (1→2)=2, (0→3)=3, (1→3)=4, (2→3)=5.
+        assert_eq!(PhaseGenome::edge_bit_index(0, 1), 0);
+        assert_eq!(PhaseGenome::edge_bit_index(0, 2), 1);
+        assert_eq!(PhaseGenome::edge_bit_index(1, 2), 2);
+        assert_eq!(PhaseGenome::edge_bit_index(0, 3), 3);
+        assert_eq!(PhaseGenome::edge_bit_index(1, 3), 4);
+        assert_eq!(PhaseGenome::edge_bit_index(2, 3), 5);
+    }
+
+    #[test]
+    fn edge_and_skip_accessors() {
+        let mut bits = vec![false; 7];
+        bits[PhaseGenome::edge_bit_index(1, 3)] = true;
+        bits[6] = true; // skip
+        let p = PhaseGenome::new(4, bits);
+        assert!(p.edge(1, 3));
+        assert!(!p.edge(0, 1));
+        assert!(p.skip());
+    }
+
+    #[test]
+    fn compact_string_roundtrip() {
+        let g = Genome::from_bits(
+            &[4, 4, 4],
+            &(0..21).map(|i| i % 3 == 0).collect::<Vec<_>>(),
+        );
+        let s = g.to_compact_string();
+        assert_eq!(s.split('-').count(), 3);
+        let back = Genome::from_compact_string(&s).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn compact_string_rejects_garbage() {
+        assert!(Genome::from_compact_string("10x1010").is_err());
+        assert!(Genome::from_compact_string("101").is_err()); // len 3 invalid
+        assert!(Genome::from_compact_string("").is_err());
+    }
+
+    #[test]
+    fn flat_bits_roundtrip() {
+        let g = Genome::from_bits(&[4, 4], &(0..14).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let bits = g.to_bits();
+        assert_eq!(bits.len(), 14);
+        assert_eq!(Genome::from_bits(&[4, 4], &bits), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn wrong_bit_count_panics() {
+        let _ = PhaseGenome::new(4, vec![false; 6]);
+    }
+}

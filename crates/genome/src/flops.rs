@@ -1,0 +1,135 @@
+//! Closed-form FLOPs estimation for decoded architectures.
+//!
+//! NSGA-Net's second objective is FLOPs usage — the paper uses it as a
+//! proxy for energy consumption and reports values in the hundreds of
+//! (mega-)FLOPs for its Pareto-optimal models. The estimate below counts
+//! multiply–accumulates as two operations and matches the layer-exact
+//! accounting of the `a4nn-nn` substrate (asserted by a cross-crate
+//! integration test).
+
+use crate::arch::{ArchSpec, NodeOp, PhaseSpec};
+
+/// FLOPs of one conv→BN→ReLU block at spatial size `h × w`.
+fn conv_block_flops(kernel: usize, c_in: usize, c_out: usize, h: usize, w: usize) -> f64 {
+    let conv = 2.0 * (kernel * kernel * c_in * c_out * h * w) as f64;
+    // BN: scale+shift (2 ops per element); ReLU: 1 op per element.
+    let bn_relu = 3.0 * (c_out * h * w) as f64;
+    conv + bn_relu
+}
+
+fn phase_flops(phase: &PhaseSpec, h: usize, w: usize) -> f64 {
+    let NodeOp::ConvBnRelu { kernel } = phase.op;
+    // Stem conv maps in_channels → out_channels.
+    let mut total = conv_block_flops(kernel, phase.in_channels, phase.out_channels, h, w);
+    let node_count = phase.active_nodes().max(1); // degenerate phase = one block
+    total +=
+        node_count as f64 * conv_block_flops(kernel, phase.out_channels, phase.out_channels, h, w);
+    // Elementwise additions for multi-input joins and the output sum.
+    let joins: usize = phase
+        .inputs
+        .iter()
+        .map(|ins| ins.len().saturating_sub(1))
+        .sum::<usize>()
+        + phase.leaves.len().saturating_sub(1)
+        + usize::from(phase.skip);
+    total += (joins * phase.out_channels * h * w) as f64;
+    total
+}
+
+/// Estimate the FLOPs of one forward pass of `arch` on an
+/// `input_hw.0 × input_hw.1` image. Each phase is followed by 2×2 max
+/// pooling; the classifier is global-average-pool + dense.
+pub fn estimate_flops(arch: &ArchSpec, input_hw: (usize, usize)) -> f64 {
+    let (mut h, mut w) = input_hw;
+    let mut total = 0.0;
+    for phase in &arch.phases {
+        total += phase_flops(phase, h, w);
+        // 2×2 max pooling: ~3 compares per output element.
+        h = (h / 2).max(1);
+        w = (w / 2).max(1);
+        total += 3.0 * (phase.out_channels * h * w) as f64;
+    }
+    let c_last = arch
+        .phases
+        .last()
+        .map(|p| p.out_channels)
+        .unwrap_or(arch.input_channels);
+    // Global average pool + dense classifier.
+    total += (c_last * h * w) as f64;
+    total += 2.0 * (c_last * arch.num_classes) as f64;
+    total
+}
+
+/// [`estimate_flops`] in mega-FLOPs — the unit the harnesses report, which
+/// puts the paper's search space in the same few-hundreds range as the
+/// figures in §4.2.1.
+pub fn estimate_mflops(arch: &ArchSpec, input_hw: (usize, usize)) -> f64 {
+    estimate_flops(arch, input_hw) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Genome, PhaseGenome};
+    use crate::space::SearchSpace;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper_defaults()
+    }
+
+    fn genome_with_density(density: f64, seed: u64) -> Genome {
+        let s = SearchSpace {
+            init_density: density,
+            ..space()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        s.random_genome(&mut rng)
+    }
+
+    #[test]
+    fn denser_genomes_cost_more_flops() {
+        let sparse = space().decode(&genome_with_density(0.12, 3));
+        let dense = space().decode(&genome_with_density(0.95, 3));
+        let f_sparse = estimate_flops(&sparse, (32, 32));
+        let f_dense = estimate_flops(&dense, (32, 32));
+        assert!(
+            f_dense > f_sparse,
+            "dense {f_dense} must exceed sparse {f_sparse}"
+        );
+    }
+
+    #[test]
+    fn flops_are_positive_even_for_empty_genome() {
+        let zeros = Genome {
+            phases: vec![PhaseGenome::zeros(4); 3],
+        };
+        let arch = space().decode(&zeros);
+        assert!(estimate_flops(&arch, (32, 32)) > 0.0);
+    }
+
+    #[test]
+    fn flops_scale_roughly_quadratically_with_image_side() {
+        let arch = space().decode(&genome_with_density(0.5, 9));
+        let f32x = estimate_flops(&arch, (32, 32));
+        let f64x = estimate_flops(&arch, (64, 64));
+        let ratio = f64x / f32x;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "doubling the side should ~4× the FLOPs, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn conv_block_flops_formula() {
+        // 3×3, 1→8 channels on 4×4: conv = 2·9·1·8·16 = 2304, bn+relu = 3·8·16 = 384.
+        assert_eq!(conv_block_flops(3, 1, 8, 4, 4), 2304.0 + 384.0);
+    }
+
+    #[test]
+    fn mflops_is_scaled_flops() {
+        let arch = space().decode(&genome_with_density(0.5, 10));
+        let f = estimate_flops(&arch, (32, 32));
+        assert!((estimate_mflops(&arch, (32, 32)) - f / 1e6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,333 @@
+//! The micro (cell-based) search space.
+//!
+//! NSGA-Net defines both a macro space (the paper's evaluation,
+//! [`crate::space`]) and a micro space that searches a repeated *cell*:
+//! each cell node selects two earlier states and an operation for each.
+//! This module provides the micro genome — sampling, mutation, crossover,
+//! a compact string form — and a FLOPs estimator, keeping the genome crate
+//! independent of the training substrate (the workflow crate bridges the
+//! decoded cell onto `a4nn-nn`'s `MicroNetwork`).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of operations in the micro vocabulary (conv3, conv5, maxpool3,
+/// avgpool3, identity) — must match the substrate's op list.
+pub const MICRO_OPS: usize = 5;
+
+/// Operation names by genome index, aligned with the substrate's op enum.
+pub const MICRO_OP_NAMES: [&str; MICRO_OPS] =
+    ["conv3x3", "conv5x5", "maxpool3x3", "avgpool3x3", "identity"];
+
+/// One cell node's genes: two (input state, operation) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MicroGene {
+    /// First input state (`≤` node position).
+    pub in1: u8,
+    /// Operation index for the first input.
+    pub op1: u8,
+    /// Second input state.
+    pub in2: u8,
+    /// Operation index for the second input.
+    pub op2: u8,
+}
+
+/// A micro genome: the genes of every cell node in order. Node `i`
+/// produces state `i + 1`; state 0 is the cell input.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MicroGenome {
+    /// Per-node genes.
+    pub nodes: Vec<MicroGene>,
+}
+
+impl MicroGenome {
+    /// Validate state references and op indices.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("micro genome needs at least one node".into());
+        }
+        for (i, g) in self.nodes.iter().enumerate() {
+            if usize::from(g.in1) > i || usize::from(g.in2) > i {
+                return Err(format!("node {i} references a future state"));
+            }
+            if usize::from(g.op1) >= MICRO_OPS || usize::from(g.op2) >= MICRO_OPS {
+                return Err(format!("node {i} uses an unknown operation"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact form, e.g. `"0.0-0.2|1.4-0.3"` (`in.op` pairs per node).
+    pub fn to_compact_string(&self) -> String {
+        self.nodes
+            .iter()
+            .map(|g| format!("{}.{}-{}.{}", g.in1, g.op1, g.in2, g.op2))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// Parse the compact form.
+    pub fn from_compact_string(s: &str) -> Result<Self, String> {
+        let mut nodes = Vec::new();
+        for seg in s.split('|') {
+            let (a, b) = seg
+                .split_once('-')
+                .ok_or_else(|| format!("bad node segment {seg:?}"))?;
+            let parse_pair = |p: &str| -> Result<(u8, u8), String> {
+                let (i, o) = p
+                    .split_once('.')
+                    .ok_or_else(|| format!("bad gene pair {p:?}"))?;
+                Ok((
+                    i.parse().map_err(|_| format!("bad input {i:?}"))?,
+                    o.parse().map_err(|_| format!("bad op {o:?}"))?,
+                ))
+            };
+            let (in1, op1) = parse_pair(a)?;
+            let (in2, op2) = parse_pair(b)?;
+            nodes.push(MicroGene { in1, op1, in2, op2 });
+        }
+        let g = MicroGenome { nodes };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// States no node consumes (the cell's output set), or the last state.
+    pub fn loose_ends(&self) -> Vec<usize> {
+        let n_states = self.nodes.len() + 1;
+        let mut consumed = vec![false; n_states];
+        for g in &self.nodes {
+            consumed[usize::from(g.in1)] = true;
+            consumed[usize::from(g.in2)] = true;
+        }
+        let ends: Vec<usize> = (1..n_states).filter(|&s| !consumed[s]).collect();
+        if ends.is_empty() {
+            vec![n_states - 1]
+        } else {
+            ends
+        }
+    }
+}
+
+/// The micro search space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroSearchSpace {
+    /// Nodes per cell.
+    pub nodes_per_cell: usize,
+    /// Channel width of each stage.
+    pub stage_channels: Vec<usize>,
+    /// Cells repeated per stage.
+    pub cells_per_stage: usize,
+    /// Input image channels.
+    pub input_channels: usize,
+    /// Classifier classes.
+    pub num_classes: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl MicroSearchSpace {
+    /// A small micro space matched to the reduced diffraction images.
+    pub fn reduced_defaults() -> Self {
+        MicroSearchSpace {
+            nodes_per_cell: 4,
+            stage_channels: vec![8, 16],
+            cells_per_stage: 1,
+            input_channels: 1,
+            num_classes: 2,
+            mutation_rate: 0.15,
+        }
+    }
+
+    /// Sample a random genome.
+    pub fn random_genome<R: Rng + ?Sized>(&self, rng: &mut R) -> MicroGenome {
+        let nodes = (0..self.nodes_per_cell)
+            .map(|i| MicroGene {
+                in1: rng.gen_range(0..=i as u8),
+                op1: rng.gen_range(0..MICRO_OPS as u8),
+                in2: rng.gen_range(0..=i as u8),
+                op2: rng.gen_range(0..MICRO_OPS as u8),
+            })
+            .collect();
+        MicroGenome { nodes }
+    }
+
+    /// Mutation: each gene field re-sampled with `mutation_rate`.
+    pub fn mutate<R: Rng + ?Sized>(&self, genome: &mut MicroGenome, rng: &mut R) {
+        for (i, g) in genome.nodes.iter_mut().enumerate() {
+            if rng.gen_bool(self.mutation_rate) {
+                g.in1 = rng.gen_range(0..=i as u8);
+            }
+            if rng.gen_bool(self.mutation_rate) {
+                g.op1 = rng.gen_range(0..MICRO_OPS as u8);
+            }
+            if rng.gen_bool(self.mutation_rate) {
+                g.in2 = rng.gen_range(0..=i as u8);
+            }
+            if rng.gen_bool(self.mutation_rate) {
+                g.op2 = rng.gen_range(0..MICRO_OPS as u8);
+            }
+        }
+    }
+
+    /// Per-node uniform crossover followed by mutation.
+    pub fn vary<R: Rng + ?Sized>(
+        &self,
+        a: &MicroGenome,
+        b: &MicroGenome,
+        rng: &mut R,
+    ) -> MicroGenome {
+        assert_eq!(a.nodes.len(), b.nodes.len(), "parents from different spaces");
+        let mut child = MicroGenome {
+            nodes: a
+                .nodes
+                .iter()
+                .zip(&b.nodes)
+                .map(|(&ga, &gb)| if rng.gen_bool(0.5) { ga } else { gb })
+                .collect(),
+        };
+        self.mutate(&mut child, rng);
+        child
+    }
+
+    /// Closed-form FLOPs estimate of the stacked network on `input_hw`
+    /// images (mirrors the substrate's layer-exact accounting).
+    pub fn estimate_flops(&self, genome: &MicroGenome, input_hw: (usize, usize)) -> f64 {
+        let op_flops = |op: u8, c: usize, h: usize, w: usize| -> f64 {
+            match op {
+                0 => 2.0 * (9 * c * c * h * w) as f64 + 3.0 * (c * h * w) as f64,
+                1 => 2.0 * (25 * c * c * h * w) as f64 + 3.0 * (c * h * w) as f64,
+                2 => (9 * c * h * w) as f64,
+                3 => (10 * c * h * w) as f64,
+                _ => 0.0,
+            }
+        };
+        let (mut h, mut w) = input_hw;
+        let mut total = 0.0;
+        let mut c_in = self.input_channels;
+        for &c in &self.stage_channels {
+            // Transition conv.
+            total += 2.0 * (9 * c_in * c * h * w) as f64 + 3.0 * (c * h * w) as f64;
+            for _ in 0..self.cells_per_stage {
+                for g in &genome.nodes {
+                    total += op_flops(g.op1, c, h, w) + op_flops(g.op2, c, h, w);
+                    total += (c * h * w) as f64; // the node join
+                }
+                total += (genome.loose_ends().len().saturating_sub(1) * c * h * w) as f64;
+            }
+            h = (h / 2).max(1);
+            w = (w / 2).max(1);
+            total += 3.0 * (c * h * w) as f64; // reduction pool
+            c_in = c;
+        }
+        total += (c_in * h * w) as f64; // GAP
+        total += 2.0 * (c_in * self.num_classes) as f64;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_genomes_are_valid() {
+        let space = MicroSearchSpace::reduced_defaults();
+        let mut r = rng(1);
+        for _ in 0..64 {
+            let g = space.random_genome(&mut r);
+            assert_eq!(g.nodes.len(), 4);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn compact_string_roundtrip() {
+        let space = MicroSearchSpace::reduced_defaults();
+        let mut r = rng(2);
+        for _ in 0..16 {
+            let g = space.random_genome(&mut r);
+            let back = MicroGenome::from_compact_string(&g.to_compact_string()).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn compact_string_rejects_garbage() {
+        assert!(MicroGenome::from_compact_string("").is_err());
+        assert!(MicroGenome::from_compact_string("0.0").is_err());
+        assert!(MicroGenome::from_compact_string("0.0-0.9").is_err()); // op 9
+        assert!(MicroGenome::from_compact_string("0.0-0.1|5.0-0.1").is_err()); // future state
+    }
+
+    #[test]
+    fn mutation_stays_valid_and_moves() {
+        let space = MicroSearchSpace {
+            mutation_rate: 0.5,
+            ..MicroSearchSpace::reduced_defaults()
+        };
+        let mut r = rng(3);
+        let original = space.random_genome(&mut r);
+        let mut changed = 0;
+        for _ in 0..32 {
+            let mut g = original.clone();
+            space.mutate(&mut g, &mut r);
+            g.validate().unwrap();
+            if g != original {
+                changed += 1;
+            }
+        }
+        assert!(changed > 24, "mutation too weak: {changed}/32 changed");
+    }
+
+    #[test]
+    fn variation_mixes_parents_and_stays_valid() {
+        let space = MicroSearchSpace::reduced_defaults();
+        let mut r = rng(4);
+        let a = space.random_genome(&mut r);
+        let b = space.random_genome(&mut r);
+        for _ in 0..16 {
+            let child = space.vary(&a, &b, &mut r);
+            child.validate().unwrap();
+            assert_eq!(child.nodes.len(), 4);
+        }
+    }
+
+    #[test]
+    fn loose_ends_match_substrate_semantics() {
+        // Chain 0→1→2→3→4 leaves only the last state loose.
+        let chain = MicroGenome {
+            nodes: (0..4)
+                .map(|i| MicroGene {
+                    in1: i as u8,
+                    op1: 0,
+                    in2: i as u8,
+                    op2: 4,
+                })
+                .collect(),
+        };
+        assert_eq!(chain.loose_ends(), vec![4]);
+    }
+
+    #[test]
+    fn conv_heavy_cells_cost_more_flops() {
+        let space = MicroSearchSpace::reduced_defaults();
+        let convs = MicroGenome {
+            nodes: (0..4)
+                .map(|i| MicroGene { in1: i as u8, op1: 1, in2: i as u8, op2: 0 })
+                .collect(),
+        };
+        let identities = MicroGenome {
+            nodes: (0..4)
+                .map(|i| MicroGene { in1: i as u8, op1: 4, in2: i as u8, op2: 4 })
+                .collect(),
+        };
+        let f_conv = space.estimate_flops(&convs, (16, 16));
+        let f_id = space.estimate_flops(&identities, (16, 16));
+        assert!(f_conv > 3.0 * f_id, "conv {f_conv} vs identity {f_id}");
+    }
+}

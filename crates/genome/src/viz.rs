@@ -1,0 +1,193 @@
+//! Architecture visualization — the Rust analogue of the paper's analyzer
+//! renderings (Figures 3 and 10): ASCII phase diagrams for terminals and
+//! Graphviz DOT output for publication-quality graphs.
+
+use crate::arch::{ArchSpec, NodeOp};
+
+/// Render an architecture as a multi-line ASCII diagram.
+///
+/// Example output for one phase:
+///
+/// ```text
+/// phase 0 [8ch, skip]
+///   stem -> n0
+///   n0 -> n1, n2
+///   out <- n1 + n2 (+ skip)
+/// ```
+pub fn render_ascii(arch: &ArchSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "input ({} channel{})\n",
+        arch.input_channels,
+        if arch.input_channels == 1 { "" } else { "s" }
+    ));
+    for (p, phase) in arch.phases.iter().enumerate() {
+        let NodeOp::ConvBnRelu { kernel } = phase.op;
+        out.push_str(&format!(
+            "phase {p} [{}ch, {kernel}x{kernel} conv{}]\n",
+            phase.out_channels,
+            if phase.skip { ", skip" } else { "" }
+        ));
+        if phase.is_degenerate() {
+            out.push_str("  stem -> default -> out\n");
+        } else {
+            // Stem feeds every active root.
+            let roots: Vec<String> = (0..phase.nodes)
+                .filter(|&i| phase.active[i] && phase.inputs[i].is_empty())
+                .map(|i| format!("n{i}"))
+                .collect();
+            if !roots.is_empty() {
+                out.push_str(&format!("  stem -> {}\n", roots.join(", ")));
+            }
+            for i in 0..phase.nodes {
+                if !phase.active[i] || phase.inputs[i].is_empty() {
+                    continue;
+                }
+                let srcs: Vec<String> =
+                    phase.inputs[i].iter().map(|j| format!("n{j}")).collect();
+                out.push_str(&format!("  {} -> n{i}\n", srcs.join(" + ")));
+            }
+            let leaves: Vec<String> = phase.leaves.iter().map(|i| format!("n{i}")).collect();
+            out.push_str(&format!(
+                "  out <- {}{}\n",
+                leaves.join(" + "),
+                if phase.skip { " (+ skip)" } else { "" }
+            ));
+        }
+        out.push_str("  maxpool 2x2\n");
+    }
+    out.push_str(&format!(
+        "global-avg-pool -> dense({})\n",
+        arch.num_classes
+    ));
+    out
+}
+
+/// Render an architecture as a Graphviz DOT digraph. Node names are
+/// `p<phase>_n<node>`; stems, outputs, and the classifier are explicit
+/// nodes so the rendering matches the structural views of Figure 10.
+pub fn render_dot(arch: &ArchSpec, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{title}\" {{\n"));
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    out.push_str("  input [shape=ellipse];\n");
+    let mut prev = "input".to_string();
+    for (p, phase) in arch.phases.iter().enumerate() {
+        let stem = format!("p{p}_stem");
+        let phase_out = format!("p{p}_out");
+        out.push_str(&format!(
+            "  {stem} [label=\"phase {p} stem\\nconv {}->{}\"];\n",
+            phase.in_channels, phase.out_channels
+        ));
+        out.push_str(&format!("  {prev} -> {stem};\n"));
+        out.push_str(&format!(
+            "  {phase_out} [label=\"phase {p} out\", shape=ellipse];\n"
+        ));
+        if phase.is_degenerate() {
+            let n = format!("p{p}_default");
+            out.push_str(&format!("  {n} [label=\"conv {0}x{0}\"];\n", kernel_of(phase)));
+            out.push_str(&format!("  {stem} -> {n};\n  {n} -> {phase_out};\n"));
+        } else {
+            for i in 0..phase.nodes {
+                if !phase.active[i] {
+                    continue;
+                }
+                let n = format!("p{p}_n{i}");
+                out.push_str(&format!(
+                    "  {n} [label=\"n{i}\\nconv {0}x{0}\"];\n",
+                    kernel_of(phase)
+                ));
+                if phase.inputs[i].is_empty() {
+                    out.push_str(&format!("  {stem} -> {n};\n"));
+                } else {
+                    for &j in &phase.inputs[i] {
+                        out.push_str(&format!("  p{p}_n{j} -> {n};\n"));
+                    }
+                }
+            }
+            for &leaf in &phase.leaves {
+                out.push_str(&format!("  p{p}_n{leaf} -> {phase_out};\n"));
+            }
+        }
+        if phase.skip {
+            out.push_str(&format!("  {stem} -> {phase_out} [style=dashed];\n"));
+        }
+        prev = phase_out;
+    }
+    out.push_str(&format!(
+        "  classifier [label=\"GAP + dense({})\", shape=ellipse];\n",
+        arch.num_classes
+    ));
+    out.push_str(&format!("  {prev} -> classifier;\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn kernel_of(phase: &crate::arch::PhaseSpec) -> usize {
+    let NodeOp::ConvBnRelu { kernel } = phase.op;
+    kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Genome, PhaseGenome};
+    use crate::space::SearchSpace;
+
+    fn sample_arch() -> ArchSpec {
+        let mut bits = vec![false; 7];
+        bits[PhaseGenome::edge_bit_index(0, 1)] = true;
+        bits[PhaseGenome::edge_bit_index(1, 2)] = true;
+        bits[6] = true;
+        let genome = Genome {
+            phases: vec![PhaseGenome::new(4, bits), PhaseGenome::zeros(4)],
+        };
+        let space = SearchSpace {
+            channels: vec![8, 16],
+            ..SearchSpace::paper_defaults()
+        };
+        space.decode(&genome)
+    }
+
+    #[test]
+    fn ascii_contains_every_phase_and_classifier() {
+        let text = render_ascii(&sample_arch());
+        assert!(text.contains("phase 0"));
+        assert!(text.contains("phase 1"));
+        assert!(text.contains("skip"));
+        assert!(text.contains("stem -> default -> out")); // degenerate phase
+        assert!(text.contains("dense(2)"));
+    }
+
+    #[test]
+    fn dot_is_structurally_valid() {
+        let dot = render_dot(&sample_arch(), "model-51");
+        assert!(dot.starts_with("digraph \"model-51\""));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every arrow references declared endpoints (smoke check).
+        assert!(dot.contains("input -> p0_stem"));
+        assert!(dot.contains("p0_n0 -> p0_n1"));
+        assert!(dot.contains("-> classifier"));
+        // Skip connection rendered dashed.
+        assert!(dot.contains("style=dashed"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn ascii_lists_multi_input_joins() {
+        let mut bits = vec![false; 7];
+        for (j, i) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            bits[PhaseGenome::edge_bit_index(j, i)] = true;
+        }
+        let genome = Genome {
+            phases: vec![PhaseGenome::new(4, bits)],
+        };
+        let space = SearchSpace {
+            channels: vec![8],
+            ..SearchSpace::paper_defaults()
+        };
+        let text = render_ascii(&space.decode(&genome));
+        assert!(text.contains("n1 + n2 -> n3"), "{text}");
+    }
+}

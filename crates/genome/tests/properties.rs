@@ -1,0 +1,118 @@
+//! Property-based tests of the genome encoding and decoding.
+
+use a4nn_genome::{estimate_flops, Genome, PhaseGenome, SearchSpace};
+use proptest::prelude::*;
+
+fn arb_genome(nodes: usize, phases: usize) -> impl Strategy<Value = Genome> {
+    let bits = (PhaseGenome::bits_for(nodes)) * phases;
+    proptest::collection::vec(any::<bool>(), bits).prop_map(move |bits| {
+        Genome::from_bits(&vec![nodes; phases], &bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compact string form round-trips for every genome shape.
+    #[test]
+    fn compact_string_roundtrip(genome in arb_genome(4, 3)) {
+        let back = Genome::from_compact_string(&genome.to_compact_string()).unwrap();
+        prop_assert_eq!(genome, back);
+    }
+
+    /// Flat-bit round-trip.
+    #[test]
+    fn flat_bits_roundtrip(genome in arb_genome(5, 2)) {
+        let bits = genome.to_bits();
+        let back = Genome::from_bits(&[5, 5], &bits);
+        prop_assert_eq!(genome, back);
+    }
+
+    /// Decoding invariants: channel chaining, leaf/activity consistency,
+    /// topological input ordering.
+    #[test]
+    fn decode_invariants(genome in arb_genome(4, 3)) {
+        let space = SearchSpace::paper_defaults();
+        let arch = space.decode(&genome);
+        let mut in_ch = space.input_channels;
+        for phase in &arch.phases {
+            prop_assert_eq!(phase.in_channels, in_ch);
+            in_ch = phase.out_channels;
+            // Leaves are active and have no active consumers.
+            for &leaf in &phase.leaves {
+                prop_assert!(phase.active[leaf]);
+                for (i, ins) in phase.inputs.iter().enumerate() {
+                    prop_assert!(
+                        !(phase.active[i] && ins.contains(&leaf)),
+                        "leaf consumed by active node"
+                    );
+                }
+            }
+            // Inputs reference earlier active nodes only.
+            for (i, ins) in phase.inputs.iter().enumerate() {
+                for &j in ins {
+                    prop_assert!(j < i);
+                    prop_assert!(phase.active[j]);
+                }
+            }
+            // Non-degenerate phases have at least one leaf.
+            if phase.active_nodes() > 0 {
+                prop_assert!(!phase.leaves.is_empty());
+            }
+        }
+    }
+
+    /// FLOPs are positive, finite, and monotone in resolution.
+    #[test]
+    fn flops_positive_and_monotone(genome in arb_genome(4, 3)) {
+        let space = SearchSpace::paper_defaults();
+        let arch = space.decode(&genome);
+        let small = estimate_flops(&arch, (16, 16));
+        let large = estimate_flops(&arch, (32, 32));
+        prop_assert!(small.is_finite() && small > 0.0);
+        prop_assert!(large > small);
+    }
+
+    /// Setting a bit never decreases FLOPs by more than one elementwise
+    /// join. (Adding an edge usually adds conv work, but it can also turn
+    /// a leaf into an interior node, removing one output join — a genuine
+    /// property of the decoding that proptest surfaced.)
+    #[test]
+    fn adding_edges_never_reduces_flops_beyond_one_join(
+        genome in arb_genome(4, 3),
+        bit in 0usize..21,
+    ) {
+        let space = SearchSpace::paper_defaults();
+        let mut bits = genome.to_bits();
+        if bits[bit] {
+            return Ok(()); // only consider 0 → 1 flips
+        }
+        let before = estimate_flops(&space.decode(&genome), (16, 16));
+        bits[bit] = true;
+        let denser = Genome::from_bits(&[4, 4, 4], &bits);
+        let after = estimate_flops(&space.decode(&denser), (16, 16));
+        // One join at the widest phase resolution: 32 channels × 16×16.
+        let max_join = (32 * 16 * 16) as f64;
+        prop_assert!(
+            after >= before - max_join,
+            "flops dropped {before} -> {after} by more than one join"
+        );
+    }
+
+    /// Variation and mutation keep genomes inside the space.
+    #[test]
+    fn variation_closed_over_space(
+        a in arb_genome(4, 3),
+        b in arb_genome(4, 3),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let space = SearchSpace::paper_defaults();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let child = space.vary(&a, &b, &mut rng);
+            prop_assert_eq!(child.bit_len(), 21);
+            let _ = space.decode(&child); // must not panic
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The analyzer: query and aggregation over a data commons.
+//!
+//! Rust analogue of the paper's Jupyter-notebook analyzer (§2.4): search
+//! for NNs with specific attributes, study fitness-curve shapes, extract
+//! Pareto-optimal models, and answer the conclusions' questions ("Is there
+//! a significant correlation between high FLOPS and high validation
+//! accuracy?").
+
+use crate::commons::DataCommons;
+use crate::record::ModelRecord;
+
+/// Read-only analysis view over a commons.
+#[derive(Debug, Clone, Copy)]
+pub struct Analyzer<'a> {
+    commons: &'a DataCommons,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Build an analyzer over a commons.
+    pub fn new(commons: &'a DataCommons) -> Self {
+        Analyzer { commons }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &'a [ModelRecord] {
+        &self.commons.records
+    }
+
+    /// Attribute search: records satisfying `pred`.
+    pub fn find(&self, pred: impl Fn(&ModelRecord) -> bool) -> Vec<&'a ModelRecord> {
+        self.commons.records.iter().filter(|r| pred(r)).collect()
+    }
+
+    /// Mean final fitness across the commons.
+    pub fn mean_fitness(&self) -> f64 {
+        let n = self.commons.records.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.commons
+            .records
+            .iter()
+            .map(|r| r.final_fitness)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Total epochs trained across all models (Figure 7's bar heights).
+    pub fn total_epochs(&self) -> u64 {
+        self.commons
+            .records
+            .iter()
+            .map(|r| u64::from(r.epochs_trained()))
+            .sum()
+    }
+
+    /// Total training wall time across all models (GPU-seconds).
+    pub fn total_wall_time(&self) -> f64 {
+        self.commons.records.iter().map(|r| r.wall_time_s).sum()
+    }
+
+    /// Fraction of models whose training was terminated early
+    /// (Figure 8's legend percentages), in `[0, 1]`.
+    pub fn early_termination_rate(&self) -> f64 {
+        let n = self.commons.records.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.commons
+            .records
+            .iter()
+            .filter(|r| r.terminated_early)
+            .count() as f64
+            / n as f64
+    }
+
+    /// Termination epochs `e_t` of early-terminated models (Figure 8's
+    /// distribution).
+    pub fn termination_epochs(&self) -> Vec<u32> {
+        self.commons
+            .records
+            .iter()
+            .filter_map(ModelRecord::termination_epoch)
+            .collect()
+    }
+
+    /// Histogram of `e_t` over `[1, max_epoch]` (index 0 = epoch 1).
+    pub fn termination_histogram(&self, max_epoch: u32) -> Vec<usize> {
+        let mut hist = vec![0usize; max_epoch as usize];
+        for e in self.termination_epochs() {
+            if (1..=max_epoch).contains(&e) {
+                hist[(e - 1) as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Mean termination epoch of early-terminated models, if any.
+    pub fn mean_termination_epoch(&self) -> Option<f64> {
+        let es = self.termination_epochs();
+        if es.is_empty() {
+            None
+        } else {
+            Some(es.iter().map(|&e| f64::from(e)).sum::<f64>() / es.len() as f64)
+        }
+    }
+
+    /// Pareto-optimal records for maximized fitness and minimized FLOPs
+    /// (the models plotted in Figure 6).
+    pub fn pareto_front(&self) -> Vec<&'a ModelRecord> {
+        let rs = &self.commons.records;
+        rs.iter()
+            .filter(|a| {
+                !rs.iter().any(|b| {
+                    (b.final_fitness >= a.final_fitness && b.flops <= a.flops)
+                        && (b.final_fitness > a.final_fitness || b.flops < a.flops)
+                })
+            })
+            .collect()
+    }
+
+    /// The most accurate model.
+    pub fn best_by_fitness(&self) -> Option<&'a ModelRecord> {
+        self.commons.records.iter().max_by(|a, b| {
+            a.final_fitness
+                .partial_cmp(&b.final_fitness)
+                .expect("fitness must not be NaN")
+        })
+    }
+
+    /// Pearson correlation between FLOPs and final fitness — the
+    /// conclusions' open question about high-FLOPs/high-accuracy
+    /// correlation. Returns `None` for degenerate inputs.
+    pub fn flops_fitness_correlation(&self) -> Option<f64> {
+        let rs = &self.commons.records;
+        if rs.len() < 2 {
+            return None;
+        }
+        let n = rs.len() as f64;
+        let mx = rs.iter().map(|r| r.flops).sum::<f64>() / n;
+        let my = rs.iter().map(|r| r.final_fitness).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for r in rs {
+            let dx = r.flops - mx;
+            let dy = r.final_fitness - my;
+            cov += dx * dy;
+            vx += dx * dx;
+            vy += dy * dy;
+        }
+        if vx <= 0.0 || vy <= 0.0 {
+            return None;
+        }
+        Some(cov / (vx.sqrt() * vy.sqrt()))
+    }
+
+    /// Mean absolute prediction error over early-terminated models.
+    pub fn mean_prediction_error(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .commons
+            .records
+            .iter()
+            .filter_map(ModelRecord::prediction_error)
+            .collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EngineParamsRecord, EpochRecord};
+    use a4nn_genome::Genome;
+
+    fn record(id: u64, fitness: f64, flops: f64, early: Option<u32>) -> ModelRecord {
+        let epochs_trained = early.unwrap_or(25);
+        ModelRecord {
+            model_id: id,
+            generation: 0,
+            gpu: None,
+            genome: Genome::from_compact_string("0000000").unwrap(),
+            arch_summary: String::new(),
+            flops,
+            engine: Some(EngineParamsRecord {
+                function: "exp-base".into(),
+                c_min: 3,
+                e_pred: 25,
+                n: 3,
+                r: 0.5,
+            }),
+            epochs: (1..=epochs_trained)
+                .map(|e| EpochRecord {
+                    epoch: e,
+                    train_acc: fitness,
+                    val_acc: fitness - 1.0,
+                    duration_s: 2.0,
+                    prediction: None,
+                })
+                .collect(),
+            final_fitness: fitness,
+            predicted_fitness: early.map(|_| fitness),
+            terminated_early: early.is_some(),
+            beam: "low".into(),
+            wall_time_s: 2.0 * f64::from(epochs_trained),
+        }
+    }
+
+    fn commons() -> DataCommons {
+        DataCommons::new(vec![
+            record(0, 90.0, 400.0, Some(10)),
+            record(1, 95.0, 600.0, Some(14)),
+            record(2, 85.0, 300.0, None),
+            record(3, 99.0, 900.0, Some(8)),
+            record(4, 80.0, 800.0, None),
+        ])
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let c = commons();
+        let a = Analyzer::new(&c);
+        assert_eq!(a.total_epochs(), 10 + 14 + 25 + 8 + 25);
+        assert!((a.mean_fitness() - 89.8).abs() < 1e-9);
+        assert!((a.total_wall_time() - 2.0 * 82.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn termination_statistics() {
+        let c = commons();
+        let a = Analyzer::new(&c);
+        assert!((a.early_termination_rate() - 0.6).abs() < 1e-12);
+        let mut es = a.termination_epochs();
+        es.sort_unstable();
+        assert_eq!(es, vec![8, 10, 14]);
+        assert!((a.mean_termination_epoch().unwrap() - 32.0 / 3.0).abs() < 1e-9);
+        let hist = a.termination_histogram(25);
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+        assert_eq!(hist[7], 1); // epoch 8
+    }
+
+    #[test]
+    fn pareto_front_max_fitness_min_flops() {
+        let c = commons();
+        let a = Analyzer::new(&c);
+        let ids: Vec<u64> = a.pareto_front().iter().map(|r| r.model_id).collect();
+        // (85,300) (90,400) (95,600) (99,900) are non-dominated;
+        // (80,800) is dominated by (95,600).
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn best_by_fitness() {
+        let c = commons();
+        assert_eq!(Analyzer::new(&c).best_by_fitness().unwrap().model_id, 3);
+    }
+
+    #[test]
+    fn correlation_detects_positive_relation() {
+        // Fitness mostly grows with FLOPs in the sample (except model 4).
+        let c = commons();
+        let corr = Analyzer::new(&c).flops_fitness_correlation().unwrap();
+        assert!(corr.abs() <= 1.0);
+        assert!(corr > 0.0, "expected positive, got {corr}");
+    }
+
+    #[test]
+    fn find_filters_records() {
+        let c = commons();
+        let a = Analyzer::new(&c);
+        let high_acc = a.find(|r| r.final_fitness > 90.0);
+        assert_eq!(high_acc.len(), 2);
+    }
+
+    #[test]
+    fn empty_commons_degenerates_gracefully() {
+        let c = DataCommons::default();
+        let a = Analyzer::new(&c);
+        assert_eq!(a.mean_fitness(), 0.0);
+        assert_eq!(a.total_epochs(), 0);
+        assert_eq!(a.early_termination_rate(), 0.0);
+        assert!(a.mean_termination_epoch().is_none());
+        assert!(a.pareto_front().is_empty());
+        assert!(a.best_by_fitness().is_none());
+        assert!(a.flops_fitness_correlation().is_none());
+        assert!(a.mean_prediction_error().is_none());
+    }
+
+    #[test]
+    fn prediction_error_mean() {
+        let c = commons();
+        let a = Analyzer::new(&c);
+        // Early records have predicted == final_fitness, measured val_acc
+        // = fitness − 1 ⇒ error 1.0 each.
+        assert!((a.mean_prediction_error().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! The data commons: thread-safe collection of record trails and the
+//! on-disk JSON layout (one file per model plus a manifest), the local
+//! stand-in for the paper's Harvard Dataverse deposit.
+
+use crate::record::ModelRecord;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Thread-safe recorder that concurrent trainers append to. The workflow
+/// shares one tracker across all virtual GPUs.
+#[derive(Debug, Default)]
+pub struct LineageTracker {
+    records: Mutex<Vec<ModelRecord>>,
+}
+
+impl LineageTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one completed record trail.
+    pub fn record(&self, record: ModelRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Drain into a [`DataCommons`], sorted by model id so the commons is
+    /// deterministic regardless of training interleaving.
+    pub fn into_commons(self) -> DataCommons {
+        let mut records = self.records.into_inner();
+        records.sort_by_key(|r| r.model_id);
+        DataCommons { records }
+    }
+}
+
+/// Manifest stored next to the per-model files.
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    model_count: usize,
+    model_ids: Vec<u64>,
+}
+
+/// An immutable collection of record trails with disk persistence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DataCommons {
+    /// The record trails, sorted by model id.
+    pub records: Vec<ModelRecord>,
+}
+
+impl DataCommons {
+    /// Wrap records (sorted by model id).
+    pub fn new(mut records: Vec<ModelRecord>) -> Self {
+        records.sort_by_key(|r| r.model_id);
+        DataCommons { records }
+    }
+
+    /// Number of record trails.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the commons is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Look up a model by id.
+    pub fn get(&self, model_id: u64) -> Option<&ModelRecord> {
+        self.records
+            .binary_search_by_key(&model_id, |r| r.model_id)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Write the commons to `dir`: `manifest.json` plus
+    /// `model_<id>.json` per record.
+    pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for record in &self.records {
+            let path = dir.join(format!("model_{:05}.json", record.model_id));
+            fs::write(path, serde_json::to_vec_pretty(record)?)?;
+        }
+        let manifest = Manifest {
+            model_count: self.records.len(),
+            model_ids: self.records.iter().map(|r| r.model_id).collect(),
+        };
+        fs::write(
+            dir.join("manifest.json"),
+            serde_json::to_vec_pretty(&manifest)?,
+        )?;
+        Ok(())
+    }
+
+    /// Load a commons previously written by [`save_dir`](Self::save_dir).
+    pub fn load_dir(dir: &Path) -> io::Result<Self> {
+        let manifest: Manifest =
+            serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
+        let mut records = Vec::with_capacity(manifest.model_count);
+        for id in manifest.model_ids {
+            let path = dir.join(format!("model_{id:05}.json"));
+            let record: ModelRecord = serde_json::from_slice(&fs::read(path)?)?;
+            records.push(record);
+        }
+        Ok(DataCommons::new(records))
+    }
+
+    /// Merge another commons into this one (e.g. the three beam
+    /// intensities of one experiment).
+    pub fn merge(&mut self, other: DataCommons) {
+        self.records.extend(other.records);
+        self.records.sort_by_key(|r| r.model_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EngineParamsRecord, EpochRecord};
+    use a4nn_genome::Genome;
+
+    fn record(id: u64) -> ModelRecord {
+        ModelRecord {
+            model_id: id,
+            generation: 0,
+            gpu: None,
+            genome: Genome::from_compact_string("0000000").unwrap(),
+            arch_summary: "1 phase".into(),
+            flops: 100.0,
+            engine: Some(EngineParamsRecord {
+                function: "exp-base".into(),
+                c_min: 3,
+                e_pred: 25,
+                n: 3,
+                r: 0.5,
+            }),
+            epochs: vec![EpochRecord {
+                epoch: 1,
+                train_acc: 60.0,
+                val_acc: 58.0,
+                duration_s: 1.0,
+                prediction: None,
+            }],
+            final_fitness: 58.0,
+            predicted_fitness: None,
+            terminated_early: false,
+            beam: "low".into(),
+            wall_time_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn tracker_collects_and_sorts() {
+        let tracker = LineageTracker::new();
+        tracker.record(record(5));
+        tracker.record(record(2));
+        tracker.record(record(9));
+        assert_eq!(tracker.len(), 3);
+        let commons = tracker.into_commons();
+        let ids: Vec<u64> = commons.records.iter().map(|r| r.model_id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn tracker_is_usable_across_threads() {
+        let tracker = std::sync::Arc::new(LineageTracker::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tr = tracker.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8u64 {
+                    tr.record(record(t * 8 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tracker.len(), 32);
+    }
+
+    #[test]
+    fn get_by_id() {
+        let commons = DataCommons::new(vec![record(3), record(1)]);
+        assert_eq!(commons.get(3).unwrap().model_id, 3);
+        assert!(commons.get(42).is_none());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("a4nn-commons-{}", std::process::id()));
+        let commons = DataCommons::new(vec![record(0), record(1), record(2)]);
+        commons.save_dir(&dir).unwrap();
+        let loaded = DataCommons::load_dir(&dir).unwrap();
+        assert_eq!(commons, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let dir = std::env::temp_dir().join("a4nn-definitely-missing-commons");
+        assert!(DataCommons::load_dir(&dir).is_err());
+    }
+
+    #[test]
+    fn merge_keeps_order() {
+        let mut a = DataCommons::new(vec![record(0), record(4)]);
+        let b = DataCommons::new(vec![record(2)]);
+        a.merge(b);
+        let ids: Vec<u64> = a.records.iter().map(|r| r.model_id).collect();
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Learning-curve shape analysis.
+//!
+//! §2.4: the analyzer lets scientists "study NN performance and evolution
+//! throughout training, the shape of fitness curves, and the relationship
+//! between the architecture and performance". This module classifies each
+//! record trail's validation-accuracy curve into a coarse shape taxonomy
+//! and aggregates shape statistics per commons.
+
+use crate::commons::DataCommons;
+use crate::record::ModelRecord;
+use serde::{Deserialize, Serialize};
+
+/// Coarse learning-curve shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CurveShape {
+    /// Concave, saturating rise — the "well-behaved" curve of §2.1.1.
+    Saturating,
+    /// Still accelerating at the end of training (convex): a late bloomer.
+    Accelerating,
+    /// Never left chance level.
+    Flat,
+    /// Large non-monotone swings (unstable optimization).
+    Erratic,
+    /// Too few epochs to judge.
+    TooShort,
+}
+
+impl CurveShape {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CurveShape::Saturating => "saturating",
+            CurveShape::Accelerating => "accelerating",
+            CurveShape::Flat => "flat",
+            CurveShape::Erratic => "erratic",
+            CurveShape::TooShort => "too-short",
+        }
+    }
+}
+
+/// Classify one validation-accuracy curve.
+///
+/// Heuristics (in order): fewer than 5 points ⇒ `TooShort`; total rise
+/// under 5 points ⇒ `Flat`; mean absolute backstep above 20% of the total
+/// rise ⇒ `Erratic`; second-half gain exceeding first-half gain ⇒
+/// `Accelerating`; otherwise `Saturating`.
+pub fn classify_curve(vals: &[f64]) -> CurveShape {
+    if vals.len() < 5 {
+        return CurveShape::TooShort;
+    }
+    let first = vals[0];
+    let last = *vals.last().expect("non-empty");
+    let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let rise = max - first;
+    if rise < 5.0 && (last - first).abs() < 5.0 {
+        return CurveShape::Flat;
+    }
+    let mut backsteps = 0.0;
+    let mut count = 0.0f64;
+    for w in vals.windows(2) {
+        if w[1] < w[0] {
+            backsteps += w[0] - w[1];
+        }
+        count += 1.0;
+    }
+    let mean_backstep = backsteps / count.max(1.0);
+    if mean_backstep > 0.2 * rise.max(1.0) / 2.0 {
+        return CurveShape::Erratic;
+    }
+    let mid = vals.len() / 2;
+    let first_half_gain = vals[mid] - vals[0];
+    let second_half_gain = last - vals[mid];
+    if second_half_gain > first_half_gain {
+        CurveShape::Accelerating
+    } else {
+        CurveShape::Saturating
+    }
+}
+
+/// Classify one record trail.
+pub fn classify_record(record: &ModelRecord) -> CurveShape {
+    let vals: Vec<f64> = record.epochs.iter().map(|e| e.val_acc).collect();
+    classify_curve(&vals)
+}
+
+/// Shape census of a commons: `(shape, count, early-termination count)`
+/// per shape present, in taxonomy order.
+pub fn shape_census(commons: &DataCommons) -> Vec<(CurveShape, usize, usize)> {
+    let shapes = [
+        CurveShape::Saturating,
+        CurveShape::Accelerating,
+        CurveShape::Flat,
+        CurveShape::Erratic,
+        CurveShape::TooShort,
+    ];
+    let mut counts = vec![(0usize, 0usize); shapes.len()];
+    for r in &commons.records {
+        let shape = classify_record(r);
+        let idx = shapes.iter().position(|&s| s == shape).expect("in taxonomy");
+        counts[idx].0 += 1;
+        if r.terminated_early {
+            counts[idx].1 += 1;
+        }
+    }
+    shapes
+        .into_iter()
+        .zip(counts)
+        .filter(|(_, (n, _))| *n > 0)
+        .map(|(s, (n, e))| (s, n, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(f: impl Fn(usize) -> f64, n: usize) -> Vec<f64> {
+        (1..=n).map(f).collect()
+    }
+
+    #[test]
+    fn saturating_curve_detected() {
+        let vals = curve(|e| 95.0 - 50.0 * 0.7f64.powi(e as i32), 20);
+        assert_eq!(classify_curve(&vals), CurveShape::Saturating);
+    }
+
+    #[test]
+    fn accelerating_curve_detected() {
+        let vals = curve(|e| 50.0 + 0.08 * (e * e) as f64, 20);
+        assert_eq!(classify_curve(&vals), CurveShape::Accelerating);
+    }
+
+    #[test]
+    fn flat_curve_detected() {
+        let vals = curve(|e| 50.0 + 0.5 * ((e % 3) as f64 - 1.0), 20);
+        assert_eq!(classify_curve(&vals), CurveShape::Flat);
+    }
+
+    #[test]
+    fn erratic_curve_detected() {
+        let vals = curve(
+            |e| 70.0 + if e % 2 == 0 { 12.0 } else { -12.0 },
+            20,
+        );
+        assert_eq!(classify_curve(&vals), CurveShape::Erratic);
+    }
+
+    #[test]
+    fn short_curve_detected() {
+        assert_eq!(classify_curve(&[50.0, 60.0, 70.0]), CurveShape::TooShort);
+    }
+
+    #[test]
+    fn census_counts_every_record_once() {
+        use crate::record::{EpochRecord, ModelRecord};
+        use a4nn_genome::Genome;
+        let make = |id: u64, f: &dyn Fn(usize) -> f64, n: usize| ModelRecord {
+            model_id: id,
+            generation: 0,
+            gpu: None,
+            genome: Genome::from_compact_string("0000000").unwrap(),
+            arch_summary: String::new(),
+            flops: 1.0,
+            engine: None,
+            epochs: (1..=n)
+                .map(|e| EpochRecord {
+                    epoch: e as u32,
+                    train_acc: f(e),
+                    val_acc: f(e),
+                    duration_s: 1.0,
+                    prediction: None,
+                })
+                .collect(),
+            final_fitness: f(n),
+            predicted_fitness: None,
+            terminated_early: id % 2 == 0,
+            beam: "low".into(),
+            wall_time_s: n as f64,
+        };
+        let commons = crate::commons::DataCommons::new(vec![
+            make(0, &|e| 95.0 - 50.0 * 0.7f64.powi(e as i32), 20),
+            make(1, &|e| 50.0 + 0.08 * (e * e) as f64, 20),
+            make(2, &|_| 50.0, 20),
+        ]);
+        let census = shape_census(&commons);
+        let total: usize = census.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(total, 3);
+        let early: usize = census.iter().map(|(_, _, e)| e).sum();
+        assert_eq!(early, 2);
+        assert!(census.iter().any(|(s, _, _)| *s == CurveShape::Flat));
+    }
+}

@@ -1,0 +1,140 @@
+//! Tabular exports of a data commons.
+//!
+//! The paper ships its Dataverse deposit with "a Python script
+//! demonstrating how to load the data into a Pandas DataFrame" (§2.3) —
+//! the equivalent affordance here is CSV export: one row per model
+//! (summary) or one row per epoch (learning curves), both loading directly
+//! into pandas/polars/R.
+
+use crate::commons::DataCommons;
+use std::fmt::Write as _;
+
+/// One-row-per-model summary CSV.
+pub fn models_csv(commons: &DataCommons) -> String {
+    let mut out = String::with_capacity(commons.len() * 96 + 128);
+    out.push_str(
+        "model_id,generation,gpu,beam,genome,flops_mflops,epochs_trained,final_fitness,\
+         predicted_fitness,terminated_early,termination_epoch,wall_time_s\n",
+    );
+    for r in &commons.records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.model_id,
+            r.generation,
+            r.gpu.map(|g| g.to_string()).unwrap_or_default(),
+            r.beam,
+            r.genome.to_compact_string(),
+            r.flops,
+            r.epochs_trained(),
+            r.final_fitness,
+            r.predicted_fitness
+                .map(|p| p.to_string())
+                .unwrap_or_default(),
+            r.terminated_early,
+            r.termination_epoch()
+                .map(|e| e.to_string())
+                .unwrap_or_default(),
+            r.wall_time_s,
+        );
+    }
+    out
+}
+
+/// One-row-per-epoch learning-curve CSV.
+pub fn epochs_csv(commons: &DataCommons) -> String {
+    let mut out = String::with_capacity(commons.len() * 25 * 48 + 64);
+    out.push_str("model_id,epoch,train_acc,val_acc,duration_s,prediction\n");
+    for r in &commons.records {
+        for e in &r.epochs {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                r.model_id,
+                e.epoch,
+                e.train_acc,
+                e.val_acc,
+                e.duration_s,
+                e.prediction.map(|p| p.to_string()).unwrap_or_default(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EpochRecord, ModelRecord};
+    use a4nn_genome::Genome;
+
+    fn commons() -> DataCommons {
+        DataCommons::new(vec![ModelRecord {
+            model_id: 3,
+            generation: 1,
+            gpu: Some(2),
+            genome: Genome::from_compact_string("1000001").unwrap(),
+            arch_summary: "x".into(),
+            flops: 123.5,
+            engine: None,
+            epochs: vec![
+                EpochRecord {
+                    epoch: 1,
+                    train_acc: 60.0,
+                    val_acc: 58.0,
+                    duration_s: 2.0,
+                    prediction: None,
+                },
+                EpochRecord {
+                    epoch: 2,
+                    train_acc: 70.0,
+                    val_acc: 66.0,
+                    duration_s: 2.1,
+                    prediction: Some(91.5),
+                },
+            ],
+            final_fitness: 91.5,
+            predicted_fitness: Some(91.5),
+            terminated_early: true,
+            beam: "high".into(),
+            wall_time_s: 4.1,
+        }])
+    }
+
+    #[test]
+    fn models_csv_has_header_and_row() {
+        let csv = models_csv(&commons());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("model_id,generation,gpu,beam,genome"));
+        assert_eq!(
+            lines[1],
+            "3,1,2,high,1000001,123.5,2,91.5,91.5,true,2,4.1"
+        );
+    }
+
+    #[test]
+    fn epochs_csv_one_row_per_epoch() {
+        let csv = epochs_csv(&commons());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "3,1,60,58,2,");
+        assert_eq!(lines[2], "3,2,70,66,2.1,91.5");
+    }
+
+    #[test]
+    fn empty_commons_exports_headers_only() {
+        let empty = DataCommons::default();
+        assert_eq!(models_csv(&empty).lines().count(), 1);
+        assert_eq!(epochs_csv(&empty).lines().count(), 1);
+    }
+
+    #[test]
+    fn field_counts_are_consistent() {
+        let csv = models_csv(&commons());
+        let header_fields = csv.lines().next().unwrap().split(',').count();
+        for row in csv.lines().skip(1) {
+            assert_eq!(row.split(',').count(), header_fields);
+        }
+    }
+}

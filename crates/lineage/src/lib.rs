@@ -1,0 +1,36 @@
+//! # a4nn-lineage — lineage tracker and NN data commons
+//!
+//! §2.3: A4NN "rigorously record[s] neural architecture histories, model
+//! states, and metadata to reproduce the search for near-optimal NNs."
+//! This crate is that record system:
+//!
+//! - [`record`] — per-model record trails: genome, architecture summary,
+//!   engine parameters, per-epoch fitness/prediction/duration entries,
+//!   FLOPs, termination information, and the GPU that trained the model;
+//! - [`commons`] — the data commons: a thread-safe in-memory tracker that
+//!   concurrent trainers append to, plus an on-disk JSON layout (one file
+//!   per model and a manifest) standing in for the paper's Harvard
+//!   Dataverse deposit;
+//! - [`analyzer`] — the analyzer: the query/aggregation API behind the
+//!   paper's Jupyter-notebook analysis (Pareto extraction, termination
+//!   distributions, epoch totals, FLOPs/accuracy correlation, attribute
+//!   search);
+//! - [`structure`] — structural analytics: fixed feature vectors over
+//!   genomes, feature↔fitness correlations, and success-vs-rest contrasts
+//!   (the conclusions' "structural similarities" question);
+//! - [`export`] — CSV exports (per-model and per-epoch) matching the
+//!   paper's "load into a DataFrame" affordance.
+
+pub mod analyzer;
+pub mod commons;
+pub mod curves;
+pub mod export;
+pub mod record;
+pub mod structure;
+
+pub use analyzer::Analyzer;
+pub use commons::{DataCommons, LineageTracker};
+pub use curves::{classify_curve, classify_record, shape_census, CurveShape};
+pub use export::{epochs_csv, models_csv};
+pub use record::{EngineParamsRecord, EpochRecord, ModelRecord};
+pub use structure::{feature_fitness_correlations, success_contrast, StructuralFeatures};

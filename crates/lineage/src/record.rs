@@ -1,0 +1,173 @@
+//! Record-trail types: everything the paper lists as data-commons content
+//! (§4.5): "epoch times, training accuracies, validation accuracies,
+//! FLOPS, predictions, prediction engine parameters, genomes, and
+//! architecture information for each neural architecture."
+
+use a4nn_genome::Genome;
+use serde::{Deserialize, Serialize};
+
+/// One training epoch of one model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// 1-based epoch number.
+    pub epoch: u32,
+    /// Training accuracy (%) after this epoch.
+    pub train_acc: f64,
+    /// Validation accuracy (%) after this epoch — the fitness the
+    /// prediction engine consumes.
+    pub val_acc: f64,
+    /// Wall/simulated seconds the epoch took.
+    pub duration_s: f64,
+    /// The engine's fitness prediction made after this epoch, if any.
+    pub prediction: Option<f64>,
+}
+
+/// Prediction-engine configuration attached to a record trail (Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineParamsRecord {
+    /// Parametric function name (e.g. `"exp-base"`).
+    pub function: String,
+    /// Minimum points before predicting.
+    pub c_min: usize,
+    /// Epoch predicted for.
+    pub e_pred: u32,
+    /// Convergence window.
+    pub n: usize,
+    /// Convergence tolerance.
+    pub r: f64,
+}
+
+/// The complete record trail of one neural architecture's life in the
+/// search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Globally unique model id within the run.
+    pub model_id: u64,
+    /// Generation that produced the model.
+    pub generation: usize,
+    /// Virtual GPU the model trained on, when known.
+    pub gpu: Option<usize>,
+    /// The genome.
+    pub genome: Genome,
+    /// Human-readable architecture summary.
+    pub arch_summary: String,
+    /// Estimated forward FLOPs (the NAS's second objective).
+    pub flops: f64,
+    /// Engine configuration, absent for standalone-NAS runs.
+    pub engine: Option<EngineParamsRecord>,
+    /// Per-epoch entries, in order.
+    pub epochs: Vec<EpochRecord>,
+    /// Fitness the NAS used for selection (measured or predicted).
+    pub final_fitness: f64,
+    /// The engine's converged prediction, if training stopped early.
+    pub predicted_fitness: Option<f64>,
+    /// Whether the engine terminated training early.
+    pub terminated_early: bool,
+    /// Beam-intensity label of the dataset (`"low"`, `"medium"`, `"high"`).
+    pub beam: String,
+    /// Total seconds spent training this model.
+    pub wall_time_s: f64,
+}
+
+impl ModelRecord {
+    /// Number of epochs actually trained.
+    pub fn epochs_trained(&self) -> u32 {
+        self.epochs.len() as u32
+    }
+
+    /// Termination epoch `e_t` if the engine stopped training early.
+    pub fn termination_epoch(&self) -> Option<u32> {
+        if self.terminated_early {
+            self.epochs.last().map(|e| e.epoch)
+        } else {
+            None
+        }
+    }
+
+    /// The measured validation-accuracy learning curve.
+    pub fn learning_curve(&self) -> Vec<(u32, f64)> {
+        self.epochs.iter().map(|e| (e.epoch, e.val_acc)).collect()
+    }
+
+    /// Prediction error |predicted − last measured fitness|, when a
+    /// prediction exists.
+    pub fn prediction_error(&self) -> Option<f64> {
+        let predicted = self.predicted_fitness?;
+        let measured = self.epochs.last()?.val_acc;
+        Some((predicted - measured).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4nn_genome::Genome;
+
+    pub(crate) fn sample_record(id: u64, early: bool, epochs: u32) -> ModelRecord {
+        let genome = Genome::from_compact_string("1011010-0110101-0000001").unwrap();
+        let epoch_records: Vec<EpochRecord> = (1..=epochs)
+            .map(|e| EpochRecord {
+                epoch: e,
+                train_acc: 50.0 + f64::from(e),
+                val_acc: 48.0 + f64::from(e),
+                duration_s: 2.0,
+                prediction: if e >= 3 { Some(90.0) } else { None },
+            })
+            .collect();
+        ModelRecord {
+            model_id: id,
+            generation: 0,
+            gpu: Some(0),
+            genome,
+            arch_summary: "3 phases".into(),
+            flops: 500.0,
+            engine: Some(EngineParamsRecord {
+                function: "exp-base".into(),
+                c_min: 3,
+                e_pred: 25,
+                n: 3,
+                r: 0.5,
+            }),
+            epochs: epoch_records,
+            final_fitness: if early { 90.0 } else { 48.0 + f64::from(epochs) },
+            predicted_fitness: early.then_some(90.0),
+            terminated_early: early,
+            beam: "medium".into(),
+            wall_time_s: 2.0 * f64::from(epochs),
+        }
+    }
+
+    #[test]
+    fn termination_epoch_only_for_early_models() {
+        let early = sample_record(1, true, 12);
+        assert_eq!(early.termination_epoch(), Some(12));
+        let full = sample_record(2, false, 25);
+        assert_eq!(full.termination_epoch(), None);
+    }
+
+    #[test]
+    fn learning_curve_matches_epochs() {
+        let r = sample_record(3, true, 5);
+        let curve = r.learning_curve();
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], (1, 49.0));
+        assert_eq!(curve[4], (5, 53.0));
+    }
+
+    #[test]
+    fn prediction_error_is_absolute_gap() {
+        let r = sample_record(4, true, 10);
+        // predicted 90, last measured 58 ⇒ 32.
+        assert_eq!(r.prediction_error(), Some(32.0));
+        let none = sample_record(5, false, 10);
+        assert_eq!(none.prediction_error(), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_record(6, true, 8);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ModelRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

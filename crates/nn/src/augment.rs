@@ -1,0 +1,200 @@
+//! Data augmentation for square detector images.
+//!
+//! Diffraction patterns have no canonical in-plane orientation (the beam
+//! orientation is random), so horizontal/vertical flips and 90° rotations
+//! are label-preserving symmetries — the natural augmentation family for
+//! this use case.
+
+use crate::tensor::Tensor4;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which symmetries to sample per image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Random horizontal flips.
+    pub hflip: bool,
+    /// Random vertical flips.
+    pub vflip: bool,
+    /// Random 0/90/180/270° rotations (square images only).
+    pub rot90: bool,
+}
+
+impl AugmentConfig {
+    /// All symmetries on (the dihedral group of the square).
+    pub fn full() -> Self {
+        AugmentConfig {
+            hflip: true,
+            vflip: true,
+            rot90: true,
+        }
+    }
+
+    /// No augmentation.
+    pub fn none() -> Self {
+        AugmentConfig {
+            hflip: false,
+            vflip: false,
+            rot90: false,
+        }
+    }
+}
+
+/// Flip every channel of sample `n` horizontally, in place.
+pub fn hflip_sample(batch: &mut Tensor4, n: usize) {
+    let (_, c, h, w) = batch.shape();
+    let s = batch.sample_mut(n);
+    for ci in 0..c {
+        for y in 0..h {
+            let row = &mut s[(ci * h + y) * w..(ci * h + y + 1) * w];
+            row.reverse();
+        }
+    }
+}
+
+/// Flip every channel of sample `n` vertically, in place.
+pub fn vflip_sample(batch: &mut Tensor4, n: usize) {
+    let (_, c, h, w) = batch.shape();
+    let s = batch.sample_mut(n);
+    for ci in 0..c {
+        for y in 0..h / 2 {
+            for x in 0..w {
+                s.swap((ci * h + y) * w + x, (ci * h + (h - 1 - y)) * w + x);
+            }
+        }
+    }
+}
+
+/// Rotate every channel of sample `n` by 90° clockwise (square images).
+pub fn rot90_sample(batch: &mut Tensor4, n: usize) {
+    let (_, c, h, w) = batch.shape();
+    assert_eq!(h, w, "rot90 requires square images");
+    let s = batch.sample_mut(n);
+    let mut scratch = vec![0.0f32; h * w];
+    for ci in 0..c {
+        let plane = &mut s[ci * h * w..(ci + 1) * h * w];
+        scratch.copy_from_slice(plane);
+        for y in 0..h {
+            for x in 0..w {
+                // (y, x) ← (h−1−x, y)
+                plane[y * w + x] = scratch[(h - 1 - x) * w + y];
+            }
+        }
+    }
+}
+
+/// Apply random label-preserving symmetries to every sample of a batch.
+pub fn augment_batch<R: Rng + ?Sized>(batch: &mut Tensor4, config: AugmentConfig, rng: &mut R) {
+    let n = batch.n;
+    for i in 0..n {
+        if config.hflip && rng.gen_bool(0.5) {
+            hflip_sample(batch, i);
+        }
+        if config.vflip && rng.gen_bool(0.5) {
+            vflip_sample(batch, i);
+        }
+        if config.rot90 {
+            for _ in 0..rng.gen_range(0..4u8) {
+                rot90_sample(batch, i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn numbered(h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_vec(1, 1, h, w, (0..h * w).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let mut t = numbered(2, 3);
+        hflip_sample(&mut t, 0);
+        assert_eq!(t.data(), &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn vflip_reverses_columns() {
+        let mut t = numbered(2, 3);
+        vflip_sample(&mut t, 0);
+        assert_eq!(t.data(), &[3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let mut t = numbered(4, 4);
+        let original = t.clone();
+        hflip_sample(&mut t, 0);
+        hflip_sample(&mut t, 0);
+        assert_eq!(t, original);
+        vflip_sample(&mut t, 0);
+        vflip_sample(&mut t, 0);
+        assert_eq!(t, original);
+    }
+
+    #[test]
+    fn rot90_once() {
+        // [0 1; 2 3] rotated clockwise → [2 0; 3 1]
+        let mut t = numbered(2, 2);
+        rot90_sample(&mut t, 0);
+        assert_eq!(t.data(), &[2.0, 0.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn four_rotations_are_identity() {
+        let mut t = numbered(5, 5);
+        let original = t.clone();
+        for _ in 0..4 {
+            rot90_sample(&mut t, 0);
+        }
+        assert_eq!(t, original);
+    }
+
+    #[test]
+    fn augment_preserves_multiset_of_pixels() {
+        let mut t = numbered(4, 4);
+        let mut expected: Vec<f32> = t.data().to_vec();
+        expected.sort_by(f32::total_cmp);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        augment_batch(&mut t, AugmentConfig::full(), &mut rng);
+        let mut got: Vec<f32> = t.data().to_vec();
+        got.sort_by(f32::total_cmp);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn none_config_is_identity() {
+        let mut t = numbered(4, 4);
+        let original = t.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        augment_batch(&mut t, AugmentConfig::none(), &mut rng);
+        assert_eq!(t, original);
+    }
+
+    #[test]
+    fn per_sample_independence() {
+        // With a batch of many samples, at least one should differ from
+        // the original under full augmentation (overwhelmingly likely).
+        let mut batch = Tensor4::zeros(8, 1, 4, 4);
+        for i in 0..8 {
+            for (j, v) in batch.sample_mut(i).iter_mut().enumerate() {
+                *v = (i * 16 + j) as f32;
+            }
+        }
+        let original = batch.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        augment_batch(&mut batch, AugmentConfig::full(), &mut rng);
+        assert_ne!(batch, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rot90_rejects_non_square() {
+        let mut t = numbered(2, 3);
+        rot90_sample(&mut t, 0);
+    }
+}

@@ -1,0 +1,633 @@
+//! Cell-based (micro search space) networks.
+//!
+//! NSGA-Net searches two spaces; the paper's evaluation uses the *macro*
+//! space ([`crate::graph`]), and this module provides the *micro* space's
+//! substrate: a small **cell** — a DAG whose nodes each combine two
+//! earlier states through chosen operations — repeated across stages with
+//! spatial reduction between them. Operations follow the usual micro
+//! vocabulary: 3×3 and 5×5 conv (with BN+ReLU), 3×3 max/avg pooling
+//! (stride 1, same padding), and identity.
+
+use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, MaxPool2d, ParamVisitor, Relu};
+use crate::pool_same::{AvgPool2dSame, MaxPool2dSame};
+use crate::tensor::{Tensor2, Tensor4};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Operation a cell node applies to one of its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellOp {
+    /// 3×3 conv → BN → ReLU.
+    Conv3,
+    /// 5×5 conv → BN → ReLU.
+    Conv5,
+    /// 3×3 max pool, stride 1.
+    MaxPool3,
+    /// 3×3 average pool, stride 1.
+    AvgPool3,
+    /// Pass-through.
+    Identity,
+}
+
+impl CellOp {
+    /// All operations, in a stable order (genome op indices).
+    pub const ALL: [CellOp; 5] = [
+        CellOp::Conv3,
+        CellOp::Conv5,
+        CellOp::MaxPool3,
+        CellOp::AvgPool3,
+        CellOp::Identity,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellOp::Conv3 => "conv3x3",
+            CellOp::Conv5 => "conv5x5",
+            CellOp::MaxPool3 => "maxpool3x3",
+            CellOp::AvgPool3 => "avgpool3x3",
+            CellOp::Identity => "identity",
+        }
+    }
+}
+
+/// One cell node: `state[out] = op1(state[in1]) + op2(state[in2])`.
+/// State 0 is the cell input; node `i` produces state `i + 1`, so inputs
+/// must reference states `≤ i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellNodeSpec {
+    /// First input state.
+    pub in1: usize,
+    /// Operation on the first input.
+    pub op1: CellOp,
+    /// Second input state.
+    pub in2: usize,
+    /// Operation on the second input.
+    pub op2: CellOp,
+}
+
+/// A cell: an ordered list of nodes over the growing state list. The cell
+/// output sums every state that no node consumes (the "loose ends", as in
+/// DARTS-style cells), or the last state if all are consumed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// The nodes, in execution order.
+    pub nodes: Vec<CellNodeSpec>,
+}
+
+impl CellSpec {
+    /// Validate state references.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "cell needs at least one node");
+        for (i, node) in self.nodes.iter().enumerate() {
+            assert!(node.in1 <= i, "node {i} input {0} from the future", node.in1);
+            assert!(node.in2 <= i, "node {i} input {0} from the future", node.in2);
+        }
+    }
+
+    /// States that no node consumes (candidates for the cell output),
+    /// excluding state 0 when any node exists.
+    pub fn loose_ends(&self) -> Vec<usize> {
+        let n_states = self.nodes.len() + 1;
+        let mut consumed = vec![false; n_states];
+        for node in &self.nodes {
+            consumed[node.in1] = true;
+            consumed[node.in2] = true;
+        }
+        let ends: Vec<usize> = (1..n_states).filter(|&s| !consumed[s]).collect();
+        if ends.is_empty() {
+            vec![n_states - 1]
+        } else {
+            ends
+        }
+    }
+}
+
+/// Full micro-network specification: stem → stages of repeated cells with
+/// stride-2 reductions and channel growth between stages → classifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroNetSpec {
+    /// Input image channels.
+    pub input_channels: usize,
+    /// Channel width of each stage (the stem maps to `stage_channels[0]`).
+    pub stage_channels: Vec<usize>,
+    /// Cells per stage.
+    pub cells_per_stage: usize,
+    /// The (shared) cell topology; weights are per-instance.
+    pub cell: CellSpec,
+    /// Classifier classes.
+    pub num_classes: usize,
+}
+
+/// One instantiated operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum OpLayer {
+    Conv {
+        conv: Conv2d,
+        bn: BatchNorm2d,
+        relu: Relu,
+    },
+    MaxPool(MaxPool2dSame),
+    AvgPool(AvgPool2dSame),
+    Identity,
+}
+
+impl OpLayer {
+    fn new<R: Rng + ?Sized>(op: CellOp, channels: usize, rng: &mut R) -> Self {
+        match op {
+            CellOp::Conv3 | CellOp::Conv5 => {
+                let kernel = if op == CellOp::Conv3 { 3 } else { 5 };
+                OpLayer::Conv {
+                    conv: Conv2d::new(channels, channels, kernel, rng),
+                    bn: BatchNorm2d::new(channels),
+                    relu: Relu::new(),
+                }
+            }
+            CellOp::MaxPool3 => OpLayer::MaxPool(MaxPool2dSame::new(3)),
+            CellOp::AvgPool3 => OpLayer::AvgPool(AvgPool2dSame::new(3)),
+            CellOp::Identity => OpLayer::Identity,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        match self {
+            OpLayer::Conv { conv, bn, relu } => {
+                let a = conv.forward(x);
+                let b = bn.forward(&a, training);
+                relu.forward(&b)
+            }
+            OpLayer::MaxPool(p) => p.forward(x),
+            OpLayer::AvgPool(p) => p.forward(x),
+            OpLayer::Identity => x.clone(),
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        match self {
+            OpLayer::Conv { conv, bn, relu } => {
+                let g = relu.backward(grad);
+                let g = bn.backward(&g);
+                conv.backward(&g)
+            }
+            OpLayer::MaxPool(p) => p.backward(grad),
+            OpLayer::AvgPool(p) => p.backward(grad),
+            OpLayer::Identity => grad.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        if let OpLayer::Conv { conv, bn, .. } = self {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn rebuild_buffers(&mut self) {
+        if let OpLayer::Conv { conv, bn, .. } = self {
+            conv.rebuild_buffers();
+            bn.rebuild_buffers();
+        }
+    }
+
+    fn flops(&self, c: usize, h: usize, w: usize) -> f64 {
+        match self {
+            OpLayer::Conv { conv, bn, relu } => {
+                conv.flops(h, w) + bn.flops(h, w) + relu.flops(c, h, w)
+            }
+            OpLayer::MaxPool(p) => p.flops(c, h, w),
+            OpLayer::AvgPool(p) => p.flops(c, h, w),
+            OpLayer::Identity => 0.0,
+        }
+    }
+}
+
+/// One instantiated cell (own weights).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell {
+    spec: CellSpec,
+    ops: Vec<(OpLayer, OpLayer)>,
+    loose_ends: Vec<usize>,
+}
+
+impl Cell {
+    fn new<R: Rng + ?Sized>(spec: &CellSpec, channels: usize, rng: &mut R) -> Self {
+        spec.validate();
+        let ops = spec
+            .nodes
+            .iter()
+            .map(|n| {
+                (
+                    OpLayer::new(n.op1, channels, rng),
+                    OpLayer::new(n.op2, channels, rng),
+                )
+            })
+            .collect();
+        Cell {
+            spec: spec.clone(),
+            loose_ends: spec.loose_ends(),
+            ops,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let mut states: Vec<Tensor4> = Vec::with_capacity(self.spec.nodes.len() + 1);
+        states.push(x.clone());
+        for (node, (op1, op2)) in self.spec.nodes.iter().zip(&mut self.ops) {
+            let mut out = op1.forward(&states[node.in1], training);
+            out.add_assign(&op2.forward(&states[node.in2], training));
+            states.push(out);
+        }
+        let mut out = states[self.loose_ends[0]].clone();
+        for &s in &self.loose_ends[1..] {
+            out.add_assign(&states[s]);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let n_states = self.spec.nodes.len() + 1;
+        let (n, c, h, w) = grad.shape();
+        let mut state_grads: Vec<Tensor4> =
+            (0..n_states).map(|_| Tensor4::zeros(n, c, h, w)).collect();
+        for &s in &self.loose_ends {
+            state_grads[s].add_assign(grad);
+        }
+        for (i, (node, (op1, op2))) in self
+            .spec
+            .nodes
+            .iter()
+            .zip(&mut self.ops)
+            .enumerate()
+            .rev()
+        {
+            let g_out = std::mem::replace(&mut state_grads[i + 1], Tensor4::zeros(0, 0, 0, 0));
+            let g1 = op1.backward(&g_out);
+            state_grads[node.in1].add_assign(&g1);
+            let g2 = op2.backward(&g_out);
+            state_grads[node.in2].add_assign(&g2);
+        }
+        state_grads.swap_remove(0)
+    }
+
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        for (a, b) in &mut self.ops {
+            a.visit_params(f);
+            b.visit_params(f);
+        }
+    }
+
+    fn rebuild_buffers(&mut self) {
+        for (a, b) in &mut self.ops {
+            a.rebuild_buffers();
+            b.rebuild_buffers();
+        }
+    }
+
+    fn flops(&self, c: usize, h: usize, w: usize) -> f64 {
+        let ops: f64 = self
+            .ops
+            .iter()
+            .map(|(a, b)| a.flops(c, h, w) + b.flops(c, h, w))
+            .sum();
+        // One add per node join plus the output joins.
+        let joins = self.spec.nodes.len() + self.loose_ends.len().saturating_sub(1);
+        ops + (joins * c * h * w) as f64
+    }
+}
+
+/// Conv→BN→ReLU transition used for the stem and between stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Transition {
+    conv: Conv2d,
+    bn: BatchNorm2d,
+    relu: Relu,
+}
+
+impl Transition {
+    fn new<R: Rng + ?Sized>(c_in: usize, c_out: usize, rng: &mut R) -> Self {
+        Transition {
+            conv: Conv2d::new(c_in, c_out, 3, rng),
+            bn: BatchNorm2d::new(c_out),
+            relu: Relu::new(),
+        }
+    }
+    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let a = self.conv.forward(x);
+        let b = self.bn.forward(&a, training);
+        self.relu.forward(&b)
+    }
+    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let g = self.relu.backward(grad);
+        let g = self.bn.backward(&g);
+        self.conv.backward(&g)
+    }
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.conv.visit_params(f);
+        self.bn.visit_params(f);
+    }
+    fn rebuild_buffers(&mut self) {
+        self.conv.rebuild_buffers();
+        self.bn.rebuild_buffers();
+    }
+    fn flops(&self, h: usize, w: usize) -> f64 {
+        self.conv.flops(h, w) + self.bn.flops(h, w) + self.relu.flops(self.conv.c_out, h, w)
+    }
+}
+
+/// A trainable micro (cell-based) network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroNetwork {
+    spec: MicroNetSpec,
+    transitions: Vec<Transition>,
+    stages: Vec<Vec<Cell>>,
+    pools: Vec<MaxPool2d>,
+    gap: GlobalAvgPool,
+    classifier: Dense,
+}
+
+impl MicroNetwork {
+    /// Instantiate with seeded weights.
+    pub fn new<R: Rng + ?Sized>(spec: &MicroNetSpec, rng: &mut R) -> Self {
+        assert!(!spec.stage_channels.is_empty(), "need at least one stage");
+        assert!(spec.cells_per_stage >= 1, "need at least one cell per stage");
+        spec.cell.validate();
+        let mut transitions = Vec::with_capacity(spec.stage_channels.len());
+        let mut stages = Vec::with_capacity(spec.stage_channels.len());
+        let mut pools = Vec::with_capacity(spec.stage_channels.len());
+        let mut c_in = spec.input_channels;
+        for &c in &spec.stage_channels {
+            transitions.push(Transition::new(c_in, c, rng));
+            stages.push(
+                (0..spec.cells_per_stage)
+                    .map(|_| Cell::new(&spec.cell, c, rng))
+                    .collect(),
+            );
+            pools.push(MaxPool2d::new());
+            c_in = c;
+        }
+        let classifier = Dense::new(c_in, spec.num_classes, rng);
+        MicroNetwork {
+            spec: spec.clone(),
+            transitions,
+            stages,
+            pools,
+            gap: GlobalAvgPool::new(),
+            classifier,
+        }
+    }
+
+    /// The spec this network was built from.
+    pub fn spec(&self) -> &MicroNetSpec {
+        &self.spec
+    }
+
+    /// Forward pass returning logits.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor2 {
+        let mut act = x.clone();
+        for s in 0..self.stages.len() {
+            act = self.transitions[s].forward(&act, training);
+            for cell in &mut self.stages[s] {
+                act = cell.forward(&act, training);
+            }
+            act = self.pools[s].forward(&act);
+        }
+        let pooled = self.gap.forward(&act);
+        self.classifier.forward(&pooled)
+    }
+
+    /// Backward pass from logits gradient.
+    pub fn backward(&mut self, dlogits: &Tensor2) {
+        let g = self.classifier.backward(dlogits);
+        let mut g = self.gap.backward(&g);
+        for s in (0..self.stages.len()).rev() {
+            g = self.pools[s].backward(&g);
+            for cell in self.stages[s].iter_mut().rev() {
+                g = cell.backward(&g);
+            }
+            g = self.transitions[s].backward(&g);
+        }
+    }
+
+    /// Visit all `(param, grad)` pairs in a stable order.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        for s in 0..self.stages.len() {
+            self.transitions[s].visit_params(f);
+            for cell in &mut self.stages[s] {
+                cell.visit_params(f);
+            }
+        }
+        self.classifier.visit_params(f);
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _| count += p.len());
+        count
+    }
+
+    /// Exact forward FLOPs for one sample at `input_hw`.
+    pub fn flops(&self, input_hw: (usize, usize)) -> f64 {
+        let (mut h, mut w) = input_hw;
+        let mut total = 0.0;
+        for (s, &c) in self.spec.stage_channels.iter().enumerate() {
+            total += self.transitions[s].flops(h, w);
+            for cell in &self.stages[s] {
+                total += cell.flops(c, h, w);
+            }
+            h = (h / 2).max(1);
+            w = (w / 2).max(1);
+            total += 3.0 * (c * h * w) as f64;
+        }
+        let c_last = *self.spec.stage_channels.last().unwrap();
+        total += (c_last * h * w) as f64;
+        total += self.classifier.flops();
+        total
+    }
+
+    /// Classification accuracy (%) on a labeled set.
+    pub fn evaluate(&mut self, images: &Tensor4, labels: &[usize]) -> f32 {
+        assert_eq!(images.n, labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let logits = self.forward(images, false);
+        let mut correct = 0;
+        for (r, &label) in labels.iter().enumerate() {
+            let row = logits.row(r);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            if pred == label {
+                correct += 1;
+            }
+        }
+        100.0 * correct as f32 / labels.len() as f32
+    }
+
+    /// Rebuild transient buffers after deserialization.
+    pub fn rebuild_buffers(&mut self) {
+        for s in 0..self.stages.len() {
+            self.transitions[s].rebuild_buffers();
+            for cell in &mut self.stages[s] {
+                cell.rebuild_buffers();
+            }
+        }
+        self.classifier.rebuild_buffers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn tiny_cell() -> CellSpec {
+        CellSpec {
+            nodes: vec![
+                CellNodeSpec {
+                    in1: 0,
+                    op1: CellOp::Conv3,
+                    in2: 0,
+                    op2: CellOp::MaxPool3,
+                },
+                CellNodeSpec {
+                    in1: 1,
+                    op1: CellOp::Identity,
+                    in2: 0,
+                    op2: CellOp::AvgPool3,
+                },
+            ],
+        }
+    }
+
+    fn spec() -> MicroNetSpec {
+        MicroNetSpec {
+            input_channels: 1,
+            stage_channels: vec![4, 8],
+            cells_per_stage: 1,
+            cell: tiny_cell(),
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn loose_ends_analysis() {
+        // Node 1 consumes state 1, so only state 2 is loose.
+        assert_eq!(tiny_cell().loose_ends(), vec![2]);
+        // A cell whose nodes both read only state 0 leaves both outputs
+        // loose.
+        let parallel = CellSpec {
+            nodes: vec![
+                CellNodeSpec { in1: 0, op1: CellOp::Conv3, in2: 0, op2: CellOp::Identity },
+                CellNodeSpec { in1: 0, op1: CellOp::Conv5, in2: 0, op2: CellOp::Identity },
+            ],
+        };
+        assert_eq!(parallel.loose_ends(), vec![1, 2]);
+    }
+
+    #[test]
+    fn forward_shapes_and_flops() {
+        let mut net = MicroNetwork::new(&spec(), &mut rng(1));
+        let x = Tensor4::zeros(3, 1, 8, 8);
+        let logits = net.forward(&x, true);
+        assert_eq!((logits.rows, logits.cols), (3, 2));
+        assert!(net.flops((8, 8)) > 0.0);
+        assert!(net.param_count() > 100);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_task() {
+        let mut r = rng(3);
+        let n = 16;
+        let mut images = Tensor4::zeros(n, 1, 8, 8);
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            labels.push(label);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let bright = if label == 0 { x < 4 } else { x >= 4 };
+                    images.set(i, 0, y, x, if bright { 1.0 } else { 0.0 });
+                }
+            }
+        }
+        let mut net = MicroNetwork::new(&spec(), &mut r);
+        // Plain SGD on visited params (MicroNetwork is not a graph::Network,
+        // so drive the update loop manually).
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..25 {
+            let logits = net.forward(&images, true);
+            let out = cross_entropy(&logits, &labels);
+            net.backward(&out.dlogits);
+            net.visit_params(&mut |p, g| {
+                for (pi, gi) in p.iter_mut().zip(g.iter_mut()) {
+                    *pi -= 0.05 * *gi;
+                    *gi = 0.0;
+                }
+            });
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.6,
+            "loss {} -> {last}",
+            first.unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = MicroNetwork::new(&spec(), &mut rng(5));
+        let mut b = MicroNetwork::new(&spec(), &mut rng(5));
+        let x = Tensor4::zeros(1, 1, 8, 8);
+        assert_eq!(a.forward(&x, false).data(), b.forward(&x, false).data());
+    }
+
+    #[test]
+    fn all_ops_execute_and_backprop() {
+        // A cell touching every operation.
+        let cell = CellSpec {
+            nodes: vec![
+                CellNodeSpec { in1: 0, op1: CellOp::Conv3, in2: 0, op2: CellOp::Conv5 },
+                CellNodeSpec { in1: 1, op1: CellOp::MaxPool3, in2: 0, op2: CellOp::AvgPool3 },
+                CellNodeSpec { in1: 2, op1: CellOp::Identity, in2: 1, op2: CellOp::Identity },
+            ],
+        };
+        let spec = MicroNetSpec {
+            input_channels: 1,
+            stage_channels: vec![4],
+            cells_per_stage: 2,
+            cell,
+            num_classes: 2,
+        };
+        let mut net = MicroNetwork::new(&spec, &mut rng(7));
+        let x = Tensor4::zeros(2, 1, 8, 8);
+        let logits = net.forward(&x, true);
+        let out = cross_entropy(&logits, &[0, 1]);
+        net.backward(&out.dlogits); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn forward_reference_rejected() {
+        let cell = CellSpec {
+            nodes: vec![CellNodeSpec {
+                in1: 1, // its own output
+                op1: CellOp::Identity,
+                in2: 0,
+                op2: CellOp::Identity,
+            }],
+        };
+        cell.validate();
+    }
+}

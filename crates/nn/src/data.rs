@@ -1,0 +1,234 @@
+//! Labeled image datasets and minibatch iteration.
+
+use crate::tensor::Tensor4;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled set of single- or multi-channel images.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Flattened image data, sample-major (`len = n · c · h · w`).
+    pub images: Vec<f32>,
+    /// One class label per sample.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given geometry.
+    pub fn empty(channels: usize, height: usize, width: usize) -> Self {
+        Dataset {
+            channels,
+            height,
+            width,
+            images: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Elements per sample.
+    pub fn sample_stride(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Append one image; `pixels.len()` must equal
+    /// [`sample_stride`](Self::sample_stride).
+    pub fn push(&mut self, pixels: &[f32], label: usize) {
+        assert_eq!(pixels.len(), self.sample_stride(), "pixel count mismatch");
+        self.images.extend_from_slice(pixels);
+        self.labels.push(label);
+    }
+
+    /// Materialize the samples at `indices` as a batch tensor plus labels.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor4, Vec<usize>) {
+        let stride = self.sample_stride();
+        let mut batch = Tensor4::zeros(indices.len(), self.channels, self.height, self.width);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (b, &i) in indices.iter().enumerate() {
+            batch
+                .sample_mut(b)
+                .copy_from_slice(&self.images[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        (batch, labels)
+    }
+
+    /// Materialize the whole dataset as one tensor (for evaluation).
+    pub fn as_tensor(&self) -> (Tensor4, &[usize]) {
+        let all: Vec<usize> = (0..self.len()).collect();
+        let (t, _) = self.gather(&all);
+        (t, &self.labels)
+    }
+
+    /// Split off the last `fraction` of samples into a second dataset
+    /// (e.g. `0.2` for the paper's 80/20 train/test split). The split is
+    /// positional; shuffle first if ordering is meaningful.
+    pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+        let n_tail = (self.len() as f64 * fraction).round() as usize;
+        let n_head = self.len() - n_tail;
+        let stride = self.sample_stride();
+        let tail = Dataset {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            images: self.images.split_off(n_head * stride),
+            labels: self.labels.split_off(n_head),
+        };
+        (self, tail)
+    }
+
+    /// Shuffle sample order in place.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let (t, labels) = self.gather(&order);
+        self.images = t.data().to_vec();
+        self.labels = labels;
+    }
+
+    /// Iterator over shuffled minibatches for one epoch.
+    pub fn shuffled_batches<'a, R: Rng + ?Sized>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> BatchIter<'a> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        BatchIter {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Per-class sample counts (indexed by label).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let max = self.labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut counts = vec![0usize; max];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// Minibatch iterator produced by [`Dataset::shuffled_batches`].
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor4, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.dataset.gather(&self.order[self.cursor..end]);
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::empty(1, 2, 2);
+        for i in 0..n {
+            d.push(&[i as f32; 4], i % 2);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_gather_roundtrip() {
+        let d = dataset(5);
+        let (batch, labels) = d.gather(&[3, 1]);
+        assert_eq!(batch.shape(), (2, 1, 2, 2));
+        assert_eq!(batch.sample(0), &[3.0; 4]);
+        assert_eq!(batch.sample(1), &[1.0; 4]);
+        assert_eq!(labels, vec![1, 1]);
+    }
+
+    #[test]
+    fn split_80_20() {
+        let (train, test) = dataset(10).split(0.2);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        // Tail samples preserved in order.
+        assert_eq!(test.gather(&[0]).0.sample(0), &[8.0; 4]);
+    }
+
+    #[test]
+    fn split_edge_fractions() {
+        let (a, b) = dataset(4).split(0.0);
+        assert_eq!((a.len(), b.len()), (4, 0));
+        let (a, b) = dataset(4).split(1.0);
+        assert_eq!((a.len(), b.len()), (0, 4));
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let d = dataset(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = Vec::new();
+        for (batch, labels) in d.shuffled_batches(3, &mut rng) {
+            assert!(batch.n <= 3);
+            assert_eq!(batch.n, labels.len());
+            for b in 0..batch.n {
+                seen.push(batch.sample(b)[0] as usize);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let mut a = dataset(16);
+        let mut b = dataset(16);
+        a.shuffle(&mut rand::rngs::StdRng::seed_from_u64(9));
+        b.shuffle(&mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.images, b.images);
+    }
+
+    #[test]
+    fn class_counts_balanced() {
+        let d = dataset(10);
+        assert_eq!(d.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn push_wrong_size_panics() {
+        let mut d = Dataset::empty(1, 2, 2);
+        d.push(&[0.0; 3], 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Phase-DAG networks: the trainable realization of a decoded NSGA-Net
+//! macro genome.
+//!
+//! A [`Network`] is a chain of phases; each phase is a stem conv block
+//! followed by a DAG of conv blocks with sum joins, an optional residual
+//! skip from the stem to the phase output, and a 2×2 max pool. The network
+//! ends with global average pooling and a dense classifier.
+//!
+//! The crate stays decoupled from `a4nn-genome` by accepting a neutral
+//! [`NetSpec`]; the workflow crate converts decoded genomes into specs.
+
+use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, MaxPool2d, ParamVisitor, Relu};
+use crate::tensor::{Tensor2, Tensor4};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one phase. Node indices refer to positions in
+/// `node_inputs`; an empty input list means the node reads the stem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseNetSpec {
+    /// Phase width (stem and node output channels).
+    pub out_channels: usize,
+    /// Conv kernel side.
+    pub kernel: usize,
+    /// Per-node input lists; `node_inputs[i]` only references `j < i`.
+    pub node_inputs: Vec<Vec<usize>>,
+    /// Nodes whose outputs are summed into the phase output. Must be
+    /// non-empty when `node_inputs` is non-empty.
+    pub leaves: Vec<usize>,
+    /// Residual connection from the stem output to the phase output.
+    pub skip: bool,
+}
+
+impl PhaseNetSpec {
+    /// A degenerate phase: stem plus a single default conv block.
+    pub fn degenerate(out_channels: usize, kernel: usize) -> Self {
+        PhaseNetSpec {
+            out_channels,
+            kernel,
+            node_inputs: vec![vec![]],
+            leaves: vec![0],
+            skip: false,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(!self.node_inputs.is_empty(), "phase needs at least one node");
+        assert!(!self.leaves.is_empty(), "phase needs at least one leaf");
+        for (i, ins) in self.node_inputs.iter().enumerate() {
+            for &j in ins {
+                assert!(j < i, "node {i} may only consume earlier nodes, got {j}");
+            }
+        }
+        for &l in &self.leaves {
+            assert!(l < self.node_inputs.len(), "leaf {l} out of range");
+        }
+    }
+}
+
+/// Full network specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Input image channels.
+    pub input_channels: usize,
+    /// The phases.
+    pub phases: Vec<PhaseNetSpec>,
+    /// Classifier classes.
+    pub num_classes: usize,
+}
+
+/// Conv → BN → ReLU composite block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ConvBnRelu {
+    conv: Conv2d,
+    bn: BatchNorm2d,
+    relu: Relu,
+}
+
+impl ConvBnRelu {
+    fn new<R: Rng + ?Sized>(c_in: usize, c_out: usize, kernel: usize, rng: &mut R) -> Self {
+        ConvBnRelu {
+            conv: Conv2d::new(c_in, c_out, kernel, rng),
+            bn: BatchNorm2d::new(c_out),
+            relu: Relu::new(),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let a = self.conv.forward(x);
+        let b = self.bn.forward(&a, training);
+        self.relu.forward(&b)
+    }
+
+    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let g = self.relu.backward(grad);
+        let g = self.bn.backward(&g);
+        self.conv.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.conv.visit_params(f);
+        self.bn.visit_params(f);
+    }
+
+    fn rebuild_buffers(&mut self) {
+        self.conv.rebuild_buffers();
+        self.bn.rebuild_buffers();
+    }
+
+    fn flops(&self, h: usize, w: usize) -> f64 {
+        self.conv.flops(h, w)
+            + self.bn.flops(h, w)
+            + self.relu.flops(self.conv.c_out, h, w)
+    }
+}
+
+/// One instantiated phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PhaseBlock {
+    spec: PhaseNetSpec,
+    stem: ConvBnRelu,
+    nodes: Vec<ConvBnRelu>,
+    pool: MaxPool2d,
+    #[serde(skip)]
+    cache: Option<PhaseCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PhaseCache {
+    // Each conv block caches its own input for backward; the phase only
+    // needs the stem output's shape (and the stem activation for the
+    // residual gradient path, which flows through `stem.backward`).
+    stem_out: Tensor4,
+}
+
+impl PhaseBlock {
+    fn new<R: Rng + ?Sized>(c_in: usize, spec: &PhaseNetSpec, rng: &mut R) -> Self {
+        spec.validate();
+        let stem = ConvBnRelu::new(c_in, spec.out_channels, spec.kernel, rng);
+        let nodes = (0..spec.node_inputs.len())
+            .map(|_| ConvBnRelu::new(spec.out_channels, spec.out_channels, spec.kernel, rng))
+            .collect();
+        PhaseBlock {
+            spec: spec.clone(),
+            stem,
+            nodes,
+            pool: MaxPool2d::new(),
+            cache: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        let stem_out = self.stem.forward(x, training);
+        let mut node_outs: Vec<Tensor4> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let input = if self.spec.node_inputs[i].is_empty() {
+                stem_out.clone()
+            } else {
+                let mut acc = node_outs[self.spec.node_inputs[i][0]].clone();
+                for &j in &self.spec.node_inputs[i][1..] {
+                    acc.add_assign(&node_outs[j]);
+                }
+                acc
+            };
+            node_outs.push(node.forward(&input, training));
+        }
+        let mut out = node_outs[self.spec.leaves[0]].clone();
+        for &l in &self.spec.leaves[1..] {
+            out.add_assign(&node_outs[l]);
+        }
+        if self.spec.skip {
+            out.add_assign(&stem_out);
+        }
+        drop(node_outs);
+        self.cache = Some(PhaseCache { stem_out });
+        self.pool.forward(&out)
+    }
+
+    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let cache = self.cache.take().expect("phase backward before forward");
+        let grad = self.pool.backward(grad);
+        let (n, c, h, w) = cache.stem_out.shape();
+        let mut node_grads: Vec<Tensor4> = (0..self.nodes.len())
+            .map(|_| Tensor4::zeros(n, c, h, w))
+            .collect();
+        let mut stem_grad = Tensor4::zeros(n, c, h, w);
+        for &l in &self.spec.leaves {
+            node_grads[l].add_assign(&grad);
+        }
+        if self.spec.skip {
+            stem_grad.add_assign(&grad);
+        }
+        for i in (0..self.nodes.len()).rev() {
+            // Skip inactive gradients cheaply: an all-zero grad still
+            // back-propagates to zero, but the conv backward is expensive.
+            let gin = self.nodes[i].backward(&node_grads[i]);
+            if self.spec.node_inputs[i].is_empty() {
+                stem_grad.add_assign(&gin);
+            } else {
+                for &j in &self.spec.node_inputs[i] {
+                    node_grads[j].add_assign(&gin);
+                }
+            }
+        }
+        self.stem.backward(&stem_grad)
+    }
+
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.stem.visit_params(f);
+        for node in &mut self.nodes {
+            node.visit_params(f);
+        }
+    }
+
+    fn rebuild_buffers(&mut self) {
+        self.stem.rebuild_buffers();
+        for node in &mut self.nodes {
+            node.rebuild_buffers();
+        }
+        self.cache = None;
+    }
+
+    fn flops(&self, h: usize, w: usize) -> f64 {
+        let mut total = self.stem.flops(h, w);
+        for node in &self.nodes {
+            total += node.flops(h, w);
+        }
+        // Sum joins + skip + pool.
+        let joins: usize = self
+            .spec
+            .node_inputs
+            .iter()
+            .map(|ins| ins.len().saturating_sub(1))
+            .sum::<usize>()
+            + self.spec.leaves.len().saturating_sub(1)
+            + usize::from(self.spec.skip);
+        total += (joins * self.spec.out_channels * h * w) as f64;
+        total += self.pool.flops(self.spec.out_channels, h, w);
+        total
+    }
+}
+
+/// A trainable phase-DAG network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    spec: NetSpec,
+    phases: Vec<PhaseBlock>,
+    gap: GlobalAvgPool,
+    classifier: Dense,
+}
+
+impl Network {
+    /// Instantiate a network from its spec with seeded weights.
+    pub fn new<R: Rng + ?Sized>(spec: &NetSpec, rng: &mut R) -> Self {
+        assert!(!spec.phases.is_empty(), "network needs at least one phase");
+        let mut phases = Vec::with_capacity(spec.phases.len());
+        let mut c_in = spec.input_channels;
+        for ps in &spec.phases {
+            phases.push(PhaseBlock::new(c_in, ps, rng));
+            c_in = ps.out_channels;
+        }
+        let classifier = Dense::new(c_in, spec.num_classes, rng);
+        Network {
+            spec: spec.clone(),
+            phases,
+            gap: GlobalAvgPool::new(),
+            classifier,
+        }
+    }
+
+    /// The spec this network was built from.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Forward pass returning classifier logits.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor2 {
+        let mut act = self.phases[0].forward(x, training);
+        for phase in &mut self.phases[1..] {
+            act = phase.forward(&act, training);
+        }
+        let pooled = self.gap.forward(&act);
+        self.classifier.forward(&pooled)
+    }
+
+    /// Backward pass from logits gradient.
+    pub fn backward(&mut self, dlogits: &Tensor2) {
+        let g = self.classifier.backward(dlogits);
+        let mut g = self.gap.backward(&g);
+        for phase in self.phases.iter_mut().rev() {
+            g = phase.backward(&g);
+        }
+    }
+
+    /// Visit all `(param, grad)` pairs in a stable order.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        for phase in &mut self.phases {
+            phase.visit_params(f);
+        }
+        self.classifier.visit_params(f);
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _| count += p.len());
+        count
+    }
+
+    /// Exact forward FLOPs for one sample of `input_hw` pixels.
+    pub fn flops(&self, input_hw: (usize, usize)) -> f64 {
+        let (mut h, mut w) = input_hw;
+        let mut total = 0.0;
+        for phase in &self.phases {
+            total += phase.flops(h, w);
+            h = (h / 2).max(1);
+            w = (w / 2).max(1);
+        }
+        let c_last = self.spec.phases.last().unwrap().out_channels;
+        total += (c_last * h * w) as f64; // global average pool
+        total += self.classifier.flops();
+        total
+    }
+
+    /// Classification accuracy (%) over a labeled set of images.
+    pub fn evaluate(&mut self, images: &Tensor4, labels: &[usize]) -> f32 {
+        assert_eq!(images.n, labels.len());
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let logits = self.forward(images, false);
+        let mut correct = 0;
+        for (r, &label) in labels.iter().enumerate() {
+            let row = logits.row(r);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            if pred == label {
+                correct += 1;
+            }
+        }
+        100.0 * correct as f32 / labels.len() as f32
+    }
+
+    /// Rebuild transient buffers after deserialization.
+    pub fn rebuild_buffers(&mut self) {
+        for phase in &mut self.phases {
+            phase.rebuild_buffers();
+        }
+        self.classifier.rebuild_buffers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+    use crate::optim::Sgd;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn tiny_spec() -> NetSpec {
+        NetSpec {
+            input_channels: 1,
+            phases: vec![
+                PhaseNetSpec {
+                    out_channels: 4,
+                    kernel: 3,
+                    node_inputs: vec![vec![], vec![0]],
+                    leaves: vec![1],
+                    skip: true,
+                },
+                PhaseNetSpec::degenerate(8, 3),
+            ],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = Network::new(&tiny_spec(), &mut rng(1));
+        let x = Tensor4::zeros(3, 1, 8, 8);
+        let logits = net.forward(&x, true);
+        assert_eq!(logits.rows, 3);
+        assert_eq!(logits.cols, 2);
+    }
+
+    #[test]
+    fn param_count_is_positive_and_stable() {
+        let mut net = Network::new(&tiny_spec(), &mut rng(2));
+        let count = net.param_count();
+        assert!(count > 100);
+        assert_eq!(net.param_count(), count);
+    }
+
+    #[test]
+    fn flops_positive_and_monotone_in_resolution() {
+        let net = Network::new(&tiny_spec(), &mut rng(3));
+        let lo = net.flops((8, 8));
+        let hi = net.flops((16, 16));
+        assert!(lo > 0.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = Network::new(&tiny_spec(), &mut rng(5));
+        let mut b = Network::new(&tiny_spec(), &mut rng(5));
+        let x = Tensor4::zeros(1, 1, 8, 8);
+        assert_eq!(a.forward(&x, false).data(), b.forward(&x, false).data());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_toy_task() {
+        // Class 0: bright top half; class 1: bright bottom half.
+        let mut r = rng(7);
+        let n = 32;
+        let mut images = Tensor4::zeros(n, 1, 8, 8);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            labels.push(label);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let bright = if label == 0 { y < 4 } else { y >= 4 };
+                    let base = if bright { 1.0 } else { 0.0 };
+                    images.set(i, 0, y, x, base + r.gen_range(-0.1..0.1));
+                }
+            }
+        }
+        let mut net = Network::new(&tiny_spec(), &mut r);
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..30 {
+            let logits = net.forward(&images, true);
+            let out = cross_entropy(&logits, &labels);
+            net.backward(&out.dlogits);
+            opt.step(&mut net);
+            first_loss.get_or_insert(out.loss);
+            last_loss = out.loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "loss {} -> {last_loss}",
+            first_loss.unwrap()
+        );
+        let acc = net.evaluate(&images, &labels);
+        assert!(acc > 90.0, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_on_empty_set_is_zero() {
+        let mut net = Network::new(&tiny_spec(), &mut rng(8));
+        let acc = net.evaluate(&Tensor4::zeros(0, 1, 8, 8), &[]);
+        assert_eq!(acc, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier nodes")]
+    fn forward_reference_in_spec_panics() {
+        let spec = NetSpec {
+            input_channels: 1,
+            phases: vec![PhaseNetSpec {
+                out_channels: 4,
+                kernel: 3,
+                node_inputs: vec![vec![1], vec![]], // node 0 consuming node 1
+                leaves: vec![1],
+                skip: false,
+            }],
+            num_classes: 2,
+        };
+        let _ = Network::new(&spec, &mut rng(9));
+    }
+
+    #[test]
+    fn multi_leaf_and_join_phase_trains() {
+        let spec = NetSpec {
+            input_channels: 1,
+            phases: vec![PhaseNetSpec {
+                out_channels: 4,
+                kernel: 3,
+                // Diamond: 0 and 1 read stem; 2 joins both; leaves 2.
+                node_inputs: vec![vec![], vec![], vec![0, 1]],
+                leaves: vec![2],
+                skip: true,
+            }],
+            num_classes: 2,
+        };
+        let mut net = Network::new(&spec, &mut rng(10));
+        let x = Tensor4::zeros(2, 1, 8, 8);
+        let logits = net.forward(&x, true);
+        let out = cross_entropy(&logits, &[0, 1]);
+        net.backward(&out.dlogits); // must not panic
+    }
+}

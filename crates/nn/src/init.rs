@@ -1,0 +1,83 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+/// He (Kaiming) normal initialization for ReLU networks: samples from
+/// `N(0, sqrt(2 / fan_in))`. Uses Box–Muller on the caller's RNG so the
+/// whole network is reproducible from one seed.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, out: &mut [f32]) {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    fill_normal(rng, std, out);
+}
+
+/// Xavier/Glorot normal initialization: `N(0, sqrt(2 / (fan_in + fan_out)))`.
+pub fn xavier_normal<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, out: &mut [f32]) {
+    let std = (2.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    fill_normal(rng, std, out);
+}
+
+fn fill_normal<R: Rng + ?Sized>(rng: &mut R, std: f64, out: &mut [f32]) {
+    let mut i = 0;
+    while i < out.len() {
+        // Box–Muller transform produces two independent normals.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        out[i] = (r * theta.cos() * std) as f32;
+        i += 1;
+        if i < out.len() {
+            out[i] = (r * theta.sin() * std) as f32;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_std() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let fan_in = 128;
+        let mut buf = vec![0.0f32; 40_000];
+        he_normal(&mut rng, fan_in, &mut buf);
+        let mean: f64 = buf.iter().map(|&v| f64::from(v)).sum::<f64>() / buf.len() as f64;
+        let var: f64 =
+            buf.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / buf.len() as f64;
+        let expected = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expected).abs() / expected < 0.08, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        he_normal(&mut rand::rngs::StdRng::seed_from_u64(5), 16, &mut a);
+        he_normal(&mut rand::rngs::StdRng::seed_from_u64(5), 16, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_narrower_for_larger_fans() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut wide = vec![0.0f32; 10_000];
+        let mut narrow = vec![0.0f32; 10_000];
+        xavier_normal(&mut rng, 8, 8, &mut wide);
+        xavier_normal(&mut rng, 512, 512, &mut narrow);
+        let spread = |v: &[f32]| v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>();
+        assert!(spread(&narrow) < spread(&wide));
+    }
+
+    #[test]
+    fn odd_lengths_are_fully_filled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut buf = vec![0.0f32; 7];
+        he_normal(&mut rng, 4, &mut buf);
+        // Statistically, none of the 7 normals should be exactly 0.
+        assert!(buf.iter().all(|&v| v != 0.0));
+    }
+}

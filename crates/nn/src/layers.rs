@@ -1,0 +1,1014 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! Every layer caches what its backward pass needs during `forward`,
+//! exposes its parameters through [`visit_params`](Conv2d::visit_params)
+//! so the optimizer stays layer-agnostic, and reports exact forward FLOPs
+//! for the NAS's second objective.
+
+use crate::init::{he_normal, xavier_normal};
+use crate::tensor::{Tensor2, Tensor4};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Visitor signature for parameter/gradient pairs.
+pub type ParamVisitor<'a> = &'a mut dyn FnMut(&mut [f32], &mut [f32]);
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution, stride 1, `same` zero padding, square kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel side (odd).
+    pub kernel: usize,
+    /// Weights, `[c_out][c_in][k][k]` flattened.
+    pub weight: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    #[serde(skip)]
+    wgrad: Vec<f32>,
+    #[serde(skip)]
+    bgrad: Vec<f32>,
+    #[serde(skip)]
+    cached_input: Option<Tensor4>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new<R: Rng + ?Sized>(c_in: usize, c_out: usize, kernel: usize, rng: &mut R) -> Self {
+        assert!(kernel % 2 == 1, "same-padding conv needs an odd kernel");
+        let mut weight = vec![0.0f32; c_out * c_in * kernel * kernel];
+        he_normal(rng, c_in * kernel * kernel, &mut weight);
+        Conv2d {
+            c_in,
+            c_out,
+            kernel,
+            weight,
+            bias: vec![0.0; c_out],
+            wgrad: vec![0.0; c_out * c_in * kernel * kernel],
+            bgrad: vec![0.0; c_out],
+            cached_input: None,
+        }
+    }
+
+    /// Forward pass; caches the input for backward.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        assert_eq!(x.c, self.c_in, "conv input channel mismatch");
+        let (n, _, h, w) = x.shape();
+        let k = self.kernel;
+        let pad = k / 2;
+        let mut out = Tensor4::zeros(n, self.c_out, h, w);
+        let sample_out = self.c_out * h * w;
+        let weight = &self.weight;
+        let bias = &self.bias;
+        let c_in = self.c_in;
+        out.data_mut()
+            .par_chunks_mut(sample_out)
+            .enumerate()
+            .for_each(|(ni, out_s)| {
+                let x_s = x.sample(ni);
+                for co in 0..self.c_out {
+                    let b = bias[co];
+                    for y in 0..h {
+                        for xo in 0..w {
+                            let mut acc = b;
+                            for ci in 0..c_in {
+                                let x_base = ci * h * w;
+                                let w_base = ((co * c_in + ci) * k) * k;
+                                for ky in 0..k {
+                                    let yy = y as isize + ky as isize - pad as isize;
+                                    if yy < 0 || yy >= h as isize {
+                                        continue;
+                                    }
+                                    let row = x_base + (yy as usize) * w;
+                                    let wrow = w_base + ky * k;
+                                    for kx in 0..k {
+                                        let xx = xo as isize + kx as isize - pad as isize;
+                                        if xx < 0 || xx >= w as isize {
+                                            continue;
+                                        }
+                                        acc += x_s[row + xx as usize] * weight[wrow + kx];
+                                    }
+                                }
+                            }
+                            out_s[(co * h + y) * w + xo] = acc;
+                        }
+                    }
+                }
+            });
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    /// Backward pass: consumes `grad_out`, accumulates weight/bias grads,
+    /// returns the gradient with respect to the input.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        let (n, _, h, w) = x.shape();
+        let k = self.kernel;
+        let pad = k / 2;
+        assert_eq!(grad_out.shape(), (n, self.c_out, h, w));
+
+        // Per-sample partial results, reduced afterwards. The weight-grad
+        // buffers are small relative to activations, so the reduction is
+        // cheap and keeps the hot loops lock-free.
+        struct Partial {
+            gin: Vec<f32>,
+            wg: Vec<f32>,
+            bg: Vec<f32>,
+        }
+        let c_in = self.c_in;
+        let c_out = self.c_out;
+        let weight = &self.weight;
+        let partials: Vec<Partial> = (0..n)
+            .into_par_iter()
+            .map(|ni| {
+                let x_s = x.sample(ni);
+                let g_s = grad_out.sample(ni);
+                let mut gin = vec![0.0f32; c_in * h * w];
+                let mut wg = vec![0.0f32; weight.len()];
+                let mut bg = vec![0.0f32; c_out];
+                for co in 0..c_out {
+                    for y in 0..h {
+                        for xo in 0..w {
+                            let g = g_s[(co * h + y) * w + xo];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            bg[co] += g;
+                            for ci in 0..c_in {
+                                let x_base = ci * h * w;
+                                let w_base = ((co * c_in + ci) * k) * k;
+                                for ky in 0..k {
+                                    let yy = y as isize + ky as isize - pad as isize;
+                                    if yy < 0 || yy >= h as isize {
+                                        continue;
+                                    }
+                                    let row = x_base + (yy as usize) * w;
+                                    let wrow = w_base + ky * k;
+                                    for kx in 0..k {
+                                        let xx = xo as isize + kx as isize - pad as isize;
+                                        if xx < 0 || xx >= w as isize {
+                                            continue;
+                                        }
+                                        wg[wrow + kx] += x_s[row + xx as usize] * g;
+                                        gin[row + xx as usize] += weight[wrow + kx] * g;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Partial { gin, wg, bg }
+            })
+            .collect();
+
+        let mut grad_in = Tensor4::zeros(n, c_in, h, w);
+        for (ni, p) in partials.iter().enumerate() {
+            grad_in.sample_mut(ni).copy_from_slice(&p.gin);
+            for (acc, v) in self.wgrad.iter_mut().zip(&p.wg) {
+                *acc += v;
+            }
+            for (acc, v) in self.bgrad.iter_mut().zip(&p.bg) {
+                *acc += v;
+            }
+        }
+        grad_in
+    }
+
+    /// Visit `(weight, grad)` pairs.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        f(&mut self.weight, &mut self.wgrad);
+        f(&mut self.bias, &mut self.bgrad);
+    }
+
+    /// Restore transient buffers after deserialization.
+    pub fn rebuild_buffers(&mut self) {
+        self.wgrad = vec![0.0; self.weight.len()];
+        self.bgrad = vec![0.0; self.bias.len()];
+        self.cached_input = None;
+    }
+
+    /// Forward FLOPs for one sample at `h × w`.
+    pub fn flops(&self, h: usize, w: usize) -> f64 {
+        2.0 * (self.kernel * self.kernel * self.c_in * self.c_out * h * w) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d
+// ---------------------------------------------------------------------------
+
+/// Per-channel batch normalization with learnable scale/shift and running
+/// statistics for inference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    /// Channel count.
+    pub channels: usize,
+    /// Learnable scale γ.
+    pub gamma: Vec<f32>,
+    /// Learnable shift β.
+    pub beta: Vec<f32>,
+    /// Running mean (inference).
+    pub running_mean: Vec<f32>,
+    /// Running variance (inference).
+    pub running_var: Vec<f32>,
+    /// Exponential-average momentum for running stats.
+    pub momentum: f32,
+    /// Numerical floor added to variances.
+    pub eps: f32,
+    #[serde(skip)]
+    ggrad: Vec<f32>,
+    #[serde(skip)]
+    bgrad: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    xhat: Tensor4,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Identity-initialized batch norm.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            ggrad: vec![0.0; channels],
+            bgrad: vec![0.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Forward pass. `training` selects batch statistics (and updates the
+    /// running averages) versus running statistics.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        assert_eq!(x.c, self.channels, "batchnorm channel mismatch");
+        let (n, c, h, w) = x.shape();
+        let per_c = (n * h * w) as f32;
+        let mut out = Tensor4::zeros(n, c, h, w);
+        if training {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ni in 0..n {
+                let s = x.sample(ni);
+                for ci in 0..c {
+                    for v in &s[ci * h * w..(ci + 1) * h * w] {
+                        mean[ci] += v;
+                    }
+                }
+            }
+            mean.iter_mut().for_each(|m| *m /= per_c);
+            for ni in 0..n {
+                let s = x.sample(ni);
+                for ci in 0..c {
+                    for v in &s[ci * h * w..(ci + 1) * h * w] {
+                        let d = v - mean[ci];
+                        var[ci] += d * d;
+                    }
+                }
+            }
+            var.iter_mut().for_each(|v| *v /= per_c);
+            let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
+            let mut xhat = Tensor4::zeros(n, c, h, w);
+            for ni in 0..n {
+                let xs = x.sample(ni);
+                let xh = xhat.sample_mut(ni);
+                let os = out.sample_mut(ni);
+                for ci in 0..c {
+                    let (m, is, g, b) = (mean[ci], inv_std[ci], self.gamma[ci], self.beta[ci]);
+                    for i in ci * h * w..(ci + 1) * h * w {
+                        let norm = (xs[i] - m) * is;
+                        xh[i] = norm;
+                        os[i] = g * norm + b;
+                    }
+                }
+            }
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            self.cache = Some(BnCache { xhat, inv_std });
+        } else {
+            for ni in 0..n {
+                let xs = x.sample(ni);
+                let os = out.sample_mut(ni);
+                for ci in 0..c {
+                    let m = self.running_mean[ci];
+                    let is = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                    let (g, b) = (self.gamma[ci], self.beta[ci]);
+                    for i in ci * h * w..(ci + 1) * h * w {
+                        os[i] = g * (xs[i] - m) * is + b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward through the training-mode normalization.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let cache = self.cache.take().expect("backward before training forward");
+        let (n, c, h, w) = grad_out.shape();
+        let per_c = (n * h * w) as f32;
+        // Channel reductions: Σg, Σ(g·xhat).
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gx = vec![0.0f32; c];
+        for ni in 0..n {
+            let gs = grad_out.sample(ni);
+            let xh = cache.xhat.sample(ni);
+            for ci in 0..c {
+                for i in ci * h * w..(ci + 1) * h * w {
+                    sum_g[ci] += gs[i];
+                    sum_gx[ci] += gs[i] * xh[i];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.bgrad[ci] += sum_g[ci];
+            self.ggrad[ci] += sum_gx[ci];
+        }
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for ni in 0..n {
+            let gs = grad_out.sample(ni);
+            let xh = cache.xhat.sample(ni);
+            let gi = grad_in.sample_mut(ni);
+            for ci in 0..c {
+                let scale = self.gamma[ci] * cache.inv_std[ci] / per_c;
+                let (sg, sgx) = (sum_g[ci], sum_gx[ci]);
+                for i in ci * h * w..(ci + 1) * h * w {
+                    gi[i] = scale * (per_c * gs[i] - sg - xh[i] * sgx);
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Visit `(param, grad)` pairs (γ then β).
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        f(&mut self.gamma, &mut self.ggrad);
+        f(&mut self.beta, &mut self.bgrad);
+    }
+
+    /// Restore transient buffers after deserialization.
+    pub fn rebuild_buffers(&mut self) {
+        self.ggrad = vec![0.0; self.channels];
+        self.bgrad = vec![0.0; self.channels];
+        self.cache = None;
+    }
+
+    /// Forward FLOPs for one sample at `h × w` (scale + shift).
+    pub fn flops(&self, h: usize, w: usize) -> f64 {
+        2.0 * (self.channels * h * w) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Elementwise rectified linear unit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// Forward pass; records the activation mask.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let mut out = x.clone();
+        self.mask.clear();
+        self.mask.reserve(out.len());
+        for v in out.data_mut() {
+            let on = *v > 0.0;
+            self.mask.push(on);
+            if !on {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Backward: zero gradients where the forward input was ≤ 0.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        assert_eq!(grad_out.len(), self.mask.len(), "relu backward shape");
+        let mut g = grad_out.clone();
+        for (v, &on) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !on {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    /// Forward FLOPs for one sample with `c` channels at `h × w`.
+    pub fn flops(&self, c: usize, h: usize, w: usize) -> f64 {
+        (c * h * w) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so inference is
+/// a plain pass-through. The layer owns its RNG (seeded at construction)
+/// to keep training reproducible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    seed: u64,
+    #[serde(skip)]
+    draws: u64,
+    #[serde(skip)]
+    mask: Vec<bool>,
+}
+
+impl Dropout {
+    /// New dropout layer.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            seed,
+            draws: 0,
+            mask: Vec::new(),
+        }
+    }
+
+    /// Forward pass. In training mode a fresh mask is drawn; in inference
+    /// the input passes through unchanged.
+    pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        if !training || self.p == 0.0 {
+            self.mask.clear();
+            return x.clone();
+        }
+        use rand::{Rng, SeedableRng};
+        // A fresh, deterministic stream per forward call.
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(self.draws.wrapping_mul(0x9E37_79B9)));
+        self.draws += 1;
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mut out = x.clone();
+        self.mask.clear();
+        self.mask.reserve(out.len());
+        for v in out.data_mut() {
+            let keep = !rng.gen_bool(f64::from(self.p));
+            self.mask.push(keep);
+            *v = if keep { *v * keep_scale } else { 0.0 };
+        }
+        out
+    }
+
+    /// Backward: route gradients through the surviving units with the same
+    /// scale. Must follow a training-mode forward; after an inference
+    /// forward the gradient passes through unchanged.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        if self.mask.is_empty() {
+            return grad_out.clone();
+        }
+        assert_eq!(grad_out.len(), self.mask.len(), "dropout backward shape");
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            *v = if keep { *v * keep_scale } else { 0.0 };
+        }
+        g
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d
+// ---------------------------------------------------------------------------
+
+/// 2×2 max pooling with stride 2; odd trailing rows/columns are dropped.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    #[serde(skip)]
+    argmax: Vec<usize>,
+    #[serde(skip)]
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl MaxPool2d {
+    /// New pool layer.
+    pub fn new() -> Self {
+        MaxPool2d::default()
+    }
+
+    /// Forward pass; records argmax indices for routing gradients.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        let (oh, ow) = ((h / 2).max(1), (w / 2).max(1));
+        let mut out = Tensor4::zeros(n, c, oh, ow);
+        self.argmax.clear();
+        self.argmax.resize(n * c * oh * ow, 0);
+        self.in_shape = x.shape();
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (y, xx) = (oy * 2 + dy, ox * 2 + dx);
+                                if y >= h || xx >= w {
+                                    continue;
+                                }
+                                let idx = x.index(ni, ci, y, xx);
+                                let v = x.data()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = out.index(ni, ci, oy, ox);
+                        out.data_mut()[oidx] = best;
+                        self.argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: route each gradient to its argmax location.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape;
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for (o, &src) in self.argmax.iter().enumerate() {
+            grad_in.data_mut()[src] += grad_out.data()[o];
+        }
+        grad_in
+    }
+
+    /// Forward FLOPs (comparisons) for one sample with `c` channels.
+    pub fn flops(&self, c: usize, h: usize, w: usize) -> f64 {
+        3.0 * (c * (h / 2).max(1) * (w / 2).max(1)) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------------
+
+/// Global average pooling: NCHW → (N, C).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool {
+    #[serde(skip)]
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl GlobalAvgPool {
+    /// New layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor2 {
+        let (n, c, h, w) = x.shape();
+        self.in_shape = x.shape();
+        let scale = 1.0 / (h * w) as f32;
+        let mut out = Tensor2::zeros(n, c);
+        for ni in 0..n {
+            let s = x.sample(ni);
+            let row = out.row_mut(ni);
+            for ci in 0..c {
+                let sum: f32 = s[ci * h * w..(ci + 1) * h * w].iter().sum();
+                row[ci] = sum * scale;
+            }
+        }
+        out
+    }
+
+    /// Backward: spread each channel gradient uniformly over `h × w`.
+    pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape;
+        let scale = 1.0 / (h * w) as f32;
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for ni in 0..n {
+            let row = grad_out.row(ni);
+            let gi = grad_in.sample_mut(ni);
+            for ci in 0..c {
+                let g = row[ci] * scale;
+                for v in &mut gi[ci * h * w..(ci + 1) * h * w] {
+                    *v = g;
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer `y = x·Wᵀ + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input features.
+    pub d_in: usize,
+    /// Output features.
+    pub d_out: usize,
+    /// Weights `[d_out][d_in]` flattened.
+    pub weight: Vec<f32>,
+    /// Bias `[d_out]`.
+    pub bias: Vec<f32>,
+    #[serde(skip)]
+    wgrad: Vec<f32>,
+    #[serde(skip)]
+    bgrad: Vec<f32>,
+    #[serde(skip)]
+    cached_input: Option<Tensor2>,
+}
+
+impl Dense {
+    /// Xavier-initialized dense layer.
+    pub fn new<R: Rng + ?Sized>(d_in: usize, d_out: usize, rng: &mut R) -> Self {
+        let mut weight = vec![0.0f32; d_out * d_in];
+        xavier_normal(rng, d_in, d_out, &mut weight);
+        Dense {
+            d_in,
+            d_out,
+            weight,
+            bias: vec![0.0; d_out],
+            wgrad: vec![0.0; d_out * d_in],
+            bgrad: vec![0.0; d_out],
+            cached_input: None,
+        }
+    }
+
+    /// Forward pass; caches the input.
+    pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        assert_eq!(x.cols, self.d_in, "dense input width mismatch");
+        let mut out = Tensor2::zeros(x.rows, self.d_out);
+        for r in 0..x.rows {
+            let xi = x.row(r);
+            let or = out.row_mut(r);
+            for (o, out_v) in or.iter_mut().enumerate() {
+                let wrow = &self.weight[o * self.d_in..(o + 1) * self.d_in];
+                let mut acc = self.bias[o];
+                for (a, b) in xi.iter().zip(wrow) {
+                    acc += a * b;
+                }
+                *out_v = acc;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.cols, self.d_out);
+        let mut grad_in = Tensor2::zeros(x.rows, self.d_in);
+        for r in 0..x.rows {
+            let g = grad_out.row(r);
+            let xi = x.row(r);
+            for (o, &go) in g.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                self.bgrad[o] += go;
+                let wrow = &self.weight[o * self.d_in..(o + 1) * self.d_in];
+                let wgrow = &mut self.wgrad[o * self.d_in..(o + 1) * self.d_in];
+                let gi = grad_in.row_mut(r);
+                for i in 0..self.d_in {
+                    wgrow[i] += xi[i] * go;
+                    gi[i] += wrow[i] * go;
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Visit `(param, grad)` pairs.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        f(&mut self.weight, &mut self.wgrad);
+        f(&mut self.bias, &mut self.bgrad);
+    }
+
+    /// Restore transient buffers after deserialization.
+    pub fn rebuild_buffers(&mut self) {
+        self.wgrad = vec![0.0; self.weight.len()];
+        self.bgrad = vec![0.0; self.bias.len()];
+        self.cached_input = None;
+    }
+
+    /// Forward FLOPs for one sample.
+    pub fn flops(&self) -> f64 {
+        2.0 * (self.d_in * self.d_out) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Finite-difference check of a scalar loss `L = Σ out²/2` through a
+    /// layer's forward/backward.
+    fn conv_numeric_grad_check() -> (f32, f32) {
+        let mut r = rng(1);
+        let mut conv = Conv2d::new(2, 3, 3, &mut r);
+        let x = {
+            let mut t = Tensor4::zeros(2, 2, 5, 5);
+            let mut vals = vec![0.0f32; t.len()];
+            he_normal(&mut r, 8, &mut vals);
+            t.data_mut().copy_from_slice(&vals);
+            t
+        };
+        // Analytic gradient of L wrt one weight.
+        let out = conv.forward(&x);
+        let grad_out = out.clone(); // dL/dout = out for L = Σout²/2
+        let _ = conv.backward(&grad_out);
+        let analytic = conv.wgrad[7];
+        // Numeric.
+        let h = 1e-3f32;
+        let loss_with = |conv: &mut Conv2d, delta: f32| {
+            conv.weight[7] += delta;
+            let o = conv.forward(&x);
+            conv.weight[7] -= delta;
+            conv.cached_input = None;
+            o.data().iter().map(|&v| v * v * 0.5).sum::<f32>()
+        };
+        let numeric = (loss_with(&mut conv, h) - loss_with(&mut conv, -h)) / (2.0 * h);
+        (analytic, numeric)
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_finite_difference() {
+        let (analytic, numeric) = conv_numeric_grad_check();
+        let scale = numeric.abs().max(1.0);
+        assert!(
+            (analytic - numeric).abs() / scale < 2e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut r = rng(2);
+        let mut conv = Conv2d::new(1, 1, 3, &mut r);
+        conv.weight.iter_mut().for_each(|w| *w = 0.0);
+        conv.weight[4] = 1.0; // center tap
+        conv.bias[0] = 0.0;
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_input_gradient_shape_and_padding() {
+        let mut r = rng(3);
+        let mut conv = Conv2d::new(1, 2, 3, &mut r);
+        let x = Tensor4::zeros(1, 1, 4, 4);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), (1, 2, 4, 4));
+        let gi = conv.backward(&Tensor4::zeros(1, 2, 4, 4));
+        assert_eq!(gi.shape(), (1, 1, 4, 4));
+    }
+
+    #[test]
+    fn batchnorm_normalizes_training_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut x = Tensor4::zeros(4, 2, 3, 3);
+        let mut r = rng(4);
+        for v in x.data_mut() {
+            *v = r.gen_range(-5.0..5.0);
+        }
+        let y = bn.forward(&x, true);
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let (n, c, h, w) = y.shape();
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        vals.push(y.get(ni, ci, hi, wi));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_backward_zeroes_constant_shift() {
+        // dL/dx of BN is invariant to adding a constant per channel:
+        // gradient of a constant grad_out distributes to ~0.
+        let mut bn = BatchNorm2d::new(1);
+        let mut x = Tensor4::zeros(2, 1, 2, 2);
+        let mut r = rng(5);
+        for v in x.data_mut() {
+            *v = r.gen_range(-1.0..1.0);
+        }
+        let _ = bn.forward(&x, true);
+        let mut g = Tensor4::zeros(2, 1, 2, 2);
+        g.data_mut().iter_mut().for_each(|v| *v = 3.0);
+        let gi = bn.backward(&g);
+        assert!(gi.data().iter().all(|v| v.abs() < 1e-4), "{:?}", gi.data());
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.running_mean[0] = 2.0;
+        bn.running_var[0] = 4.0;
+        let x = Tensor4::from_vec(1, 1, 1, 2, vec![2.0, 4.0]);
+        let y = bn.forward(&x, false);
+        assert!((y.data()[0] - 0.0).abs() < 1e-4);
+        assert!((y.data()[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn relu_masks_forward_and_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = Tensor4::from_vec(1, 1, 1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let gi = relu.backward(&g);
+        assert_eq!(gi.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let mut pool = MaxPool2d::new();
+        let x = Tensor4::from_vec(
+            1,
+            1,
+            4,
+            4,
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), (1, 1, 2, 2));
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let g = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let gi = pool.backward(&g);
+        assert_eq!(gi.get(0, 0, 1, 1), 1.0);
+        assert_eq!(gi.get(0, 0, 1, 3), 2.0);
+        assert_eq!(gi.get(0, 0, 3, 1), 3.0);
+        assert_eq!(gi.get(0, 0, 3, 3), 4.0);
+        assert_eq!(gi.data().iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn maxpool_handles_odd_sizes() {
+        let mut pool = MaxPool2d::new();
+        let x = Tensor4::zeros(1, 1, 5, 5);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), (1, 1, 2, 2));
+        let gi = pool.backward(&Tensor4::zeros(1, 1, 2, 2));
+        assert_eq!(gi.shape(), (1, 1, 5, 5));
+    }
+
+    #[test]
+    fn gap_averages_and_spreads() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor4::from_vec(1, 2, 1, 2, vec![1.0, 3.0, 10.0, 30.0]);
+        let y = gap.forward(&x);
+        assert_eq!(y.row(0), &[2.0, 20.0]);
+        let g = Tensor2::from_vec(1, 2, vec![4.0, 8.0]);
+        let gi = gap.backward(&g);
+        assert_eq!(gi.data(), &[2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut r = rng(6);
+        let mut dense = Dense::new(2, 2, &mut r);
+        dense.weight = vec![1.0, 2.0, 3.0, 4.0];
+        dense.bias = vec![0.5, -0.5];
+        let x = Tensor2::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = dense.forward(&x);
+        assert_eq!(y.row(0), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut r = rng(7);
+        let mut dense = Dense::new(3, 2, &mut r);
+        let x = Tensor2::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+        let out = dense.forward(&x);
+        let _ = dense.backward(&out.clone());
+        let analytic = dense.wgrad[1];
+        let h = 1e-3f32;
+        let loss = |d: &mut Dense, delta: f32| {
+            d.weight[1] += delta;
+            let o = d.forward(&x);
+            d.weight[1] -= delta;
+            d.cached_input = None;
+            o.data().iter().map(|&v| v * v * 0.5).sum::<f32>()
+        };
+        let numeric = (loss(&mut dense, h) - loss(&mut dense, -h)) / (2.0 * h);
+        assert!(
+            (analytic - numeric).abs() / numeric.abs().max(1.0) < 2e-2,
+            "analytic {analytic} numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+        // Backward after inference is pass-through.
+        let g = Tensor4::from_vec(1, 1, 2, 2, vec![1.0; 4]);
+        assert_eq!(d.backward(&g), g);
+    }
+
+    #[test]
+    fn dropout_training_zeroes_and_scales() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor4::from_vec(1, 1, 8, 8, vec![1.0; 64]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let twos = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + twos, 64, "values are 0 or scaled by 1/(1-p)");
+        assert!(zeros > 10 && zeros < 54, "roughly half dropped, got {zeros}");
+        // Backward gradient flows only through survivors.
+        let g = Tensor4::from_vec(1, 1, 8, 8, vec![1.0; 64]);
+        let gi = d.backward(&g);
+        for (gv, yv) in gi.data().iter().zip(y.data()) {
+            if *yv == 0.0 {
+                assert_eq!(*gv, 0.0);
+            } else {
+                assert!((*gv - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor4::from_vec(1, 1, 64, 64, vec![1.0; 4096]);
+        let y = d.forward(&x, true);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4096.0;
+        assert!((mean - 1.0).abs() < 0.1, "inverted dropout keeps E[x], got {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn dropout_p_one_rejected() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn flops_formulas() {
+        let mut r = rng(8);
+        let conv = Conv2d::new(2, 4, 3, &mut r);
+        assert_eq!(conv.flops(8, 8), 2.0 * (9 * 2 * 4 * 64) as f64);
+        let dense = Dense::new(16, 2, &mut r);
+        assert_eq!(dense.flops(), 64.0);
+    }
+}

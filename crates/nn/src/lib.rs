@@ -1,0 +1,70 @@
+//! # a4nn-nn — from-scratch CPU neural-network training substrate
+//!
+//! The A4NN paper trains its NAS candidates with PyTorch on GPUs. This
+//! crate is the substitute substrate: a small, dependency-light,
+//! deterministic CPU training library sufficient to instantiate and train
+//! every architecture the NSGA-Net macro search space can express:
+//!
+//! - [`tensor`] — dense `f32` tensors in NCHW layout plus 2-D matrices,
+//! - [`layers`] — Conv2d, BatchNorm2d, ReLU, MaxPool2d, global average
+//!   pooling, and Dense, each with hand-derived backward passes and exact
+//!   FLOPs accounting,
+//! - [`graph`] — phase-DAG networks with sum joins and residual skips
+//!   (the decoded NSGA-Net macro genome), built from a [`NetSpec`],
+//! - [`loss`] — softmax cross-entropy,
+//! - [`optim`] — SGD with momentum and weight decay,
+//! - [`data`] — minibatch iteration over image datasets,
+//! - [`serialize`] — model state (de)serialization so every epoch's weights
+//!   can be checkpointed into the data commons, as §2.2.2 requires.
+//!
+//! Minibatch forward/backward is data-parallel over the batch dimension
+//! via rayon. All randomness flows through caller-provided seeds.
+
+pub mod augment;
+pub mod cell;
+pub mod data;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod pool_same;
+pub mod schedule;
+pub mod serialize;
+pub mod tensor;
+
+pub use data::{BatchIter, Dataset};
+pub use cell::{CellNodeSpec, CellOp, CellSpec, MicroNetSpec, MicroNetwork};
+pub use graph::{Network, NetSpec, PhaseNetSpec};
+pub use loss::{cross_entropy, CrossEntropyOutput};
+pub use augment::{augment_batch, AugmentConfig};
+pub use optim::{Adam, Sgd};
+pub use schedule::LrSchedule;
+pub use serialize::ModelState;
+pub use tensor::{Tensor2, Tensor4};
+
+/// Train `net` for one epoch over `train` and return `(mean loss,
+/// train accuracy %)`. Evaluation helpers live in [`graph::Network`].
+pub fn train_epoch(
+    net: &mut Network,
+    opt: &mut Sgd,
+    train: &Dataset,
+    batch_size: usize,
+    rng: &mut impl rand::Rng,
+) -> (f32, f32) {
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for (images, labels) in train.shuffled_batches(batch_size, rng) {
+        let logits = net.forward(&images, true);
+        let out = cross_entropy(&logits, &labels);
+        total_loss += f64::from(out.loss) * labels.len() as f64;
+        correct += out.correct;
+        seen += labels.len();
+        net.backward(&out.dlogits);
+        opt.step(net);
+    }
+    let mean_loss = if seen == 0 { 0.0 } else { (total_loss / seen as f64) as f32 };
+    let acc = if seen == 0 { 0.0 } else { 100.0 * correct as f32 / seen as f32 };
+    (mean_loss, acc)
+}

@@ -1,0 +1,264 @@
+//! Stride-1, same-padding pooling layers — the pooling *operations* of
+//! cell-based (micro) search spaces, as opposed to the stride-2 spatial
+//! reductions between phases ([`crate::layers::MaxPool2d`]).
+
+use crate::tensor::Tensor4;
+use serde::{Deserialize, Serialize};
+
+/// `k × k` max pooling, stride 1, same zero padding (odd `k`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2dSame {
+    /// Window side (odd).
+    pub kernel: usize,
+    #[serde(skip)]
+    argmax: Vec<usize>,
+    #[serde(skip)]
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl MaxPool2dSame {
+    /// New layer.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel % 2 == 1, "same-padding pool needs an odd kernel");
+        MaxPool2dSame {
+            kernel,
+            argmax: Vec::new(),
+            in_shape: (0, 0, 0, 0),
+        }
+    }
+
+    /// Forward pass; records argmax indices (padding cells never win: the
+    /// window is restricted to valid pixels).
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        self.in_shape = x.shape();
+        let pad = (self.kernel / 2) as isize;
+        let mut out = Tensor4::zeros(n, c, h, w);
+        self.argmax.clear();
+        self.argmax.resize(n * c * h * w, 0);
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..h {
+                    for xo in 0..w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in -pad..=pad {
+                            let yy = y as isize + dy;
+                            if yy < 0 || yy >= h as isize {
+                                continue;
+                            }
+                            for dx in -pad..=pad {
+                                let xx = xo as isize + dx;
+                                if xx < 0 || xx >= w as isize {
+                                    continue;
+                                }
+                                let idx = x.index(ni, ci, yy as usize, xx as usize);
+                                let v = x.data()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = out.index(ni, ci, y, xo);
+                        out.data_mut()[oidx] = best;
+                        self.argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: route each gradient to its argmax source.
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape;
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for (o, &src) in self.argmax.iter().enumerate() {
+            grad_in.data_mut()[src] += grad_out.data()[o];
+        }
+        grad_in
+    }
+
+    /// Forward FLOPs (comparisons) for one sample with `c` channels.
+    pub fn flops(&self, c: usize, h: usize, w: usize) -> f64 {
+        ((self.kernel * self.kernel) * c * h * w) as f64
+    }
+}
+
+/// `k × k` average pooling, stride 1, same zero padding, normalized by the
+/// number of *valid* (in-bounds) cells so borders are unbiased.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvgPool2dSame {
+    /// Window side (odd).
+    pub kernel: usize,
+    #[serde(skip)]
+    in_shape: (usize, usize, usize, usize),
+}
+
+impl AvgPool2dSame {
+    /// New layer.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel % 2 == 1, "same-padding pool needs an odd kernel");
+        AvgPool2dSame {
+            kernel,
+            in_shape: (0, 0, 0, 0),
+        }
+    }
+
+    fn valid_count(&self, y: usize, x: usize, h: usize, w: usize) -> f32 {
+        let pad = (self.kernel / 2) as isize;
+        let ys = ((y as isize - pad).max(0)..=(y as isize + pad).min(h as isize - 1)).count();
+        let xs = ((x as isize - pad).max(0)..=(x as isize + pad).min(w as isize - 1)).count();
+        (ys * xs) as f32
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = x.shape();
+        self.in_shape = x.shape();
+        let pad = (self.kernel / 2) as isize;
+        let mut out = Tensor4::zeros(n, c, h, w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..h {
+                    for xo in 0..w {
+                        let mut acc = 0.0f32;
+                        for dy in -pad..=pad {
+                            let yy = y as isize + dy;
+                            if yy < 0 || yy >= h as isize {
+                                continue;
+                            }
+                            for dx in -pad..=pad {
+                                let xx = xo as isize + dx;
+                                if xx < 0 || xx >= w as isize {
+                                    continue;
+                                }
+                                acc += x.get(ni, ci, yy as usize, xx as usize);
+                            }
+                        }
+                        out.set(ni, ci, y, xo, acc / self.valid_count(y, xo, h, w));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: each output gradient spreads uniformly over its valid
+    /// window (the adjoint of the forward average).
+    pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (n, c, h, w) = self.in_shape;
+        let pad = (self.kernel / 2) as isize;
+        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..h {
+                    for xo in 0..w {
+                        let g = grad_out.get(ni, ci, y, xo) / self.valid_count(y, xo, h, w);
+                        for dy in -pad..=pad {
+                            let yy = y as isize + dy;
+                            if yy < 0 || yy >= h as isize {
+                                continue;
+                            }
+                            for dx in -pad..=pad {
+                                let xx = xo as isize + dx;
+                                if xx < 0 || xx >= w as isize {
+                                    continue;
+                                }
+                                let idx = grad_in.index(ni, ci, yy as usize, xx as usize);
+                                grad_in.data_mut()[idx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Forward FLOPs for one sample with `c` channels.
+    pub fn flops(&self, c: usize, h: usize, w: usize) -> f64 {
+        ((self.kernel * self.kernel + 1) * c * h * w) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(h: usize, w: usize) -> Tensor4 {
+        Tensor4::from_vec(1, 1, h, w, (0..h * w).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn max_same_preserves_shape_and_takes_window_max() {
+        let mut pool = MaxPool2dSame::new(3);
+        let x = numbered(3, 3); // 0..8 row-major
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), (1, 1, 3, 3));
+        // Center sees the whole image: max = 8.
+        assert_eq!(y.get(0, 0, 1, 1), 8.0);
+        // Top-left sees {0,1,3,4}: max = 4.
+        assert_eq!(y.get(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn max_same_backward_routes_to_argmax() {
+        let mut pool = MaxPool2dSame::new(3);
+        let x = numbered(3, 3);
+        let _ = pool.forward(&x);
+        let mut g = Tensor4::zeros(1, 1, 3, 3);
+        g.data_mut().iter_mut().for_each(|v| *v = 1.0);
+        let gi = pool.backward(&g);
+        // Every window's max lies on the bottom row or right column; pixel
+        // 8 wins the 4 windows that contain it.
+        assert_eq!(gi.get(0, 0, 2, 2), 4.0);
+        assert_eq!(gi.data().iter().sum::<f32>(), 9.0);
+    }
+
+    #[test]
+    fn avg_same_of_constant_is_identity() {
+        let mut pool = AvgPool2dSame::new(3);
+        let x = Tensor4::from_vec(1, 1, 4, 4, vec![2.5; 16]);
+        let y = pool.forward(&x);
+        for &v in y.data() {
+            assert!((v - 2.5).abs() < 1e-6, "border normalization broken: {v}");
+        }
+    }
+
+    #[test]
+    fn avg_same_center_value() {
+        let mut pool = AvgPool2dSame::new(3);
+        let x = numbered(3, 3);
+        let y = pool.forward(&x);
+        assert!((y.get(0, 0, 1, 1) - 4.0).abs() < 1e-6); // mean of 0..8
+    }
+
+    #[test]
+    fn avg_backward_is_adjoint_of_forward() {
+        // <Ax, y> == <x, Aᵀy> for random x, y.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut pool = AvgPool2dSame::new(3);
+        let mut x = Tensor4::zeros(1, 2, 5, 5);
+        let mut y = Tensor4::zeros(1, 2, 5, 5);
+        for v in x.data_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        for v in y.data_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let ax = pool.forward(&x);
+        let aty = pool.backward(&y);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let _ = MaxPool2dSame::new(2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Learning-rate schedules.
+//!
+//! NSGA-Net's reference training uses cosine annealing; step decay is the
+//! other schedule commonly paired with SGD on this workload. Schedules are
+//! pure functions of the epoch so trainers stay stateless about them.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over 1-based epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Cosine annealing from `lr_max` down to `lr_min` over `total_epochs`.
+    Cosine {
+        /// Peak rate (epoch 1).
+        lr_max: f32,
+        /// Floor rate (final epoch).
+        lr_min: f32,
+        /// Horizon of the anneal.
+        total_epochs: u32,
+    },
+    /// Multiply by `gamma` every `step` epochs.
+    Step {
+        /// Initial rate.
+        lr: f32,
+        /// Epochs between decays.
+        step: u32,
+        /// Decay factor per step.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (1-based).
+    pub fn lr_at(&self, epoch: u32) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Cosine {
+                lr_max,
+                lr_min,
+                total_epochs,
+            } => {
+                let t = (epoch.saturating_sub(1)) as f32
+                    / (total_epochs.saturating_sub(1)).max(1) as f32;
+                let t = t.min(1.0);
+                lr_min + 0.5 * (lr_max - lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Step { lr, step, gamma } => {
+                let decays = (epoch.saturating_sub(1)) / step.max(1);
+                lr * gamma.powi(decays as i32)
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant { lr: 0.05 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr_at(1), 0.1);
+        assert_eq!(s.lr_at(100), 0.1);
+    }
+
+    #[test]
+    fn cosine_spans_max_to_min() {
+        let s = LrSchedule::Cosine {
+            lr_max: 0.1,
+            lr_min: 0.001,
+            total_epochs: 25,
+        };
+        assert!((s.lr_at(1) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(25) - 0.001).abs() < 1e-6);
+        // Monotone decreasing.
+        let mut prev = s.lr_at(1);
+        for e in 2..=25 {
+            let cur = s.lr_at(e);
+            assert!(cur <= prev + 1e-7, "epoch {e}: {cur} > {prev}");
+            prev = cur;
+        }
+        // Past the horizon it clamps at the floor.
+        assert!((s.lr_at(40) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            lr: 0.8,
+            step: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(1), 0.8);
+        assert_eq!(s.lr_at(10), 0.8);
+        assert_eq!(s.lr_at(11), 0.4);
+        assert_eq!(s.lr_at(21), 0.2);
+    }
+
+    #[test]
+    fn degenerate_horizons_are_safe() {
+        let s = LrSchedule::Cosine {
+            lr_max: 0.1,
+            lr_min: 0.01,
+            total_epochs: 1,
+        };
+        assert!(s.lr_at(1).is_finite());
+        let st = LrSchedule::Step {
+            lr: 0.1,
+            step: 0,
+            gamma: 0.5,
+        };
+        assert!(st.lr_at(5).is_finite());
+    }
+}

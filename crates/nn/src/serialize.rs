@@ -1,0 +1,185 @@
+//! Model checkpointing.
+//!
+//! §2.2.2: "the workflow orchestrator writes the partially trained NN's
+//! state to memory, such that each model can be loaded and re-evaluated
+//! from any point in the training phase." A [`ModelState`] is that
+//! state: the spec plus every parameter and batch-norm statistic, with a
+//! compact binary wire format (via [`bytes`]) and serde support for JSON
+//! record trails.
+
+use crate::graph::{NetSpec, Network};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of a network's trainable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelState {
+    /// The architecture spec.
+    pub spec: NetSpec,
+    /// Flattened parameter tensors in visit order (including running
+    /// batch-norm statistics captured separately by the snapshotting
+    /// network clone).
+    pub params: Vec<Vec<f32>>,
+    /// Epoch at which the snapshot was taken (0 = initialization).
+    pub epoch: u32,
+}
+
+impl ModelState {
+    /// Capture the current state of `net`.
+    pub fn capture(net: &mut Network, epoch: u32) -> Self {
+        let mut params = Vec::new();
+        net.visit_params(&mut |p, _| params.push(p.to_vec()));
+        ModelState {
+            spec: net.spec().clone(),
+            params,
+            epoch,
+        }
+    }
+
+    /// Rebuild a network carrying this state. The RNG seeds the transient
+    /// construction only; all trainable parameters are overwritten.
+    pub fn restore(&self, rng: &mut impl rand::Rng) -> Network {
+        let mut net = Network::new(&self.spec, rng);
+        let mut cursor = 0usize;
+        let params = &self.params;
+        net.visit_params(&mut |p, _| {
+            assert!(cursor < params.len(), "state has too few tensors");
+            assert_eq!(p.len(), params[cursor].len(), "tensor {cursor} size mismatch");
+            p.copy_from_slice(&params[cursor]);
+            cursor += 1;
+        });
+        assert_eq!(cursor, params.len(), "state has too many tensors");
+        net
+    }
+
+    /// Compact binary encoding: a little-endian stream of tensor lengths
+    /// and payloads wrapped around the JSON-encoded spec.
+    pub fn to_bytes(&self) -> Bytes {
+        let spec_json = serde_json::to_vec(&self.spec).expect("spec serializes");
+        let mut buf = BytesMut::with_capacity(
+            16 + spec_json.len() + self.params.iter().map(|p| 4 + p.len() * 4).sum::<usize>(),
+        );
+        buf.put_u32_le(self.epoch);
+        buf.put_u32_le(spec_json.len() as u32);
+        buf.put_slice(&spec_json);
+        buf.put_u32_le(self.params.len() as u32);
+        for p in &self.params {
+            buf.put_u32_le(p.len() as u32);
+            for &v in p {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode the binary form produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+        let need = |data: &Bytes, n: usize| -> Result<(), String> {
+            if data.remaining() < n {
+                Err(format!("truncated model state: need {n} more bytes"))
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 8)?;
+        let epoch = data.get_u32_le();
+        let spec_len = data.get_u32_le() as usize;
+        need(&data, spec_len)?;
+        let spec_bytes = data.split_to(spec_len);
+        let spec: NetSpec =
+            serde_json::from_slice(&spec_bytes).map_err(|e| format!("bad spec: {e}"))?;
+        need(&data, 4)?;
+        let n_tensors = data.get_u32_le() as usize;
+        let mut params = Vec::with_capacity(n_tensors);
+        for _ in 0..n_tensors {
+            need(&data, 4)?;
+            let len = data.get_u32_le() as usize;
+            need(&data, len * 4)?;
+            let mut t = Vec::with_capacity(len);
+            for _ in 0..len {
+                t.push(data.get_f32_le());
+            }
+            params.push(t);
+        }
+        Ok(ModelState {
+            spec,
+            params,
+            epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PhaseNetSpec;
+    use crate::tensor::Tensor4;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn spec() -> NetSpec {
+        NetSpec {
+            input_channels: 1,
+            phases: vec![PhaseNetSpec {
+                out_channels: 4,
+                kernel: 3,
+                node_inputs: vec![vec![], vec![0]],
+                leaves: vec![1],
+                skip: false,
+            }],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn capture_restore_preserves_outputs() {
+        let mut net = Network::new(&spec(), &mut rng(1));
+        let state = ModelState::capture(&mut net, 7);
+        assert_eq!(state.epoch, 7);
+        let mut restored = state.restore(&mut rng(999)); // different seed on purpose
+        let x = Tensor4::from_vec(1, 1, 6, 6, (0..36).map(|i| i as f32 / 36.0).collect());
+        assert_eq!(
+            net.forward(&x, false).data(),
+            restored.forward(&x, false).data()
+        );
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut net = Network::new(&spec(), &mut rng(2));
+        let state = ModelState::capture(&mut net, 3);
+        let bytes = state.to_bytes();
+        let back = ModelState::from_bytes(bytes).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let mut net = Network::new(&spec(), &mut rng(3));
+        let state = ModelState::capture(&mut net, 0);
+        let bytes = state.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() / 2);
+        assert!(ModelState::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut net = Network::new(&spec(), &mut rng(4));
+        let state = ModelState::capture(&mut net, 12);
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ModelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn restore_rejects_mismatched_tensors() {
+        let mut net = Network::new(&spec(), &mut rng(5));
+        let mut state = ModelState::capture(&mut net, 0);
+        state.params[0].pop();
+        let _ = state.restore(&mut rng(6));
+    }
+}

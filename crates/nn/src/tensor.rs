@@ -1,0 +1,269 @@
+//! Dense `f32` tensors: 4-D NCHW activations and 2-D matrices.
+//!
+//! Deliberately minimal — contiguous `Vec<f32>` storage, inline index
+//! arithmetic, no strides or views. Shapes are validated on construction
+//! and preserved by every operation, so shape bugs surface at the boundary
+//! rather than as silent corruption (debug assertions guard the hot
+//! indexing paths per the perf-book guidance).
+
+use serde::{Deserialize, Serialize};
+
+/// A 4-D tensor in NCHW layout (batch, channels, height, width).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Zero-filled tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Tensor4 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Wrap existing data; length must equal `n·c·h·w`.
+    pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * c * h * w, "tensor data length mismatch");
+        Tensor4 { n, c, h, w, data }
+    }
+
+    /// Shape tuple.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.n, self.c, self.h, self.w)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat element index of `(n, c, h, w)`.
+    #[inline(always)]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Element accessor.
+    #[inline(always)]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Mutable element accessor.
+    #[inline(always)]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.index(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Raw data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The contiguous slice holding sample `n` (all channels).
+    #[inline]
+    pub fn sample(&self, n: usize) -> &[f32] {
+        let stride = self.c * self.h * self.w;
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Mutable per-sample slice.
+    #[inline]
+    pub fn sample_mut(&mut self, n: usize) -> &mut [f32] {
+        let stride = self.c * self.h * self.w;
+        &mut self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Elementwise `self += other`; shapes must match.
+    pub fn add_assign(&mut self, other: &Tensor4) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Fill with zeros, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// A 2-D row-major matrix (rows = batch, cols = features).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor2 {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2 {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wrap existing data; length must be `rows·cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Raw data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_index_layout() {
+        let mut t = Tensor4::zeros(2, 3, 4, 5);
+        t.set(1, 2, 3, 4, 7.0);
+        // Last element of the tensor.
+        assert_eq!(t.data()[2 * 3 * 4 * 5 - 1], 7.0);
+        assert_eq!(t.get(1, 2, 3, 4), 7.0);
+        assert_eq!(t.index(0, 0, 0, 1), 1); // w is innermost
+        assert_eq!(t.index(0, 0, 1, 0), 5); // then h
+        assert_eq!(t.index(0, 1, 0, 0), 20); // then c
+        assert_eq!(t.index(1, 0, 0, 0), 60); // then n
+    }
+
+    #[test]
+    fn sample_slices_partition_the_batch() {
+        let mut t = Tensor4::zeros(3, 2, 2, 2);
+        t.sample_mut(1).iter_mut().for_each(|v| *v = 1.0);
+        assert!(t.sample(0).iter().all(|&v| v == 0.0));
+        assert!(t.sample(1).iter().all(|&v| v == 1.0));
+        assert!(t.sample(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn add_assign_adds_elementwise() {
+        let mut a = Tensor4::from_vec(1, 1, 1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Tensor4::from_vec(1, 1, 1, 3, vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_assign_rejects_shape_mismatch() {
+        let mut a = Tensor4::zeros(1, 1, 2, 2);
+        let b = Tensor4::zeros(1, 1, 2, 3);
+        a.add_assign(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_validates_length() {
+        let _ = Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = Tensor4::from_vec(1, 1, 1, 4, vec![1.0; 4]);
+        t.clear();
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn matrix_rows_are_contiguous() {
+        let m = Tensor2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn tensor_serde_roundtrip() {
+        let t = Tensor4::from_vec(1, 2, 1, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor4 = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,111 @@
+//! Crowding-distance assignment (Deb et al., 2002, §III-B).
+//!
+//! Within one Pareto front, the crowding distance of an individual is the
+//! sum over objectives of the normalized gap between its neighbors when the
+//! front is sorted along that objective. Boundary individuals get `+∞` so
+//! the extremes of the front are always preserved — that is what keeps the
+//! accuracy-vs-FLOPs front of the NAS spread out instead of collapsing
+//! onto one region.
+
+use crate::objectives::Objectives;
+
+/// Compute crowding distances for the members of one front.
+///
+/// `front` holds indices into `points`; the result is parallel to `front`.
+/// Fronts of size ≤ 2 get all-infinite distances.
+pub fn crowding_distance(points: &[Objectives], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n_obj = points[front[0]].len();
+    let mut dist = vec![0.0f64; m];
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    // Positions within `front`, sorted per objective.
+    let mut order: Vec<usize> = (0..m).collect();
+    for obj in 0..n_obj {
+        order.sort_by(|&a, &b| {
+            let va = points[front[a]].values()[obj];
+            let vb = points[front[b]].values()[obj];
+            va.partial_cmp(&vb).expect("objectives must not be NaN")
+        });
+        let lo = points[front[order[0]]].values()[obj];
+        let hi = points[front[order[m - 1]]].values()[obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= f64::EPSILON {
+            continue; // Degenerate objective: contributes nothing.
+        }
+        for w in 1..(m - 1) {
+            let prev = points[front[order[w - 1]]].values()[obj];
+            let next = points[front[order[w + 1]]].values()[obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objs(rows: &[&[f64]]) -> Vec<Objectives> {
+        rows.iter().map(|r| Objectives::new(r.to_vec())).collect()
+    }
+
+    #[test]
+    fn boundaries_are_infinite() {
+        let pts = objs(&[&[1.0, 4.0], &[2.0, 3.0], &[3.0, 2.0], &[4.0, 1.0]]);
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn uniform_spacing_gives_equal_interior_distances() {
+        let pts = objs(&[&[0.0, 3.0], &[1.0, 2.0], &[2.0, 1.0], &[3.0, 0.0]]);
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!((d[1] - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowded_point_has_smaller_distance() {
+        // Index 1 is squeezed between 0 and 2; index 3 sits in open space.
+        let pts = objs(&[
+            &[0.0, 10.0],
+            &[0.5, 9.5],
+            &[1.0, 9.0],
+            &[5.0, 5.0],
+            &[10.0, 0.0],
+        ]);
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!(d[1] < d[3], "crowded {} vs sparse {}", d[1], d[3]);
+    }
+
+    #[test]
+    fn tiny_fronts_are_all_infinite() {
+        let pts = objs(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(crowding_distance(&pts, &[0, 1]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&pts, &[0]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&pts, &[]).is_empty());
+    }
+
+    #[test]
+    fn degenerate_objective_contributes_nothing() {
+        // Second objective identical everywhere; distances come from the
+        // first objective only and no NaNs appear.
+        let pts = objs(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]);
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pts, &front);
+        assert!(d.iter().all(|v| !v.is_nan()));
+        assert!(d[1].is_finite());
+    }
+}

@@ -1,0 +1,442 @@
+//! The NSGA-II generational loop with elitist (μ+λ) environmental
+//! selection, generic over genomes and evaluation.
+
+use crate::crowding::crowding_distance;
+use crate::objectives::Objectives;
+use crate::select::{tournament_select, RankedIndividual};
+use crate::sort::{fast_non_dominated_sort, ranks_from_fronts};
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Context handed to [`Problem::evaluate`] so evaluators (like A4NN's
+/// trainer) can tag records with the model's identity.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalContext {
+    /// 0-based generation this genome belongs to (0 = initial population).
+    pub generation: usize,
+    /// Position within its generation's batch.
+    pub index_in_generation: usize,
+    /// Globally unique model id, assigned in evaluation order.
+    pub model_id: u64,
+}
+
+/// A problem definition for the engine: how to create, vary, and score
+/// genomes. All objectives are minimized (see [`Objectives`]).
+pub trait Problem {
+    /// Genome representation (e.g. an NSGA-Net bit-string genome).
+    type Genome: Clone;
+
+    /// Score a genome. For A4NN this is where a network is built, trained
+    /// (possibly terminated early by the prediction engine), and measured.
+    fn evaluate(&mut self, genome: &Self::Genome, ctx: &EvalContext) -> Objectives;
+
+    /// Sample a random genome for the initial population.
+    fn random_genome(&mut self, rng: &mut dyn RngCore) -> Self::Genome;
+
+    /// Produce one offspring from two parents (crossover + mutation).
+    fn vary(
+        &mut self,
+        a: &Self::Genome,
+        b: &Self::Genome,
+        rng: &mut dyn RngCore,
+    ) -> Self::Genome;
+
+    /// Optional duplicate filter: return true if `candidate` should be
+    /// rejected (e.g. identical architecture already evaluated). The engine
+    /// retries a bounded number of times before accepting a duplicate.
+    fn is_duplicate(&mut self, _candidate: &Self::Genome) -> bool {
+        false
+    }
+}
+
+/// Engine configuration — NSGA-Net's Table 2 settings map onto this
+/// directly: `population = 10`, `offspring = 10`, `generations = 10`
+/// evaluates `population + offspring × (generations − 1) = 100` networks.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NsgaConfig {
+    /// Size of the parent population (μ).
+    pub population: usize,
+    /// Offspring produced per generation (λ).
+    pub offspring: usize,
+    /// Total number of generations, counting the initial population as
+    /// generation 0.
+    pub generations: usize,
+    /// RNG seed for the whole run (reproducibility of the search).
+    pub seed: u64,
+}
+
+impl NsgaConfig {
+    /// Total number of genome evaluations the run will perform.
+    pub fn total_evaluations(&self) -> usize {
+        self.population + self.offspring * self.generations.saturating_sub(1)
+    }
+}
+
+/// One evaluated individual.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Individual<G> {
+    /// Globally unique id in evaluation order (0-based).
+    pub id: u64,
+    /// Generation that produced this individual.
+    pub generation: usize,
+    /// The genome.
+    pub genome: G,
+    /// Its objective vector (minimization convention).
+    pub objectives: Objectives,
+}
+
+/// Result of a complete run.
+#[derive(Debug, Clone)]
+pub struct RunResult<G> {
+    /// Every individual ever evaluated, in evaluation order.
+    pub all: Vec<Individual<G>>,
+    /// Indices (into `all`) of the final parent population.
+    pub final_population: Vec<usize>,
+    /// The configuration that produced this result.
+    pub config: NsgaConfig,
+}
+
+impl<G: Clone> RunResult<G> {
+    /// Pareto-optimal individuals over *everything evaluated* (the paper's
+    /// Figure 6 fronts are computed over all 100 architectures of a test).
+    pub fn pareto_front(&self) -> Vec<&Individual<G>> {
+        let objs: Vec<Objectives> = self.all.iter().map(|i| i.objectives.clone()).collect();
+        let fronts = fast_non_dominated_sort(&objs);
+        fronts
+            .first()
+            .map(|f| f.iter().map(|&i| &self.all[i]).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The NSGA-II engine.
+#[derive(Debug, Clone)]
+pub struct Nsga2 {
+    config: NsgaConfig,
+}
+
+/// How many times `vary` is retried when the problem reports duplicates.
+const DUPLICATE_RETRIES: usize = 16;
+
+impl Nsga2 {
+    /// Create an engine with the given configuration.
+    pub fn new(config: NsgaConfig) -> Self {
+        assert!(config.population > 0, "population must be positive");
+        assert!(config.generations > 0, "need at least one generation");
+        Nsga2 { config }
+    }
+
+    /// Run the full generational loop. `on_generation` is invoked after
+    /// each generation's environmental selection with the indices (into the
+    /// global archive) of the surviving parents — A4NN's workflow
+    /// orchestrator uses this hook to flush lineage records.
+    pub fn run<P, F>(&self, problem: &mut P, mut on_generation: F) -> RunResult<P::Genome>
+    where
+        P: Problem,
+        F: FnMut(&[usize]),
+    {
+        let cfg = self.config;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut all: Vec<Individual<P::Genome>> = Vec::with_capacity(cfg.total_evaluations());
+        let mut next_id: u64 = 0;
+
+        // Generation 0: random initial population.
+        let mut parents: Vec<usize> = Vec::with_capacity(cfg.population);
+        for index in 0..cfg.population {
+            let genome = problem.random_genome(&mut rng);
+            let ctx = EvalContext {
+                generation: 0,
+                index_in_generation: index,
+                model_id: next_id,
+            };
+            let objectives = problem.evaluate(&genome, &ctx);
+            all.push(Individual {
+                id: next_id,
+                generation: 0,
+                genome,
+                objectives,
+            });
+            parents.push(all.len() - 1);
+            next_id += 1;
+        }
+        on_generation(&parents);
+
+        for generation in 1..cfg.generations {
+            // Rank the current parents for tournament selection.
+            let parent_objs: Vec<Objectives> =
+                parents.iter().map(|&i| all[i].objectives.clone()).collect();
+            let fronts = fast_non_dominated_sort(&parent_objs);
+            let ranks = ranks_from_fronts(&fronts, parents.len());
+            let mut crowding = vec![0.0f64; parents.len()];
+            for front in &fronts {
+                let d = crowding_distance(&parent_objs, front);
+                for (&i, &di) in front.iter().zip(&d) {
+                    crowding[i] = di;
+                }
+            }
+            let ranked: Vec<RankedIndividual> = ranks
+                .iter()
+                .zip(&crowding)
+                .map(|(&rank, &crowding)| RankedIndividual { rank, crowding })
+                .collect();
+
+            // Variation: λ offspring from tournament-selected parents.
+            let mut offspring: Vec<usize> = Vec::with_capacity(cfg.offspring);
+            for index in 0..cfg.offspring {
+                let pa = parents[tournament_select(&ranked, &mut rng)];
+                let pb = parents[tournament_select(&ranked, &mut rng)];
+                let mut child = problem.vary(&all[pa].genome, &all[pb].genome, &mut rng);
+                let mut retries = 0;
+                while problem.is_duplicate(&child) && retries < DUPLICATE_RETRIES {
+                    child = problem.vary(&all[pa].genome, &all[pb].genome, &mut rng);
+                    retries += 1;
+                }
+                let ctx = EvalContext {
+                    generation,
+                    index_in_generation: index,
+                    model_id: next_id,
+                };
+                let objectives = problem.evaluate(&child, &ctx);
+                all.push(Individual {
+                    id: next_id,
+                    generation,
+                    genome: child,
+                    objectives,
+                });
+                offspring.push(all.len() - 1);
+                next_id += 1;
+            }
+
+            // Elitist (μ+λ) environmental selection.
+            let mut pool: Vec<usize> = parents.clone();
+            pool.extend_from_slice(&offspring);
+            parents = environmental_selection(&all, &pool, cfg.population);
+            on_generation(&parents);
+        }
+
+        RunResult {
+            all,
+            final_population: parents,
+            config: cfg,
+        }
+    }
+}
+
+/// Pick `keep` survivors from `pool` (indices into `all`): whole fronts
+/// while they fit, then the most crowded-distance-sparse members of the
+/// first overflowing front. Public so callers that drive their own
+/// generational loop (A4NN's workflow trains a whole generation in
+/// parallel before selecting) can reuse NSGA-II's exact selection.
+pub fn environmental_selection<G>(
+    all: &[Individual<G>],
+    pool: &[usize],
+    keep: usize,
+) -> Vec<usize> {
+    let objs: Vec<Objectives> = pool.iter().map(|&i| all[i].objectives.clone()).collect();
+    let fronts = fast_non_dominated_sort(&objs);
+    let mut survivors = Vec::with_capacity(keep);
+    for front in fronts {
+        if survivors.len() + front.len() <= keep {
+            survivors.extend(front.iter().map(|&local| pool[local]));
+            if survivors.len() == keep {
+                break;
+            }
+        } else {
+            let d = crowding_distance(&objs, &front);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            // Descending crowding distance; infinities (extremes) first.
+            order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("no NaN distances"));
+            for &local in order.iter().take(keep - survivors.len()) {
+                survivors.push(pool[front[local]]);
+            }
+            break;
+        }
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// SCH: minimize (x², (x−2)²); Pareto set is x ∈ [0, 2].
+    struct Sch {
+        evals: usize,
+    }
+
+    impl Problem for Sch {
+        type Genome = f64;
+        fn evaluate(&mut self, g: &f64, _ctx: &EvalContext) -> Objectives {
+            self.evals += 1;
+            Objectives::new(vec![g * g, (g - 2.0) * (g - 2.0)])
+        }
+        fn random_genome(&mut self, rng: &mut dyn RngCore) -> f64 {
+            rng.gen_range(-6.0..6.0)
+        }
+        fn vary(&mut self, a: &f64, b: &f64, rng: &mut dyn RngCore) -> f64 {
+            let mid = (a + b) / 2.0;
+            mid + rng.gen_range(-0.3..0.3)
+        }
+    }
+
+    fn run_sch(seed: u64) -> RunResult<f64> {
+        let cfg = NsgaConfig {
+            population: 16,
+            offspring: 16,
+            generations: 25,
+            seed,
+        };
+        Nsga2::new(cfg).run(&mut Sch { evals: 0 }, |_| {})
+    }
+
+    #[test]
+    fn converges_to_sch_pareto_set() {
+        let result = run_sch(3);
+        let front = result.pareto_front();
+        assert!(front.len() >= 4);
+        // The final population should be concentrated near [0, 2].
+        let mut inside = 0;
+        for &i in &result.final_population {
+            let x = result.all[i].genome;
+            if (-0.3..=2.3).contains(&x) {
+                inside += 1;
+            }
+        }
+        assert!(
+            inside * 10 >= result.final_population.len() * 8,
+            "{inside}/{} in Pareto region",
+            result.final_population.len()
+        );
+    }
+
+    #[test]
+    fn evaluation_count_matches_config() {
+        let cfg = NsgaConfig {
+            population: 10,
+            offspring: 10,
+            generations: 10,
+            seed: 5,
+        };
+        assert_eq!(cfg.total_evaluations(), 100);
+        let mut problem = Sch { evals: 0 };
+        let result = Nsga2::new(cfg).run(&mut problem, |_| {});
+        assert_eq!(problem.evals, 100);
+        assert_eq!(result.all.len(), 100);
+    }
+
+    #[test]
+    fn model_ids_are_sequential_and_generations_recorded() {
+        let result = run_sch(9);
+        for (k, ind) in result.all.iter().enumerate() {
+            assert_eq!(ind.id as usize, k);
+        }
+        assert_eq!(result.all[0].generation, 0);
+        assert_eq!(result.all.last().unwrap().generation, 24);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_sch(77);
+        let b = run_sch(77);
+        assert_eq!(a.all.len(), b.all.len());
+        for (x, y) in a.all.iter().zip(&b.all) {
+            assert_eq!(x.genome.to_bits(), y.genome.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_sch(1);
+        let b = run_sch(2);
+        let same = a
+            .all
+            .iter()
+            .zip(&b.all)
+            .filter(|(x, y)| x.genome.to_bits() == y.genome.to_bits())
+            .count();
+        assert!(same < a.all.len() / 2);
+    }
+
+    #[test]
+    fn on_generation_fires_once_per_generation() {
+        let cfg = NsgaConfig {
+            population: 8,
+            offspring: 8,
+            generations: 7,
+            seed: 0,
+        };
+        let mut calls = 0;
+        let _ = Nsga2::new(cfg).run(&mut Sch { evals: 0 }, |parents| {
+            calls += 1;
+            assert_eq!(parents.len(), 8);
+        });
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn environmental_selection_is_elitist() {
+        // Survivors of each generation are never dominated by a discarded
+        // pool member of the same generation — check the final population
+        // against the global archive of its last two generations.
+        let result = run_sch(13);
+        let last_gen = result.all.last().unwrap().generation;
+        let pool: Vec<usize> = (0..result.all.len())
+            .filter(|&i| result.all[i].generation >= last_gen.saturating_sub(1))
+            .collect();
+        for &s in &result.final_population {
+            for &p in &pool {
+                if result.all[p].objectives.dominates(&result.all[s].objectives) {
+                    // A dominating pool member must itself be a survivor.
+                    assert!(
+                        result.final_population.contains(&p),
+                        "non-surviving dominator found"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_filter_is_consulted() {
+        struct DupProblem {
+            dup_checks: usize,
+        }
+        impl Problem for DupProblem {
+            type Genome = u32;
+            fn evaluate(&mut self, g: &u32, _ctx: &EvalContext) -> Objectives {
+                Objectives::new(vec![f64::from(*g), -f64::from(*g)])
+            }
+            fn random_genome(&mut self, rng: &mut dyn RngCore) -> u32 {
+                rng.next_u32() % 1000
+            }
+            fn vary(&mut self, a: &u32, _b: &u32, rng: &mut dyn RngCore) -> u32 {
+                a.wrapping_add(rng.next_u32() % 7)
+            }
+            fn is_duplicate(&mut self, _c: &u32) -> bool {
+                self.dup_checks += 1;
+                false
+            }
+        }
+        let cfg = NsgaConfig {
+            population: 4,
+            offspring: 4,
+            generations: 3,
+            seed: 0,
+        };
+        let mut p = DupProblem { dup_checks: 0 };
+        let _ = Nsga2::new(cfg).run(&mut p, |_| {});
+        assert_eq!(p.dup_checks, 8); // 4 offspring × 2 generations.
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_panics() {
+        let _ = Nsga2::new(NsgaConfig {
+            population: 0,
+            offspring: 4,
+            generations: 2,
+            seed: 0,
+        });
+    }
+}

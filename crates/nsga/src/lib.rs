@@ -1,0 +1,68 @@
+//! # a4nn-nsga — generic NSGA-II multi-objective evolutionary engine
+//!
+//! From-scratch implementation of the NSGA-II algorithm (Deb et al., 2002)
+//! that underlies NSGA-Net (Lu et al., 2019), the NAS the A4NN paper plugs
+//! into its workflow. The engine is generic over the genome type and the
+//! evaluation function, which is exactly what A4NN's composability story
+//! requires: the workflow intercepts evaluation (to run the prediction
+//! engine in situ) without touching selection or variation.
+//!
+//! Components:
+//!
+//! - [`objectives`] — objective vectors and Pareto dominance (minimization
+//!   convention; accuracy is negated by callers that maximize it),
+//! - [`sort`] — fast non-dominated sorting into Pareto fronts,
+//! - [`crowding`] — crowding-distance assignment within a front,
+//! - [`select`] — binary tournament selection on (rank, crowding),
+//! - [`evolve`] — the generational loop: environmental selection of μ
+//!   parents, variation into λ offspring, elitist truncation.
+//!
+//! ```
+//! use a4nn_nsga::prelude::*;
+//!
+//! // Minimize the classic SCH problem: f1 = x², f2 = (x−2)².
+//! struct Sch;
+//! impl Problem for Sch {
+//!     type Genome = f64;
+//!     fn evaluate(&mut self, g: &f64, _ctx: &EvalContext) -> Objectives {
+//!         Objectives::new(vec![g * g, (g - 2.0) * (g - 2.0)])
+//!     }
+//!     fn random_genome(&mut self, rng: &mut dyn rand::RngCore) -> f64 {
+//!         use rand::Rng;
+//!         rng.gen_range(-4.0..4.0)
+//!     }
+//!     fn vary(&mut self, a: &f64, b: &f64, rng: &mut dyn rand::RngCore) -> f64 {
+//!         use rand::Rng;
+//!         (a + b) / 2.0 + rng.gen_range(-0.2..0.2)
+//!     }
+//! }
+//!
+//! let cfg = NsgaConfig { population: 20, offspring: 20, generations: 20, seed: 1 };
+//! let result = Nsga2::new(cfg).run(&mut Sch, |_| {});
+//! let front = result.pareto_front();
+//! assert!(!front.is_empty());
+//! // All Pareto-optimal x lie in [0, 2].
+//! for ind in front {
+//!     assert!(ind.genome > -0.5 && ind.genome < 2.5);
+//! }
+//! ```
+
+pub mod crowding;
+pub mod evolve;
+pub mod objectives;
+pub mod select;
+pub mod sort;
+
+pub use crowding::crowding_distance;
+pub use evolve::{environmental_selection, EvalContext, Individual, Nsga2, NsgaConfig, Problem, RunResult};
+pub use objectives::{Dominance, Objectives};
+pub use select::{tournament_select, RankedIndividual};
+pub use sort::{fast_non_dominated_sort, ranks_from_fronts};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::{
+        crowding_distance, fast_non_dominated_sort, tournament_select, Dominance, EvalContext,
+        Individual, Nsga2, NsgaConfig, Objectives, Problem, RunResult,
+    };
+}

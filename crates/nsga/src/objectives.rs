@@ -1,0 +1,141 @@
+//! Objective vectors and Pareto dominance.
+//!
+//! All objectives are *minimized*. Callers maximizing a quantity (e.g.
+//! validation accuracy) negate it; A4NN's NAS problem is
+//! `minimize (−accuracy, FLOPs)` exactly as NSGA-Net does.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a pairwise dominance comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// `self` dominates the other vector (no-worse in all, better in one).
+    Dominates,
+    /// The other vector dominates `self`.
+    DominatedBy,
+    /// Neither dominates (incomparable or equal).
+    Indifferent,
+}
+
+/// A vector of objective values under the minimization convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objectives(Vec<f64>);
+
+impl Objectives {
+    /// Wrap raw objective values. Panics in debug builds on NaN: dominance
+    /// is undefined for NaN and silently propagating it corrupts the sort.
+    pub fn new(values: Vec<f64>) -> Self {
+        debug_assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "objective values must not be NaN"
+        );
+        Objectives(values)
+    }
+
+    /// The raw values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of objectives.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no objectives are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Pairwise Pareto comparison. Panics if dimensionalities differ.
+    pub fn compare(&self, other: &Objectives) -> Dominance {
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "objective vectors must have equal dimension"
+        );
+        let mut better = false;
+        let mut worse = false;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a < b {
+                better = true;
+            } else if a > b {
+                worse = true;
+            }
+        }
+        match (better, worse) {
+            (true, false) => Dominance::Dominates,
+            (false, true) => Dominance::DominatedBy,
+            _ => Dominance::Indifferent,
+        }
+    }
+
+    /// `self` strictly dominates `other`.
+    #[inline]
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        self.compare(other) == Dominance::Dominates
+    }
+}
+
+impl From<Vec<f64>> for Objectives {
+    fn from(v: Vec<f64>) -> Self {
+        Objectives::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance() {
+        let a = Objectives::new(vec![1.0, 2.0]);
+        let b = Objectives::new(vec![2.0, 3.0]);
+        assert_eq!(a.compare(&b), Dominance::Dominates);
+        assert_eq!(b.compare(&a), Dominance::DominatedBy);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn weak_dominance_counts() {
+        // Equal in one objective, better in the other ⇒ dominates.
+        let a = Objectives::new(vec![1.0, 2.0]);
+        let b = Objectives::new(vec![1.0, 3.0]);
+        assert_eq!(a.compare(&b), Dominance::Dominates);
+    }
+
+    #[test]
+    fn incomparable_vectors() {
+        let a = Objectives::new(vec![1.0, 3.0]);
+        let b = Objectives::new(vec![2.0, 2.0]);
+        assert_eq!(a.compare(&b), Dominance::Indifferent);
+        assert_eq!(b.compare(&a), Dominance::Indifferent);
+    }
+
+    #[test]
+    fn equal_vectors_are_indifferent() {
+        let a = Objectives::new(vec![1.0, 2.0]);
+        assert_eq!(a.compare(&a.clone()), Dominance::Indifferent);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn dimension_mismatch_panics() {
+        let a = Objectives::new(vec![1.0]);
+        let b = Objectives::new(vec![1.0, 2.0]);
+        let _ = a.compare(&b);
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric_and_transitive() {
+        let a = Objectives::new(vec![0.0, 0.0]);
+        let b = Objectives::new(vec![1.0, 1.0]);
+        let c = Objectives::new(vec![2.0, 2.0]);
+        assert!(a.dominates(&b) && b.dominates(&c) && a.dominates(&c));
+        assert!(!b.dominates(&a));
+    }
+}

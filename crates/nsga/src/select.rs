@@ -1,0 +1,91 @@
+//! Binary tournament selection on the crowded-comparison operator.
+//!
+//! An individual beats another if it has a lower Pareto rank, or the same
+//! rank and a larger crowding distance — NSGA-II's `≺_n` operator, which
+//! NSGA-Net uses to pick the parents of each generation's offspring.
+
+use rand::Rng;
+
+/// Rank/crowding pair used by tournament selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedIndividual {
+    /// 0-based Pareto front number (lower is better).
+    pub rank: usize,
+    /// Crowding distance within the front (higher is better).
+    pub crowding: f64,
+}
+
+impl RankedIndividual {
+    /// Crowded-comparison: true when `self` is strictly preferred.
+    #[inline]
+    pub fn beats(&self, other: &RankedIndividual) -> bool {
+        self.rank < other.rank || (self.rank == other.rank && self.crowding > other.crowding)
+    }
+}
+
+/// Run one binary tournament over `ranked`, returning the winning index.
+///
+/// Draws two (not necessarily distinct) contestants uniformly; ties fall to
+/// the first drawn, which keeps the operator unbiased under symmetry.
+pub fn tournament_select<R: Rng + ?Sized>(ranked: &[RankedIndividual], rng: &mut R) -> usize {
+    assert!(!ranked.is_empty(), "cannot select from an empty population");
+    let a = rng.gen_range(0..ranked.len());
+    let b = rng.gen_range(0..ranked.len());
+    if ranked[b].beats(&ranked[a]) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lower_rank_beats_higher_rank() {
+        let good = RankedIndividual { rank: 0, crowding: 0.1 };
+        let bad = RankedIndividual { rank: 1, crowding: f64::INFINITY };
+        assert!(good.beats(&bad));
+        assert!(!bad.beats(&good));
+    }
+
+    #[test]
+    fn same_rank_larger_crowding_wins() {
+        let sparse = RankedIndividual { rank: 0, crowding: 2.0 };
+        let crowded = RankedIndividual { rank: 0, crowding: 0.5 };
+        assert!(sparse.beats(&crowded));
+        assert!(!crowded.beats(&sparse));
+    }
+
+    #[test]
+    fn identical_individuals_do_not_beat_each_other() {
+        let a = RankedIndividual { rank: 0, crowding: 1.0 };
+        assert!(!a.beats(&a));
+    }
+
+    #[test]
+    fn tournament_prefers_better_individuals_statistically() {
+        let ranked = vec![
+            RankedIndividual { rank: 0, crowding: f64::INFINITY },
+            RankedIndividual { rank: 3, crowding: 0.0 },
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut wins0 = 0;
+        for _ in 0..1000 {
+            if tournament_select(&ranked, &mut rng) == 0 {
+                wins0 += 1;
+            }
+        }
+        // Index 0 wins unless both draws pick index 1 (prob 1/4).
+        assert!(wins0 > 650, "wins0 = {wins0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = tournament_select(&[], &mut rng);
+    }
+}

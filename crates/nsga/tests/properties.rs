@@ -1,0 +1,83 @@
+//! Property-based tests of the NSGA-II primitives.
+
+use a4nn_nsga::{crowding_distance, fast_non_dominated_sort, Objectives, RankedIndividual};
+use proptest::prelude::*;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Objectives>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-1e3f64..1e3, 2..4),
+        1..max,
+    )
+    .prop_filter("uniform dimension", |rows| {
+        rows.iter().all(|r| r.len() == rows[0].len())
+    })
+    .prop_map(|rows| rows.into_iter().map(Objectives::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fronts partition the population exactly.
+    #[test]
+    fn fronts_partition_population(points in arb_points(40)) {
+        let fronts = fast_non_dominated_sort(&points);
+        let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+    }
+
+    /// No member of a front dominates another member of the same front.
+    #[test]
+    fn fronts_are_internally_non_dominated(points in arb_points(30)) {
+        let fronts = fast_non_dominated_sort(&points);
+        for front in &fronts {
+            for &a in front {
+                for &b in front {
+                    prop_assert!(!points[a].dominates(&points[b]));
+                }
+            }
+        }
+    }
+
+    /// Every member of front k+1 is dominated by someone in front k.
+    #[test]
+    fn fronts_are_ordered_by_domination(points in arb_points(25)) {
+        let fronts = fast_non_dominated_sort(&points);
+        for w in fronts.windows(2) {
+            for &q in &w[1] {
+                prop_assert!(
+                    w[0].iter().any(|&p| points[p].dominates(&points[q])),
+                    "front ordering violated"
+                );
+            }
+        }
+    }
+
+    /// Crowding distances are never NaN and never negative; fronts of
+    /// size ≤ 2 are all infinite.
+    #[test]
+    fn crowding_is_sane(points in arb_points(30)) {
+        let front: Vec<usize> = (0..points.len()).collect();
+        let d = crowding_distance(&points, &front);
+        prop_assert_eq!(d.len(), front.len());
+        for v in &d {
+            prop_assert!(!v.is_nan());
+            prop_assert!(*v >= 0.0);
+        }
+        if front.len() <= 2 {
+            prop_assert!(d.iter().all(|v| v.is_infinite()));
+        }
+    }
+
+    /// The crowded-comparison operator is asymmetric: a beats b and
+    /// b beats a never both hold.
+    #[test]
+    fn crowded_comparison_asymmetric(
+        ra in 0usize..5, ca in 0.0f64..10.0,
+        rb in 0usize..5, cb in 0.0f64..10.0,
+    ) {
+        let a = RankedIndividual { rank: ra, crowding: ca };
+        let b = RankedIndividual { rank: rb, crowding: cb };
+        prop_assert!(!(a.beats(&b) && b.beats(&a)));
+    }
+}

@@ -1,0 +1,379 @@
+//! The prediction engine proper: the iterative *parametric modeling* →
+//! *prediction analysis* loop of §2.1, matching Algorithm 1's
+//! `pred_eng(e_pred, F, C_min, r)` interface.
+
+use crate::analyzer::PredictionAnalyzer;
+use crate::curve::{CurveFamily, ParametricCurve};
+use crate::fit::{fit_curve, FitConfig};
+use serde::{Deserialize, Serialize};
+
+/// User-facing engine configuration (paper Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Parametric function `F` used to model fitness (Table 1 row 1).
+    pub family: CurveFamily,
+    /// Minimum number of fitness points before making a prediction
+    /// (`C_min`, paper: 3).
+    pub c_min: usize,
+    /// Epoch for which final fitness is predicted (`e_pred`, paper: 25).
+    pub e_pred: u32,
+    /// Number of trailing predictions considered for convergence
+    /// (`N`, paper: 3).
+    pub n_converge: usize,
+    /// Allowed spread of those predictions (`r`, paper: 0.5).
+    pub r: f64,
+    /// Inclusive fitness bounds (validation accuracy ⇒ `[0, 100]`).
+    pub bounds: (f64, f64),
+    /// Least-squares solver settings.
+    #[serde(skip)]
+    pub fit: FitConfig,
+}
+
+impl EngineConfig {
+    /// The exact configuration of the paper's evaluation (Table 1):
+    /// `F(x) = a − b^(c−x)`, `C_min = 3`, `e_pred = 25`, `N = 3`, `r = 0.5`.
+    pub fn paper_defaults() -> Self {
+        EngineConfig {
+            family: CurveFamily::ExpBase,
+            c_min: 3,
+            e_pred: 25,
+            n_converge: 3,
+            r: 0.5,
+            bounds: (0.0, 100.0),
+            fit: FitConfig::default(),
+        }
+    }
+
+    fn analyzer(&self) -> PredictionAnalyzer {
+        PredictionAnalyzer {
+            window: self.n_converge,
+            tolerance: self.r,
+            bounds: self.bounds,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Result of a completed engine run over one network's training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictionOutcome {
+    /// Predictions converged at `epoch`; `fitness` is the engine's final
+    /// prediction `P[-1]`, which the NAS treats as the network's fitness.
+    Converged { epoch: u32, fitness: f64 },
+    /// Training ran to the epoch budget; `fitness` is the last *measured*
+    /// validation fitness `h_e` (Algorithm 1, line 20).
+    Exhausted { fitness: f64 },
+}
+
+impl PredictionOutcome {
+    /// The fitness value the NAS should use for selection.
+    pub fn fitness(&self) -> f64 {
+        match self {
+            PredictionOutcome::Converged { fitness, .. } => *fitness,
+            PredictionOutcome::Exhausted { fitness } => *fitness,
+        }
+    }
+
+    /// Whether training was terminated early.
+    pub fn converged(&self) -> bool {
+        matches!(self, PredictionOutcome::Converged { .. })
+    }
+}
+
+/// Aggregate counters for overhead accounting (§4.3.1 reports ~28 ms per
+/// engine interaction and ~52 s added per 100-model test).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Number of `observe` + `step` interactions performed.
+    pub interactions: u64,
+    /// Number of successful curve fits.
+    pub fits: u64,
+    /// Number of failed fits (too few points or divergence).
+    pub fit_failures: u64,
+    /// Total wall time spent inside the engine, in seconds.
+    pub total_seconds: f64,
+}
+
+impl EngineStats {
+    /// Mean seconds per engine interaction.
+    pub fn mean_interaction_seconds(&self) -> f64 {
+        if self.interactions == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.interactions as f64
+        }
+    }
+}
+
+/// The in-situ prediction engine attached to one network's training loop.
+///
+/// Mirrors Algorithm 1: after each training epoch, call
+/// [`observe`](Self::observe) with the measured validation fitness, then
+/// [`step`](Self::step); a `Some(prediction)` return means the analyzer
+/// converged and training should be terminated with that predicted final
+/// fitness.
+#[derive(Debug, Clone)]
+pub struct PredictionEngine {
+    config: EngineConfig,
+    analyzer: PredictionAnalyzer,
+    /// Fitness history `H`: (epoch, measured fitness).
+    history: Vec<(f64, f64)>,
+    /// Prediction history `P`: one entry per epoch observed after `C_min`.
+    predictions: Vec<Option<f64>>,
+    stats: EngineStats,
+}
+
+impl PredictionEngine {
+    /// Build an engine from a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let analyzer = config.analyzer();
+        PredictionEngine {
+            config,
+            analyzer,
+            history: Vec::with_capacity(32),
+            predictions: Vec::with_capacity(32),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Append one measured `(epoch, fitness)` point to the fitness history
+    /// `H`.
+    pub fn observe(&mut self, epoch: u32, fitness: f64) {
+        self.history.push((f64::from(epoch), fitness));
+    }
+
+    /// Run one iteration of the modeling → analysis loop:
+    /// fit the parametric curve to `H`, extrapolate fitness at `e_pred`,
+    /// append to `P`, and test convergence. Returns the final converged
+    /// prediction, or `None` if training should continue.
+    pub fn step(&mut self) -> Option<f64> {
+        let t0 = std::time::Instant::now();
+        let prediction = self.predict_once();
+        self.predictions.push(prediction);
+        self.stats.interactions += 1;
+        let converged = self.analyzer.converged(&self.predictions);
+        self.stats.total_seconds += t0.elapsed().as_secs_f64();
+        if converged {
+            // P[-1] — guaranteed Some by the analyzer.
+            self.predictions.last().copied().flatten()
+        } else {
+            None
+        }
+    }
+
+    fn predict_once(&mut self) -> Option<f64> {
+        if self.history.len() < self.config.c_min.max(self.config.family.n_params()) {
+            self.stats.fit_failures += 1;
+            return None;
+        }
+        let xs: Vec<f64> = self.history.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f64> = self.history.iter().map(|(_, y)| *y).collect();
+        match fit_curve(&self.config.family, &xs, &ys, &self.config.fit) {
+            Ok(fit) => {
+                self.stats.fits += 1;
+                Some(
+                    self.config
+                        .family
+                        .eval(&fit.params, f64::from(self.config.e_pred)),
+                )
+            }
+            Err(_) => {
+                self.stats.fit_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// The fitness history `H` accumulated so far.
+    pub fn history(&self) -> &[(f64, f64)] {
+        &self.history
+    }
+
+    /// The prediction history `P` (one entry per `step`).
+    pub fn predictions(&self) -> &[Option<f64>] {
+        &self.predictions
+    }
+
+    /// Overhead counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Reset history and predictions, keeping configuration and stats.
+    /// Used when the same engine object is reused across networks.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.predictions.clear();
+    }
+
+    /// Drive a complete training loop (Algorithm 1) over a closure that
+    /// trains one epoch and returns the measured validation fitness.
+    ///
+    /// `train_epoch(e)` is called for `e = 1..=max_epochs`; the loop breaks
+    /// as soon as the analyzer converges.
+    pub fn run_training_loop<F>(
+        &mut self,
+        max_epochs: u32,
+        mut train_epoch: F,
+    ) -> PredictionOutcome
+    where
+        F: FnMut(u32) -> f64,
+    {
+        let mut last_measured = f64::NAN;
+        for e in 1..=max_epochs {
+            last_measured = train_epoch(e);
+            self.observe(e, last_measured);
+            if let Some(p) = self.step() {
+                return PredictionOutcome::Converged {
+                    epoch: e,
+                    fitness: p,
+                };
+            }
+        }
+        PredictionOutcome::Exhausted {
+            fitness: last_measured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(a: f64, rho: f64, scale: f64) -> impl Fn(u32) -> f64 {
+        move |e: u32| a - scale * rho.powi(e as i32)
+    }
+
+    #[test]
+    fn well_behaved_curve_terminates_early() {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let f = curve(96.0, 0.65, 55.0);
+        let outcome = engine.run_training_loop(25, &f);
+        match outcome {
+            PredictionOutcome::Converged { epoch, fitness } => {
+                assert!(epoch < 25, "should save epochs, got {epoch}");
+                assert!((fitness - 96.0).abs() < 1.5, "fitness {fitness}");
+            }
+            PredictionOutcome::Exhausted { .. } => panic!("should converge"),
+        }
+    }
+
+    #[test]
+    fn prediction_matches_final_training_within_tolerance() {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let f = curve(92.0, 0.7, 40.0);
+        let outcome = engine.run_training_loop(25, &f);
+        let full = f(25);
+        assert!((outcome.fitness() - full).abs() < 2.0);
+    }
+
+    #[test]
+    fn erratic_curve_trains_to_budget() {
+        // A convex, accelerating curve keeps dragging the fitted asymptote
+        // upward, so the prediction window never stabilizes within r.
+        let f = |e: u32| 0.15 * f64::from(e) * f64::from(e);
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let outcome = engine.run_training_loop(25, &f);
+        assert!(!outcome.converged());
+        match outcome {
+            PredictionOutcome::Exhausted { fitness } => {
+                // h_e of the final epoch.
+                assert!((fitness - f(25)).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn exhausted_returns_last_measured_fitness() {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        // Linearly increasing fitness: predictions keep moving up, so the
+        // analyzer should not converge within 10 epochs with tight r.
+        let outcome = engine.run_training_loop(10, |e| f64::from(e) * 3.0);
+        if let PredictionOutcome::Exhausted { fitness } = outcome {
+            assert!((fitness - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_prediction_before_c_min_points() {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        engine.observe(1, 30.0);
+        assert!(engine.step().is_none());
+        engine.observe(2, 40.0);
+        assert!(engine.step().is_none());
+        // First prediction possible only at C_min = 3 points, and
+        // convergence needs N = 3 predictions, so earliest stop is epoch 5.
+        assert_eq!(engine.predictions().len(), 2);
+        assert!(engine.predictions().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn earliest_possible_termination_epoch_is_cmin_plus_n_minus_1() {
+        let cfg = EngineConfig::paper_defaults();
+        let mut engine = PredictionEngine::new(cfg);
+        // Perfectly flat-converging curve terminates as early as possible.
+        let f = curve(95.0, 0.2, 60.0);
+        let outcome = engine.run_training_loop(25, &f);
+        match outcome {
+            PredictionOutcome::Converged { epoch, .. } => {
+                assert!(epoch >= 5, "needs C_min + N − 1 = 5 epochs, got {epoch}");
+                assert!(epoch <= 8, "fast curve should stop quickly, got {epoch}");
+            }
+            _ => panic!("must converge"),
+        }
+    }
+
+    #[test]
+    fn stats_count_interactions() {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let f = curve(96.0, 0.65, 55.0);
+        let outcome = engine.run_training_loop(25, &f);
+        let stats = engine.stats();
+        let epochs = match outcome {
+            PredictionOutcome::Converged { epoch, .. } => epoch,
+            _ => 25,
+        };
+        assert_eq!(stats.interactions, u64::from(epochs));
+        assert!(stats.fits >= 3);
+        assert!(stats.total_seconds >= 0.0);
+    }
+
+    #[test]
+    fn reset_clears_histories() {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let f = curve(96.0, 0.65, 55.0);
+        let _ = engine.run_training_loop(25, &f);
+        assert!(!engine.history().is_empty());
+        engine.reset();
+        assert!(engine.history().is_empty());
+        assert!(engine.predictions().is_empty());
+    }
+
+    #[test]
+    fn fig2_style_trace_converges_midtraining() {
+        // Reproduce the Figure 2 situation: prediction of fitness@25
+        // converging around epoch ~12 for a moderately fast learner.
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let f = |e: u32| 90.0 - 52.0 * 0.8f64.powi(e as i32);
+        let outcome = engine.run_training_loop(25, &f);
+        match outcome {
+            PredictionOutcome::Converged { epoch, fitness } => {
+                assert!((6..=18).contains(&epoch), "epoch {epoch}");
+                assert!((fitness - f(25)).abs() < 2.0);
+            }
+            _ => panic!("fig2-style curve must converge"),
+        }
+    }
+}

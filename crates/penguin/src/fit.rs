@@ -1,0 +1,470 @@
+//! Nonlinear least-squares fitting of parametric learning curves.
+//!
+//! The paper attains curve parameters "using the least squares regression
+//! of the fitting" (§2.1.1). We implement a dense Levenberg–Marquardt
+//! solver from scratch: the parameter counts are tiny (3–4), so the normal
+//! equations are solved directly with a small Gaussian-elimination routine.
+//! Multiple data-driven initial guesses are tried and the best (lowest
+//! residual) fit wins, which makes the fitter robust against the noisy,
+//! sometimes pathological curves that NAS candidates produce.
+
+use crate::curve::ParametricCurve;
+
+/// Configuration for the Levenberg–Marquardt fitter.
+#[derive(Debug, Clone)]
+pub struct FitConfig {
+    /// Maximum LM iterations per starting point.
+    pub max_iters: usize,
+    /// Initial damping factor λ.
+    pub lambda_init: f64,
+    /// Multiplicative update applied to λ on rejected / accepted steps.
+    pub lambda_factor: f64,
+    /// Convergence threshold on the relative decrease of the cost.
+    pub tol: f64,
+    /// Optional recency weighting: observation `i` of `n` gets weight
+    /// `decay^(n−1−i)` with `decay ∈ (0, 1]`, so the newest epochs
+    /// dominate the fit. `None` (or 1.0) weighs all epochs equally — the
+    /// paper's plain least squares.
+    pub recency_decay: Option<f64>,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            max_iters: 60,
+            lambda_init: 1e-2,
+            lambda_factor: 8.0,
+            tol: 1e-10,
+            recency_decay: None,
+        }
+    }
+}
+
+impl FitConfig {
+    /// Per-observation weights implied by the configuration.
+    fn weights(&self, n: usize) -> Option<Vec<f64>> {
+        let decay = self.recency_decay?;
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "recency decay must be in (0, 1], got {decay}"
+        );
+        if (decay - 1.0).abs() < f64::EPSILON {
+            return None;
+        }
+        Some((0..n).map(|i| decay.powi((n - 1 - i) as i32)).collect())
+    }
+}
+
+/// A successful curve fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Fitted parameter vector θ.
+    pub params: Vec<f64>,
+    /// Sum of squared residuals at θ.
+    pub sse: f64,
+    /// Number of LM iterations consumed by the winning start.
+    pub iterations: usize,
+}
+
+/// Why a fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer observations than parameters.
+    TooFewPoints { have: usize, need: usize },
+    /// Mismatched `xs`/`ys` lengths.
+    LengthMismatch,
+    /// Every starting point diverged or produced invalid parameters.
+    DidNotConverge,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewPoints { have, need } => {
+                write!(f, "too few points for fit: have {have}, need {need}")
+            }
+            FitError::LengthMismatch => write!(f, "xs and ys have different lengths"),
+            FitError::DidNotConverge => write!(f, "no starting point converged"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Solve the dense linear system `A x = b` in place (A is `n×n`,
+/// row-major). Returns `None` for singular systems. Partial pivoting keeps
+/// the tiny systems we solve here stable.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // Pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col * n + k] * x[k];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    if x.iter().all(|v| v.is_finite()) {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+fn sse_of(
+    curve: &dyn ParametricCurve,
+    params: &[f64],
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+) -> f64 {
+    xs.iter()
+        .zip(ys)
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            let r = y - curve.eval(params, x);
+            let w = weights.map_or(1.0, |w| w[i]);
+            w * r * r
+        })
+        .sum()
+}
+
+/// One Levenberg–Marquardt descent from `start`. Returns the refined
+/// parameters and their SSE, or `None` if the descent left the valid
+/// parameter domain immediately.
+fn lm_from_start(
+    curve: &dyn ParametricCurve,
+    xs: &[f64],
+    ys: &[f64],
+    start: &[f64],
+    cfg: &FitConfig,
+) -> Option<(Vec<f64>, f64, usize)> {
+    let n_params = curve.n_params();
+    let n_points = xs.len();
+    if !curve.params_valid(start) {
+        return None;
+    }
+    let weights = cfg.weights(xs.len());
+    let mut params = start.to_vec();
+    let mut cost = sse_of(curve, &params, xs, ys, weights.as_deref());
+    if !cost.is_finite() {
+        return None;
+    }
+    let mut lambda = cfg.lambda_init;
+    let mut grad_row = vec![0.0; n_params];
+    let mut iterations = 0;
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // Build JᵀJ and Jᵀr.
+        let mut jtj = vec![0.0; n_params * n_params];
+        let mut jtr = vec![0.0; n_params];
+        for i in 0..n_points {
+            let x = xs[i];
+            let w = weights.as_deref().map_or(1.0, |w| w[i]);
+            let r = ys[i] - curve.eval(&params, x);
+            curve.grad(&params, x, &mut grad_row);
+            if grad_row.iter().any(|g| !g.is_finite()) || !r.is_finite() {
+                return None;
+            }
+            for a in 0..n_params {
+                jtr[a] += w * grad_row[a] * r;
+                for b in a..n_params {
+                    jtj[a * n_params + b] += w * grad_row[a] * grad_row[b];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for a in 0..n_params {
+            for b in 0..a {
+                jtj[a * n_params + b] = jtj[b * n_params + a];
+            }
+        }
+
+        // Try damped steps, increasing λ until one is accepted.
+        let mut accepted = false;
+        for _ in 0..12 {
+            let mut a = jtj.clone();
+            for d in 0..n_params {
+                a[d * n_params + d] += lambda * (1.0 + jtj[d * n_params + d]);
+            }
+            let mut b = jtr.clone();
+            if let Some(step) = solve_dense(&mut a, &mut b, n_params) {
+                let candidate: Vec<f64> =
+                    params.iter().zip(&step).map(|(p, s)| p + s).collect();
+                if curve.params_valid(&candidate) {
+                    let c = sse_of(curve, &candidate, xs, ys, weights.as_deref());
+                    if c.is_finite() && c < cost {
+                        let rel = (cost - c) / cost.max(1e-300);
+                        params = candidate;
+                        cost = c;
+                        lambda = (lambda / cfg.lambda_factor).max(1e-12);
+                        accepted = true;
+                        if rel < cfg.tol {
+                            return Some((params, cost, iterations));
+                        }
+                        break;
+                    }
+                }
+            }
+            lambda *= cfg.lambda_factor;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+        if !accepted {
+            break;
+        }
+    }
+    Some((params, cost, iterations))
+}
+
+/// Fit `curve` to the observed learning curve `(xs, ys)` with
+/// Levenberg–Marquardt, trying every data-driven initial guess and keeping
+/// the best fit.
+///
+/// # Errors
+///
+/// Returns [`FitError::TooFewPoints`] when there are fewer observations
+/// than parameters, and [`FitError::DidNotConverge`] when every starting
+/// point diverges (e.g. a constant-zero curve from a network that never
+/// learns can still be fitted, but NaN-laden data cannot).
+pub fn fit_curve(
+    curve: &dyn ParametricCurve,
+    xs: &[f64],
+    ys: &[f64],
+    cfg: &FitConfig,
+) -> Result<FitResult, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if xs.len() < curve.n_params() {
+        return Err(FitError::TooFewPoints {
+            have: xs.len(),
+            need: curve.n_params(),
+        });
+    }
+    let mut best: Option<(Vec<f64>, f64, usize)> = None;
+    for start in curve.initial_guesses(xs, ys) {
+        if let Some((p, c, it)) = lm_from_start(curve, xs, ys, &start, cfg) {
+            let better = best.as_ref().is_none_or(|(_, bc, _)| c < *bc);
+            if better {
+                best = Some((p, c, it));
+            }
+        }
+    }
+    best.map(|(params, sse, iterations)| FitResult {
+        params,
+        sse,
+        iterations,
+    })
+    .ok_or(FitError::DidNotConverge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurveFamily;
+
+    fn synth(a: f64, b: f64, c: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (1..=n).map(|e| e as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a - b.powf(c - x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_exact_exp_base_curve() {
+        let (xs, ys) = synth(96.0, 1.6, 8.0, 10);
+        let fit = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap();
+        // Prediction at epoch 25 must match the generating curve closely.
+        let truth = 96.0 - 1.6f64.powf(8.0 - 25.0);
+        let pred = CurveFamily::ExpBase.eval(&fit.params, 25.0);
+        assert!((pred - truth).abs() < 0.1, "pred {pred} vs {truth}");
+        assert!(fit.sse < 1e-6, "sse {}", fit.sse);
+    }
+
+    #[test]
+    fn recovers_noisy_curve_asymptote() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let (xs, mut ys) = synth(93.0, 1.8, 6.0, 12);
+        for y in &mut ys {
+            *y += rng.gen_range(-0.4..0.4);
+        }
+        let fit = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap();
+        let pred = CurveFamily::ExpBase.eval(&fit.params, 25.0);
+        assert!((pred - 93.0).abs() < 1.5, "pred {pred}");
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let err = fit_curve(
+            &CurveFamily::ExpBase,
+            &[1.0, 2.0],
+            &[10.0, 20.0],
+            &FitConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::TooFewPoints { have: 2, need: 3 });
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let err = fit_curve(
+            &CurveFamily::ExpBase,
+            &[1.0, 2.0, 3.0],
+            &[10.0, 20.0],
+            &FitConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FitError::LengthMismatch);
+    }
+
+    #[test]
+    fn nan_data_does_not_converge() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [f64::NAN, 1.0, 2.0, 3.0];
+        let err = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap_err();
+        assert_eq!(err, FitError::DidNotConverge);
+    }
+
+    #[test]
+    fn fits_flat_non_learner_curve() {
+        // ~50% accuracy forever (binary non-learner): the fit should track
+        // the flat level rather than blow up.
+        let xs: Vec<f64> = (1..=8).map(|e| e as f64).collect();
+        let ys = vec![50.1, 49.9, 50.0, 50.2, 49.8, 50.0, 50.1, 49.9];
+        let fit = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap();
+        let pred = CurveFamily::ExpBase.eval(&fit.params, 25.0);
+        assert!((pred - 50.0).abs() < 3.0, "pred {pred}");
+    }
+
+    #[test]
+    fn solve_dense_solves_known_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [4/5, 7/5]
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![3.0, 5.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_rejects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn recency_weighting_tracks_a_regime_change() {
+        // First half of the curve saturates at 70, second half at 95: the
+        // weighted fit must predict closer to the recent regime than the
+        // unweighted fit.
+        let xs: Vec<f64> = (1..=16).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                if x <= 7.0 {
+                    70.0 - 40.0 * 0.5f64.powf(x)
+                } else {
+                    95.0 - 30.0 * 0.4f64.powf(x - 7.0)
+                }
+            })
+            .collect();
+        let plain = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap();
+        let weighted = fit_curve(
+            &CurveFamily::ExpBase,
+            &xs,
+            &ys,
+            &FitConfig {
+                recency_decay: Some(0.6),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        let pred_plain = CurveFamily::ExpBase.eval(&plain.params, 25.0);
+        let pred_weighted = CurveFamily::ExpBase.eval(&weighted.params, 25.0);
+        assert!(
+            (pred_weighted - 95.0).abs() < (pred_plain - 95.0).abs(),
+            "weighted {pred_weighted} should beat plain {pred_plain} on the new regime"
+        );
+    }
+
+    #[test]
+    fn decay_of_one_matches_unweighted() {
+        let (xs, ys) = synth(94.0, 1.7, 7.0, 10);
+        let plain = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap();
+        let unit = fit_curve(
+            &CurveFamily::ExpBase,
+            &xs,
+            &ys,
+            &FitConfig {
+                recency_decay: Some(1.0),
+                ..FitConfig::default()
+            },
+        )
+        .unwrap();
+        assert!((plain.sse - unit.sse).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "recency decay")]
+    fn invalid_decay_panics() {
+        let (xs, ys) = synth(94.0, 1.7, 7.0, 10);
+        let _ = fit_curve(
+            &CurveFamily::ExpBase,
+            &xs,
+            &ys,
+            &FitConfig {
+                recency_decay: Some(0.0),
+                ..FitConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn all_families_fit_well_behaved_curve() {
+        let (xs, ys) = synth(95.0, 1.5, 7.0, 15);
+        for family in CurveFamily::ALL {
+            let fit = fit_curve(&family, &xs, &ys, &FitConfig::default());
+            assert!(fit.is_ok(), "{} failed: {:?}", family.name(), fit.err());
+            let pred = family.eval(&fit.unwrap().params, 25.0);
+            // Families differ in extrapolation quality; just require sanity.
+            assert!(pred.is_finite(), "{}", family.name());
+        }
+    }
+}

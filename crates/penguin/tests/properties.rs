@@ -1,0 +1,105 @@
+//! Property-based tests of the prediction engine.
+
+use a4nn_penguin::{
+    fit_curve, ConvergenceRule, CurveFamily, EngineConfig, FitConfig, ParametricCurve,
+    PredictionAnalyzer, PredictionEngine, PredictionOutcome,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine never trains past the budget and its final fitness is
+    /// finite for any bounded curve.
+    #[test]
+    fn engine_respects_budget(
+        a in 55.0f64..99.0,
+        rho in 0.2f64..0.97,
+        scale in 5.0f64..60.0,
+        budget in 1u32..40,
+    ) {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let mut calls = 0u32;
+        let outcome = engine.run_training_loop(budget, |e| {
+            calls += 1;
+            (a - scale * rho.powi(e as i32)).clamp(0.0, 100.0)
+        });
+        prop_assert!(calls <= budget);
+        if budget > 0 {
+            prop_assert!(outcome.fitness().is_finite());
+        }
+        if let PredictionOutcome::Converged { epoch, fitness } = outcome {
+            prop_assert!(epoch <= budget);
+            // Converged predictions respect the analyzer's bounds.
+            prop_assert!((0.0..=100.0).contains(&fitness));
+        }
+    }
+
+    /// Exact curves are recovered: prediction at e_pred within tolerance.
+    #[test]
+    fn exact_curves_predict_accurately(
+        a in 60.0f64..99.0,
+        b in 1.1f64..2.5,
+        c in 2.0f64..10.0,
+    ) {
+        let xs: Vec<f64> = (1..=12).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a - b.powf(c - x)).collect();
+        // Skip degenerate curves that start far below zero.
+        prop_assume!(ys[0] > -50.0);
+        let fit = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default());
+        prop_assume!(fit.is_ok());
+        let pred = CurveFamily::ExpBase.eval(&fit.unwrap().params, 25.0);
+        let truth = a - b.powf(c - 25.0);
+        prop_assert!((pred - truth).abs() < 1.0, "pred {pred} vs truth {truth}");
+    }
+
+    /// Analyzer: scaling the tolerance up can only preserve or create
+    /// convergence, never destroy it (monotonicity in r).
+    #[test]
+    fn analyzer_monotone_in_tolerance(
+        values in proptest::collection::vec(0.0f64..100.0, 3..8),
+        r_small in 0.01f64..1.0,
+        extra in 0.0f64..5.0,
+    ) {
+        let preds: Vec<Option<f64>> = values.into_iter().map(Some).collect();
+        let tight = PredictionAnalyzer {
+            tolerance: r_small,
+            ..PredictionAnalyzer::paper_defaults()
+        };
+        let loose = PredictionAnalyzer {
+            tolerance: r_small + extra,
+            ..PredictionAnalyzer::paper_defaults()
+        };
+        if tight.converged(&preds) {
+            prop_assert!(loose.converged(&preds));
+        }
+    }
+
+    /// Analyzer: all three rules agree on constant windows and all reject
+    /// out-of-bounds windows.
+    #[test]
+    fn rules_agree_on_extremes(v in 0.0f64..100.0, oob in 100.01f64..1e4) {
+        for rule in [ConvergenceRule::Range, ConvergenceRule::Variance, ConvergenceRule::StdDev] {
+            let a = PredictionAnalyzer { rule, ..PredictionAnalyzer::paper_defaults() };
+            prop_assert!(a.converged(&[Some(v), Some(v), Some(v)]));
+            prop_assert!(!a.converged(&[Some(oob), Some(oob), Some(oob)]));
+        }
+    }
+
+    /// Fitting is invariant to observation order (least squares is a sum).
+    #[test]
+    fn fit_order_invariant(seed in any::<u64>()) {
+        use rand::{seq::SliceRandom, SeedableRng};
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 90.0 - 45.0 * 0.7f64.powf(x)).collect();
+        let fit_a = fit_curve(&CurveFamily::ExpBase, &xs, &ys, &FitConfig::default()).unwrap();
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let xs2: Vec<f64> = order.iter().map(|&i| xs[i]).collect();
+        let ys2: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+        let fit_b = fit_curve(&CurveFamily::ExpBase, &xs2, &ys2, &FitConfig::default()).unwrap();
+        let pa = CurveFamily::ExpBase.eval(&fit_a.params, 25.0);
+        let pb = CurveFamily::ExpBase.eval(&fit_b.params, 25.0);
+        prop_assert!((pa - pb).abs() < 0.05, "{pa} vs {pb}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Discrete-event simulation of a multi-GPU cluster under FIFO dynamic
+//! scheduling with generation barriers.
+
+use serde::{Deserialize, Serialize};
+
+/// One unit of schedulable work: training one network to (possibly early)
+/// termination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Caller-assigned id (the model id in A4NN).
+    pub id: u64,
+    /// Total duration in seconds.
+    pub duration: f64,
+}
+
+/// How tasks are ordered before list scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOrdering {
+    /// Submission order — Ray's FIFO dynamic scheduling, the paper's
+    /// policy.
+    Fifo,
+    /// Longest processing time first — the classic makespan heuristic,
+    /// provided as a scheduler ablation.
+    Lpt,
+}
+
+/// Placement of one task on the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The task's id.
+    pub task_id: u64,
+    /// GPU index it ran on.
+    pub gpu: usize,
+    /// Start time (seconds since schedule origin).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Outcome of scheduling one batch (generation) of tasks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Number of GPUs simulated.
+    pub n_gpus: usize,
+    /// Per-task placements, in completion-agnostic submission order.
+    pub assignments: Vec<Assignment>,
+    /// Time at which the last task finishes.
+    pub makespan: f64,
+    /// Per-GPU total busy seconds.
+    pub gpu_busy: Vec<f64>,
+}
+
+impl ScheduleResult {
+    /// Mean GPU utilization over the makespan (1.0 = fully busy).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.gpu_busy.iter().sum::<f64>() / (self.makespan * self.n_gpus as f64)
+    }
+
+    /// Total idle GPU-seconds accumulated before the barrier (the
+    /// "downtime at the end of each generation's evaluation" of §2.5).
+    pub fn idle_tail(&self) -> f64 {
+        self.gpu_busy
+            .iter()
+            .map(|&b| (self.makespan - b).max(0.0))
+            .sum()
+    }
+}
+
+/// Schedule one generation of `tasks` on `n_gpus` GPUs.
+///
+/// FIFO dynamic scheduling: tasks are taken in order and each goes to the
+/// GPU that frees up first (ties broken by lowest index, matching a single
+/// ready queue drained by idle workers).
+pub fn schedule_fifo(n_gpus: usize, tasks: &[Task], ordering: TaskOrdering) -> ScheduleResult {
+    assert!(n_gpus > 0, "need at least one GPU");
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    if ordering == TaskOrdering::Lpt {
+        order.sort_by(|&a, &b| {
+            tasks[b]
+                .duration
+                .partial_cmp(&tasks[a].duration)
+                .expect("durations must not be NaN")
+        });
+    }
+    let mut free_at = vec![0.0f64; n_gpus];
+    let mut busy = vec![0.0f64; n_gpus];
+    let mut assignments = Vec::with_capacity(tasks.len());
+    for &ti in &order {
+        let task = tasks[ti];
+        assert!(task.duration >= 0.0, "negative duration for task {}", task.id);
+        // Earliest-free GPU, lowest index on ties.
+        let gpu = (0..n_gpus)
+            .min_by(|&a, &b| {
+                free_at[a]
+                    .partial_cmp(&free_at[b])
+                    .expect("no NaN times")
+                    .then(a.cmp(&b))
+            })
+            .unwrap();
+        let start = free_at[gpu];
+        let end = start + task.duration;
+        free_at[gpu] = end;
+        busy[gpu] += task.duration;
+        assignments.push(Assignment {
+            task_id: task.id,
+            gpu,
+            start,
+            end,
+        });
+    }
+    let makespan = free_at.iter().cloned().fold(0.0, f64::max);
+    ScheduleResult {
+        n_gpus,
+        assignments,
+        makespan,
+        gpu_busy: busy,
+    }
+}
+
+/// Outcome of scheduling a full NAS run: one [`ScheduleResult`] per
+/// generation with barriers between them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerationSchedule {
+    /// Per-generation results (times are generation-local).
+    pub generations: Vec<ScheduleResult>,
+}
+
+impl GenerationSchedule {
+    /// Total wall time: sum of generation makespans (barriers are strict).
+    pub fn total_wall_time(&self) -> f64 {
+        self.generations.iter().map(|g| g.makespan).sum()
+    }
+
+    /// Total busy GPU-seconds across the run.
+    pub fn total_busy(&self) -> f64 {
+        self.generations
+            .iter()
+            .map(|g| g.gpu_busy.iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Total idle-tail GPU-seconds across generations.
+    pub fn total_idle_tail(&self) -> f64 {
+        self.generations.iter().map(ScheduleResult::idle_tail).sum()
+    }
+
+    /// Mean utilization across the run.
+    pub fn utilization(&self) -> f64 {
+        let denom: f64 = self
+            .generations
+            .iter()
+            .map(|g| g.makespan * g.n_gpus as f64)
+            .sum();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.total_busy() / denom
+        }
+    }
+}
+
+/// Schedule a sequence of generations with barriers between them.
+pub fn schedule_generations(
+    n_gpus: usize,
+    generations: &[Vec<Task>],
+    ordering: TaskOrdering,
+) -> GenerationSchedule {
+    GenerationSchedule {
+        generations: generations
+            .iter()
+            .map(|tasks| schedule_fifo(n_gpus, tasks, ordering))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(durations: &[f64]) -> Vec<Task> {
+        durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Task {
+                id: i as u64,
+                duration: d,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_gpu_serializes_tasks() {
+        let r = schedule_fifo(1, &tasks(&[3.0, 2.0, 5.0]), TaskOrdering::Fifo);
+        assert_eq!(r.makespan, 10.0);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(r.assignments[1].start, 3.0);
+        assert_eq!(r.assignments[2].end, 10.0);
+    }
+
+    #[test]
+    fn fifo_takes_earliest_free_gpu() {
+        // GPUs: g0 gets 4.0, g1 gets 1.0; third task should land on g1 at t=1.
+        let r = schedule_fifo(2, &tasks(&[4.0, 1.0, 2.0]), TaskOrdering::Fifo);
+        let third = r.assignments[2];
+        assert_eq!(third.gpu, 1);
+        assert_eq!(third.start, 1.0);
+        assert_eq!(r.makespan, 4.0);
+    }
+
+    #[test]
+    fn no_gpu_runs_two_tasks_at_once() {
+        let r = schedule_fifo(3, &tasks(&[2.0, 3.0, 1.0, 4.0, 2.5, 0.5, 3.5]), TaskOrdering::Fifo);
+        for a in &r.assignments {
+            for b in &r.assignments {
+                if a.task_id != b.task_id && a.gpu == b.gpu {
+                    assert!(
+                        a.end <= b.start || b.end <= a.start,
+                        "overlap on gpu {}: {a:?} vs {b:?}",
+                        a.gpu
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_task_is_assigned_exactly_once() {
+        let t = tasks(&[1.0; 17]);
+        let r = schedule_fifo(4, &t, TaskOrdering::Fifo);
+        let mut ids: Vec<u64> = r.assignments.iter().map(|a| a.task_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..17).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn equal_tasks_scale_nearly_linearly() {
+        let t = tasks(&[5.0; 100]);
+        let one = schedule_fifo(1, &t, TaskOrdering::Fifo);
+        let four = schedule_fifo(4, &t, TaskOrdering::Fifo);
+        assert_eq!(one.makespan, 500.0);
+        assert_eq!(four.makespan, 125.0);
+    }
+
+    #[test]
+    fn idle_tail_appears_when_generation_not_divisible() {
+        // 5 equal tasks on 4 GPUs: one GPU does 2, three do 1 then idle.
+        let r = schedule_fifo(4, &tasks(&[10.0; 5]), TaskOrdering::Fifo);
+        assert_eq!(r.makespan, 20.0);
+        assert_eq!(r.idle_tail(), 30.0); // 3 GPUs idle for 10s each
+        assert!(r.utilization() < 0.7);
+    }
+
+    #[test]
+    fn lpt_beats_fifo_on_a_tail_heavy_instance() {
+        // LPT is not universally better per instance, but on tail-heavy
+        // submission orders (big jobs last) it wins clearly.
+        let t = tasks(&[1.0, 1.0, 1.0, 2.0, 3.0, 7.0, 8.0, 9.0]);
+        let fifo = schedule_fifo(3, &t, TaskOrdering::Fifo);
+        let lpt = schedule_fifo(3, &t, TaskOrdering::Lpt);
+        assert!(lpt.makespan < fifo.makespan);
+    }
+
+    #[test]
+    fn generations_are_barriers() {
+        let gens = vec![tasks(&[4.0, 1.0]), tasks(&[2.0, 2.0])];
+        let sched = schedule_generations(2, &gens, TaskOrdering::Fifo);
+        // gen0 makespan 4, gen1 makespan 2 ⇒ 6 total even though gen1
+        // could have started on the free GPU at t=1.
+        assert_eq!(sched.total_wall_time(), 6.0);
+        assert_eq!(sched.total_busy(), 9.0);
+        assert!(sched.total_idle_tail() > 0.0);
+        assert!(sched.utilization() < 1.0);
+    }
+
+    #[test]
+    fn empty_generation_contributes_nothing() {
+        let sched = schedule_generations(2, &[vec![], tasks(&[1.0])], TaskOrdering::Fifo);
+        assert_eq!(sched.total_wall_time(), 1.0);
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_legal() {
+        let r = schedule_fifo(2, &tasks(&[0.0, 0.0, 1.0]), TaskOrdering::Fifo);
+        assert_eq!(r.makespan, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        let _ = schedule_fifo(0, &tasks(&[1.0]), TaskOrdering::Fifo);
+    }
+}

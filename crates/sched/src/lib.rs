@@ -1,0 +1,29 @@
+//! # a4nn-sched — workflow resource manager
+//!
+//! The paper distributes NN training across GPUs with Ray's FIFO dynamic
+//! scheduling (§2.5): within a generation, whenever a GPU frees up it
+//! takes the next untrained network; generations are barriers, so an idle
+//! tail accumulates when the generation size is not divisible by the GPU
+//! count. This crate reproduces that resource manager twice over:
+//!
+//! - [`des`] — a **discrete-event simulator** of the GPU cluster that
+//!   replays per-task durations (produced by the trainer's cost model)
+//!   under FIFO scheduling and reports makespans, per-GPU busy time, and
+//!   the per-generation idle tail. All the paper's wall-time figures are
+//!   regenerated on this simulator.
+//! - [`pool`] — a **real thread-pool executor** with the same FIFO
+//!   semantics, mapping virtual GPUs onto worker threads, used when the
+//!   workflow actually trains networks with `a4nn-nn`.
+//! - [`lpt`] ordering lives in [`des`] as an ablation: longest-processing-
+//!   time-first reduces the idle tail FIFO leaves behind.
+
+pub mod des;
+pub mod pool;
+pub mod trace;
+
+pub use des::{
+    schedule_fifo, schedule_generations, Assignment, GenerationSchedule, ScheduleResult, Task,
+    TaskOrdering,
+};
+pub use pool::GpuPool;
+pub use trace::chrome_trace;

@@ -1,0 +1,185 @@
+//! A real FIFO executor mapping virtual GPUs onto worker threads.
+//!
+//! The A4NN workflow uses this when it actually trains networks with the
+//! CPU substrate: each worker thread plays the role of one GPU, draining a
+//! shared FIFO queue of jobs — the same dynamic policy the discrete-event
+//! simulator models. Results are returned in submission order together
+//! with the worker that ran each job and its measured wall time.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Execution record for one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobReport {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Worker ("GPU") that executed it.
+    pub worker: usize,
+    /// Measured wall seconds.
+    pub seconds: f64,
+}
+
+/// A fixed-size pool of worker threads with FIFO job dispatch.
+#[derive(Debug)]
+pub struct GpuPool {
+    workers: usize,
+}
+
+impl GpuPool {
+    /// Create a pool that will use `workers` threads per batch.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        GpuPool { workers }
+    }
+
+    /// Number of virtual GPUs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run every job, FIFO, across the pool. Returns the job outputs in
+    /// submission order plus per-job execution reports.
+    ///
+    /// Jobs receive the worker index so trainers can tag lineage records
+    /// with their virtual GPU.
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> (Vec<T>, Vec<JobReport>)
+    where
+        T: Send,
+        F: FnOnce(usize) -> T + Send,
+    {
+        let n = jobs.len();
+        let (job_tx, job_rx) = channel::unbounded::<(usize, F)>();
+        for (i, job) in jobs.into_iter().enumerate() {
+            job_tx.send((i, job)).expect("queue open");
+        }
+        drop(job_tx);
+
+        let results: Mutex<Vec<Option<(T, JobReport)>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let job_rx = job_rx.clone();
+                let results = &results;
+                scope.spawn(move |_| {
+                    while let Ok((i, job)) = job_rx.recv() {
+                        let t0 = Instant::now();
+                        let out = job(worker);
+                        let report = JobReport {
+                            job: i,
+                            worker,
+                            seconds: t0.elapsed().as_secs_f64(),
+                        };
+                        results.lock()[i] = Some((out, report));
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        let mut outs = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for slot in results.into_inner() {
+            let (out, report) = slot.expect("every job completes");
+            outs.push(out);
+            reports.push(report);
+        }
+        (outs, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let pool = GpuPool::new(4);
+        let jobs: Vec<_> = (0..16)
+            .map(|i| move |_w: usize| i * 10)
+            .collect();
+        let (outs, reports) = pool.run_batch(jobs);
+        assert_eq!(outs, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(reports.len(), 16);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.job, i);
+            assert!(r.worker < 4);
+        }
+    }
+
+    #[test]
+    fn all_workers_participate_under_load() {
+        let pool = GpuPool::new(3);
+        let jobs: Vec<_> = (0..24)
+            .map(|_| {
+                move |_w: usize| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            })
+            .collect();
+        let (_, reports) = pool.run_batch(jobs);
+        let mut seen = [false; 3];
+        for r in reports {
+            seen[r.worker] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "workers {seen:?}");
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_pool_size() {
+        let pool = GpuPool::new(2);
+        static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..12)
+            .map(|_| {
+                move |_w: usize| {
+                    let now = ACTIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    ACTIVE.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        let _ = pool.run_batch(jobs);
+        assert!(PEAK.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = GpuPool::new(2);
+        let (outs, reports) = pool.run_batch(Vec::<fn(usize) -> ()>::new());
+        assert!(outs.is_empty() && reports.is_empty());
+    }
+
+    #[test]
+    fn parallel_pool_is_faster_than_serial_for_sleep_jobs() {
+        let mk_jobs = || {
+            (0..8)
+                .map(|_| {
+                    move |_w: usize| {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let t0 = Instant::now();
+        GpuPool::new(1).run_batch(mk_jobs());
+        let serial = t0.elapsed();
+        let t1 = Instant::now();
+        GpuPool::new(4).run_batch(mk_jobs());
+        let parallel = t1.elapsed();
+        assert!(
+            parallel < serial,
+            "parallel {parallel:?} should beat serial {serial:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = GpuPool::new(0);
+    }
+}

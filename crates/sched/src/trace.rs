@@ -1,0 +1,98 @@
+//! Chrome-trace export of cluster schedules.
+//!
+//! Serializes a [`GenerationSchedule`](crate::des::GenerationSchedule) into
+//! the Chrome Trace Event JSON format (`chrome://tracing`, Perfetto), one
+//! lane per GPU, one complete event per model-training task — the visual
+//! the paper's Figure-9-style wall-time analysis is usually debugged with.
+
+use crate::des::GenerationSchedule;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ph: &'static str,
+    /// Microseconds since trace origin.
+    ts: u64,
+    /// Duration in microseconds.
+    dur: u64,
+    pid: u32,
+    tid: u32,
+}
+
+/// Render the schedule as a Chrome Trace Event JSON array. Generations are
+/// laid out back to back (barrier semantics); `pid` 1 is the cluster, each
+/// GPU is a `tid` lane, and task ids become event names.
+pub fn chrome_trace(schedule: &GenerationSchedule) -> String {
+    let mut events = Vec::new();
+    let mut origin = 0.0f64;
+    for (g, generation) in schedule.generations.iter().enumerate() {
+        for a in &generation.assignments {
+            events.push(TraceEvent {
+                name: format!("model {} (gen {g})", a.task_id),
+                cat: "training",
+                ph: "X",
+                ts: ((origin + a.start) * 1e6) as u64,
+                dur: ((a.end - a.start) * 1e6) as u64,
+                pid: 1,
+                tid: a.gpu as u32,
+            });
+        }
+        origin += generation.makespan;
+    }
+    serde_json::to_string_pretty(&events).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::{schedule_generations, Task, TaskOrdering};
+
+    fn sample() -> GenerationSchedule {
+        let gens = vec![
+            vec![
+                Task { id: 0, duration: 2.0 },
+                Task { id: 1, duration: 1.0 },
+                Task { id: 2, duration: 1.5 },
+            ],
+            vec![Task { id: 3, duration: 0.5 }],
+        ];
+        schedule_generations(2, &gens, TaskOrdering::Fifo)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_tasks() {
+        let json = chrome_trace(&sample());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["dur"].as_u64().unwrap() > 0);
+            assert!(e["tid"].as_u64().unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn second_generation_starts_after_first_barrier() {
+        let schedule = sample();
+        let json = chrome_trace(&schedule);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let gen0_makespan_us = (schedule.generations[0].makespan * 1e6) as u64;
+        let model3 = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"].as_str().unwrap().starts_with("model 3"))
+            .unwrap();
+        assert!(model3["ts"].as_u64().unwrap() >= gen0_makespan_us);
+    }
+
+    #[test]
+    fn empty_schedule_is_empty_array() {
+        let empty = GenerationSchedule { generations: vec![] };
+        let parsed: serde_json::Value = serde_json::from_str(&chrome_trace(&empty)).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 0);
+    }
+}

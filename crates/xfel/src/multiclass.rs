@@ -1,0 +1,201 @@
+//! Multi-protein classification: the broader XPSI task.
+//!
+//! The XPSI framework the paper compares against (Olaya et al., 2022)
+//! classifies protein *type* as well as conformation. This module extends
+//! the simulator to a library of distinct synthetic proteins, each with
+//! two conformations, producing a `2·P`-class dataset
+//! (label = `protein_index · 2 + conformation`).
+
+use crate::beam::BeamIntensity;
+use crate::conformer::{ConformerPair, ProteinParams};
+use crate::dataset::XfelConfig;
+use crate::diffraction::{diffraction_intensity, render_pattern};
+use crate::geometry::random_rotation;
+use a4nn_nn::Dataset;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A library of distinct synthetic proteins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProteinLibrary {
+    /// One conformer pair per protein.
+    pub proteins: Vec<ConformerPair>,
+}
+
+impl ProteinLibrary {
+    /// Generate `count` visibly distinct proteins by scaling the geometry
+    /// per protein: size and inter-domain separation grow with the index,
+    /// which changes the speckle spacing — the feature that
+    /// distinguishes protein types in diffraction.
+    pub fn generate(count: usize, base: &ProteinParams, seed: u64) -> Self {
+        assert!(count >= 1, "library needs at least one protein");
+        let proteins = (0..count)
+            .map(|i| {
+                let scale = 1.0 + 0.35 * i as f64;
+                let params = ProteinParams {
+                    atoms_per_domain: base.atoms_per_domain + 12 * i,
+                    domain_radius: base.domain_radius * scale,
+                    domain_separation: base.domain_separation * scale,
+                    hinge_angle_deg: base.hinge_angle_deg,
+                };
+                ConformerPair::generate(&params, seed ^ (i as u64).wrapping_mul(0xA5A5_5A5A))
+            })
+            .collect();
+        ProteinLibrary { proteins }
+    }
+
+    /// Number of classes the library induces (`2 · proteins`).
+    pub fn num_classes(&self) -> usize {
+        self.proteins.len() * 2
+    }
+}
+
+/// Generate a balanced multi-protein dataset: `n_per_class` images for
+/// each of the `2·P` (protein, conformation) classes, cycling class labels
+/// so positional splits stay balanced.
+pub fn generate_multiclass_dataset(
+    config: &XfelConfig,
+    library: &ProteinLibrary,
+    beam: BeamIntensity,
+    n_per_class: usize,
+    seed: u64,
+) -> Dataset {
+    let classes = library.num_classes();
+    let total = n_per_class * classes;
+    let det = config.detector;
+    let images: Vec<(Vec<f32>, usize)> = (0..total)
+        .into_par_iter()
+        .map(|i| {
+            let label = i % classes;
+            let protein = label / 2;
+            let conformation = label % 2;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let orientation = random_rotation(&mut rng);
+            let conformer = library.proteins[protein].by_label(conformation);
+            let mut intensity = diffraction_intensity(conformer, &orientation, det, config.q_step);
+            crate::diffraction::apply_beamstop(&mut intensity, det, config.beamstop_radius);
+            (render_pattern(&intensity, beam, &mut rng), label)
+        })
+        .collect();
+    let mut dataset = Dataset::empty(1, det, det);
+    for (pixels, label) in &images {
+        dataset.push(pixels, *label);
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library() -> ProteinLibrary {
+        ProteinLibrary::generate(2, &ProteinParams::default(), 5)
+    }
+
+    #[test]
+    fn library_generates_distinct_proteins() {
+        let lib = library();
+        assert_eq!(lib.proteins.len(), 2);
+        assert_eq!(lib.num_classes(), 4);
+        // Different atom counts and spreads per protein.
+        assert_ne!(
+            lib.proteins[0].conf_a.atoms.len(),
+            lib.proteins[1].conf_a.atoms.len()
+        );
+        assert!(
+            lib.proteins[1].conf_a.radius_of_gyration()
+                > lib.proteins[0].conf_a.radius_of_gyration()
+        );
+    }
+
+    #[test]
+    fn multiclass_dataset_is_balanced() {
+        let d = generate_multiclass_dataset(
+            &XfelConfig::default(),
+            &library(),
+            BeamIntensity::High,
+            6,
+            1,
+        );
+        assert_eq!(d.len(), 24);
+        assert_eq!(d.class_counts(), vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn split_stays_balanced() {
+        let d = generate_multiclass_dataset(
+            &XfelConfig::default(),
+            &library(),
+            BeamIntensity::Medium,
+            10,
+            2,
+        );
+        let (train, test) = d.split(0.2);
+        assert_eq!(train.class_counts(), vec![8, 8, 8, 8]);
+        assert_eq!(test.class_counts(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_multiclass_dataset(
+            &XfelConfig::default(),
+            &library(),
+            BeamIntensity::Low,
+            3,
+            9,
+        );
+        let b = generate_multiclass_dataset(
+            &XfelConfig::default(),
+            &library(),
+            BeamIntensity::Low,
+            3,
+            9,
+        );
+        assert_eq!(a.images, b.images);
+    }
+
+    #[test]
+    fn protein_types_are_more_distinguishable_than_conformations() {
+        // Mean-image distance between protein types should exceed the
+        // distance between conformations of the same protein (size is a
+        // stronger diffraction signal than a hinge rotation).
+        let d = generate_multiclass_dataset(
+            &XfelConfig::default(),
+            &library(),
+            BeamIntensity::High,
+            48,
+            3,
+        );
+        let stride = d.sample_stride();
+        let mut means = vec![vec![0.0f64; stride]; 4];
+        let mut counts = [0usize; 4];
+        for (i, &label) in d.labels.iter().enumerate() {
+            counts[label] += 1;
+            for (m, &v) in means[label]
+                .iter_mut()
+                .zip(&d.images[i * stride..(i + 1) * stride])
+            {
+                *m += f64::from(v);
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            m.iter_mut().for_each(|v| *v /= c as f64);
+        }
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let between_types = dist(&means[0], &means[2]);
+        let within_type = dist(&means[0], &means[1]);
+        assert!(
+            between_types > within_type,
+            "type distance {between_types} vs conformation distance {within_type}"
+        );
+    }
+}

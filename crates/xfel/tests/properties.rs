@@ -1,0 +1,81 @@
+//! Property-based tests of the diffraction simulator.
+
+use a4nn_xfel::conformer::ProteinParams;
+use a4nn_xfel::{
+    diffraction_intensity, generate_dataset, random_rotation, BeamIntensity, ConformerPair,
+    Rotation, XfelConfig,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rotations from any seed are orthonormal and preserve distances.
+    #[test]
+    fn rotations_preserve_geometry(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = random_rotation(&mut rng);
+        prop_assert!((r.determinant() - 1.0).abs() < 1e-9);
+        let p = [1.0, -2.0, 0.5];
+        let q = [0.3, 0.7, -1.1];
+        let d = |a: [f64; 3], b: [f64; 3]| {
+            (0..3).map(|i| (a[i] - b[i]).powi(2)).sum::<f64>().sqrt()
+        };
+        prop_assert!((d(r.apply(p), r.apply(q)) - d(p, q)).abs() < 1e-9);
+    }
+
+    /// Intensity is non-negative, finite, bounded by N², and invariant
+    /// under in-plane inversion of the pattern (Friedel symmetry for real
+    /// scatterers: I(q) = I(−q)).
+    #[test]
+    fn intensity_physics(seed in any::<u64>(), det in 3usize..12) {
+        let pair = ConformerPair::generate(&ProteinParams::default(), 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rot = random_rotation(&mut rng);
+        let img = diffraction_intensity(&pair.conf_a, &rot, det, 0.12);
+        let n2 = (pair.conf_a.atoms.len() as f64).powi(2);
+        for &v in &img {
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= -1e-9);
+            prop_assert!(v <= n2 * (1.0 + 1e-9));
+        }
+        // Friedel: pixel (i, j) equals pixel (det−1−i, det−1−j).
+        for i in 0..det {
+            for j in 0..det {
+                let a = img[i * det + j];
+                let b = img[(det - 1 - i) * det + (det - 1 - j)];
+                prop_assert!((a - b).abs() < 1e-6 * n2, "Friedel violated at ({i},{j})");
+            }
+        }
+    }
+
+    /// Identity-rotation pattern of conformer A equals the pattern of the
+    /// globally rotated conformer under the inverse orientation... more
+    /// simply: rotating the conformer and the beam identically is a no-op.
+    #[test]
+    fn rotation_composition_consistency(seed in any::<u64>()) {
+        let pair = ConformerPair::generate(&ProteinParams::default(), 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let r = random_rotation(&mut rng);
+        let direct = diffraction_intensity(&pair.conf_a, &r, 8, 0.1);
+        let pre_rotated = pair.conf_a.rotated(&r);
+        let via_conformer = diffraction_intensity(&pre_rotated, &Rotation::identity(), 8, 0.1);
+        for (a, b) in direct.iter().zip(&via_conformer) {
+            prop_assert!((a - b).abs() < 1e-6 * direct[0].max(1.0));
+        }
+    }
+
+    /// Generated datasets are balanced, normalized, and deterministic for
+    /// any seed and class size.
+    #[test]
+    fn datasets_well_formed(seed in any::<u64>(), n in 1usize..6) {
+        let cfg = XfelConfig { detector: 8, ..XfelConfig::default() };
+        let d = generate_dataset(&cfg, BeamIntensity::Medium, n, seed);
+        prop_assert_eq!(d.len(), 2 * n);
+        prop_assert_eq!(d.class_counts(), vec![n, n]);
+        prop_assert!(d.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let d2 = generate_dataset(&cfg, BeamIntensity::Medium, n, seed);
+        prop_assert_eq!(d.images, d2.images);
+    }
+}

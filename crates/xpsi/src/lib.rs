@@ -1,0 +1,17 @@
+//! # a4nn-xpsi — the XPSI baseline framework
+//!
+//! The paper's state-of-the-art comparator (§4.4) is XPSI (Olaya et al.,
+//! e-Science 2022): a traditional machine-learning pipeline that extracts
+//! features from diffraction patterns with an **autoencoder** and
+//! classifies protein properties with **k-nearest neighbors** on the
+//! latent codes. This crate reimplements that pipeline from scratch on the
+//! `a4nn-nn` substrate so Table 3 (A4NN vs XPSI wall time and accuracy)
+//! can be regenerated.
+
+pub mod autoencoder;
+pub mod knn;
+pub mod pipeline;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use knn::KnnClassifier;
+pub use pipeline::{XpsiConfig, XpsiFramework, XpsiResult};

@@ -1,0 +1,67 @@
+//! The micro (cell-based) search space: engine-augmented random search
+//! over repeated cells, trained for real on the CPU substrate — NSGA-Net's
+//! second search space running on the same composable workflow parts.
+//!
+//! ```bash
+//! cargo run --release --example micro_cells
+//! ```
+
+use a4nn_core::micro::{micro_random_search, MicroTrainerFactory};
+use a4nn_core::prelude::*;
+use a4nn_genome::{MicroSearchSpace, MICRO_OP_NAMES};
+use a4nn_lineage::Analyzer;
+use a4nn_xfel::generate_split;
+use std::sync::Arc;
+
+fn main() {
+    let beam = BeamIntensity::High;
+    println!("== micro search space: engine-augmented random cell search ==\n");
+    let (train, val) = generate_split(&XfelConfig::default(), beam, 80, 11);
+    println!(
+        "dataset: {} train / {} validation diffraction images ({beam} beam)",
+        train.len(),
+        val.len()
+    );
+    let space = MicroSearchSpace::reduced_defaults();
+    println!(
+        "space: {} nodes/cell, {} ops ({}), stages {:?} x{} cells\n",
+        space.nodes_per_cell,
+        MICRO_OP_NAMES.len(),
+        MICRO_OP_NAMES.join(", "),
+        space.stage_channels,
+        space.cells_per_stage,
+    );
+
+    let factory = MicroTrainerFactory::new(space.clone(), Arc::new(train), Arc::new(val));
+    let mut cfg = WorkflowConfig::a4nn(beam, 2, 11);
+    cfg.nas.epochs = 6;
+    if let Some(e) = cfg.engine.as_mut() {
+        e.e_pred = 6;
+    }
+    let budget = 6;
+    println!("evaluating {budget} random cells, up to {} epochs each...", cfg.nas.epochs);
+    let (commons, schedule) = micro_random_search(&cfg, &space, &factory, budget);
+
+    let analyzer = Analyzer::new(&commons);
+    for r in &commons.records {
+        println!(
+            "  model {} | {:>6.1} MFLOPs | best val {:>5.1}% | {:>2} epochs{} | {}",
+            r.model_id,
+            r.flops,
+            r.final_fitness,
+            r.epochs_trained(),
+            if r.terminated_early { " (early)" } else { "" },
+            r.arch_summary,
+        );
+    }
+    let best = analyzer.best_by_fitness().unwrap();
+    println!(
+        "\nbest cell: model {} at {:.1}% validation accuracy ({})",
+        best.model_id, best.final_fitness, best.arch_summary
+    );
+    println!(
+        "cluster wall time on {} virtual GPUs: {:.1}s (FIFO)",
+        cfg.gpus,
+        schedule.total_wall_time()
+    );
+}

@@ -1,0 +1,104 @@
+//! Criterion bench of the event bus's coupling overhead.
+//!
+//! §4.3.1 measures the cost of the in-situ coupling at ~28.07 ms per
+//! engine interaction (Python, file-backed coupling). Here we measure
+//! the same hand-off through a4nn-bus: raw publish→deliver latency per
+//! backpressure policy, and the full epoch→verdict round trip through
+//! the [`PredictionEngineService`] against the direct in-process call.
+//! Subscriber lag/drop counters are printed after each benchmark so a
+//! lossy or backed-up queue is visible in the report.
+
+use a4nn_bus::{EpochCompleted, Event, Policy, PredictionEngineService, Topic};
+use a4nn_penguin::{EngineConfig, PredictionEngine};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn fitness(e: u32) -> f64 {
+    95.0 - 50.0 * 0.72f64.powi(e as i32)
+}
+
+/// Raw one-event publish→deliver latency per policy.
+fn bench_publish_deliver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_publish_deliver");
+    for (label, policy) in [
+        ("block", Policy::Block { capacity: 64 }),
+        ("drop_oldest", Policy::DropOldest { capacity: 64 }),
+        ("unbounded", Policy::Unbounded),
+    ] {
+        let topic: Topic<u64> = Topic::new("bench");
+        let sub = topic.subscribe(policy);
+        group.bench_function(label, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                topic.publish(black_box(i)).unwrap();
+                black_box(sub.recv().unwrap())
+            });
+        });
+        println!("  {label}: {:?}", sub.stats());
+    }
+    group.finish();
+}
+
+/// The per-epoch engine interaction: direct call vs the bus round trip
+/// (publish `EpochCompleted`, block on the `EngineVerdict`). Compare
+/// both against the paper's ~28.07 ms/interaction (§4.3.1).
+fn bench_engine_interaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_interaction");
+
+    group.bench_function("direct_call", |b| {
+        let mut engine = PredictionEngine::new(EngineConfig::paper_defaults());
+        let mut e = 0u32;
+        b.iter(|| {
+            e += 1;
+            if e > 25 {
+                engine.reset();
+                e = 1;
+            }
+            engine.observe(e, black_box(fitness(e)));
+            black_box(engine.step());
+        });
+    });
+
+    let topic: Topic<Event> = Topic::new("bench");
+    let service = PredictionEngineService::spawn(&topic, EngineConfig::paper_defaults());
+    let verdicts = topic.subscribe_filtered(Policy::Block { capacity: 4 }, |event| {
+        matches!(event, Event::EngineVerdict(_))
+    });
+    group.bench_function("bus_round_trip", |b| {
+        let mut model = 0u64;
+        let mut e = 0u32;
+        b.iter(|| {
+            e += 1;
+            if e > 25 {
+                model += 1;
+                e = 1;
+            }
+            topic
+                .publish(Event::EpochCompleted(EpochCompleted {
+                    model_id: model,
+                    generation: 0,
+                    epoch: e,
+                    train_acc: fitness(e) + 2.0,
+                    val_acc: fitness(e),
+                    duration_s: 0.0,
+                }))
+                .unwrap();
+            black_box(verdicts.recv().unwrap())
+        });
+    });
+    println!(
+        "  bus_round_trip verdict subscriber: {:?} (paper reports ~28.07 ms/interaction)",
+        verdicts.stats()
+    );
+    group.finish();
+    drop(verdicts);
+    topic.close();
+    let totals = service.join();
+    println!(
+        "  engine service totals: {} interactions, {:.6} s inside the engine",
+        totals.interactions, totals.total_seconds
+    );
+}
+
+criterion_group!(benches, bench_publish_deliver, bench_engine_interaction);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! LM fit dominates; cost grows with the history length, so we benchmark
 //! short, typical, and full histories.
 
-use a4nn_penguin::{fit_curve, CurveFamily, EngineConfig, FitConfig, ParametricCurve, PredictionEngine};
+use a4nn_penguin::{
+    fit_curve, CurveFamily, EngineConfig, FitConfig, ParametricCurve, PredictionEngine,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn curve(e: u32) -> f64 {

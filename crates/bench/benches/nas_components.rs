@@ -10,7 +10,7 @@ fn random_points(n: usize, seed: u64) -> Vec<Objectives> {
     (0..n)
         .map(|_| {
             Objectives::new(vec![
-                rng.gen_range(-100.0..0.0),   // −accuracy
+                rng.gen_range(-100.0..0.0),  // −accuracy
                 rng.gen_range(50.0..1500.0), // FLOPs
             ])
         })

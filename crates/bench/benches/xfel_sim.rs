@@ -1,10 +1,10 @@
 //! Criterion microbenches of the XFEL simulator: per-image diffraction
 //! computation and noisy rendering across beam intensities.
 
+use a4nn_xfel::conformer::ProteinParams;
 use a4nn_xfel::{
     diffraction_intensity, render_pattern, BeamIntensity, ConformerPair, Rotation, XfelConfig,
 };
-use a4nn_xfel::conformer::ProteinParams;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 

@@ -11,10 +11,7 @@ fn main() {
         "Ablation",
         "Pearson correlation between FLOPs and validation accuracy (§6 question)",
     );
-    println!(
-        "{:>7} | {:>12} | {:>12}",
-        "beam", "A4NN", "standalone"
-    );
+    println!("{:>7} | {:>12} | {:>12}", "beam", "A4NN", "standalone");
     for beam in BeamIntensity::ALL {
         let a4nn = run_a4nn(beam, 1);
         let standalone = run_standalone(beam);

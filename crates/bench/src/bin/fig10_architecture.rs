@@ -30,5 +30,8 @@ fn main() {
     println!("--- ASCII rendering ---");
     println!("{}", render_ascii(&arch));
     println!("--- Graphviz DOT (pipe into `dot -Tpng`) ---");
-    println!("{}", render_dot(&arch, &format!("a4nn-model-{}", model.model_id)));
+    println!(
+        "{}",
+        render_dot(&arch, &format!("a4nn-model-{}", model.model_id))
+    );
 }

@@ -8,11 +8,14 @@
 
 use a4nn_bench::{header, HARNESS_SEED};
 use a4nn_core::prelude::*;
-use a4nn_core::{SurrogateFactory, SurrogateParams};
 use a4nn_core::trainer::TrainerFactory;
+use a4nn_core::{SurrogateFactory, SurrogateParams};
 
 fn main() {
-    header("Figure 2", "prediction of fitness at epoch 25 from a partial learning curve");
+    header(
+        "Figure 2",
+        "prediction of fitness at epoch 25 from a partial learning curve",
+    );
     let beam = BeamIntensity::Medium;
     let config = WorkflowConfig::a4nn(beam, 1, HARNESS_SEED);
     let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(beam));
@@ -50,7 +53,10 @@ fn main() {
         chosen.expect("a mid-training-converging model exists in 200 samples");
 
     println!("model {model_id}: engine F(x) = a - b^(c-x), C_min=3, e_pred=25, N=3, r=0.5");
-    println!("{:>5} | {:>16} | {:>22}", "epoch", "measured fitness", "predicted fitness @25");
+    println!(
+        "{:>5} | {:>16} | {:>22}",
+        "epoch", "measured fitness", "predicted fitness @25"
+    );
     for (e, measured, prediction) in &trace {
         match prediction {
             Some(p) => println!("{e:>5} | {measured:>16.2} | {p:>22.2}"),

@@ -11,7 +11,10 @@ fn print_front(label: &str, out: &a4nn_core::RunOutput) {
     let mut front = analyzer.pareto_front();
     front.sort_by(|a, b| a.flops.partial_cmp(&b.flops).unwrap());
     println!("  {label}: {} Pareto-optimal models", front.len());
-    println!("    {:>8} | {:>12} | {:>12}", "model", "MFLOPs", "val acc (%)");
+    println!(
+        "    {:>8} | {:>12} | {:>12}",
+        "model", "MFLOPs", "val acc (%)"
+    );
     for r in &front {
         println!(
             "    {:>8} | {:>12.1} | {:>12.2}",

@@ -20,7 +20,8 @@ fn main() {
         let analyzer = Analyzer::new(&out.commons);
         let hist = analyzer.termination_histogram(25);
         let max = hist.iter().copied().max().unwrap_or(1).max(1);
-        println!("\nbeam {beam}: {:.0}% of models terminated early, mean e_t = {}",
+        println!(
+            "\nbeam {beam}: {:.0}% of models terminated early, mean e_t = {}",
             100.0 * analyzer.early_termination_rate(),
             analyzer
                 .mean_termination_epoch()
@@ -34,7 +35,10 @@ fn main() {
         }
         println!("  learning-curve shapes (count, early-terminated):");
         for (shape, n, early) in shape_census(&out.commons) {
-            println!("    {:<13} {n:>3} models, {early:>3} terminated early", shape.label());
+            println!(
+                "    {:<13} {n:>3} models, {early:>3} terminated early",
+                shape.label()
+            );
         }
     }
 }

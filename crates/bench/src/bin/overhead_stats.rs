@@ -11,7 +11,10 @@ use a4nn_bench::{header, run_a4nn};
 use a4nn_core::prelude::*;
 
 fn main() {
-    header("§4.3.1", "prediction-engine overhead per test and per interaction");
+    header(
+        "§4.3.1",
+        "prediction-engine overhead per test and per interaction",
+    );
     println!(
         "{:>7} | {:>14} | {:>18} | {:>14}",
         "beam", "interactions", "total overhead", "per interaction"

@@ -11,14 +11,17 @@
 
 use a4nn_bench::{header, hours, run_a4nn, HARNESS_SEED};
 use a4nn_core::prelude::*;
-use a4nn_core::{netspec_from_arch, RealTrainerFactory, TrainingHyperparams};
 use a4nn_core::trainer::TrainerFactory;
+use a4nn_core::{netspec_from_arch, RealTrainerFactory, TrainingHyperparams};
 use a4nn_lineage::Analyzer;
 use a4nn_xfel::generate_split;
 use std::sync::Arc;
 
 fn main() {
-    header("Table 3", "wall time and accuracy: A4NN vs XPSI per beam intensity");
+    header(
+        "Table 3",
+        "wall time and accuracy: A4NN vs XPSI per beam intensity",
+    );
     let xfel = XfelConfig::default();
     let n_per_class = 300;
     println!(
@@ -30,9 +33,7 @@ fn main() {
         ("medium", 36.09, 99.9, 99.0),
         ("high", 32.3, 100.0, 100.0),
     ];
-    for (beam, (_, paper_h, paper_a4nn, paper_xpsi)) in
-        BeamIntensity::ALL.into_iter().zip(paper)
-    {
+    for (beam, (_, paper_h, paper_a4nn, paper_xpsi)) in BeamIntensity::ALL.into_iter().zip(paper) {
         let (train, test) = generate_split(&xfel, beam, n_per_class, HARNESS_SEED);
 
         // XPSI: real training + classification.
@@ -57,8 +58,8 @@ fn main() {
             TrainingHyperparams::default(),
         );
         let _ = netspec_from_arch; // keep the public bridge path referenced
-        // Validate the top Pareto candidates for real, as a scientist
-        // deploying the search's output would, and keep the best.
+                                   // Validate the top Pareto candidates for real, as a scientist
+                                   // deploying the search's output would, and keep the best.
         let mut a4nn_acc = 0.0f64;
         for candidate in front.iter().take(2) {
             let mut trainer = factory.make(&candidate.genome, candidate.model_id, HARNESS_SEED);

@@ -78,10 +78,7 @@ pub fn summarize(out: &RunOutput) -> RunSummary {
         converged: a.early_termination_rate(),
         mean_et: a.mean_termination_epoch(),
         wall_h: hours(out.wall_time_s()),
-        best_acc: a
-            .best_by_fitness()
-            .map(|r| r.final_fitness)
-            .unwrap_or(0.0),
+        best_acc: a.best_by_fitness().map(|r| r.final_fitness).unwrap_or(0.0),
     }
 }
 

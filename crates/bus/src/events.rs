@@ -1,0 +1,143 @@
+//! The event vocabulary of the A4NN bus.
+//!
+//! One [`Event`] enum flows on a single `Topic<Event>`; services select
+//! the variants they care about with
+//! [`subscribe_filtered`](crate::Topic::subscribe_filtered). The
+//! variants mirror the dataflow of the paper's workflow: trainers emit
+//! per-epoch fitness upstream, the prediction engine answers with
+//! verdicts, and the lineage recorder consumes everything.
+
+use a4nn_genome::Genome;
+
+/// A trainer finished one epoch of one model (Algorithm 1's per-epoch
+/// fitness hand-off to the engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochCompleted {
+    /// Globally unique model id within the run.
+    pub model_id: u64,
+    /// Generation the model belongs to.
+    pub generation: usize,
+    /// 1-based epoch number.
+    pub epoch: u32,
+    /// Training accuracy (%) after this epoch.
+    pub train_acc: f64,
+    /// Validation accuracy (%) — the fitness the engine consumes.
+    pub val_acc: f64,
+    /// Seconds the epoch took.
+    pub duration_s: f64,
+}
+
+/// The prediction engine's response to one [`EpochCompleted`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineVerdict {
+    /// Model the verdict is for.
+    pub model_id: u64,
+    /// Epoch the verdict follows.
+    pub epoch: u32,
+    /// Latest extrapolated fitness at `e_pred`, if a fit succeeded.
+    pub prediction: Option<f64>,
+    /// `Some(predicted_fitness)` when the analyzer converged and
+    /// training should terminate early.
+    pub converged: Option<f64>,
+    /// Running total of engine wall time for this model, in seconds.
+    pub engine_seconds: f64,
+    /// Running total of engine interactions for this model.
+    pub engine_interactions: u64,
+}
+
+/// The engine advises terminating one model's training early (§2.2's
+/// in-situ early-termination signal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TerminationAdvised {
+    /// Model to stop training.
+    pub model_id: u64,
+    /// Epoch at which convergence was detected.
+    pub epoch: u32,
+    /// Predicted final fitness the NAS should use.
+    pub fitness: f64,
+}
+
+/// A model's training finished (to completion or early) and its record
+/// trail can be closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCompleted {
+    /// Model id.
+    pub model_id: u64,
+    /// Generation the model belongs to.
+    pub generation: usize,
+    /// The genome that was trained.
+    pub genome: Genome,
+    /// Human-readable architecture summary.
+    pub arch_summary: String,
+    /// Estimated forward FLOPs.
+    pub flops: f64,
+    /// Fitness the NAS will use for selection.
+    pub final_fitness: f64,
+    /// The engine's converged prediction, if training stopped early.
+    pub predicted_fitness: Option<f64>,
+    /// Whether training was terminated early.
+    pub terminated_early: bool,
+    /// Total training seconds for this model.
+    pub train_seconds: f64,
+}
+
+/// One model's slot in a generation's discrete-event GPU schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSlot {
+    /// Model the slot belongs to.
+    pub model_id: u64,
+    /// Virtual GPU the model trained on.
+    pub gpu: usize,
+    /// Slot start, seconds from generation start.
+    pub start_s: f64,
+    /// Slot end, seconds from generation start.
+    pub end_s: f64,
+}
+
+/// A generation's GPU schedule was computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationScheduled {
+    /// Generation index.
+    pub generation: usize,
+    /// One slot per model in the generation.
+    pub assignments: Vec<GpuSlot>,
+}
+
+/// Everything that flows on the A4NN bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A trainer finished an epoch.
+    EpochCompleted(EpochCompleted),
+    /// The prediction engine answered an epoch.
+    EngineVerdict(EngineVerdict),
+    /// The engine advised early termination.
+    TerminationAdvised(TerminationAdvised),
+    /// A model's training finished.
+    ModelCompleted(ModelCompleted),
+    /// A generation's GPU schedule is available.
+    GenerationScheduled(GenerationScheduled),
+}
+
+impl Event {
+    /// The model id the event concerns, when it concerns exactly one.
+    pub fn model_id(&self) -> Option<u64> {
+        match self {
+            Event::EpochCompleted(e) => Some(e.model_id),
+            Event::EngineVerdict(e) => Some(e.model_id),
+            Event::TerminationAdvised(e) => Some(e.model_id),
+            Event::ModelCompleted(e) => Some(e.model_id),
+            Event::GenerationScheduled(_) => None,
+        }
+    }
+
+    /// Short kind label, for stats and debug output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EpochCompleted(_) => "epoch-completed",
+            Event::EngineVerdict(_) => "engine-verdict",
+            Event::TerminationAdvised(_) => "termination-advised",
+            Event::ModelCompleted(_) => "model-completed",
+            Event::GenerationScheduled(_) => "generation-scheduled",
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # a4nn-bus — in-situ event bus and streaming services
+//!
+//! The paper's workflow couples its tasks — concurrent trainers, the
+//! PENGUIN prediction engine, and the lineage/data-commons recorder —
+//! in situ, over memory instead of the filesystem (§2.2, built on
+//! Wilkins/LowFive in the reference implementation). This crate is
+//! that coupling layer as an explicit subsystem:
+//!
+//! - [`topic`] — a typed MPMC publish–subscribe [`Topic`] over bounded
+//!   per-subscriber queues with selectable backpressure ([`Policy`]:
+//!   lossless blocking, lossy drop-oldest with exact drop accounting,
+//!   or unbounded for audit streams), per-subscriber delivery/lag
+//!   counters, and graceful close-and-drain shutdown;
+//! - [`events`] — the [`Event`] vocabulary flowing between services:
+//!   per-epoch fitness, engine verdicts, termination advice, model
+//!   completions, and GPU schedules;
+//! - [`services`] — the streaming services: [`PredictionEngineService`]
+//!   (per-model PENGUIN engines answering epochs with verdicts),
+//!   [`LineageRecorderService`] (folds the stream into the same record
+//!   trails the direct call path produces), and [`RunStatsAggregator`]
+//!   (run-level counters and per-GPU utilization).
+//!
+//! Determinism contract: driving a search through the bus produces
+//! record trails identical to the direct in-process call path, because
+//! engine state is per-model, verdicts are joined back by
+//! `(model_id, epoch)`, and the recorder orders records by model id.
+
+pub mod events;
+pub mod services;
+pub mod topic;
+
+pub use events::{
+    EngineVerdict, EpochCompleted, Event, GenerationScheduled, GpuSlot, ModelCompleted,
+    TerminationAdvised,
+};
+pub use services::{
+    BusRunStats, LineageRecorderService, PredictionEngineService, RunStatsAggregator,
+    ENGINE_INBOX_CAPACITY,
+};
+pub use topic::{
+    Policy, PublishError, RecvError, SubscriberStats, Subscription, Topic, TryRecvError,
+};

@@ -32,6 +32,7 @@ search/baseline options (paper Table 2 defaults):
   --offspring <n>            offspring per generation  [10]
   --generations <n>          generations               [10]
   --epochs <n>               epoch budget per network  [25]
+  --orchestration <mode>     direct|bus task coupling  [direct]
   --real                     train for real on the CPU substrate
   --images <n>               images per class for --real / xpsi / dataset [100]
 
@@ -117,6 +118,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--offspring",
     "--generations",
     "--epochs",
+    "--orchestration",
     "--images",
     "--function",
     "--e-pred",

@@ -104,10 +104,16 @@ fn workflow_config(parsed: &Parsed, engine: bool) -> Result<WorkflowConfig, Comm
 
 fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
     let config = workflow_config(parsed, engine)?;
+    let orchestration = parsed.get_parse(
+        "--orchestration",
+        Orchestration::Direct,
+        "orchestration (direct|bus)",
+    )?;
     let workflow = A4nnWorkflow::new(config.clone());
     let output = if parsed.flag("--real") {
         let images = parsed.get_parse("--images", 100usize, "usize")?;
-        let (train, test) = generate_split(&XfelConfig::default(), config.beam, images, config.seed);
+        let (train, test) =
+            generate_split(&XfelConfig::default(), config.beam, images, config.seed);
         println!(
             "training for real: {} train / {} validation images",
             train.len(),
@@ -119,10 +125,10 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             Arc::new(test),
             TrainingHyperparams::default(),
         );
-        workflow.run(&factory)
+        workflow.run_with(&factory, orchestration)
     } else {
         let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
-        workflow.run(&factory)
+        workflow.run_with(&factory, orchestration)
     };
 
     let analyzer = Analyzer::new(&output.commons);
@@ -138,6 +144,17 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             "engine: {:.0}% of models terminated early; overhead {:.3}s total",
             100.0 * analyzer.early_termination_rate(),
             output.engine_seconds
+        );
+    }
+    if let Some(stats) = &output.bus_stats {
+        println!(
+            "bus: {} epochs streamed, {} verdicts, {} early stops; \
+             lineage stream delivered {} events, dropped {}",
+            stats.epochs_observed,
+            stats.engine_interactions,
+            stats.terminations_advised,
+            stats.subscriber.delivered,
+            stats.subscriber.dropped
         );
     }
     println!("Pareto front:");
@@ -193,7 +210,10 @@ fn run_dataset(parsed: &Parsed) -> Result<(), CommandError> {
     );
     if let Some(out) = parsed.get("--out") {
         let path = PathBuf::from(out);
-        std::fs::write(&path, serde_json::to_vec(&dataset).expect("dataset serializes"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_vec(&dataset).expect("dataset serializes"),
+        )?;
         println!("dataset written to {}", path.display());
     }
     Ok(())
@@ -210,7 +230,10 @@ fn run_analyze(parsed: &Parsed) -> Result<(), CommandError> {
     let commons = load_commons(parsed)?;
     let analyzer = Analyzer::new(&commons);
     println!("commons: {} record trails", commons.len());
-    println!("  mean fitness            : {:.2}%", analyzer.mean_fitness());
+    println!(
+        "  mean fitness            : {:.2}%",
+        analyzer.mean_fitness()
+    );
     println!("  total epochs            : {}", analyzer.total_epochs());
     println!(
         "  total training time     : {:.2} h",
@@ -243,9 +266,9 @@ fn run_viz(parsed: &Parsed) -> Result<(), CommandError> {
     let analyzer = Analyzer::new(&commons);
     let record = match parsed.get("--model") {
         Some(raw) => {
-            let id: u64 = raw.parse().map_err(|_| {
-                CommandError::Invalid(format!("--model {raw:?} is not a valid id"))
-            })?;
+            let id: u64 = raw
+                .parse()
+                .map_err(|_| CommandError::Invalid(format!("--model {raw:?} is not a valid id")))?;
             commons
                 .get(id)
                 .ok_or_else(|| CommandError::Invalid(format!("model {id} not in commons")))?
@@ -261,7 +284,10 @@ fn run_viz(parsed: &Parsed) -> Result<(), CommandError> {
         record.model_id, record.final_fitness, record.flops, record.arch_summary
     );
     if parsed.flag("--dot") {
-        println!("{}", render_dot(&arch, &format!("a4nn-model-{}", record.model_id)));
+        println!(
+            "{}",
+            render_dot(&arch, &format!("a4nn-model-{}", record.model_id))
+        );
     } else {
         println!("{}", render_ascii(&arch));
     }
@@ -373,6 +399,17 @@ mod tests {
         let csv = std::fs::read_to_string(export_dir.join("models.csv")).unwrap();
         assert_eq!(csv.lines().count(), 9); // header + 8 models
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orchestration_flag_selects_bus_and_rejects_garbage() {
+        let bus = parsed(
+            "search --beam medium --population 3 --offspring 3 --generations 2 --epochs 8 \
+             --orchestration bus",
+        );
+        run_command(&bus).unwrap();
+        let bad = parsed("search --generations 1 --orchestration sidecar");
+        assert!(run_command(&bad).is_err());
     }
 
     #[test]

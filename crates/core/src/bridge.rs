@@ -122,7 +122,10 @@ mod tests {
             let net = Network::new(&netspec_from_arch(&arch), &mut rng);
             let exact = net.flops((16, 16));
             let rel = (estimate - exact).abs() / exact;
-            assert!(rel < 0.05, "estimate {estimate} vs exact {exact} (rel {rel})");
+            assert!(
+                rel < 0.05,
+                "estimate {estimate} vs exact {exact} (rel {rel})"
+            );
         }
     }
 }

@@ -1,0 +1,204 @@
+//! Bus-orchestrated generation evaluation.
+//!
+//! The streaming counterpart of [`crate::eval::evaluate_generation`]:
+//! trainers run as jobs on the sched thread pool ([`GpuPool`]) and
+//! publish per-epoch fitness onto the bus instead of calling the
+//! prediction engine inline. The [`a4nn_bus::PredictionEngineService`]
+//! answers each `EpochCompleted` with an `EngineVerdict` the trainer
+//! blocks on — the same synchronous per-epoch hand-off as Algorithm 1,
+//! just routed through communicators — so the search trajectory and the
+//! record trails are identical to the direct path.
+
+use crate::checkpoint::CheckpointStore;
+use crate::config::WorkflowConfig;
+use crate::trainer::TrainerFactory;
+use crate::training::TrainingOutcome;
+use a4nn_bus::{
+    EpochCompleted, Event, GenerationScheduled, GpuSlot, ModelCompleted, Policy, Topic,
+};
+use a4nn_genome::{Genome, SearchSpace};
+use a4nn_lineage::EpochRecord;
+use a4nn_sched::{schedule_fifo, GpuPool, ScheduleResult, Task, TaskOrdering};
+
+/// Result of evaluating one generation over the bus. Record trails are
+/// not assembled here — the lineage recorder service folds them from
+/// the event stream at end of run.
+pub struct BusBatchResult {
+    /// Per-genome training outcomes, in submission order.
+    pub outcomes: Vec<(TrainingOutcome, f64)>,
+    /// The generation's cluster schedule.
+    pub schedule: ScheduleResult,
+}
+
+/// Train `genomes` as one generation with every trainer publishing to
+/// `topic`. Requires the engine service (when `cfg.engine` is set), the
+/// lineage recorder, and any stats services to already be subscribed.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_generation_bus(
+    cfg: &WorkflowConfig,
+    space: &SearchSpace,
+    factory: &dyn TrainerFactory,
+    genomes: &[Genome],
+    generation: usize,
+    base_id: u64,
+    checkpoints: Option<&CheckpointStore>,
+    topic: &Topic<Event>,
+) -> BusBatchResult {
+    let engine_enabled = cfg.engine.is_some();
+    let jobs: Vec<_> = genomes
+        .iter()
+        .enumerate()
+        .map(|(k, genome)| {
+            let model_id = base_id + k as u64;
+            let topic = topic.clone();
+            move |_worker: usize| {
+                train_over_bus(
+                    cfg,
+                    factory,
+                    genome,
+                    model_id,
+                    generation,
+                    engine_enabled,
+                    checkpoints,
+                    &topic,
+                )
+            }
+        })
+        .collect();
+    let (outcomes, _reports) = GpuPool::new(cfg.gpus).run_batch(jobs);
+
+    // Post-hoc discrete-event schedule over simulated durations, exactly
+    // as in the direct path (engine wall overhead stays out of it).
+    let tasks: Vec<Task> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(k, (outcome, _))| Task {
+            id: base_id + k as u64,
+            duration: outcome.train_seconds,
+        })
+        .collect();
+    let schedule = schedule_fifo(cfg.gpus, &tasks, TaskOrdering::Fifo);
+
+    for (k, (genome, (outcome, flops))) in genomes.iter().zip(&outcomes).enumerate() {
+        let event = Event::ModelCompleted(ModelCompleted {
+            model_id: base_id + k as u64,
+            generation,
+            genome: genome.clone(),
+            arch_summary: space.decode(genome).summary(),
+            flops: *flops,
+            final_fitness: outcome.final_fitness,
+            predicted_fitness: outcome.predicted_fitness,
+            terminated_early: outcome.terminated_early,
+            train_seconds: outcome.train_seconds,
+        });
+        topic.publish(event).expect("bus closed mid-run");
+    }
+    topic
+        .publish(Event::GenerationScheduled(GenerationScheduled {
+            generation,
+            assignments: schedule
+                .assignments
+                .iter()
+                .map(|a| GpuSlot {
+                    model_id: a.task_id,
+                    gpu: a.gpu,
+                    start_s: a.start,
+                    end_s: a.end,
+                })
+                .collect(),
+        }))
+        .expect("bus closed mid-run");
+
+    BusBatchResult { outcomes, schedule }
+}
+
+/// Algorithm 1 with the engine across the bus: publish the epoch, block
+/// on the engine service's verdict, terminate early on convergence.
+#[allow(clippy::too_many_arguments)]
+fn train_over_bus(
+    cfg: &WorkflowConfig,
+    factory: &dyn TrainerFactory,
+    genome: &Genome,
+    model_id: u64,
+    generation: usize,
+    engine_enabled: bool,
+    checkpoints: Option<&CheckpointStore>,
+    topic: &Topic<Event>,
+) -> (TrainingOutcome, f64) {
+    // Subscribe to this model's verdicts before the first publish so no
+    // reply can be missed. Capacity 1 suffices: the hand-off is
+    // strictly request/reply, one verdict in flight per model.
+    let verdicts = engine_enabled.then(|| {
+        topic.subscribe_filtered(
+            Policy::Block { capacity: 1 },
+            move |event| matches!(event, Event::EngineVerdict(v) if v.model_id == model_id),
+        )
+    });
+    let mut trainer = factory.make(genome, model_id, cfg.seed);
+    let max_epochs = cfg.nas.epochs;
+    let mut epochs = Vec::with_capacity(max_epochs as usize);
+    let mut train_seconds = 0.0;
+    let mut final_fitness = 0.0;
+    let mut predicted_fitness = None;
+    let mut terminated_early = false;
+    let mut engine_seconds = 0.0;
+    let mut engine_interactions = 0u64;
+
+    for e in 1..=max_epochs {
+        let result = trainer.train_epoch(e);
+        if let Some(store) = checkpoints {
+            if let Some(state) = trainer.snapshot(e) {
+                store.put(model_id, e, state);
+            }
+        }
+        train_seconds += result.duration_s;
+        final_fitness = result.val_acc;
+        topic
+            .publish(Event::EpochCompleted(EpochCompleted {
+                model_id,
+                generation,
+                epoch: e,
+                train_acc: result.train_acc,
+                val_acc: result.val_acc,
+                duration_s: result.duration_s,
+            }))
+            .expect("bus closed mid-run");
+        let mut prediction = None;
+        let mut converged = None;
+        if let Some(verdicts) = &verdicts {
+            let Ok(Event::EngineVerdict(v)) = verdicts.recv() else {
+                panic!("engine service went away mid-run");
+            };
+            prediction = v.prediction;
+            converged = v.converged;
+            engine_seconds = v.engine_seconds;
+            engine_interactions = v.engine_interactions;
+        }
+        epochs.push(EpochRecord {
+            epoch: e,
+            train_acc: result.train_acc,
+            val_acc: result.val_acc,
+            duration_s: result.duration_s,
+            prediction,
+        });
+        if let Some(p) = converged {
+            final_fitness = p;
+            predicted_fitness = Some(p);
+            terminated_early = true;
+            break;
+        }
+    }
+    let flops = trainer.flops();
+    (
+        TrainingOutcome {
+            epochs,
+            final_fitness,
+            predicted_fitness,
+            terminated_early,
+            train_seconds,
+            engine_seconds,
+            engine_interactions,
+        },
+        flops,
+    )
+}

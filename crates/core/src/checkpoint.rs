@@ -79,10 +79,7 @@ impl CheckpointStore {
                 _ => continue,
             };
             // model_<id>_epoch_<e>.a4nn
-            let parts: Vec<&str> = name
-                .trim_end_matches(".a4nn")
-                .split('_')
-                .collect();
+            let parts: Vec<&str> = name.trim_end_matches(".a4nn").split('_').collect();
             let (model, epoch) = match parts.as_slice() {
                 ["model", id, "epoch", e] => (
                     id.parse::<u64>()

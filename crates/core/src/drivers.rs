@@ -61,8 +61,7 @@ impl RandomSearchWorkflow {
             } else {
                 cfg.nas.offspring
             };
-            let genomes: Vec<Genome> =
-                (0..count).map(|_| space.random_genome(&mut rng)).collect();
+            let genomes: Vec<Genome> = (0..count).map(|_| space.random_genome(&mut rng)).collect();
             let batch = evaluate_generation(
                 cfg,
                 &space,
@@ -88,6 +87,7 @@ impl RandomSearchWorkflow {
             config: cfg.clone(),
             engine_seconds,
             engine_interactions,
+            bus_stats: None,
         }
     }
 }
@@ -136,8 +136,7 @@ impl AgingEvolutionWorkflow {
         let mut engine_interactions = 0;
         let mut next_id = 0u64;
         // The aging queue: (genome, fitness), oldest at the front.
-        let mut population: VecDeque<(Genome, f64)> =
-            VecDeque::with_capacity(cfg.nas.population);
+        let mut population: VecDeque<(Genome, f64)> = VecDeque::with_capacity(cfg.nas.population);
 
         for generation in 0..cfg.nas.generations {
             let genomes: Vec<Genome> = if generation == 0 {
@@ -194,6 +193,7 @@ impl AgingEvolutionWorkflow {
             config: cfg.clone(),
             engine_seconds,
             engine_interactions,
+            bus_stats: None,
         }
     }
 }
@@ -232,14 +232,16 @@ mod tests {
         let out = RandomSearchWorkflow::new(cfg.clone()).run(&factory(&cfg));
         assert_eq!(out.commons.len(), cfg.nas.total_models());
         assert!(out.total_epochs() > 0);
-        assert!(out.epochs_saved_pct() > 0.0, "engine must still save epochs");
+        assert!(
+            out.epochs_saved_pct() > 0.0,
+            "engine must still save epochs"
+        );
     }
 
     #[test]
     fn aging_evolution_evaluates_full_budget_and_improves() {
         let cfg = config(true, 4);
-        let out =
-            AgingEvolutionWorkflow::new(cfg.clone(), 3).run(&factory(&cfg));
+        let out = AgingEvolutionWorkflow::new(cfg.clone(), 3).run(&factory(&cfg));
         assert_eq!(out.commons.len(), cfg.nas.total_models());
         // Mean fitness of late generations should not be worse than the
         // random initial generation (selection pressure works).
@@ -269,7 +271,10 @@ mod tests {
         let r2 = RandomSearchWorkflow::new(cfg.clone()).run(&f);
         assert_eq!(r1.commons, r2.commons);
         let a1 = AgingEvolutionWorkflow::new(cfg.clone(), 3).run(&f);
-        assert_ne!(r1.commons, a1.commons, "different drivers, different searches");
+        assert_ne!(
+            r1.commons, a1.commons,
+            "different drivers, different searches"
+        );
     }
 
     #[test]

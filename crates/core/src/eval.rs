@@ -23,6 +23,18 @@ pub struct BatchResult {
     pub records: Vec<ModelRecord>,
 }
 
+/// The engine-parameters stamp attached to every record trail of a run
+/// (Table 1), or `None` for standalone-NAS runs.
+pub fn engine_params_record(cfg: &WorkflowConfig) -> Option<EngineParamsRecord> {
+    cfg.engine.as_ref().map(|e| EngineParamsRecord {
+        function: e.family.name().to_string(),
+        c_min: e.c_min,
+        e_pred: e.e_pred,
+        n: e.n_converge,
+        r: e.r,
+    })
+}
+
 /// Train `genomes` as one generation: data-parallel training (each model's
 /// stochasticity keyed to its id, so the parallelism is deterministic),
 /// FIFO scheduling onto `cfg.gpus` virtual GPUs, and lineage recording.
@@ -66,13 +78,7 @@ pub fn evaluate_generation(
         .collect();
     let schedule = schedule_fifo(cfg.gpus, &tasks, TaskOrdering::Fifo);
 
-    let engine_record = cfg.engine.as_ref().map(|e| EngineParamsRecord {
-        function: e.family.name().to_string(),
-        c_min: e.c_min,
-        e_pred: e.e_pred,
-        n: e.n_converge,
-        r: e.r,
-    });
+    let engine_record = engine_params_record(cfg);
     let records: Vec<ModelRecord> = genomes
         .iter()
         .zip(&outcomes)

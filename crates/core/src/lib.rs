@@ -39,6 +39,7 @@
 //! ```
 
 pub mod bridge;
+pub mod bus_eval;
 pub mod checkpoint;
 pub mod config;
 pub mod drivers;
@@ -51,6 +52,7 @@ pub mod training;
 pub mod workflow;
 
 pub use bridge::netspec_from_arch;
+pub use bus_eval::{evaluate_generation_bus, BusBatchResult};
 pub use checkpoint::CheckpointStore;
 pub use config::{NasSettings, WorkflowConfig};
 pub use drivers::{AgingEvolutionWorkflow, RandomSearchWorkflow};
@@ -59,15 +61,15 @@ pub use real::{RealTrainerFactory, TrainingHyperparams};
 pub use surrogate::{SurrogateFactory, SurrogateParams};
 pub use trainer::{EpochResult, Trainer, TrainerFactory};
 pub use training::{train_with_engine, train_with_engine_checkpointed, TrainingOutcome};
-pub use workflow::{A4nnWorkflow, RunOutput};
+pub use workflow::{A4nnWorkflow, Orchestration, RunOutput};
 
 /// Convenience re-exports, including the satellite crates' key types.
 pub mod prelude {
     pub use crate::{
         netspec_from_arch, train_with_engine, A4nnWorkflow, CheckpointStore, EpochResult,
-        NasSettings,
-        RealTrainerFactory, RunOutput, SurrogateFactory, SurrogateParams, Trainer,
-        TrainerFactory, TrainingHyperparams, TrainingOutcome, WorkflowConfig,
+        NasSettings, Orchestration, RealTrainerFactory, RunOutput, SurrogateFactory,
+        SurrogateParams, Trainer, TrainerFactory, TrainingHyperparams, TrainingOutcome,
+        WorkflowConfig,
     };
     pub use a4nn_genome::{Genome, SearchSpace};
     pub use a4nn_lineage::{Analyzer, DataCommons, ModelRecord};

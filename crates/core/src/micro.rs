@@ -8,9 +8,7 @@ use crate::trainer::{EpochResult, Trainer};
 use crate::training::train_with_engine;
 use a4nn_genome::{MicroGenome, MicroSearchSpace};
 use a4nn_lineage::{DataCommons, ModelRecord};
-use a4nn_nn::{
-    cross_entropy, CellNodeSpec, CellOp, CellSpec, Dataset, MicroNetSpec, MicroNetwork,
-};
+use a4nn_nn::{cross_entropy, CellNodeSpec, CellOp, CellSpec, Dataset, MicroNetSpec, MicroNetwork};
 use a4nn_sched::{schedule_fifo, GenerationSchedule, Task, TaskOrdering};
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -113,9 +111,8 @@ impl MicroTrainerFactory {
 
     /// Build a trainer for one micro genome.
     pub fn make(&self, genome: &MicroGenome, model_id: u64, seed: u64) -> MicroRealTrainer {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            seed ^ model_id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
-        );
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ model_id.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
         let spec = micro_netspec(genome, &self.space);
         let net = MicroNetwork::new(&spec, &mut rng);
         let flops = net.flops((self.train.height, self.train.width)) / 1e6;
@@ -202,8 +199,18 @@ mod tests {
     fn bridge_maps_ops_by_index() {
         let genome = MicroGenome {
             nodes: vec![
-                MicroGene { in1: 0, op1: 0, in2: 0, op2: 4 },
-                MicroGene { in1: 1, op1: 2, in2: 0, op2: 3 },
+                MicroGene {
+                    in1: 0,
+                    op1: 0,
+                    in2: 0,
+                    op2: 4,
+                },
+                MicroGene {
+                    in1: 1,
+                    op1: 2,
+                    in2: 0,
+                    op2: 3,
+                },
             ],
         };
         let space = MicroSearchSpace::reduced_defaults();
@@ -225,10 +232,30 @@ mod tests {
         // which learn only through the stage transitions).
         let genome = MicroGenome {
             nodes: vec![
-                MicroGene { in1: 0, op1: 0, in2: 0, op2: 4 },
-                MicroGene { in1: 1, op1: 0, in2: 0, op2: 2 },
-                MicroGene { in1: 2, op1: 4, in2: 1, op2: 3 },
-                MicroGene { in1: 3, op1: 0, in2: 2, op2: 4 },
+                MicroGene {
+                    in1: 0,
+                    op1: 0,
+                    in2: 0,
+                    op2: 4,
+                },
+                MicroGene {
+                    in1: 1,
+                    op1: 0,
+                    in2: 0,
+                    op2: 2,
+                },
+                MicroGene {
+                    in1: 2,
+                    op1: 4,
+                    in2: 1,
+                    op2: 3,
+                },
+                MicroGene {
+                    in1: 3,
+                    op1: 0,
+                    in2: 2,
+                    op2: 4,
+                },
             ],
         };
         let mut trainer = factory.make(&genome, 0, 7);

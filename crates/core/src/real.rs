@@ -108,9 +108,8 @@ impl RealTrainerFactory {
 
 impl TrainerFactory for RealTrainerFactory {
     fn make(&self, genome: &Genome, model_id: u64, seed: u64) -> Box<dyn Trainer> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            seed ^ model_id.wrapping_mul(0xD134_2543_DE82_EF95),
-        );
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ model_id.wrapping_mul(0xD134_2543_DE82_EF95));
         let arch = self.space.decode(genome);
         let spec = netspec_from_arch(&arch);
         let net = Network::new(&spec, &mut rng);

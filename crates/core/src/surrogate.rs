@@ -220,9 +220,8 @@ impl SurrogateFactory {
 impl TrainerFactory for SurrogateFactory {
     fn make(&self, genome: &Genome, model_id: u64, seed: u64) -> Box<dyn Trainer> {
         let p = &self.params;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            seed ^ model_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ model_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let arch = self.space.decode(genome);
         let flops_mflops = estimate_mflops(&arch, SURROGATE_INPUT_HW);
         let active: usize = arch.phases.iter().map(|ph| ph.active_nodes()).sum();
@@ -251,14 +250,12 @@ impl TrainerFactory for SurrogateFactory {
             let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             (-2.0 * u1.ln()).sqrt() * u2.cos()
         };
-        let learner_asymptote = (p.asymptote_mean
-            + capacity * p.capacity_bonus
-            + gauss(&mut rng) * p.asymptote_spread)
-            .min(99.95);
+        let learner_asymptote =
+            (p.asymptote_mean + capacity * p.capacity_bonus + gauss(&mut rng) * p.asymptote_spread)
+                .min(99.95);
         let rate = rng.gen_range(p.rate_range.0..p.rate_range.1);
         let start = rng.gen_range(45.0..60.0);
-        let epoch_seconds =
-            p.epoch_seconds_base * (0.5 + 0.5 * flops_mflops / REFERENCE_MFLOPS);
+        let epoch_seconds = p.epoch_seconds_base * (0.5 + 0.5 * flops_mflops / REFERENCE_MFLOPS);
 
         let mut trainer = SurrogateTrainer {
             kind,
@@ -362,7 +359,9 @@ mod tests {
         let g = sample_genome(3);
         let run = |f: &SurrogateFactory| {
             let mut t = f.make(&g, 5, 11);
-            (1..=10).map(|e| t.train_epoch(e).val_acc).collect::<Vec<_>>()
+            (1..=10)
+                .map(|e| t.train_epoch(e).val_acc)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(&f), run(&f));
         let mut t2 = f.make(&g, 6, 11);

@@ -7,10 +7,15 @@
 //! whole generation can be trained concurrently across the virtual GPUs —
 //! exactly the Ray-style resource management of §2.5.
 
+use crate::bus_eval::evaluate_generation_bus;
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
-use crate::eval::evaluate_generation;
+use crate::eval::{engine_params_record, evaluate_generation};
 use crate::trainer::TrainerFactory;
+use crate::training::TrainingOutcome;
+use a4nn_bus::{
+    BusRunStats, Event, LineageRecorderService, PredictionEngineService, RunStatsAggregator, Topic,
+};
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::{DataCommons, ModelRecord};
 use a4nn_nsga::{
@@ -20,6 +25,33 @@ use a4nn_nsga::{
 use a4nn_sched::{GenerationSchedule, ScheduleResult};
 use rand::SeedableRng;
 use std::collections::HashSet;
+
+/// How the workflow couples trainers, prediction engine, and lineage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Orchestration {
+    /// In-process calls: trainers drive their own engine instance and
+    /// the batch evaluator assembles record trails (the seed path).
+    #[default]
+    Direct,
+    /// The a4nn-bus event bus: trainers publish per-epoch fitness, the
+    /// engine/lineage/stats services run as subscribed threads (§2.2's
+    /// in-situ task coupling). Produces identical record trails.
+    Bus,
+}
+
+impl std::str::FromStr for Orchestration {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "direct" => Ok(Orchestration::Direct),
+            "bus" => Ok(Orchestration::Bus),
+            other => Err(format!(
+                "unknown orchestration {other:?} (expected direct|bus)"
+            )),
+        }
+    }
+}
 
 /// Everything a workflow run produces.
 #[derive(Debug, Clone)]
@@ -34,6 +66,8 @@ pub struct RunOutput {
     pub engine_seconds: f64,
     /// Total engine interactions across all models.
     pub engine_interactions: u64,
+    /// Bus-level counters, present when the run was bus-orchestrated.
+    pub bus_stats: Option<BusRunStats>,
 }
 
 impl RunOutput {
@@ -54,8 +88,7 @@ impl RunOutput {
     /// Percentage of epochs saved versus the full-budget baseline
     /// (`epochs × models`).
     pub fn epochs_saved_pct(&self) -> f64 {
-        let budget = (self.config.nas.epochs as u64
-            * self.config.nas.total_models() as u64) as f64;
+        let budget = (self.config.nas.epochs as u64 * self.config.nas.total_models() as u64) as f64;
         if budget <= 0.0 {
             return 0.0;
         }
@@ -99,7 +132,17 @@ impl A4nnWorkflow {
 
     /// Run the complete search using trainers from `factory`.
     pub fn run(&self, factory: &dyn TrainerFactory) -> RunOutput {
-        self.run_checkpointed(factory, None)
+        self.run_checkpointed_with(factory, None, Orchestration::Direct)
+    }
+
+    /// [`run`](Self::run) with an explicit coupling mode. `Bus` and
+    /// `Direct` produce identical record trails per seed.
+    pub fn run_with(
+        &self,
+        factory: &dyn TrainerFactory,
+        orchestration: Orchestration,
+    ) -> RunOutput {
+        self.run_checkpointed_with(factory, None, orchestration)
     }
 
     /// [`run`](Self::run) that additionally checkpoints every model's
@@ -110,6 +153,102 @@ impl A4nnWorkflow {
         factory: &dyn TrainerFactory,
         checkpoints: Option<&CheckpointStore>,
     ) -> RunOutput {
+        self.run_checkpointed_with(factory, checkpoints, Orchestration::Direct)
+    }
+
+    /// [`run_checkpointed`](Self::run_checkpointed) with an explicit
+    /// coupling mode.
+    pub fn run_checkpointed_with(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+        orchestration: Orchestration,
+    ) -> RunOutput {
+        let cfg = &self.config;
+        match orchestration {
+            Orchestration::Direct => {
+                let out = self.run_loop(&mut |genomes, generation, base_id| {
+                    let batch = evaluate_generation(
+                        cfg,
+                        &self.space,
+                        factory,
+                        genomes,
+                        generation,
+                        base_id,
+                        checkpoints,
+                    );
+                    GenerationEval {
+                        outcomes: batch.outcomes,
+                        schedule: batch.schedule,
+                        records: batch.records,
+                    }
+                });
+                RunOutput {
+                    commons: DataCommons::new(out.records),
+                    schedule: GenerationSchedule {
+                        generations: out.schedules,
+                    },
+                    config: cfg.clone(),
+                    engine_seconds: out.engine_seconds,
+                    engine_interactions: out.engine_interactions,
+                    bus_stats: None,
+                }
+            }
+            Orchestration::Bus => {
+                let topic: Topic<Event> = Topic::new("a4nn");
+                let engine_service = cfg
+                    .engine
+                    .clone()
+                    .map(|engine| PredictionEngineService::spawn(&topic, engine));
+                let recorder = LineageRecorderService::spawn(
+                    &topic,
+                    engine_params_record(cfg),
+                    cfg.beam.label().to_string(),
+                );
+                let aggregator = RunStatsAggregator::spawn(&topic);
+                let out = self.run_loop(&mut |genomes, generation, base_id| {
+                    let batch = evaluate_generation_bus(
+                        cfg,
+                        &self.space,
+                        factory,
+                        genomes,
+                        generation,
+                        base_id,
+                        checkpoints,
+                        &topic,
+                    );
+                    GenerationEval {
+                        outcomes: batch.outcomes,
+                        schedule: batch.schedule,
+                        records: Vec::new(), // assembled by the recorder
+                    }
+                });
+                topic.close();
+                if let Some(service) = engine_service {
+                    service.join();
+                }
+                let records = recorder.join();
+                let bus_stats = aggregator.join();
+                RunOutput {
+                    commons: DataCommons::new(records),
+                    schedule: GenerationSchedule {
+                        generations: out.schedules,
+                    },
+                    config: cfg.clone(),
+                    engine_seconds: out.engine_seconds,
+                    engine_interactions: out.engine_interactions,
+                    bus_stats: Some(bus_stats),
+                }
+            }
+        }
+    }
+
+    /// The shared NSGA-Net generational loop; `evaluate` trains one
+    /// generation batch (directly or over the bus).
+    fn run_loop(
+        &self,
+        evaluate: &mut dyn FnMut(&[Genome], usize, u64) -> GenerationEval,
+    ) -> LoopOutput {
         let cfg = &self.config;
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let mut records: Vec<ModelRecord> = Vec::with_capacity(cfg.nas.total_models());
@@ -140,7 +279,9 @@ impl A4nnWorkflow {
                 let ranks = ranks_from_fronts(&fronts, parents.len());
                 let mut crowding = vec![0.0f64; parents.len()];
                 for front in &fronts {
-                    for (&i, &d) in front.iter().zip(crowding_distance(&parent_objs, front).iter())
+                    for (&i, &d) in front
+                        .iter()
+                        .zip(crowding_distance(&parent_objs, front).iter())
                     {
                         crowding[i] = d;
                     }
@@ -167,19 +308,11 @@ impl A4nnWorkflow {
                     .collect();
             }
 
-            // Train the whole generation on the shared batch evaluator.
+            // Train the whole generation on the configured evaluator.
             let base_id = next_id;
-            let batch = evaluate_generation(
-                cfg,
-                &self.space,
-                factory,
-                &genomes,
-                generation,
-                base_id,
-                checkpoints,
-            );
+            let batch = evaluate(&genomes, generation, base_id);
             let mut generation_indices = Vec::with_capacity(genomes.len());
-            for (k, (genome, record)) in genomes.iter().zip(batch.records).enumerate() {
+            for (k, genome) in genomes.iter().enumerate() {
                 let model_id = base_id + k as u64;
                 let (outcome, flops) = &batch.outcomes[k];
                 engine_seconds += outcome.engine_seconds;
@@ -190,9 +323,9 @@ impl A4nnWorkflow {
                     genome: genome.clone(),
                     objectives: Objectives::new(vec![-outcome.final_fitness, *flops]),
                 });
-                records.push(record);
                 generation_indices.push(archive.len() - 1);
             }
+            records.extend(batch.records);
             let schedule = batch.schedule;
             next_id += genomes.len() as u64;
             schedules.push(schedule);
@@ -207,16 +340,30 @@ impl A4nnWorkflow {
             }
         }
 
-        RunOutput {
-            commons: DataCommons::new(records),
-            schedule: GenerationSchedule {
-                generations: schedules,
-            },
-            config: cfg.clone(),
+        LoopOutput {
+            records,
+            schedules,
             engine_seconds,
             engine_interactions,
         }
     }
+}
+
+/// One generation's evaluation, from either coupling mode.
+struct GenerationEval {
+    outcomes: Vec<(TrainingOutcome, f64)>,
+    schedule: ScheduleResult,
+    /// Record trails — empty in bus mode, where the lineage recorder
+    /// service assembles them from the event stream.
+    records: Vec<ModelRecord>,
+}
+
+/// What the shared generational loop accumulates.
+struct LoopOutput {
+    records: Vec<ModelRecord>,
+    schedules: Vec<ScheduleResult>,
+    engine_seconds: f64,
+    engine_interactions: u64,
 }
 
 #[cfg(test)]
@@ -247,6 +394,41 @@ mod tests {
         let config = small_config(engine, gpus, seed);
         let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
         A4nnWorkflow::new(config).run(&factory)
+    }
+
+    fn run_bus(engine: bool, gpus: usize, seed: u64) -> RunOutput {
+        let config = small_config(engine, gpus, seed);
+        let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+        A4nnWorkflow::new(config).run_with(&factory, Orchestration::Bus)
+    }
+
+    #[test]
+    fn bus_orchestration_reproduces_direct_commons() {
+        let direct = run(true, 2, 11);
+        let bus = run_bus(true, 2, 11);
+        assert_eq!(direct.commons, bus.commons);
+        assert_eq!(direct.engine_interactions, bus.engine_interactions);
+        assert_eq!(
+            direct.schedule.total_wall_time(),
+            bus.schedule.total_wall_time()
+        );
+        let stats = bus.bus_stats.clone().expect("bus run reports stats");
+        assert_eq!(stats.epochs_observed, bus.total_epochs());
+        assert_eq!(stats.engine_interactions, bus.engine_interactions);
+        assert_eq!(stats.models_completed as usize, bus.commons.len());
+        assert_eq!(stats.generations_scheduled, 4);
+        assert_eq!(stats.subscriber.dropped, 0);
+        assert_eq!(stats.gpu_busy_seconds.len(), 2);
+    }
+
+    #[test]
+    fn bus_without_engine_reproduces_standalone() {
+        let direct = run(false, 1, 12);
+        let bus = run_bus(false, 1, 12);
+        assert_eq!(direct.commons, bus.commons);
+        let stats = bus.bus_stats.expect("bus run reports stats");
+        assert_eq!(stats.engine_interactions, 0);
+        assert_eq!(stats.terminations_advised, 0);
     }
 
     #[test]

@@ -209,7 +209,12 @@ mod tests {
 
     #[test]
     fn all_zero_phase_is_degenerate() {
-        let spec = decode_phase(&PhaseGenome::zeros(4), 1, 8, NodeOp::ConvBnRelu { kernel: 3 });
+        let spec = decode_phase(
+            &PhaseGenome::zeros(4),
+            1,
+            8,
+            NodeOp::ConvBnRelu { kernel: 3 },
+        );
         assert!(spec.is_degenerate());
         assert_eq!(spec.active_nodes(), 0);
         assert!(spec.leaves.is_empty());
@@ -267,7 +272,13 @@ mod tests {
                 PhaseGenome::zeros(4),
             ],
         };
-        let arch = decode_genome(&genome, 1, &[8, 16, 32], 2, NodeOp::ConvBnRelu { kernel: 3 });
+        let arch = decode_genome(
+            &genome,
+            1,
+            &[8, 16, 32],
+            2,
+            NodeOp::ConvBnRelu { kernel: 3 },
+        );
         assert_eq!(arch.phases[0].in_channels, 1);
         assert_eq!(arch.phases[0].out_channels, 8);
         assert_eq!(arch.phases[1].in_channels, 8);

@@ -76,12 +76,18 @@ impl Genome {
 
     /// Flatten to a single bit vector (phase order preserved).
     pub fn to_bits(&self) -> Vec<bool> {
-        self.phases.iter().flat_map(|p| p.bits.iter().copied()).collect()
+        self.phases
+            .iter()
+            .flat_map(|p| p.bits.iter().copied())
+            .collect()
     }
 
     /// Rebuild from a flat bit vector with the given per-phase node counts.
     pub fn from_bits(nodes_per_phase: &[usize], bits: &[bool]) -> Self {
-        let expected: usize = nodes_per_phase.iter().map(|&k| PhaseGenome::bits_for(k)).sum();
+        let expected: usize = nodes_per_phase
+            .iter()
+            .map(|&k| PhaseGenome::bits_for(k))
+            .sum();
         assert_eq!(bits.len(), expected, "bit length mismatch");
         let mut phases = Vec::with_capacity(nodes_per_phase.len());
         let mut cursor = 0;
@@ -130,8 +136,7 @@ impl Genome {
                     break;
                 }
             }
-            let nodes =
-                nodes.ok_or_else(|| format!("segment length {len} is not K(K-1)/2+1"))?;
+            let nodes = nodes.ok_or_else(|| format!("segment length {len} is not K(K-1)/2+1"))?;
             phases.push(PhaseGenome::new(nodes, bits));
         }
         if phases.is_empty() {
@@ -183,10 +188,7 @@ mod tests {
 
     #[test]
     fn compact_string_roundtrip() {
-        let g = Genome::from_bits(
-            &[4, 4, 4],
-            &(0..21).map(|i| i % 3 == 0).collect::<Vec<_>>(),
-        );
+        let g = Genome::from_bits(&[4, 4, 4], &(0..21).map(|i| i % 3 == 0).collect::<Vec<_>>());
         let s = g.to_compact_string();
         assert_eq!(s.split('-').count(), 3);
         let back = Genome::from_compact_string(&s).unwrap();

@@ -176,7 +176,11 @@ impl MicroSearchSpace {
         b: &MicroGenome,
         rng: &mut R,
     ) -> MicroGenome {
-        assert_eq!(a.nodes.len(), b.nodes.len(), "parents from different spaces");
+        assert_eq!(
+            a.nodes.len(),
+            b.nodes.len(),
+            "parents from different spaces"
+        );
         let mut child = MicroGenome {
             nodes: a
                 .nodes
@@ -318,12 +322,22 @@ mod tests {
         let space = MicroSearchSpace::reduced_defaults();
         let convs = MicroGenome {
             nodes: (0..4)
-                .map(|i| MicroGene { in1: i as u8, op1: 1, in2: i as u8, op2: 0 })
+                .map(|i| MicroGene {
+                    in1: i as u8,
+                    op1: 1,
+                    in2: i as u8,
+                    op2: 0,
+                })
                 .collect(),
         };
         let identities = MicroGenome {
             nodes: (0..4)
-                .map(|i| MicroGene { in1: i as u8, op1: 4, in2: i as u8, op2: 4 })
+                .map(|i| MicroGene {
+                    in1: i as u8,
+                    op1: 4,
+                    in2: i as u8,
+                    op2: 4,
+                })
                 .collect(),
         };
         let f_conv = space.estimate_flops(&convs, (16, 16));

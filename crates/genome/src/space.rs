@@ -126,11 +126,7 @@ impl SearchSpace {
         let (ab, bb) = (a.to_bits(), b.to_bits());
         assert_eq!(ab.len(), bb.len(), "parents from different spaces");
         let point = rng.gen_range(1..ab.len());
-        let bits: Vec<bool> = ab[..point]
-            .iter()
-            .chain(&bb[point..])
-            .copied()
-            .collect();
+        let bits: Vec<bool> = ab[..point].iter().chain(&bb[point..]).copied().collect();
         self.genome_from_flat(&bits)
     }
 

@@ -43,8 +43,7 @@ pub fn render_ascii(arch: &ArchSpec) -> String {
                 if !phase.active[i] || phase.inputs[i].is_empty() {
                     continue;
                 }
-                let srcs: Vec<String> =
-                    phase.inputs[i].iter().map(|j| format!("n{j}")).collect();
+                let srcs: Vec<String> = phase.inputs[i].iter().map(|j| format!("n{j}")).collect();
                 out.push_str(&format!("  {} -> n{i}\n", srcs.join(" + ")));
             }
             let leaves: Vec<String> = phase.leaves.iter().map(|i| format!("n{i}")).collect();
@@ -56,10 +55,7 @@ pub fn render_ascii(arch: &ArchSpec) -> String {
         }
         out.push_str("  maxpool 2x2\n");
     }
-    out.push_str(&format!(
-        "global-avg-pool -> dense({})\n",
-        arch.num_classes
-    ));
+    out.push_str(&format!("global-avg-pool -> dense({})\n", arch.num_classes));
     out
 }
 
@@ -85,7 +81,10 @@ pub fn render_dot(arch: &ArchSpec, title: &str) -> String {
         ));
         if phase.is_degenerate() {
             let n = format!("p{p}_default");
-            out.push_str(&format!("  {n} [label=\"conv {0}x{0}\"];\n", kernel_of(phase)));
+            out.push_str(&format!(
+                "  {n} [label=\"conv {0}x{0}\"];\n",
+                kernel_of(phase)
+            ));
             out.push_str(&format!("  {stem} -> {n};\n  {n} -> {phase_out};\n"));
         } else {
             for i in 0..phase.nodes {

@@ -5,9 +5,8 @@ use proptest::prelude::*;
 
 fn arb_genome(nodes: usize, phases: usize) -> impl Strategy<Value = Genome> {
     let bits = (PhaseGenome::bits_for(nodes)) * phases;
-    proptest::collection::vec(any::<bool>(), bits).prop_map(move |bits| {
-        Genome::from_bits(&vec![nodes; phases], &bits)
-    })
+    proptest::collection::vec(any::<bool>(), bits)
+        .prop_map(move |bits| Genome::from_bits(&vec![nodes; phases], &bits))
 }
 
 proptest! {

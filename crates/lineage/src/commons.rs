@@ -106,8 +106,7 @@ impl DataCommons {
 
     /// Load a commons previously written by [`save_dir`](Self::save_dir).
     pub fn load_dir(dir: &Path) -> io::Result<Self> {
-        let manifest: Manifest =
-            serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
+        let manifest: Manifest = serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
         let mut records = Vec::with_capacity(manifest.model_count);
         for id in manifest.model_ids {
             let path = dir.join(format!("model_{id:05}.json"));

@@ -96,7 +96,10 @@ pub fn shape_census(commons: &DataCommons) -> Vec<(CurveShape, usize, usize)> {
     let mut counts = vec![(0usize, 0usize); shapes.len()];
     for r in &commons.records {
         let shape = classify_record(r);
-        let idx = shapes.iter().position(|&s| s == shape).expect("in taxonomy");
+        let idx = shapes
+            .iter()
+            .position(|&s| s == shape)
+            .expect("in taxonomy");
         counts[idx].0 += 1;
         if r.terminated_early {
             counts[idx].1 += 1;
@@ -138,10 +141,7 @@ mod tests {
 
     #[test]
     fn erratic_curve_detected() {
-        let vals = curve(
-            |e| 70.0 + if e % 2 == 0 { 12.0 } else { -12.0 },
-            20,
-        );
+        let vals = curve(|e| 70.0 + if e % 2 == 0 { 12.0 } else { -12.0 }, 20);
         assert_eq!(classify_curve(&vals), CurveShape::Erratic);
     }
 
@@ -173,7 +173,7 @@ mod tests {
                 .collect(),
             final_fitness: f(n),
             predicted_fitness: None,
-            terminated_early: id % 2 == 0,
+            terminated_early: id.is_multiple_of(2),
             beam: "low".into(),
             wall_time_s: n as f64,
         };

@@ -107,10 +107,7 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("model_id,generation,gpu,beam,genome"));
-        assert_eq!(
-            lines[1],
-            "3,1,2,high,1000001,123.5,2,91.5,91.5,true,2,4.1"
-        );
+        assert_eq!(lines[1], "3,1,2,high,1000001,123.5,2,91.5,91.5,true,2,4.1");
     }
 
     #[test]

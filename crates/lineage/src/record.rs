@@ -129,7 +129,11 @@ mod tests {
                 r: 0.5,
             }),
             epochs: epoch_records,
-            final_fitness: if early { 90.0 } else { 48.0 + f64::from(epochs) },
+            final_fitness: if early {
+                90.0
+            } else {
+                48.0 + f64::from(epochs)
+            },
             predicted_fitness: early.then_some(90.0),
             terminated_early: early,
             beam: "medium".into(),

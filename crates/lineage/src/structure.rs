@@ -103,7 +103,12 @@ pub fn feature_fitness_correlations(commons: &DataCommons) -> Vec<(&'static str,
     let rows: Vec<(Vec<(&'static str, f64)>, f64)> = commons
         .records
         .iter()
-        .map(|r| (StructuralFeatures::of(&r.genome).named_scalars(), r.final_fitness))
+        .map(|r| {
+            (
+                StructuralFeatures::of(&r.genome).named_scalars(),
+                r.final_fitness,
+            )
+        })
         .collect();
     if rows.len() < 2 {
         return Vec::new();
@@ -132,8 +137,7 @@ pub fn success_contrast(
     }
     let mut sorted: Vec<&ModelRecord> = commons.records.iter().collect();
     sorted.sort_by(|a, b| b.final_fitness.partial_cmp(&a.final_fitness).unwrap());
-    let cut = ((sorted.len() as f64 * top_fraction).round() as usize)
-        .clamp(1, sorted.len() - 1);
+    let cut = ((sorted.len() as f64 * top_fraction).round() as usize).clamp(1, sorted.len() - 1);
     let (top, rest) = sorted.split_at(cut);
     Some((StructuralMeans::of(top), StructuralMeans::of(rest)))
 }

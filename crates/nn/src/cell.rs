@@ -80,8 +80,16 @@ impl CellSpec {
     pub fn validate(&self) {
         assert!(!self.nodes.is_empty(), "cell needs at least one node");
         for (i, node) in self.nodes.iter().enumerate() {
-            assert!(node.in1 <= i, "node {i} input {0} from the future", node.in1);
-            assert!(node.in2 <= i, "node {i} input {0} from the future", node.in2);
+            assert!(
+                node.in1 <= i,
+                "node {i} input {0} from the future",
+                node.in1
+            );
+            assert!(
+                node.in2 <= i,
+                "node {i} input {0} from the future",
+                node.in2
+            );
         }
     }
 
@@ -120,6 +128,9 @@ pub struct MicroNetSpec {
 }
 
 /// One instantiated operation.
+// Conv dominates both the op mix and the allocation; boxing it would
+// add an indirection on the hot path for no practical memory win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum OpLayer {
     Conv {
@@ -252,14 +263,7 @@ impl Cell {
         for &s in &self.loose_ends {
             state_grads[s].add_assign(grad);
         }
-        for (i, (node, (op1, op2))) in self
-            .spec
-            .nodes
-            .iter()
-            .zip(&mut self.ops)
-            .enumerate()
-            .rev()
-        {
+        for (i, (node, (op1, op2))) in self.spec.nodes.iter().zip(&mut self.ops).enumerate().rev() {
             let g_out = std::mem::replace(&mut state_grads[i + 1], Tensor4::zeros(0, 0, 0, 0));
             let g1 = op1.backward(&g_out);
             state_grads[node.in1].add_assign(&g1);
@@ -349,7 +353,10 @@ impl MicroNetwork {
     /// Instantiate with seeded weights.
     pub fn new<R: Rng + ?Sized>(spec: &MicroNetSpec, rng: &mut R) -> Self {
         assert!(!spec.stage_channels.is_empty(), "need at least one stage");
-        assert!(spec.cells_per_stage >= 1, "need at least one cell per stage");
+        assert!(
+            spec.cells_per_stage >= 1,
+            "need at least one cell per stage"
+        );
         spec.cell.validate();
         let mut transitions = Vec::with_capacity(spec.stage_channels.len());
         let mut stages = Vec::with_capacity(spec.stage_channels.len());
@@ -527,8 +534,18 @@ mod tests {
         // loose.
         let parallel = CellSpec {
             nodes: vec![
-                CellNodeSpec { in1: 0, op1: CellOp::Conv3, in2: 0, op2: CellOp::Identity },
-                CellNodeSpec { in1: 0, op1: CellOp::Conv5, in2: 0, op2: CellOp::Identity },
+                CellNodeSpec {
+                    in1: 0,
+                    op1: CellOp::Conv3,
+                    in2: 0,
+                    op2: CellOp::Identity,
+                },
+                CellNodeSpec {
+                    in1: 0,
+                    op1: CellOp::Conv5,
+                    in2: 0,
+                    op2: CellOp::Identity,
+                },
             ],
         };
         assert_eq!(parallel.loose_ends(), vec![1, 2]);
@@ -598,9 +615,24 @@ mod tests {
         // A cell touching every operation.
         let cell = CellSpec {
             nodes: vec![
-                CellNodeSpec { in1: 0, op1: CellOp::Conv3, in2: 0, op2: CellOp::Conv5 },
-                CellNodeSpec { in1: 1, op1: CellOp::MaxPool3, in2: 0, op2: CellOp::AvgPool3 },
-                CellNodeSpec { in1: 2, op1: CellOp::Identity, in2: 1, op2: CellOp::Identity },
+                CellNodeSpec {
+                    in1: 0,
+                    op1: CellOp::Conv3,
+                    in2: 0,
+                    op2: CellOp::Conv5,
+                },
+                CellNodeSpec {
+                    in1: 1,
+                    op1: CellOp::MaxPool3,
+                    in2: 0,
+                    op2: CellOp::AvgPool3,
+                },
+                CellNodeSpec {
+                    in1: 2,
+                    op1: CellOp::Identity,
+                    in2: 1,
+                    op2: CellOp::Identity,
+                },
             ],
         };
         let spec = MicroNetSpec {

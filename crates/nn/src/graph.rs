@@ -44,7 +44,10 @@ impl PhaseNetSpec {
     }
 
     fn validate(&self) {
-        assert!(!self.node_inputs.is_empty(), "phase needs at least one node");
+        assert!(
+            !self.node_inputs.is_empty(),
+            "phase needs at least one node"
+        );
         assert!(!self.leaves.is_empty(), "phase needs at least one leaf");
         for (i, ins) in self.node_inputs.iter().enumerate() {
             for &j in ins {
@@ -108,9 +111,7 @@ impl ConvBnRelu {
     }
 
     fn flops(&self, h: usize, w: usize) -> f64 {
-        self.conv.flops(h, w)
-            + self.bn.flops(h, w)
-            + self.relu.flops(self.conv.c_out, h, w)
+        self.conv.flops(h, w) + self.bn.flops(h, w) + self.relu.flops(self.conv.c_out, h, w)
     }
 }
 

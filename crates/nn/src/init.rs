@@ -45,11 +45,17 @@ mod tests {
         let mut buf = vec![0.0f32; 40_000];
         he_normal(&mut rng, fan_in, &mut buf);
         let mean: f64 = buf.iter().map(|&v| f64::from(v)).sum::<f64>() / buf.len() as f64;
-        let var: f64 =
-            buf.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / buf.len() as f64;
+        let var: f64 = buf
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / buf.len() as f64;
         let expected = 2.0 / fan_in as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - expected).abs() / expected < 0.08, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.08,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

@@ -454,7 +454,10 @@ pub struct Dropout {
 impl Dropout {
     /// New dropout layer.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout {
             p,
             seed,
@@ -472,8 +475,9 @@ impl Dropout {
         }
         use rand::{Rng, SeedableRng};
         // A fresh, deterministic stream per forward call.
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(self.draws.wrapping_mul(0x9E37_79B9)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed.wrapping_add(self.draws.wrapping_mul(0x9E37_79B9)),
+        );
         self.draws += 1;
         let keep_scale = 1.0 / (1.0 - self.p);
         let mut out = x.clone();
@@ -975,7 +979,10 @@ mod tests {
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         let twos = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
         assert_eq!(zeros + twos, 64, "values are 0 or scaled by 1/(1-p)");
-        assert!(zeros > 10 && zeros < 54, "roughly half dropped, got {zeros}");
+        assert!(
+            zeros > 10 && zeros < 54,
+            "roughly half dropped, got {zeros}"
+        );
         // Backward gradient flows only through survivors.
         let g = Tensor4::from_vec(1, 1, 8, 8, vec![1.0; 64]);
         let gi = d.backward(&g);
@@ -994,7 +1001,10 @@ mod tests {
         let x = Tensor4::from_vec(1, 1, 64, 64, vec![1.0; 4096]);
         let y = d.forward(&x, true);
         let mean: f32 = y.data().iter().sum::<f32>() / 4096.0;
-        assert!((mean - 1.0).abs() < 0.1, "inverted dropout keeps E[x], got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.1,
+            "inverted dropout keeps E[x], got {mean}"
+        );
     }
 
     #[test]

@@ -33,11 +33,11 @@ pub mod schedule;
 pub mod serialize;
 pub mod tensor;
 
-pub use data::{BatchIter, Dataset};
-pub use cell::{CellNodeSpec, CellOp, CellSpec, MicroNetSpec, MicroNetwork};
-pub use graph::{Network, NetSpec, PhaseNetSpec};
-pub use loss::{cross_entropy, CrossEntropyOutput};
 pub use augment::{augment_batch, AugmentConfig};
+pub use cell::{CellNodeSpec, CellOp, CellSpec, MicroNetSpec, MicroNetwork};
+pub use data::{BatchIter, Dataset};
+pub use graph::{NetSpec, Network, PhaseNetSpec};
+pub use loss::{cross_entropy, CrossEntropyOutput};
 pub use optim::{Adam, Sgd};
 pub use schedule::LrSchedule;
 pub use serialize::ModelState;
@@ -64,7 +64,15 @@ pub fn train_epoch(
         net.backward(&out.dlogits);
         opt.step(net);
     }
-    let mean_loss = if seen == 0 { 0.0 } else { (total_loss / seen as f64) as f32 };
-    let acc = if seen == 0 { 0.0 } else { 100.0 * correct as f32 / seen as f32 };
+    let mean_loss = if seen == 0 {
+        0.0
+    } else {
+        (total_loss / seen as f64) as f32
+    };
+    let acc = if seen == 0 {
+        0.0
+    } else {
+        100.0 * correct as f32 / seen as f32
+    };
     (mean_loss, acc)
 }

@@ -44,7 +44,11 @@ impl ModelState {
         let params = &self.params;
         net.visit_params(&mut |p, _| {
             assert!(cursor < params.len(), "state has too few tensors");
-            assert_eq!(p.len(), params[cursor].len(), "tensor {cursor} size mismatch");
+            assert_eq!(
+                p.len(),
+                params[cursor].len(),
+                "tensor {cursor} size mismatch"
+            );
             p.copy_from_slice(&params[cursor]);
             cursor += 1;
         });

@@ -93,8 +93,12 @@ mod tests {
     #[test]
     fn tiny_fronts_are_all_infinite() {
         let pts = objs(&[&[1.0, 2.0], &[2.0, 1.0]]);
-        assert!(crowding_distance(&pts, &[0, 1]).iter().all(|d| d.is_infinite()));
-        assert!(crowding_distance(&pts, &[0]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&pts, &[0, 1])
+            .iter()
+            .all(|d| d.is_infinite()));
+        assert!(crowding_distance(&pts, &[0])
+            .iter()
+            .all(|d| d.is_infinite()));
         assert!(crowding_distance(&pts, &[]).is_empty());
     }
 

@@ -34,12 +34,7 @@ pub trait Problem {
     fn random_genome(&mut self, rng: &mut dyn RngCore) -> Self::Genome;
 
     /// Produce one offspring from two parents (crossover + mutation).
-    fn vary(
-        &mut self,
-        a: &Self::Genome,
-        b: &Self::Genome,
-        rng: &mut dyn RngCore,
-    ) -> Self::Genome;
+    fn vary(&mut self, a: &Self::Genome, b: &Self::Genome, rng: &mut dyn RngCore) -> Self::Genome;
 
     /// Optional duplicate filter: return true if `candidate` should be
     /// rejected (e.g. identical architecture already evaluated). The engine
@@ -386,7 +381,10 @@ mod tests {
             .collect();
         for &s in &result.final_population {
             for &p in &pool {
-                if result.all[p].objectives.dominates(&result.all[s].objectives) {
+                if result.all[p]
+                    .objectives
+                    .dominates(&result.all[s].objectives)
+                {
                     // A dominating pool member must itself be a survivor.
                     assert!(
                         result.final_population.contains(&p),

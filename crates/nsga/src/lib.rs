@@ -54,7 +54,9 @@ pub mod select;
 pub mod sort;
 
 pub use crowding::crowding_distance;
-pub use evolve::{environmental_selection, EvalContext, Individual, Nsga2, NsgaConfig, Problem, RunResult};
+pub use evolve::{
+    environmental_selection, EvalContext, Individual, Nsga2, NsgaConfig, Problem, RunResult,
+};
 pub use objectives::{Dominance, Objectives};
 pub use select::{tournament_select, RankedIndividual};
 pub use sort::{fast_non_dominated_sort, ranks_from_fronts};

@@ -45,31 +45,52 @@ mod tests {
 
     #[test]
     fn lower_rank_beats_higher_rank() {
-        let good = RankedIndividual { rank: 0, crowding: 0.1 };
-        let bad = RankedIndividual { rank: 1, crowding: f64::INFINITY };
+        let good = RankedIndividual {
+            rank: 0,
+            crowding: 0.1,
+        };
+        let bad = RankedIndividual {
+            rank: 1,
+            crowding: f64::INFINITY,
+        };
         assert!(good.beats(&bad));
         assert!(!bad.beats(&good));
     }
 
     #[test]
     fn same_rank_larger_crowding_wins() {
-        let sparse = RankedIndividual { rank: 0, crowding: 2.0 };
-        let crowded = RankedIndividual { rank: 0, crowding: 0.5 };
+        let sparse = RankedIndividual {
+            rank: 0,
+            crowding: 2.0,
+        };
+        let crowded = RankedIndividual {
+            rank: 0,
+            crowding: 0.5,
+        };
         assert!(sparse.beats(&crowded));
         assert!(!crowded.beats(&sparse));
     }
 
     #[test]
     fn identical_individuals_do_not_beat_each_other() {
-        let a = RankedIndividual { rank: 0, crowding: 1.0 };
+        let a = RankedIndividual {
+            rank: 0,
+            crowding: 1.0,
+        };
         assert!(!a.beats(&a));
     }
 
     #[test]
     fn tournament_prefers_better_individuals_statistically() {
         let ranked = vec![
-            RankedIndividual { rank: 0, crowding: f64::INFINITY },
-            RankedIndividual { rank: 3, crowding: 0.0 },
+            RankedIndividual {
+                rank: 0,
+                crowding: f64::INFINITY,
+            },
+            RankedIndividual {
+                rank: 3,
+                crowding: 0.0,
+            },
         ];
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let mut wins0 = 0;

@@ -4,14 +4,11 @@ use a4nn_nsga::{crowding_distance, fast_non_dominated_sort, Objectives, RankedIn
 use proptest::prelude::*;
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Objectives>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-1e3f64..1e3, 2..4),
-        1..max,
-    )
-    .prop_filter("uniform dimension", |rows| {
-        rows.iter().all(|r| r.len() == rows[0].len())
-    })
-    .prop_map(|rows| rows.into_iter().map(Objectives::new).collect())
+    proptest::collection::vec(proptest::collection::vec(-1e3f64..1e3, 2..4), 1..max)
+        .prop_filter("uniform dimension", |rows| {
+            rows.iter().all(|r| r.len() == rows[0].len())
+        })
+        .prop_map(|rows| rows.into_iter().map(Objectives::new).collect())
 }
 
 proptest! {

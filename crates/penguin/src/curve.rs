@@ -178,10 +178,7 @@ impl ParametricCurve for CurveFamily {
                 vec![asymptote, gap, 1.0],
                 vec![asymptote, gap * 2.0, 1.5],
             ],
-            CurveFamily::Log3 => vec![
-                vec![asymptote, gap, 1.0],
-                vec![asymptote, gap * 0.5, 2.0],
-            ],
+            CurveFamily::Log3 => vec![vec![asymptote, gap, 1.0], vec![asymptote, gap * 0.5, 2.0]],
             CurveFamily::Vap3 => {
                 let la = asymptote.max(1.0).ln();
                 vec![vec![la, -1.0, 0.05], vec![la, -0.5, 0.01]]
@@ -190,10 +187,9 @@ impl ParametricCurve for CurveFamily {
                 vec![asymptote, gap, 0.3, 1.0],
                 vec![asymptote, gap, 0.1, 1.5],
             ],
-            CurveFamily::Janoschek3 => vec![
-                vec![asymptote, y_first, 0.2],
-                vec![asymptote, y_first, 0.5],
-            ],
+            CurveFamily::Janoschek3 => {
+                vec![vec![asymptote, y_first, 0.2], vec![asymptote, y_first, 0.5]]
+            }
         }
     }
 

@@ -222,11 +222,7 @@ impl PredictionEngine {
     ///
     /// `train_epoch(e)` is called for `e = 1..=max_epochs`; the loop breaks
     /// as soon as the analyzer converges.
-    pub fn run_training_loop<F>(
-        &mut self,
-        max_epochs: u32,
-        mut train_epoch: F,
-    ) -> PredictionOutcome
+    pub fn run_training_loop<F>(&mut self, max_epochs: u32, mut train_epoch: F) -> PredictionOutcome
     where
         F: FnMut(u32) -> f64,
     {

@@ -223,8 +223,7 @@ fn lm_from_start(
             }
             let mut b = jtr.clone();
             if let Some(step) = solve_dense(&mut a, &mut b, n_params) {
-                let candidate: Vec<f64> =
-                    params.iter().zip(&step).map(|(p, s)| p + s).collect();
+                let candidate: Vec<f64> = params.iter().zip(&step).map(|(p, s)| p + s).collect();
                 if curve.params_valid(&candidate) {
                     let c = sse_of(curve, &candidate, xs, ys, weights.as_deref());
                     if c.is_finite() && c < cost {

@@ -90,7 +90,11 @@ pub fn schedule_fifo(n_gpus: usize, tasks: &[Task], ordering: TaskOrdering) -> S
     let mut assignments = Vec::with_capacity(tasks.len());
     for &ti in &order {
         let task = tasks[ti];
-        assert!(task.duration >= 0.0, "negative duration for task {}", task.id);
+        assert!(
+            task.duration >= 0.0,
+            "negative duration for task {}",
+            task.id
+        );
         // Earliest-free GPU, lowest index on ties.
         let gpu = (0..n_gpus)
             .min_by(|&a, &b| {
@@ -212,7 +216,11 @@ mod tests {
 
     #[test]
     fn no_gpu_runs_two_tasks_at_once() {
-        let r = schedule_fifo(3, &tasks(&[2.0, 3.0, 1.0, 4.0, 2.5, 0.5, 3.5]), TaskOrdering::Fifo);
+        let r = schedule_fifo(
+            3,
+            &tasks(&[2.0, 3.0, 1.0, 4.0, 2.5, 0.5, 3.5]),
+            TaskOrdering::Fifo,
+        );
         for a in &r.assignments {
             for b in &r.assignments {
                 if a.task_id != b.task_id && a.gpu == b.gpu {

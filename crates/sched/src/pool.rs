@@ -98,9 +98,7 @@ mod tests {
     #[test]
     fn results_preserve_submission_order() {
         let pool = GpuPool::new(4);
-        let jobs: Vec<_> = (0..16)
-            .map(|i| move |_w: usize| i * 10)
-            .collect();
+        let jobs: Vec<_> = (0..16).map(|i| move |_w: usize| i * 10).collect();
         let (outs, reports) = pool.run_batch(jobs);
         assert_eq!(outs, (0..16).map(|i| i * 10).collect::<Vec<_>>());
         assert_eq!(reports.len(), 16);

@@ -52,11 +52,23 @@ mod tests {
     fn sample() -> GenerationSchedule {
         let gens = vec![
             vec![
-                Task { id: 0, duration: 2.0 },
-                Task { id: 1, duration: 1.0 },
-                Task { id: 2, duration: 1.5 },
+                Task {
+                    id: 0,
+                    duration: 2.0,
+                },
+                Task {
+                    id: 1,
+                    duration: 1.0,
+                },
+                Task {
+                    id: 2,
+                    duration: 1.5,
+                },
             ],
-            vec![Task { id: 3, duration: 0.5 }],
+            vec![Task {
+                id: 3,
+                duration: 0.5,
+            }],
         ];
         schedule_generations(2, &gens, TaskOrdering::Fifo)
     }
@@ -91,7 +103,9 @@ mod tests {
 
     #[test]
     fn empty_schedule_is_empty_array() {
-        let empty = GenerationSchedule { generations: vec![] };
+        let empty = GenerationSchedule {
+            generations: vec![],
+        };
         let parsed: serde_json::Value = serde_json::from_str(&chrome_trace(&empty)).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 0);
     }

@@ -17,8 +17,11 @@ pub enum BeamIntensity {
 
 impl BeamIntensity {
     /// All intensities in the paper's reporting order.
-    pub const ALL: [BeamIntensity; 3] =
-        [BeamIntensity::Low, BeamIntensity::Medium, BeamIntensity::High];
+    pub const ALL: [BeamIntensity; 3] = [
+        BeamIntensity::Low,
+        BeamIntensity::Medium,
+        BeamIntensity::High,
+    ];
 
     /// Nominal flux in photons/μm²/pulse (§3.1).
     pub fn photons_per_um2(&self) -> f64 {

@@ -40,11 +40,7 @@ impl Conformer {
         let sum: f64 = self
             .atoms
             .iter()
-            .map(|a| {
-                (0..3)
-                    .map(|i| (a[i] - c[i]) * (a[i] - c[i]))
-                    .sum::<f64>()
-            })
+            .map(|a| (0..3).map(|i| (a[i] - c[i]) * (a[i] - c[i])).sum::<f64>())
             .sum();
         (sum / n).sqrt()
     }

@@ -65,8 +65,9 @@ pub fn generate_dataset(
         .into_par_iter()
         .map(|i| {
             let label = i % 2;
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             let orientation = random_rotation(&mut rng);
             let mut intensity =
                 diffraction_intensity(pair.by_label(label), &orientation, det, config.q_step);
@@ -157,7 +158,12 @@ mod tests {
             let img = &with.images[i * stride..(i + 1) * stride];
             // Detector center lies between pixels for even sizes; check
             // the four central pixels.
-            for (y, x) in [(det / 2 - 1, det / 2 - 1), (det / 2 - 1, det / 2), (det / 2, det / 2 - 1), (det / 2, det / 2)] {
+            for (y, x) in [
+                (det / 2 - 1, det / 2 - 1),
+                (det / 2 - 1, det / 2),
+                (det / 2, det / 2 - 1),
+                (det / 2, det / 2),
+            ] {
                 assert_eq!(img[y * det + x], 0.0, "center not blanked in image {i}");
             }
         }
@@ -173,7 +179,10 @@ mod tests {
         let mut count = [0usize; 2];
         for (i, &label) in d.labels.iter().enumerate() {
             count[label] += 1;
-            for (m, &v) in mean[label].iter_mut().zip(&d.images[i * stride..(i + 1) * stride]) {
+            for (m, &v) in mean[label]
+                .iter_mut()
+                .zip(&d.images[i * stride..(i + 1) * stride])
+            {
                 *m += f64::from(v);
             }
         }

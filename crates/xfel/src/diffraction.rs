@@ -175,7 +175,11 @@ mod tests {
         // index round(16.5) — search the max instead of hardcoding.
         let max = img.iter().cloned().fold(0.0, f64::max);
         let n = p.conf_a.atoms.len() as f64;
-        assert!((max - n * n).abs() / (n * n) < 0.05, "max {max} vs N² {}", n * n);
+        assert!(
+            (max - n * n).abs() / (n * n) < 0.05,
+            "max {max} vs N² {}",
+            n * n
+        );
     }
 
     #[test]

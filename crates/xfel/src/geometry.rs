@@ -173,7 +173,8 @@ mod tests {
         let mut octants = [false; 8];
         for _ in 0..512 {
             let v = random_rotation(&mut rng).apply([0.0, 0.0, 1.0]);
-            let idx = usize::from(v[0] > 0.0) << 2 | usize::from(v[1] > 0.0) << 1
+            let idx = usize::from(v[0] > 0.0) << 2
+                | usize::from(v[1] > 0.0) << 1
                 | usize::from(v[2] > 0.0);
             octants[idx] = true;
         }

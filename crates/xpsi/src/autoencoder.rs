@@ -132,7 +132,12 @@ impl Autoencoder {
         let g = self.relu_e.backward(&g);
         let _ = self.enc1.backward(&g);
         let lr = self.config.lr;
-        for layer in [&mut self.enc1, &mut self.enc2, &mut self.dec1, &mut self.dec2] {
+        for layer in [
+            &mut self.enc1,
+            &mut self.enc2,
+            &mut self.dec1,
+            &mut self.dec2,
+        ] {
             layer.visit_params(&mut |p, g| {
                 for (pi, gi) in p.iter_mut().zip(g.iter_mut()) {
                     *pi -= lr * *gi;

@@ -44,7 +44,10 @@ fn main() {
     // Analyzer queries (the paper's notebook workflows).
     let analyzer = Analyzer::new(&loaded);
     println!("analyzer queries:");
-    println!("  mean fitness                : {:.2}%", analyzer.mean_fitness());
+    println!(
+        "  mean fitness                : {:.2}%",
+        analyzer.mean_fitness()
+    );
     println!(
         "  models above 99% fitness    : {}",
         analyzer.find(|r| r.final_fitness > 99.0).len()

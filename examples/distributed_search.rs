@@ -21,7 +21,10 @@ fn main() {
     let beam = BeamIntensity::Medium;
 
     println!("== part 1: simulated cluster scaling (paper configuration) ==\n");
-    println!("{:>5} | {:>12} | {:>10} | {:>12}", "GPUs", "wall time", "speedup", "idle tail");
+    println!(
+        "{:>5} | {:>12} | {:>10} | {:>12}",
+        "GPUs", "wall time", "speedup", "idle tail"
+    );
     let mut base = None;
     for gpus in [1usize, 2, 4, 8] {
         let config = WorkflowConfig::a4nn(beam, gpus, 2023);

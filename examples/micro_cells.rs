@@ -39,7 +39,10 @@ fn main() {
         e.e_pred = 6;
     }
     let budget = 6;
-    println!("evaluating {budget} random cells, up to {} epochs each...", cfg.nas.epochs);
+    println!(
+        "evaluating {budget} random cells, up to {} epochs each...",
+        cfg.nas.epochs
+    );
     let (commons, schedule) = micro_random_search(&cfg, &space, &factory, budget);
 
     let analyzer = Analyzer::new(&commons);

@@ -10,7 +10,9 @@
 //! cargo run --release --example prediction_engine
 //! ```
 
-use a4nn_penguin::{CurveFamily, EngineConfig, ParametricCurve, PredictionEngine, PredictionOutcome};
+use a4nn_penguin::{
+    CurveFamily, EngineConfig, ParametricCurve, PredictionEngine, PredictionOutcome,
+};
 
 fn demo(name: &str, config: EngineConfig, curve: impl Fn(u32) -> f64) {
     let mut engine = PredictionEngine::new(config);

@@ -97,6 +97,10 @@ fn micro_space_end_to_end() {
     for r in &commons.records {
         assert!(r.flops > 0.0);
         assert!(r.epochs_trained() >= 1);
-        assert!(r.arch_summary.contains('|'), "micro summary: {}", r.arch_summary);
+        assert!(
+            r.arch_summary.contains('|'),
+            "micro summary: {}",
+            r.arch_summary
+        );
     }
 }

@@ -7,9 +7,8 @@ use a4nn_sched::{schedule_fifo, Task, TaskOrdering};
 use proptest::prelude::*;
 
 fn arb_genome() -> impl Strategy<Value = Genome> {
-    proptest::collection::vec(any::<bool>(), 21).prop_map(|bits| {
-        Genome::from_bits(&[4, 4, 4], &bits)
-    })
+    proptest::collection::vec(any::<bool>(), 21)
+        .prop_map(|bits| Genome::from_bits(&[4, 4, 4], &bits))
 }
 
 proptest! {

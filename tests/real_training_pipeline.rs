@@ -152,5 +152,8 @@ fn decoded_networks_checkpoint_and_restore() {
     let restored = ModelState::from_bytes(bytes).unwrap();
     let mut net2 = restored.restore(&mut rng);
     let x = Tensor4::zeros(2, 1, 16, 16);
-    assert_eq!(net.forward(&x, false).data(), net2.forward(&x, false).data());
+    assert_eq!(
+        net.forward(&x, false).data(),
+        net2.forward(&x, false).data()
+    );
 }

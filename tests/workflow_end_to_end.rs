@@ -93,7 +93,11 @@ fn multi_gpu_speedup_is_near_linear_with_identical_search() {
             })
             .collect::<Vec<_>>()
     };
-    assert_eq!(strip(&one), strip(&four), "GPU count must not change the search");
+    assert_eq!(
+        strip(&one),
+        strip(&four),
+        "GPU count must not change the search"
+    );
     assert_eq!(one.total_epochs(), four.total_epochs());
     let speedup = one.wall_time_s() / four.wall_time_s();
     assert!(

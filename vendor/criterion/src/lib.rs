@@ -1,0 +1,285 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bench API surface (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`,
+//! `criterion_group!`/`criterion_main!`) over a simple wall-clock
+//! timer: each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a small budget, reporting the mean per-iteration
+//! time. Under `cargo test` (harness invoked with `--test`) every
+//! benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id.label(), 100, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target sample count (influences the iteration budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_bench(&label, self.sample_size, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_bench(
+            &label,
+            self.sample_size,
+            self.criterion.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over repeated iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters_done = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up: a few untimed iterations, also used to estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000)
+        {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters as u32;
+        // Size the timed run to a ~100 ms budget.
+        let budget = Duration::from_millis(100);
+        let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, _sample_size: usize, test_mode: bool, f: &mut F) {
+    let mut bencher = Bencher {
+        test_mode,
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{label}: ok (smoke test)");
+    } else if bencher.iters_done > 0 {
+        let per_iter = bencher.elapsed / bencher.iters_done as u32;
+        println!(
+            "{label}: {} /iter ({} iterations)",
+            format_duration(per_iter),
+            bencher.iters_done
+        );
+    } else {
+        println!("{label}: no iterations recorded");
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("square", |b| b.iter(|| black_box(7u64) * 7));
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &x| {
+            b.iter(|| black_box(x) - 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_api_runs_every_shape() {
+        // Criterion::default() sees the test harness's `--test`-less
+        // argv, so force smoke mode directly.
+        let mut criterion = Criterion { test_mode: true };
+        sample_bench(&mut criterion);
+        criterion.bench_function("standalone", |b| b.iter(|| 1u32 + 1));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).label(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").label(), "p");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+
+    #[test]
+    fn timed_mode_records_iterations() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter(|| black_box(1u64).wrapping_mul(3));
+        assert!(bencher.iters_done >= 1);
+        assert!(bencher.elapsed > Duration::ZERO);
+    }
+}

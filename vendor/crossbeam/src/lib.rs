@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Implements the subset the workspace uses — [`channel`] (MPMC
+//! unbounded/bounded channels) and [`thread`] (scoped spawns whose
+//! closures receive the scope) — on top of `std::sync` and
+//! `std::thread`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,80 @@
+//! Scoped threads mirroring `crossbeam::thread::scope`, whose spawn
+//! closures receive the scope (so they can spawn further threads).
+//!
+//! Built on `std::thread::scope`. One semantic difference from the real
+//! crate: a panicking child thread propagates at scope exit instead of
+//! being collected into the returned `Result`, so `scope(...)` only
+//! returns `Ok` — which the workspace's `.expect(...)` call sites treat
+//! identically.
+
+use std::thread::ScopedJoinHandle;
+
+/// The result type `crossbeam::thread::scope` reports.
+pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// A scope handle passed to spawned closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread within the scope. The closure receives the scope,
+    /// matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Run `f` with a scope in which borrowing threads can be spawned; all
+/// threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(10, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 42).unwrap();
+        assert_eq!(v, 42);
+    }
+}

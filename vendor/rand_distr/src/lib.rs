@@ -1,0 +1,101 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and a
+//! [`Poisson`] sampler (Knuth multiplication for small rates, normal
+//! approximation for large rates).
+
+use rand::{Rng, RngCore};
+
+/// Types that can generate samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl std::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poisson rate must be finite and > 0")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution; `lambda` must be finite and > 0.
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product = 1.0f64;
+            let mut count = 0u64;
+            loop {
+                product *= rng.gen_range(0.0f64..1.0);
+                if product <= limit {
+                    return count as f64;
+                }
+                count += 1;
+            }
+        } else {
+            // Normal approximation N(λ, λ) via Box–Muller, clamped at 0.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0f64..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.lambda + self.lambda.sqrt() * z).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(Poisson::new(3.5).is_ok());
+    }
+
+    #[test]
+    fn small_lambda_mean_is_close() {
+        let dist = Poisson::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn large_lambda_mean_is_close() {
+        let dist = Poisson::new(100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!(samples.iter().all(|&s| s >= 0.0 && s.fract() == 0.0));
+    }
+}

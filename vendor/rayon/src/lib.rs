@@ -1,0 +1,246 @@
+//! Offline stand-in for `rayon`'s data-parallel iterators.
+//!
+//! Items are materialized eagerly (slice chunks, references, or range
+//! values), split into contiguous blocks, and processed by scoped OS
+//! threads — one per block — with results re-joined in block order so
+//! `collect()` preserves input order exactly like upstream rayon's
+//! indexed iterators. No work-stealing; throughput is adequate for the
+//! workspace's coarse-grained chunked workloads.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+fn num_threads(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len)
+        .max(1)
+}
+
+/// Split `items` into at most `parts` contiguous blocks of near-equal
+/// size, preserving order.
+fn split_blocks<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let mut blocks = Vec::with_capacity(parts);
+    let base = len / parts;
+    let extra = len % parts;
+    // Drain from the back so each drain is O(block); reverse at the end.
+    let mut sizes: Vec<usize> = (0..parts).map(|i| base + usize::from(i < extra)).collect();
+    sizes.reverse();
+    for size in sizes {
+        let at = items.len() - size;
+        blocks.push(items.split_off(at));
+    }
+    blocks.reverse();
+    blocks
+}
+
+fn run_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let parts = num_threads(items.len());
+    let blocks = split_blocks(items, parts);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager, indexed parallel iterator over already-materialized items.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IterBridge<T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> IterBridge<(usize, T)> {
+        IterBridge {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily map each item; the mapping runs on the worker threads.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> MapBridge<T, F> {
+        MapBridge {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_map(self.items, &|item| f(item));
+    }
+
+    /// Collect items in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator; applies its closure on worker threads.
+pub struct MapBridge<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapBridge<T, F> {
+    /// Run the map in parallel and collect results in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Run the map in parallel for its side effects.
+    pub fn for_each<U>(self)
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        run_map(self.items, &self.f);
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> IterBridge<&T>;
+
+    /// Parallel iterator over non-overlapping chunks of length `size`
+    /// (last chunk may be shorter).
+    fn par_chunks(&self, size: usize) -> IterBridge<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> IterBridge<&T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, size: usize) -> IterBridge<&[T]> {
+        IterBridge {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of length `size`
+    /// (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> IterBridge<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> IterBridge<&mut [T]> {
+        IterBridge {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Materialize into a parallel iterator.
+    fn into_par_iter(self) -> IterBridge<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_enumerate_map_collect() {
+        let data = [10u32, 20, 30, 40, 50];
+        let out: Vec<(usize, u32)> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v + 1))
+            .collect();
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31), (3, 41), (4, 51)]);
+    }
+
+    #[test]
+    fn par_chunks_map_collect() {
+        let data: Vec<u64> = (0..10).collect();
+        let sums: Vec<u64> = data.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each_writes_all() {
+        let mut data = [0u64; 17];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[16], 5);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let counter = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        Vec::<u8>::new().par_iter().for_each(|_| panic!("no items"));
+    }
+}

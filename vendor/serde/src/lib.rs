@@ -1,0 +1,452 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this
+//! stand-in routes everything through an owned [`Value`] tree (the JSON
+//! data model): [`Serialize`] renders `self` into a `Value`,
+//! [`Deserialize`] reconstructs `Self` from one. The derive macros in
+//! `serde_derive` generate those two methods; `serde_json` is then just
+//! a `Value` ⇄ text codec. Struct fields serialize in declaration
+//! order, enums use external tagging — matching upstream's JSON output
+//! for the subset of shapes this workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null (also the encoding of `Option::None`).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Map with insertion-ordered keys (struct fields keep declaration
+    /// order, which keeps serialized output deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+/// Deserialization failure with a breadcrumb of where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A failure with a custom message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X" type mismatch.
+    pub fn expected(what: &str) -> Self {
+        DeError::new(format!("expected {what}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        DeError::new(format!("missing field `{name}`"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(name: &str) -> Self {
+        DeError::new(format!("unknown variant `{name}`"))
+    }
+
+    /// Prefix the error with the field it occurred under.
+    pub fn at(self, key: &str) -> Self {
+        DeError::new(format!("{key}: {}", self.msg))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Render into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Look up `key` in an object value and deserialize it. A missing key
+/// deserializes from `Null`, which succeeds exactly for `Option`
+/// fields (mirroring upstream's treatment of absent optionals).
+pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == key) {
+            Some((_, field)) => T::from_value(field).map_err(|e| e.at(key)),
+            None => T::from_value(&Value::Null).map_err(|_| DeError::missing_field(key)),
+        },
+        _ => Err(DeError::expected("object")),
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool"))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_u64().ok_or_else(|| DeError::expected(stringify!($t)))?;
+                <$t>::try_from(raw).map_err(|_| DeError::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| DeError::expected(stringify!($t)))?;
+                <$t>::try_from(raw).map_err(|_| DeError::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("f32"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| DeError::expected("fixed-length array"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident . $idx:tt),+) => $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("tuple array"))?;
+                if items.len() != $len {
+                    return Err(DeError::expected(concat!($len, "-element tuple")));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0, B.1) => 2;
+    (A.0, B.1, C.2) => 3;
+    (A.0, B.1, C.2, D.3) => 4;
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: std::fmt::Display,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrips_through_null() {
+        assert_eq!(Some(3u32).to_value(), Value::U64(3));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(9)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn de_field_missing_key_is_none_for_options() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        let missing: Option<f64> = de_field(&obj, "b").unwrap();
+        assert_eq!(missing, None);
+        assert!(de_field::<u64>(&obj, "b").is_err());
+        assert_eq!(de_field::<u64>(&obj, "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn numeric_cross_decoding() {
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+        assert_eq!(u32::from_value(&Value::I64(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let arr = [1.0f64, 2.0, 3.0];
+        let v = arr.to_value();
+        assert_eq!(<[f64; 3]>::from_value(&v).unwrap(), arr);
+        assert!(<[f64; 2]>::from_value(&v).is_err());
+
+        let tup = (1usize, 2usize, 3usize, 4usize);
+        assert_eq!(
+            <(usize, usize, usize, usize)>::from_value(&tup.to_value()).unwrap(),
+            tup
+        );
+    }
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let v = Value::Object(vec![("ph".into(), Value::Str("X".into()))]);
+        assert_eq!(v["ph"], "X");
+        assert_eq!(v["missing"], Value::Null);
+    }
+}

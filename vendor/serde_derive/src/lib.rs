@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the `Value`-based
+//! traits in the sibling `serde` stand-in, without syn or quote: the
+//! input item is parsed directly from its `TokenTree` sequence into a
+//! small shape model (named struct / tuple struct / enum, plus type
+//! parameters and `#[serde(skip)]` markers), and the impl is emitted as
+//! source text and re-parsed into a `TokenStream`.
+//!
+//! Encoding matches upstream serde's JSON conventions for the shapes
+//! this workspace uses: structs as objects in field declaration order,
+//! newtype structs as their inner value, enums externally tagged
+//! (unit variants as strings).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Type-parameter idents (lifetimes and bounds stripped).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    /// Named-field struct: (field name, skip).
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant field names.
+    Struct(Vec<String>),
+}
+
+/// Advance past one attribute (`#` + bracket group), returning whether
+/// it was `#[serde(skip)]`.
+fn eat_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    *i += 1; // '#'
+    let mut is_skip = false;
+    if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    is_skip = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"));
+                }
+            }
+        }
+        *i += 1;
+    }
+    is_skip
+}
+
+/// Parse the `<...>` generic parameter list starting at the opening
+/// angle bracket, returning type/const parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut expect_name = true;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                *i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                *i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expect_name = true;
+                *i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: skip the quote and its ident.
+                expect_name = false;
+                *i += 2;
+            }
+            TokenTree::Ident(id) if depth == 1 && expect_name => {
+                let s = id.to_string();
+                if s != "const" {
+                    params.push(s);
+                    expect_name = false;
+                }
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    params
+}
+
+/// Parse named fields from the tokens of a brace group:
+/// `[attrs] [pub] name : Type ,` repeated.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let mut skip = false;
+        // Attributes (doc comments arrive as #[doc = "..."] too).
+        while matches!(&body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            skip |= eat_attr(body, &mut i);
+        }
+        // Visibility.
+        if matches!(&body.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&body.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate)
+            }
+        }
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        fields.push((name.to_string(), skip));
+        i += 1; // name
+        i += 1; // ':'
+                // Type tokens until a comma at angle depth 0. Groups are atomic
+                // tokens, so only '<'/'>' need explicit depth tracking.
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count comma-separated entries at angle depth 0 in a paren group.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    // Trailing comma.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while matches!(&body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            eat_attr(body, &mut i);
+        }
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let payload = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Payload::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Payload::Struct(
+                    parse_named_fields(&inner)
+                        .into_iter()
+                        .map(|(n, _)| n)
+                        .collect(),
+                )
+            }
+            _ => Payload::Unit,
+        };
+        variants.push(Variant { name, payload });
+        // Skip to past the next comma (also skips discriminants).
+        while i < body.len() {
+            if matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    // Skip attributes and visibility down to the item keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                eat_attr(&tokens, &mut i);
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    is_enum = s == "enum";
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    let generics = if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        parse_generics(&tokens, &mut i)
+    } else {
+        Vec::new()
+    };
+    // Find the body (skipping any where clause).
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break if is_enum {
+                    Kind::Enum(parse_variants(&inner))
+                } else {
+                    Kind::Struct(parse_named_fields(&inner))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break Kind::Tuple(count_tuple_fields(&inner));
+            }
+            Some(_) => i += 1,
+            None => panic!("no struct/enum body found for `{name}`"),
+        }
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// `impl<G: serde::Trait> ... for Name<G>` header pieces.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("<{}>", item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut code =
+                String::from("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+            for (field, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                code.push_str(&format!(
+                    "__fields.push((String::from(\"{field}\"), serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            code.push_str("serde::Value::Object(__fields)");
+            code
+        }
+        Kind::Tuple(1) => String::from("serde::Serialize::to_value(&self.0)"),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::Str(String::from(\"{vname}\")),\n"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::Value::Object(vec![(String::from(\"{vname}\"), serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Object(vec![(String::from(\"{vname}\"), serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Object(vec![(String::from(\"{vname}\"), serde::Value::Object(vec![{}]))]),\n",
+                            fields.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_mut, unused_variables)]\n\
+         impl{impl_generics} serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for (field, skip) in fields {
+                if *skip {
+                    inits.push_str(&format!("{field}: Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!("{field}: serde::de_field(__v, \"{field}\")?,\n"));
+                }
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Kind::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        Kind::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     serde::Value::Array(__items) if __items.len() == {n} => Ok({name}({})),\n\
+                     _ => Err(serde::DeError::expected(\"{n}-element array\")),\n\
+                 }}",
+                gets.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    Payload::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __inner {{\n\
+                                 serde::Value::Array(__items) if __items.len() == {n} => Ok({name}::{vname}({})),\n\
+                                 _ => Err(serde::DeError::expected(\"{n}-element array\")),\n\
+                             }},\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::de_field(__inner, \"{f}\")?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(serde::DeError::unknown_variant(__other)),\n\
+                     }},\n\
+                     serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__tagged[0];\n\
+                         match __tag.as_str() {{\n\
+                             {payload_arms}\
+                             __other => Err(serde::DeError::unknown_variant(__other)),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::DeError::expected(\"externally tagged enum\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl{impl_generics} serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derive `serde::Serialize` (Value-based stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (Value-based stand-in).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

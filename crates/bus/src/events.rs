@@ -43,6 +43,10 @@ pub struct EngineVerdict {
     pub engine_seconds: f64,
     /// Running total of engine interactions for this model.
     pub engine_interactions: u64,
+    /// The engine crashed for this model and will answer no further
+    /// epochs; stats above are frozen at the crash point. The trainer
+    /// must degrade to run-to-completion training.
+    pub retired: bool,
 }
 
 /// The engine advises terminating one model's training early (§2.2's
@@ -77,8 +81,31 @@ pub struct ModelCompleted {
     pub predicted_fitness: Option<f64>,
     /// Whether training was terminated early.
     pub terminated_early: bool,
+    /// Whether the model exhausted its retry budget; the record trail
+    /// carries whatever partial history the final attempt produced.
+    pub failed: bool,
+    /// Training attempts consumed (1 = no retries).
+    pub attempts: u32,
     /// Total training seconds for this model.
     pub train_seconds: f64,
+}
+
+/// One training attempt of one model died (a trainer panic was caught
+/// by the pool). Published *before* the panic resumes so every
+/// subscriber sees the failure ahead of any retry's events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingFailed {
+    /// Model whose attempt failed.
+    pub model_id: u64,
+    /// Generation the model belongs to.
+    pub generation: usize,
+    /// Last epoch the attempt finished before dying (0 = died before
+    /// completing any).
+    pub epoch_reached: u32,
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// Whether the retry policy grants another attempt.
+    pub will_retry: bool,
 }
 
 /// One model's slot in a generation's discrete-event GPU schedule.
@@ -114,6 +141,8 @@ pub enum Event {
     TerminationAdvised(TerminationAdvised),
     /// A model's training finished.
     ModelCompleted(ModelCompleted),
+    /// One training attempt of a model died.
+    TrainingFailed(TrainingFailed),
     /// A generation's GPU schedule is available.
     GenerationScheduled(GenerationScheduled),
 }
@@ -126,6 +155,7 @@ impl Event {
             Event::EngineVerdict(e) => Some(e.model_id),
             Event::TerminationAdvised(e) => Some(e.model_id),
             Event::ModelCompleted(e) => Some(e.model_id),
+            Event::TrainingFailed(e) => Some(e.model_id),
             Event::GenerationScheduled(_) => None,
         }
     }
@@ -137,6 +167,7 @@ impl Event {
             Event::EngineVerdict(_) => "engine-verdict",
             Event::TerminationAdvised(_) => "termination-advised",
             Event::ModelCompleted(_) => "model-completed",
+            Event::TrainingFailed(_) => "training-failed",
             Event::GenerationScheduled(_) => "generation-scheduled",
         }
     }

@@ -31,11 +31,11 @@ pub mod topic;
 
 pub use events::{
     EngineVerdict, EpochCompleted, Event, GenerationScheduled, GpuSlot, ModelCompleted,
-    TerminationAdvised,
+    TerminationAdvised, TrainingFailed,
 };
 pub use services::{
-    BusRunStats, LineageRecorderService, PredictionEngineService, RunStatsAggregator,
-    ENGINE_INBOX_CAPACITY,
+    BusRunStats, EngineFaultHook, LineageRecorderService, PredictionEngineService,
+    RunStatsAggregator, ENGINE_INBOX_CAPACITY,
 };
 pub use topic::{
     Policy, PublishError, RecvError, SubscriberStats, Subscription, Topic, TryRecvError,

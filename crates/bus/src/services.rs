@@ -8,13 +8,20 @@
 //! the [`RunStatsAggregator`] keeps run-level counters.
 
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
-use a4nn_lineage::{EngineParamsRecord, EpochRecord, ModelRecord};
+use a4nn_lineage::{EngineParamsRecord, EpochRecord, ModelRecord, Terminated};
 use a4nn_penguin::{EngineConfig, EngineStats, PredictionEngine};
 
 use crate::events::{EngineVerdict, Event, TerminationAdvised};
 use crate::topic::{Policy, SubscriberStats, Topic};
+
+/// Fault hook for [`PredictionEngineService::spawn_hooked`]: called with
+/// `(model_id, epoch)` before the engine observes the epoch; returning
+/// `true` makes the engine panic there (the panic is injected *before*
+/// the observation, so frozen stats reflect `epoch - 1`).
+pub type EngineFaultHook = Box<dyn Fn(u64, u32) -> bool + Send>;
 
 /// Queue depth of the engine service's inbox; trainers block (the
 /// `Block` policy) once this many epochs are waiting, which is the
@@ -36,37 +43,113 @@ impl PredictionEngineService {
     /// Spawn the service on `topic` with the given engine
     /// configuration (one clone per model).
     pub fn spawn(topic: &Topic<Event>, config: EngineConfig) -> Self {
+        Self::spawn_hooked(topic, config, None)
+    }
+
+    /// [`spawn`](Self::spawn) with an optional fault hook.
+    ///
+    /// Every per-epoch engine interaction runs under `catch_unwind`: a
+    /// panic (injected by `hook` or organic) retires the crashed model's
+    /// engine instead of killing the service. The retired model gets one
+    /// final [`EngineVerdict`] with `retired: true` and stats frozen at
+    /// the crash point; its later epochs are ignored (no verdicts), so a
+    /// degraded trainer must not wait for them. A
+    /// [`Event::TrainingFailed`] clears the model's engine *and* its
+    /// tombstone, so a retry replays the fault plan from epoch 1.
+    pub fn spawn_hooked(
+        topic: &Topic<Event>,
+        config: EngineConfig,
+        hook: Option<EngineFaultHook>,
+    ) -> Self {
         let inbox = topic.subscribe_filtered(
             Policy::Block {
                 capacity: ENGINE_INBOX_CAPACITY,
             },
-            |event| matches!(event, Event::EpochCompleted(_)),
+            |event| matches!(event, Event::EpochCompleted(_) | Event::TrainingFailed(_)),
         );
         let topic = topic.clone();
         let handle = std::thread::spawn(move || {
             let mut engines: HashMap<u64, PredictionEngine> = HashMap::new();
+            // Tombstones of crashed per-model engines, with stats frozen
+            // at the crash point. Folded into the totals only at close —
+            // a tombstone still present then belongs to a model that
+            // completed degraded; a failed attempt's tombstone is
+            // dropped (its replayed retry re-counts from scratch), which
+            // mirrors the direct path's sum over final outcomes.
+            let mut retired: HashMap<u64, EngineStats> = HashMap::new();
             let mut totals = EngineStats::default();
             while let Ok(event) = inbox.recv() {
-                let Event::EpochCompleted(epoch) = event else {
-                    continue;
+                let epoch = match event {
+                    Event::EpochCompleted(e) => e,
+                    Event::TrainingFailed(f) => {
+                        // The attempt's engine state is replayed from
+                        // scratch on retry; its stats never reached a
+                        // completed model, so they don't count.
+                        engines.remove(&f.model_id);
+                        retired.remove(&f.model_id);
+                        continue;
+                    }
+                    _ => continue,
                 };
+                if retired.contains_key(&epoch.model_id) {
+                    continue; // degraded trainer isn't waiting for a verdict
+                }
                 let engine = engines
                     .entry(epoch.model_id)
                     .or_insert_with(|| PredictionEngine::new(config.clone()));
                 // Exactly the direct-path interaction sequence
                 // (core::training), so verdicts are bit-identical.
-                engine.observe(epoch.epoch, epoch.val_acc);
-                let converged = engine.step();
-                let prediction = engine.predictions().last().copied().flatten();
-                let stats = engine.stats();
-                let verdict = Event::EngineVerdict(EngineVerdict {
-                    model_id: epoch.model_id,
-                    epoch: epoch.epoch,
-                    prediction,
-                    converged,
-                    engine_seconds: stats.total_seconds,
-                    engine_interactions: stats.interactions,
-                });
+                let interaction = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(check) = &hook {
+                        assert!(
+                            !check(epoch.model_id, epoch.epoch),
+                            "injected engine fault: model {} epoch {}",
+                            epoch.model_id,
+                            epoch.epoch
+                        );
+                    }
+                    engine.observe(epoch.epoch, epoch.val_acc);
+                    let converged = engine.step();
+                    let prediction = engine.predictions().last().copied().flatten();
+                    (converged, prediction)
+                }));
+                let verdict = match interaction {
+                    Ok((converged, prediction)) => {
+                        let stats = engine.stats();
+                        Event::EngineVerdict(EngineVerdict {
+                            model_id: epoch.model_id,
+                            epoch: epoch.epoch,
+                            prediction,
+                            converged,
+                            engine_seconds: stats.total_seconds,
+                            engine_interactions: stats.interactions,
+                            retired: false,
+                        })
+                    }
+                    Err(_) => {
+                        // Graceful degradation: retire this model's
+                        // engine with stats frozen before the crash
+                        // epoch, tell the trainer, keep serving others.
+                        let crashed = engines
+                            .remove(&epoch.model_id)
+                            .expect("crashed engine was just inserted");
+                        let frozen = crashed.stats();
+                        retired.insert(epoch.model_id, frozen);
+                        Event::EngineVerdict(EngineVerdict {
+                            model_id: epoch.model_id,
+                            epoch: epoch.epoch,
+                            prediction: None,
+                            converged: None,
+                            engine_seconds: frozen.total_seconds,
+                            engine_interactions: frozen.interactions,
+                            retired: true,
+                        })
+                    }
+                };
+                let converged = match &verdict {
+                    Event::EngineVerdict(v) => v.converged,
+                    _ => unreachable!(),
+                };
                 if topic.publish(verdict).is_err() {
                     break; // topic closed mid-drain; no trainer is waiting
                 }
@@ -84,6 +167,9 @@ impl PredictionEngineService {
             }
             for (_, engine) in engines {
                 accumulate(&mut totals, engine.stats());
+            }
+            for (_, frozen) in retired {
+                accumulate(&mut totals, frozen);
             }
             totals
         });
@@ -146,6 +232,17 @@ impl LineageRecorderService {
                     Event::ModelCompleted(m) => {
                         completed.insert(m.model_id, m);
                     }
+                    Event::TrainingFailed(f) => {
+                        if f.will_retry {
+                            // The retry replays from epoch 1; drop the
+                            // dead attempt's partial trail so the record
+                            // holds only the surviving attempt's epochs.
+                            epochs.remove(&f.model_id);
+                            predictions.retain(|(model, _), _| *model != f.model_id);
+                        }
+                        // No retry left: keep the partial trail — the
+                        // Failed record carries it.
+                    }
                     Event::GenerationScheduled(g) => {
                         for slot in g.assignments {
                             gpus.insert(slot.model_id, slot.gpu);
@@ -175,7 +272,14 @@ impl LineageRecorderService {
                         epochs: trail,
                         final_fitness: m.final_fitness,
                         predicted_fitness: m.predicted_fitness,
-                        terminated_early: m.terminated_early,
+                        termination: if m.failed {
+                            Terminated::Failed
+                        } else if m.terminated_early {
+                            Terminated::Early
+                        } else {
+                            Terminated::Completed
+                        },
+                        attempts: m.attempts,
                         beam: beam.clone(),
                         wall_time_s: m.train_seconds,
                     }
@@ -205,6 +309,8 @@ pub struct BusRunStats {
     pub terminations_advised: u64,
     /// Models whose training completed.
     pub models_completed: u64,
+    /// Training attempts that died (caught panics), over all models.
+    pub training_failures: u64,
     /// Generations scheduled.
     pub generations_scheduled: u64,
     /// Busy seconds per virtual GPU, summed over the run's schedules.
@@ -230,6 +336,7 @@ impl RunStatsAggregator {
                     Event::EngineVerdict(_) => stats.engine_interactions += 1,
                     Event::TerminationAdvised(_) => stats.terminations_advised += 1,
                     Event::ModelCompleted(_) => stats.models_completed += 1,
+                    Event::TrainingFailed(_) => stats.training_failures += 1,
                     Event::GenerationScheduled(g) => {
                         stats.generations_scheduled += 1;
                         for slot in &g.assignments {
@@ -331,6 +438,7 @@ mod tests {
                     converged: None,
                     engine_seconds: 0.01,
                     engine_interactions: 3,
+                    retired: false,
                 }))
                 .unwrap();
             topic
@@ -343,6 +451,8 @@ mod tests {
                     final_fitness: 53.0,
                     predicted_fitness: None,
                     terminated_early: false,
+                    failed: false,
+                    attempts: 1,
                     train_seconds: 6.0,
                 }))
                 .unwrap();
@@ -378,6 +488,133 @@ mod tests {
         assert_eq!(records[0].epochs[0].prediction, None);
         assert_eq!(records[0].engine.as_ref().unwrap().function, "exp-base");
         assert_eq!(records[0].beam, "medium");
+    }
+
+    #[test]
+    fn engine_service_survives_injected_crash() {
+        let topic: Topic<Event> = Topic::new("a4nn");
+        let verdicts =
+            topic.subscribe_filtered(Policy::Unbounded, |e| matches!(e, Event::EngineVerdict(_)));
+        let service = PredictionEngineService::spawn_hooked(
+            &topic,
+            EngineConfig::paper_defaults(),
+            Some(Box::new(|model, epoch| model == 7 && epoch == 3)),
+        );
+
+        for e in 1..=2u32 {
+            topic.publish(epoch(7, e, 40.0 + f64::from(e))).unwrap();
+            let Ok(Event::EngineVerdict(v)) = verdicts.recv() else {
+                panic!("expected a verdict");
+            };
+            assert!(!v.retired);
+            assert_eq!(v.engine_interactions, u64::from(e));
+        }
+        // Epoch 3 crashes the engine: one retired verdict, stats frozen
+        // at epoch 2 (the crash fires before the observation).
+        topic.publish(epoch(7, 3, 43.0)).unwrap();
+        let Ok(Event::EngineVerdict(v)) = verdicts.recv() else {
+            panic!("expected the retired verdict");
+        };
+        assert!(v.retired);
+        assert_eq!(v.epoch, 3);
+        assert_eq!(v.engine_interactions, 2);
+        assert_eq!(v.converged, None);
+        // Later epochs of the crashed model get no verdict; other
+        // models keep full service.
+        topic.publish(epoch(7, 4, 44.0)).unwrap();
+        topic.publish(epoch(8, 1, 50.0)).unwrap();
+        let Ok(Event::EngineVerdict(v)) = verdicts.recv() else {
+            panic!("expected a verdict for the healthy model");
+        };
+        assert_eq!(v.model_id, 8);
+        assert!(!v.retired);
+        topic.close();
+        // Run totals still include the crashed model's frozen stats
+        // (the model completed, degraded) plus model 8's one epoch.
+        assert_eq!(service.join().interactions, 3);
+    }
+
+    #[test]
+    fn recorder_handles_retries_and_failures() {
+        let topic: Topic<Event> = Topic::new("a4nn");
+        let recorder = LineageRecorderService::spawn(&topic, None, "low".into());
+        let genome = Genome::from_compact_string("1011010-0110101-0000001").unwrap();
+
+        // Model 5: first attempt dies after 2 epochs, retry completes.
+        for e in 1..=2u32 {
+            topic.publish(epoch(5, e, 50.0 + f64::from(e))).unwrap();
+        }
+        topic
+            .publish(Event::TrainingFailed(crate::events::TrainingFailed {
+                model_id: 5,
+                generation: 0,
+                epoch_reached: 2,
+                attempt: 1,
+                will_retry: true,
+            }))
+            .unwrap();
+        for e in 1..=3u32 {
+            topic.publish(epoch(5, e, 50.0 + f64::from(e))).unwrap();
+        }
+        topic
+            .publish(Event::ModelCompleted(ModelCompleted {
+                model_id: 5,
+                generation: 0,
+                genome: genome.clone(),
+                arch_summary: "3 phases".into(),
+                flops: 500.0,
+                final_fitness: 53.0,
+                predicted_fitness: None,
+                terminated_early: false,
+                failed: false,
+                attempts: 2,
+                train_seconds: 6.0,
+            }))
+            .unwrap();
+
+        // Model 6: exhausts its retries; the partial trail survives.
+        for e in 1..=2u32 {
+            topic.publish(epoch(6, e, 40.0 + f64::from(e))).unwrap();
+        }
+        topic
+            .publish(Event::TrainingFailed(crate::events::TrainingFailed {
+                model_id: 6,
+                generation: 0,
+                epoch_reached: 2,
+                attempt: 3,
+                will_retry: false,
+            }))
+            .unwrap();
+        topic
+            .publish(Event::ModelCompleted(ModelCompleted {
+                model_id: 6,
+                generation: 0,
+                genome,
+                arch_summary: "3 phases".into(),
+                flops: 500.0,
+                final_fitness: 0.0,
+                predicted_fitness: None,
+                terminated_early: false,
+                failed: true,
+                attempts: 3,
+                train_seconds: 4.0,
+            }))
+            .unwrap();
+        topic.close();
+
+        let records = recorder.join();
+        assert_eq!(records.len(), 2);
+        let recovered = &records[0];
+        assert_eq!(recovered.model_id, 5);
+        assert_eq!(recovered.epochs.len(), 3, "dead attempt's trail dropped");
+        assert_eq!(recovered.termination, Terminated::Completed);
+        assert_eq!(recovered.attempts, 2);
+        let failed = &records[1];
+        assert_eq!(failed.model_id, 6);
+        assert_eq!(failed.epochs.len(), 2, "partial trail kept");
+        assert_eq!(failed.termination, Terminated::Failed);
+        assert!(failed.failed());
+        assert_eq!(failed.attempts, 3);
     }
 
     #[test]

@@ -33,6 +33,8 @@ search/baseline options (paper Table 2 defaults):
   --generations <n>          generations               [10]
   --epochs <n>               epoch budget per network  [25]
   --orchestration <mode>     direct|bus task coupling  [direct]
+  --max-retries <n>          retries per model after a crashed
+                             training attempt          [2]
   --real                     train for real on the CPU substrate
   --images <n>               images per class for --real / xpsi / dataset [100]
 
@@ -119,6 +121,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--generations",
     "--epochs",
     "--orchestration",
+    "--max-retries",
     "--images",
     "--function",
     "--e-pred",

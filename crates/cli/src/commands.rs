@@ -109,6 +109,8 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
         Orchestration::Direct,
         "orchestration (direct|bus)",
     )?;
+    let retries = parsed.get_parse("--max-retries", 2u32, "u32")?;
+    let tolerance = FaultTolerance::new(RetryPolicy::with_retries(retries), FaultPlan::none());
     let workflow = A4nnWorkflow::new(config.clone());
     let output = if parsed.flag("--real") {
         let images = parsed.get_parse("--images", 100usize, "usize")?;
@@ -125,10 +127,10 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             Arc::new(test),
             TrainingHyperparams::default(),
         );
-        workflow.run_with(&factory, orchestration)
+        workflow.run_resilient(&factory, None, orchestration, &tolerance)
     } else {
         let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
-        workflow.run_with(&factory, orchestration)
+        workflow.run_resilient(&factory, None, orchestration, &tolerance)
     };
 
     let analyzer = Analyzer::new(&output.commons);
@@ -144,6 +146,14 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             "engine: {:.0}% of models terminated early; overhead {:.3}s total",
             100.0 * analyzer.early_termination_rate(),
             output.engine_seconds
+        );
+    }
+    if !output.fault_stats.is_quiet() {
+        println!(
+            "faults: {} retries consumed; {} models recovered, {} failed terminally",
+            output.fault_stats.retries,
+            output.fault_stats.models_recovered,
+            output.fault_stats.models_failed
         );
     }
     if let Some(stats) = &output.bus_stats {

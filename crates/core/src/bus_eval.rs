@@ -8,17 +8,29 @@
 //! blocks on — the same synchronous per-epoch hand-off as Algorithm 1,
 //! just routed through communicators — so the search trajectory and the
 //! record trails are identical to the direct path.
+//!
+//! Fault tolerance: attempts run under the pool's `catch_unwind`; a
+//! dying attempt publishes [`TrainingFailed`] *before* it unwinds, so
+//! the engine and recorder services discard its partial state ahead of
+//! any retry's events. A trainer that receives a `retired` verdict (the
+//! engine crashed for its model) — or whose verdict subscription dies
+//! outright — degrades to run-to-completion training instead of
+//! deadlocking.
 
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
+use crate::fault::{generation_schedule, FaultTolerance};
 use crate::trainer::TrainerFactory;
 use crate::training::TrainingOutcome;
 use a4nn_bus::{
     EpochCompleted, Event, GenerationScheduled, GpuSlot, ModelCompleted, Policy, Topic,
+    TrainingFailed,
 };
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::EpochRecord;
-use a4nn_sched::{schedule_fifo, GpuPool, ScheduleResult, Task, TaskOrdering};
+use a4nn_sched::{GpuPool, ScheduleResult};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Result of evaluating one generation over the bus. Record trails are
 /// not assembled here — the lineage recorder service folds them from
@@ -28,6 +40,17 @@ pub struct BusBatchResult {
     pub outcomes: Vec<(TrainingOutcome, f64)>,
     /// The generation's cluster schedule.
     pub schedule: ScheduleResult,
+}
+
+/// What a dying or dead attempt leaves behind for the failure
+/// bookkeeping: the final attempt's partial trail plus the simulated
+/// seconds every failed attempt consumed.
+#[derive(Debug, Default)]
+struct Partial {
+    epochs: Vec<EpochRecord>,
+    train_seconds: f64,
+    flops: f64,
+    failed_attempt_seconds: Vec<f64>,
 }
 
 /// Train `genomes` as one generation with every trainer publishing to
@@ -44,14 +67,45 @@ pub fn evaluate_generation_bus(
     checkpoints: Option<&CheckpointStore>,
     topic: &Topic<Event>,
 ) -> BusBatchResult {
+    evaluate_generation_bus_resilient(
+        cfg,
+        space,
+        factory,
+        genomes,
+        generation,
+        base_id,
+        checkpoints,
+        topic,
+        &FaultTolerance::default(),
+    )
+}
+
+/// [`evaluate_generation_bus`] under a [`FaultTolerance`]: the pool
+/// requeues panicked attempts per the retry policy, and models that
+/// exhaust their budget surface as failed outcomes (and failed
+/// `ModelCompleted` events) carrying their final partial trail.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_generation_bus_resilient(
+    cfg: &WorkflowConfig,
+    space: &SearchSpace,
+    factory: &dyn TrainerFactory,
+    genomes: &[Genome],
+    generation: usize,
+    base_id: u64,
+    checkpoints: Option<&CheckpointStore>,
+    topic: &Topic<Event>,
+    ft: &FaultTolerance,
+) -> BusBatchResult {
     let engine_enabled = cfg.engine.is_some();
+    let partials: Mutex<HashMap<u64, Partial>> = Mutex::new(HashMap::new());
     let jobs: Vec<_> = genomes
         .iter()
         .enumerate()
         .map(|(k, genome)| {
             let model_id = base_id + k as u64;
             let topic = topic.clone();
-            move |_worker: usize| {
+            let partials = &partials;
+            move |_worker: usize, attempt: u32| {
                 train_over_bus(
                     cfg,
                     factory,
@@ -61,23 +115,55 @@ pub fn evaluate_generation_bus(
                     engine_enabled,
                     checkpoints,
                     &topic,
+                    ft,
+                    attempt,
+                    partials,
                 )
             }
         })
         .collect();
-    let (outcomes, _reports) = GpuPool::new(cfg.gpus).run_batch(jobs);
+    let batch = GpuPool::new(cfg.gpus).run_batch_retry(jobs, &ft.retry);
 
-    // Post-hoc discrete-event schedule over simulated durations, exactly
-    // as in the direct path (engine wall overhead stays out of it).
-    let tasks: Vec<Task> = outcomes
-        .iter()
+    let mut partials = partials.into_inner().expect("no poisoned partials");
+    let outcomes: Vec<(TrainingOutcome, f64)> = batch
+        .outputs
+        .into_iter()
         .enumerate()
-        .map(|(k, (outcome, _))| Task {
-            id: base_id + k as u64,
-            duration: outcome.train_seconds,
+        .map(|(k, output)| {
+            let model_id = base_id + k as u64;
+            let attempts = batch.reports[k].attempts;
+            let partial = partials.remove(&model_id).unwrap_or_default();
+            match output {
+                Some((mut outcome, flops)) => {
+                    outcome.attempts = attempts;
+                    outcome.failed_attempt_seconds = partial.failed_attempt_seconds;
+                    (outcome, flops)
+                }
+                None => {
+                    // Every attempt died: a failed outcome from the final
+                    // attempt's partial trail, mirroring the direct path.
+                    let outcome = TrainingOutcome {
+                        epochs: partial.epochs,
+                        final_fitness: 0.0,
+                        predicted_fitness: None,
+                        terminated_early: false,
+                        failed: true,
+                        attempts,
+                        failed_attempt_seconds: partial.failed_attempt_seconds,
+                        train_seconds: partial.train_seconds,
+                        engine_seconds: 0.0,
+                        engine_interactions: 0,
+                    };
+                    (outcome, partial.flops)
+                }
+            }
         })
         .collect();
-    let schedule = schedule_fifo(cfg.gpus, &tasks, TaskOrdering::Fifo);
+
+    // Post-hoc discrete-event schedule over simulated durations, exactly
+    // as in the direct path (engine wall overhead stays out of it;
+    // failed attempts are charged to the GPUs).
+    let schedule = generation_schedule(cfg.gpus, base_id, &outcomes, &ft.retry);
 
     for (k, (genome, (outcome, flops))) in genomes.iter().zip(&outcomes).enumerate() {
         let event = Event::ModelCompleted(ModelCompleted {
@@ -89,6 +175,8 @@ pub fn evaluate_generation_bus(
             final_fitness: outcome.final_fitness,
             predicted_fitness: outcome.predicted_fitness,
             terminated_early: outcome.terminated_early,
+            failed: outcome.failed,
+            attempts: outcome.attempts,
             train_seconds: outcome.train_seconds,
         });
         topic.publish(event).expect("bus closed mid-run");
@@ -112,8 +200,12 @@ pub fn evaluate_generation_bus(
     BusBatchResult { outcomes, schedule }
 }
 
-/// Algorithm 1 with the engine across the bus: publish the epoch, block
-/// on the engine service's verdict, terminate early on convergence.
+/// One attempt of Algorithm 1 with the engine across the bus: publish
+/// the epoch, block on the engine service's verdict, terminate early on
+/// convergence. Injected trainer faults record their partial progress
+/// and announce [`TrainingFailed`] before panicking out to the pool; a
+/// `retired` verdict (or a dead verdict stream) degrades the rest of the
+/// attempt to run-to-completion training.
 #[allow(clippy::too_many_arguments)]
 fn train_over_bus(
     cfg: &WorkflowConfig,
@@ -124,17 +216,21 @@ fn train_over_bus(
     engine_enabled: bool,
     checkpoints: Option<&CheckpointStore>,
     topic: &Topic<Event>,
+    ft: &FaultTolerance,
+    attempt: u32,
+    partials: &Mutex<HashMap<u64, Partial>>,
 ) -> (TrainingOutcome, f64) {
     // Subscribe to this model's verdicts before the first publish so no
     // reply can be missed. Capacity 1 suffices: the hand-off is
     // strictly request/reply, one verdict in flight per model.
-    let verdicts = engine_enabled.then(|| {
+    let mut verdicts = engine_enabled.then(|| {
         topic.subscribe_filtered(
             Policy::Block { capacity: 1 },
             move |event| matches!(event, Event::EngineVerdict(v) if v.model_id == model_id),
         )
     });
     let mut trainer = factory.make(genome, model_id, cfg.seed);
+    let flops = trainer.flops();
     let max_epochs = cfg.nas.epochs;
     let mut epochs = Vec::with_capacity(max_epochs as usize);
     let mut train_seconds = 0.0;
@@ -145,6 +241,36 @@ fn train_over_bus(
     let mut engine_interactions = 0u64;
 
     for e in 1..=max_epochs {
+        let stall = ft.plan.stall_millis(model_id, e);
+        if stall > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(stall));
+        }
+        if ft.plan.panic_due(model_id, e, attempt) {
+            let will_retry = attempt < ft.retry.max_attempts.max(1);
+            {
+                let mut map = partials.lock().expect("no poisoned partials");
+                let partial = map.entry(model_id).or_default();
+                partial.flops = flops;
+                if will_retry {
+                    partial.failed_attempt_seconds.push(train_seconds);
+                } else {
+                    partial.epochs = std::mem::take(&mut epochs);
+                    partial.train_seconds = train_seconds;
+                }
+            }
+            // Announce the failure before unwinding so every subscriber
+            // sees it ahead of any retry's events.
+            topic
+                .publish(Event::TrainingFailed(TrainingFailed {
+                    model_id,
+                    generation,
+                    epoch_reached: e - 1,
+                    attempt,
+                    will_retry,
+                }))
+                .expect("bus closed mid-run");
+            panic!("injected trainer fault: model {model_id} epoch {e} attempt {attempt}");
+        }
         let result = trainer.train_epoch(e);
         if let Some(store) = checkpoints {
             if let Some(state) = trainer.snapshot(e) {
@@ -165,14 +291,25 @@ fn train_over_bus(
             .expect("bus closed mid-run");
         let mut prediction = None;
         let mut converged = None;
-        if let Some(verdicts) = &verdicts {
-            let Ok(Event::EngineVerdict(v)) = verdicts.recv() else {
-                panic!("engine service went away mid-run");
-            };
-            prediction = v.prediction;
-            converged = v.converged;
-            engine_seconds = v.engine_seconds;
-            engine_interactions = v.engine_interactions;
+        if let Some(stream) = verdicts.take() {
+            match stream.recv() {
+                Ok(Event::EngineVerdict(v)) if v.retired => {
+                    // The engine crashed for this model; keep its frozen
+                    // stats and run the remaining epochs without it.
+                    engine_seconds = v.engine_seconds;
+                    engine_interactions = v.engine_interactions;
+                }
+                Ok(Event::EngineVerdict(v)) => {
+                    prediction = v.prediction;
+                    converged = v.converged;
+                    engine_seconds = v.engine_seconds;
+                    engine_interactions = v.engine_interactions;
+                    verdicts = Some(stream);
+                }
+                // The engine service itself died: degrade to
+                // run-to-completion instead of deadlocking.
+                _ => {}
+            }
         }
         epochs.push(EpochRecord {
             epoch: e,
@@ -188,13 +325,15 @@ fn train_over_bus(
             break;
         }
     }
-    let flops = trainer.flops();
     (
         TrainingOutcome {
             epochs,
             final_fitness,
             predicted_fitness,
             terminated_early,
+            failed: false,
+            attempts: attempt,
+            failed_attempt_seconds: Vec::new(),
             train_seconds,
             engine_seconds,
             engine_interactions,

@@ -12,6 +12,7 @@
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
 use crate::eval::evaluate_generation;
+use crate::fault::FaultStats;
 use crate::trainer::TrainerFactory;
 use crate::workflow::RunOutput;
 use a4nn_genome::Genome;
@@ -79,6 +80,7 @@ impl RandomSearchWorkflow {
             schedules.push(batch.schedule);
             next_id += count as u64;
         }
+        let fault_stats = FaultStats::from_records(&records);
         RunOutput {
             commons: DataCommons::new(records),
             schedule: GenerationSchedule {
@@ -88,6 +90,7 @@ impl RandomSearchWorkflow {
             engine_seconds,
             engine_interactions,
             bus_stats: None,
+            fault_stats,
         }
     }
 }
@@ -185,6 +188,7 @@ impl AgingEvolutionWorkflow {
             schedules.push(batch.schedule);
             next_id += genomes.len() as u64;
         }
+        let fault_stats = FaultStats::from_records(&records);
         RunOutput {
             commons: DataCommons::new(records),
             schedule: GenerationSchedule {
@@ -194,6 +198,7 @@ impl AgingEvolutionWorkflow {
             engine_seconds,
             engine_interactions,
             bus_stats: None,
+            fault_stats,
         }
     }
 }

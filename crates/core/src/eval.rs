@@ -5,12 +5,13 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
+use crate::fault::{generation_schedule, train_resilient_direct, FaultTolerance};
 use crate::trainer::TrainerFactory;
-use crate::training::{train_with_engine_checkpointed, TrainingOutcome};
+use crate::training::TrainingOutcome;
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::{EngineParamsRecord, ModelRecord};
 use a4nn_penguin::ParametricCurve;
-use a4nn_sched::{schedule_fifo, ScheduleResult, Task, TaskOrdering};
+use a4nn_sched::ScheduleResult;
 use rayon::prelude::*;
 
 /// Result of evaluating one generation batch.
@@ -47,36 +48,47 @@ pub fn evaluate_generation(
     base_id: u64,
     checkpoints: Option<&CheckpointStore>,
 ) -> BatchResult {
-    let engine_cfg = cfg.engine.clone();
+    evaluate_generation_resilient(
+        cfg,
+        space,
+        factory,
+        genomes,
+        generation,
+        base_id,
+        checkpoints,
+        &FaultTolerance::default(),
+    )
+}
+
+/// [`evaluate_generation`] under a [`FaultTolerance`]: each model trains
+/// under `catch_unwind` with the retry policy's attempt budget, injected
+/// faults come from the deterministic plan, and failed models survive as
+/// `Terminated::Failed` records instead of poisoning the batch.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_generation_resilient(
+    cfg: &WorkflowConfig,
+    space: &SearchSpace,
+    factory: &dyn TrainerFactory,
+    genomes: &[Genome],
+    generation: usize,
+    base_id: u64,
+    checkpoints: Option<&CheckpointStore>,
+    ft: &FaultTolerance,
+) -> BatchResult {
     let outcomes: Vec<(TrainingOutcome, f64)> = genomes
         .par_iter()
         .enumerate()
         .map(|(k, genome)| {
             let model_id = base_id + k as u64;
-            let mut trainer = factory.make(genome, model_id, cfg.seed);
-            let outcome = train_with_engine_checkpointed(
-                trainer.as_mut(),
-                engine_cfg.as_ref(),
-                cfg.nas.epochs,
-                checkpoints.map(|store| (store, model_id)),
-            );
-            let flops = trainer.flops();
-            (outcome, flops)
+            train_resilient_direct(cfg, factory, genome, model_id, checkpoints, ft)
         })
         .collect();
 
     // Engine overhead is measured wall time and reported separately
     // (§4.3.1 finds it negligible); folding it into simulated durations
-    // would make runs non-reproducible.
-    let tasks: Vec<Task> = outcomes
-        .iter()
-        .enumerate()
-        .map(|(k, (outcome, _))| Task {
-            id: base_id + k as u64,
-            duration: outcome.train_seconds,
-        })
-        .collect();
-    let schedule = schedule_fifo(cfg.gpus, &tasks, TaskOrdering::Fifo);
+    // would make runs non-reproducible. Failed attempts, on the other
+    // hand, are simulated time and are charged to the GPUs.
+    let schedule = generation_schedule(cfg.gpus, base_id, &outcomes, &ft.retry);
 
     let engine_record = engine_params_record(cfg);
     let records: Vec<ModelRecord> = genomes
@@ -85,9 +97,12 @@ pub fn evaluate_generation(
         .enumerate()
         .map(|(k, (genome, (outcome, flops)))| {
             let model_id = base_id + k as u64;
+            // With retries the schedule holds one slot per attempt; the
+            // model's placement is its final attempt's GPU.
             let gpu = schedule
                 .assignments
                 .iter()
+                .rev()
                 .find(|a| a.task_id == model_id)
                 .map(|a| a.gpu);
             let arch = space.decode(genome);
@@ -102,7 +117,8 @@ pub fn evaluate_generation(
                 epochs: outcome.epochs.clone(),
                 final_fitness: outcome.final_fitness,
                 predicted_fitness: outcome.predicted_fitness,
-                terminated_early: outcome.terminated_early,
+                termination: outcome.termination(),
+                attempts: outcome.attempts,
                 beam: cfg.beam.label().to_string(),
                 wall_time_s: outcome.train_seconds,
             }

@@ -44,6 +44,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod drivers;
 pub mod eval;
+pub mod fault;
 pub mod micro;
 pub mod real;
 pub mod surrogate;
@@ -52,27 +53,34 @@ pub mod training;
 pub mod workflow;
 
 pub use bridge::netspec_from_arch;
-pub use bus_eval::{evaluate_generation_bus, BusBatchResult};
+pub use bus_eval::{evaluate_generation_bus, evaluate_generation_bus_resilient, BusBatchResult};
 pub use checkpoint::CheckpointStore;
 pub use config::{NasSettings, WorkflowConfig};
 pub use drivers::{AgingEvolutionWorkflow, RandomSearchWorkflow};
+pub use eval::{evaluate_generation, evaluate_generation_resilient, BatchResult};
+pub use fault::{FaultStats, FaultTolerance};
 pub use micro::{micro_netspec, micro_random_search, MicroTrainerFactory};
 pub use real::{RealTrainerFactory, TrainingHyperparams};
 pub use surrogate::{SurrogateFactory, SurrogateParams};
 pub use trainer::{EpochResult, Trainer, TrainerFactory};
-pub use training::{train_with_engine, train_with_engine_checkpointed, TrainingOutcome};
+pub use training::{
+    train_with_engine, train_with_engine_checkpointed, train_with_engine_fallible, AttemptProgress,
+    TrainingOutcome,
+};
 pub use workflow::{A4nnWorkflow, Orchestration, RunOutput};
 
 /// Convenience re-exports, including the satellite crates' key types.
 pub mod prelude {
     pub use crate::{
         netspec_from_arch, train_with_engine, A4nnWorkflow, CheckpointStore, EpochResult,
-        NasSettings, Orchestration, RealTrainerFactory, RunOutput, SurrogateFactory,
-        SurrogateParams, Trainer, TrainerFactory, TrainingHyperparams, TrainingOutcome,
-        WorkflowConfig,
+        FaultStats, FaultTolerance, NasSettings, Orchestration, RealTrainerFactory, RunOutput,
+        SurrogateFactory, SurrogateParams, Trainer, TrainerFactory, TrainingHyperparams,
+        TrainingOutcome, WorkflowConfig,
     };
+    pub use a4nn_faults::{ChaosSpec, FaultEvent, FaultPlan};
     pub use a4nn_genome::{Genome, SearchSpace};
-    pub use a4nn_lineage::{Analyzer, DataCommons, ModelRecord};
+    pub use a4nn_lineage::{Analyzer, DataCommons, ModelRecord, Terminated};
     pub use a4nn_penguin::{CurveFamily, EngineConfig, PredictionEngine};
+    pub use a4nn_sched::RetryPolicy;
     pub use a4nn_xfel::{BeamIntensity, XfelConfig};
 }

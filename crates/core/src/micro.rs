@@ -162,7 +162,8 @@ pub fn micro_random_search(
             epochs: outcome.epochs.clone(),
             final_fitness: outcome.final_fitness,
             predicted_fitness: outcome.predicted_fitness,
-            terminated_early: outcome.terminated_early,
+            termination: outcome.termination(),
+            attempts: outcome.attempts,
             beam: cfg.beam.label().to_string(),
             wall_time_s: outcome.train_seconds,
         });

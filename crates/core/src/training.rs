@@ -9,8 +9,10 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::trainer::Trainer;
-use a4nn_lineage::EpochRecord;
+use a4nn_faults::FaultPlan;
+use a4nn_lineage::{EpochRecord, Terminated};
 use a4nn_penguin::{EngineConfig, PredictionEngine};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Everything Algorithm 1 produces for one network.
 #[derive(Debug, Clone)]
@@ -24,7 +26,16 @@ pub struct TrainingOutcome {
     pub predicted_fitness: Option<f64>,
     /// Whether the engine terminated training early.
     pub terminated_early: bool,
-    /// Sum of epoch durations (training cost in seconds).
+    /// Whether the model exhausted its retry budget; `epochs` then holds
+    /// the final attempt's partial trail and `final_fitness` is 0.
+    pub failed: bool,
+    /// Training attempts consumed (1 = no retries were needed).
+    pub attempts: u32,
+    /// Simulated seconds of every attempt before the final one, in
+    /// order — what the retry-aware scheduler charges to the GPUs.
+    pub failed_attempt_seconds: Vec<f64>,
+    /// Sum of epoch durations of the final attempt (training cost in
+    /// seconds).
     pub train_seconds: f64,
     /// Wall seconds spent inside the prediction engine (its overhead,
     /// §4.3.1).
@@ -38,6 +49,28 @@ impl TrainingOutcome {
     pub fn epochs_trained(&self) -> u32 {
         self.epochs.len() as u32
     }
+
+    /// How this training ended, as the lineage record trail reports it.
+    pub fn termination(&self) -> Terminated {
+        if self.failed {
+            Terminated::Failed
+        } else if self.terminated_early {
+            Terminated::Early
+        } else {
+            Terminated::Completed
+        }
+    }
+}
+
+/// Mutable progress of one training attempt, owned by the caller so a
+/// caught panic leaves the partial epoch trail and its accumulated
+/// simulated seconds behind for the retry/failure bookkeeping.
+#[derive(Debug, Default)]
+pub struct AttemptProgress {
+    /// Epoch records completed before the attempt ended (or died).
+    pub epochs: Vec<EpochRecord>,
+    /// Simulated seconds accumulated by those epochs.
+    pub train_seconds: f64,
 }
 
 /// Run Algorithm 1 over `trainer` for at most `max_epochs` epochs.
@@ -60,30 +93,87 @@ pub fn train_with_engine_checkpointed(
     max_epochs: u32,
     checkpoints: Option<(&CheckpointStore, u64)>,
 ) -> TrainingOutcome {
+    let mut progress = AttemptProgress::default();
+    train_with_engine_fallible(
+        trainer,
+        engine_config,
+        max_epochs,
+        checkpoints,
+        None,
+        &mut progress,
+    )
+}
+
+/// One fallible attempt of Algorithm 1 with fault injection.
+///
+/// `faults = Some((plan, model_id, attempt))` arms the plan's injection
+/// sites for this model/attempt; `None` (or an empty plan) runs the exact
+/// happy-path loop of [`train_with_engine_checkpointed`]. An injected
+/// trainer fault panics out of this function after `progress` has been
+/// updated, so the caller's `catch_unwind` still sees the partial trail.
+/// An injected engine crash is caught *here*: the engine is dropped with
+/// its stats frozen at the previous epoch and training degrades to
+/// run-to-completion — the same protocol the bus engine service follows.
+pub fn train_with_engine_fallible(
+    trainer: &mut dyn Trainer,
+    engine_config: Option<&EngineConfig>,
+    max_epochs: u32,
+    checkpoints: Option<(&CheckpointStore, u64)>,
+    faults: Option<(&FaultPlan, u64, u32)>,
+    progress: &mut AttemptProgress,
+) -> TrainingOutcome {
     let mut engine = engine_config.map(|cfg| PredictionEngine::new(cfg.clone()));
-    let mut epochs = Vec::with_capacity(max_epochs as usize);
-    let mut train_seconds = 0.0;
+    let mut frozen = (0.0, 0u64);
     let mut final_fitness = 0.0;
     let mut predicted_fitness = None;
     let mut terminated_early = false;
 
     for e in 1..=max_epochs {
+        if let Some((plan, model_id, attempt)) = faults {
+            let stall = plan.stall_millis(model_id, e);
+            if stall > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(stall));
+            }
+            if plan.panic_due(model_id, e, attempt) {
+                panic!("injected trainer fault: model {model_id} epoch {e} attempt {attempt}");
+            }
+        }
         let result = trainer.train_epoch(e);
         if let Some((store, model_id)) = checkpoints {
             if let Some(state) = trainer.snapshot(e) {
                 store.put(model_id, e, state);
             }
         }
-        train_seconds += result.duration_s;
+        progress.train_seconds += result.duration_s;
         final_fitness = result.val_acc;
         let mut prediction = None;
         let mut converged = None;
-        if let Some(engine) = engine.as_mut() {
-            engine.observe(e, result.val_acc);
-            converged = engine.step();
-            prediction = engine.predictions().last().copied().flatten();
+        if let Some(mut eng) = engine.take() {
+            let crash = faults.is_some_and(|(plan, model_id, _)| plan.engine_dropped(model_id, e));
+            let interaction = catch_unwind(AssertUnwindSafe(|| {
+                assert!(!crash, "injected engine fault");
+                eng.observe(e, result.val_acc);
+                let converged = eng.step();
+                let prediction = eng.predictions().last().copied().flatten();
+                (converged, prediction)
+            }));
+            match interaction {
+                Ok((c, p)) => {
+                    converged = c;
+                    prediction = p;
+                    engine = Some(eng);
+                }
+                Err(_) => {
+                    // Engine crashed before observing epoch `e`: freeze
+                    // its stats there and fall back to run-to-completion
+                    // training — exactly what the bus trainer does on a
+                    // retired verdict.
+                    let stats = eng.stats();
+                    frozen = (stats.total_seconds, stats.interactions);
+                }
+            }
         }
-        epochs.push(EpochRecord {
+        progress.epochs.push(EpochRecord {
             epoch: e,
             train_acc: result.train_acc,
             val_acc: result.val_acc,
@@ -99,13 +189,16 @@ pub fn train_with_engine_checkpointed(
     }
     let (engine_seconds, engine_interactions) = engine
         .map(|e| (e.stats().total_seconds, e.stats().interactions))
-        .unwrap_or((0.0, 0));
+        .unwrap_or(frozen);
     TrainingOutcome {
-        epochs,
+        epochs: std::mem::take(&mut progress.epochs),
         final_fitness,
         predicted_fitness,
         terminated_early,
-        train_seconds,
+        failed: false,
+        attempts: 1,
+        failed_attempt_seconds: Vec::new(),
+        train_seconds: progress.train_seconds,
         engine_seconds,
         engine_interactions,
     }

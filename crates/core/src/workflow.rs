@@ -7,14 +7,16 @@
 //! whole generation can be trained concurrently across the virtual GPUs —
 //! exactly the Ray-style resource management of §2.5.
 
-use crate::bus_eval::evaluate_generation_bus;
+use crate::bus_eval::evaluate_generation_bus_resilient;
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
-use crate::eval::{engine_params_record, evaluate_generation};
+use crate::eval::{engine_params_record, evaluate_generation_resilient};
+use crate::fault::{FaultStats, FaultTolerance};
 use crate::trainer::TrainerFactory;
 use crate::training::TrainingOutcome;
 use a4nn_bus::{
-    BusRunStats, Event, LineageRecorderService, PredictionEngineService, RunStatsAggregator, Topic,
+    BusRunStats, EngineFaultHook, Event, LineageRecorderService, Policy, PredictionEngineService,
+    RunStatsAggregator, Topic,
 };
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::{DataCommons, ModelRecord};
@@ -68,6 +70,10 @@ pub struct RunOutput {
     pub engine_interactions: u64,
     /// Bus-level counters, present when the run was bus-orchestrated.
     pub bus_stats: Option<BusRunStats>,
+    /// Failure accounting: retries consumed, models failed/recovered,
+    /// and the injected laggard's delivery counters. Quiet (all zero)
+    /// on a fault-free run.
+    pub fault_stats: FaultStats,
 }
 
 impl RunOutput {
@@ -164,11 +170,32 @@ impl A4nnWorkflow {
         checkpoints: Option<&CheckpointStore>,
         orchestration: Orchestration,
     ) -> RunOutput {
+        self.run_resilient(
+            factory,
+            checkpoints,
+            orchestration,
+            &FaultTolerance::default(),
+        )
+    }
+
+    /// [`run_checkpointed_with`](Self::run_checkpointed_with) under an
+    /// explicit [`FaultTolerance`]: panicked trainer attempts retry per
+    /// the policy, injected faults replay deterministically from the
+    /// plan, and models exhausting their budget survive the search as
+    /// `Terminated::Failed` records. The default tolerance reproduces
+    /// the fault-free run byte for byte in both coupling modes.
+    pub fn run_resilient(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+        orchestration: Orchestration,
+        ft: &FaultTolerance,
+    ) -> RunOutput {
         let cfg = &self.config;
         match orchestration {
             Orchestration::Direct => {
                 let out = self.run_loop(&mut |genomes, generation, base_id| {
-                    let batch = evaluate_generation(
+                    let batch = evaluate_generation_resilient(
                         cfg,
                         &self.space,
                         factory,
@@ -176,6 +203,7 @@ impl A4nnWorkflow {
                         generation,
                         base_id,
                         checkpoints,
+                        ft,
                     );
                     GenerationEval {
                         outcomes: batch.outcomes,
@@ -183,6 +211,7 @@ impl A4nnWorkflow {
                         records: batch.records,
                     }
                 });
+                let fault_stats = FaultStats::from_records(&out.records);
                 RunOutput {
                     commons: DataCommons::new(out.records),
                     schedule: GenerationSchedule {
@@ -192,22 +221,42 @@ impl A4nnWorkflow {
                     engine_seconds: out.engine_seconds,
                     engine_interactions: out.engine_interactions,
                     bus_stats: None,
+                    fault_stats,
                 }
             }
             Orchestration::Bus => {
                 let topic: Topic<Event> = Topic::new("a4nn");
-                let engine_service = cfg
-                    .engine
-                    .clone()
-                    .map(|engine| PredictionEngineService::spawn(&topic, engine));
+                let engine_service = cfg.engine.clone().map(|engine| {
+                    // Injected engine crashes ride in through the service's
+                    // fault hook, driven by the same deterministic plan the
+                    // direct path consults inline.
+                    let hook: Option<EngineFaultHook> = ft.plan.has_engine_faults().then(|| {
+                        let plan = ft.plan.clone();
+                        Box::new(move |model: u64, epoch: u32| plan.engine_dropped(model, epoch))
+                            as EngineFaultHook
+                    });
+                    PredictionEngineService::spawn_hooked(&topic, engine, hook)
+                });
                 let recorder = LineageRecorderService::spawn(
                     &topic,
                     engine_params_record(cfg),
                     cfg.beam.label().to_string(),
                 );
                 let aggregator = RunStatsAggregator::spawn(&topic);
+                // The plan's lagging subscriber: a slow, lossy consumer
+                // that exercises backpressure isolation without being able
+                // to perturb the run's results.
+                let laggard = ft.plan.subscriber_lag().map(|(capacity, delay_millis)| {
+                    let inbox = topic.subscribe(Policy::DropOldest { capacity });
+                    std::thread::spawn(move || {
+                        while inbox.recv().is_ok() {
+                            std::thread::sleep(std::time::Duration::from_millis(delay_millis));
+                        }
+                        inbox.stats()
+                    })
+                });
                 let out = self.run_loop(&mut |genomes, generation, base_id| {
-                    let batch = evaluate_generation_bus(
+                    let batch = evaluate_generation_bus_resilient(
                         cfg,
                         &self.space,
                         factory,
@@ -216,6 +265,7 @@ impl A4nnWorkflow {
                         base_id,
                         checkpoints,
                         &topic,
+                        ft,
                     );
                     GenerationEval {
                         outcomes: batch.outcomes,
@@ -229,6 +279,9 @@ impl A4nnWorkflow {
                 }
                 let records = recorder.join();
                 let bus_stats = aggregator.join();
+                let mut fault_stats = FaultStats::from_records(&records);
+                fault_stats.laggard =
+                    laggard.map(|handle| handle.join().expect("laggard thread panicked"));
                 RunOutput {
                     commons: DataCommons::new(records),
                     schedule: GenerationSchedule {
@@ -238,6 +291,7 @@ impl A4nnWorkflow {
                     engine_seconds: out.engine_seconds,
                     engine_interactions: out.engine_interactions,
                     bus_stats: Some(bus_stats),
+                    fault_stats,
                 }
             }
         }
@@ -504,7 +558,7 @@ mod tests {
         for r in &out.commons.records {
             assert!(r.engine.is_none());
             assert!(r.predicted_fitness.is_none());
-            assert!(!r.terminated_early);
+            assert!(!r.terminated_early());
             assert_eq!(r.epochs_trained(), 25);
         }
         assert_eq!(out.engine_interactions, 0);

@@ -69,7 +69,7 @@ impl<'a> Analyzer<'a> {
         self.commons
             .records
             .iter()
-            .filter(|r| r.terminated_early)
+            .filter(|r| r.terminated_early())
             .count() as f64
             / n as f64
     }
@@ -204,7 +204,12 @@ mod tests {
                 .collect(),
             final_fitness: fitness,
             predicted_fitness: early.map(|_| fitness),
-            terminated_early: early.is_some(),
+            termination: if early.is_some() {
+                crate::record::Terminated::Early
+            } else {
+                crate::record::Terminated::Completed
+            },
+            attempts: 1,
             beam: "low".into(),
             wall_time_s: 2.0 * f64::from(epochs_trained),
         }

@@ -154,7 +154,8 @@ mod tests {
             }],
             final_fitness: 58.0,
             predicted_fitness: None,
-            terminated_early: false,
+            termination: crate::record::Terminated::Completed,
+            attempts: 1,
             beam: "low".into(),
             wall_time_s: 1.0,
         }

@@ -101,7 +101,7 @@ pub fn shape_census(commons: &DataCommons) -> Vec<(CurveShape, usize, usize)> {
             .position(|&s| s == shape)
             .expect("in taxonomy");
         counts[idx].0 += 1;
-        if r.terminated_early {
+        if r.terminated_early() {
             counts[idx].1 += 1;
         }
     }
@@ -173,7 +173,12 @@ mod tests {
                 .collect(),
             final_fitness: f(n),
             predicted_fitness: None,
-            terminated_early: id.is_multiple_of(2),
+            termination: if id.is_multiple_of(2) {
+                crate::record::Terminated::Early
+            } else {
+                crate::record::Terminated::Completed
+            },
+            attempts: 1,
             beam: "low".into(),
             wall_time_s: n as f64,
         };

@@ -14,12 +14,12 @@ pub fn models_csv(commons: &DataCommons) -> String {
     let mut out = String::with_capacity(commons.len() * 96 + 128);
     out.push_str(
         "model_id,generation,gpu,beam,genome,flops_mflops,epochs_trained,final_fitness,\
-         predicted_fitness,terminated_early,termination_epoch,wall_time_s\n",
+         predicted_fitness,terminated_early,termination_epoch,wall_time_s,status,attempts\n",
     );
     for r in &commons.records {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.model_id,
             r.generation,
             r.gpu.map(|g| g.to_string()).unwrap_or_default(),
@@ -31,11 +31,13 @@ pub fn models_csv(commons: &DataCommons) -> String {
             r.predicted_fitness
                 .map(|p| p.to_string())
                 .unwrap_or_default(),
-            r.terminated_early,
+            r.terminated_early(),
             r.termination_epoch()
                 .map(|e| e.to_string())
                 .unwrap_or_default(),
             r.wall_time_s,
+            r.termination.as_str(),
+            r.attempts,
         );
     }
     out
@@ -65,7 +67,7 @@ pub fn epochs_csv(commons: &DataCommons) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{EpochRecord, ModelRecord};
+    use crate::record::{EpochRecord, ModelRecord, Terminated};
     use a4nn_genome::Genome;
 
     fn commons() -> DataCommons {
@@ -95,7 +97,8 @@ mod tests {
             ],
             final_fitness: 91.5,
             predicted_fitness: Some(91.5),
-            terminated_early: true,
+            termination: Terminated::Early,
+            attempts: 1,
             beam: "high".into(),
             wall_time_s: 4.1,
         }])
@@ -107,7 +110,10 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("model_id,generation,gpu,beam,genome"));
-        assert_eq!(lines[1], "3,1,2,high,1000001,123.5,2,91.5,91.5,true,2,4.1");
+        assert_eq!(
+            lines[1],
+            "3,1,2,high,1000001,123.5,2,91.5,91.5,true,2,4.1,early,1"
+        );
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub use analyzer::Analyzer;
 pub use commons::{DataCommons, LineageTracker};
 pub use curves::{classify_curve, classify_record, shape_census, CurveShape};
 pub use export::{epochs_csv, models_csv};
-pub use record::{EngineParamsRecord, EpochRecord, ModelRecord};
+pub use record::{EngineParamsRecord, EpochRecord, ModelRecord, Terminated};
 pub use structure::{feature_fitness_correlations, success_contrast, StructuralFeatures};

@@ -37,6 +37,40 @@ pub struct EngineParamsRecord {
     pub r: f64,
 }
 
+/// How a model's training run ended.
+///
+/// `Completed` and `Early` are the two paper outcomes (trained to the
+/// epoch budget, or terminated early by the prediction engine). `Failed`
+/// is the fault-tolerance outcome: the trainer exhausted its retry
+/// budget, and the trail carries whatever partial epoch history the last
+/// attempt produced. NSGA-II sees failed models with fitness 0, so they
+/// are dominated and naturally selected out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Terminated {
+    /// Trained to the full epoch budget.
+    #[default]
+    Completed,
+    /// Terminated early by the prediction engine.
+    Early,
+    /// Exhausted its retry budget; the epoch trail is partial.
+    Failed,
+}
+
+impl Terminated {
+    /// Stable lower-case label used in CSV exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Terminated::Completed => "completed",
+            Terminated::Early => "early",
+            Terminated::Failed => "failed",
+        }
+    }
+}
+
+fn default_attempts() -> u32 {
+    1
+}
+
 /// The complete record trail of one neural architecture's life in the
 /// search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,8 +95,14 @@ pub struct ModelRecord {
     pub final_fitness: f64,
     /// The engine's converged prediction, if training stopped early.
     pub predicted_fitness: Option<f64>,
-    /// Whether the engine terminated training early.
-    pub terminated_early: bool,
+    /// How the training run ended. Defaults to `Completed` when absent
+    /// so record trails serialized before the fault-tolerance layer
+    /// still deserialize.
+    #[serde(default)]
+    pub termination: Terminated,
+    /// Training attempts consumed (1 = no retries).
+    #[serde(default = "default_attempts")]
+    pub attempts: u32,
     /// Beam-intensity label of the dataset (`"low"`, `"medium"`, `"high"`).
     pub beam: String,
     /// Total seconds spent training this model.
@@ -75,9 +115,19 @@ impl ModelRecord {
         self.epochs.len() as u32
     }
 
+    /// Whether the engine terminated training early.
+    pub fn terminated_early(&self) -> bool {
+        self.termination == Terminated::Early
+    }
+
+    /// Whether the model exhausted its retry budget.
+    pub fn failed(&self) -> bool {
+        self.termination == Terminated::Failed
+    }
+
     /// Termination epoch `e_t` if the engine stopped training early.
     pub fn termination_epoch(&self) -> Option<u32> {
-        if self.terminated_early {
+        if self.terminated_early() {
             self.epochs.last().map(|e| e.epoch)
         } else {
             None
@@ -135,7 +185,12 @@ mod tests {
                 48.0 + f64::from(epochs)
             },
             predicted_fitness: early.then_some(90.0),
-            terminated_early: early,
+            termination: if early {
+                Terminated::Early
+            } else {
+                Terminated::Completed
+            },
+            attempts: 1,
             beam: "medium".into(),
             wall_time_s: 2.0 * f64::from(epochs),
         }
@@ -173,5 +228,31 @@ mod tests {
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: ModelRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn failed_models_report_status_but_no_termination_epoch() {
+        let mut r = sample_record(7, false, 4);
+        r.termination = Terminated::Failed;
+        r.attempts = 3;
+        assert!(r.failed());
+        assert!(!r.terminated_early());
+        assert_eq!(r.termination_epoch(), None);
+        assert_eq!(r.termination.as_str(), "failed");
+    }
+
+    #[test]
+    fn legacy_json_without_termination_fields_deserializes() {
+        // A record serialized before the fault-tolerance layer has no
+        // `termination`/`attempts` keys; defaults must fill them in.
+        let r = sample_record(8, false, 2);
+        let json = serde_json::to_string(&r).unwrap();
+        let stripped = json
+            .replace("\"termination\":\"Completed\",", "")
+            .replace("\"attempts\":1,", "");
+        assert_ne!(json, stripped);
+        let back: ModelRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.termination, Terminated::Completed);
+        assert_eq!(back.attempts, 1);
     }
 }

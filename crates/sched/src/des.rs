@@ -1,6 +1,7 @@
 //! Discrete-event simulation of a multi-GPU cluster under FIFO dynamic
 //! scheduling with generation barriers.
 
+use crate::retry::RetryPolicy;
 use serde::{Deserialize, Serialize};
 
 /// One unit of schedulable work: training one network to (possibly early)
@@ -116,6 +117,126 @@ pub fn schedule_fifo(n_gpus: usize, tasks: &[Task], ordering: TaskOrdering) -> S
         });
     }
     let makespan = free_at.iter().cloned().fold(0.0, f64::max);
+    ScheduleResult {
+        n_gpus,
+        assignments,
+        makespan,
+        gpu_busy: busy,
+    }
+}
+
+/// One unit of work whose attempts may fail: attempt `k` (1-based) runs
+/// for `attempt_durations[k-1]` simulated seconds; every attempt before
+/// the last is a failure that occupies its GPU for the full duration and
+/// is then requeued after the policy's backoff (in simulated time).
+/// Whether the final attempt succeeds is the caller's business — the
+/// simulator only replays the durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryTask {
+    /// Caller-assigned id (the model id in A4NN).
+    pub id: u64,
+    /// Duration of each attempt, in order. Must be non-empty.
+    pub attempt_durations: Vec<f64>,
+}
+
+/// Schedule one generation of retry-capable `tasks` on `n_gpus` GPUs.
+///
+/// FIFO dynamic scheduling with requeue-on-failure: the ready queue is
+/// drained in order by whichever GPU frees up first (lowest index on
+/// ties); a failed attempt goes to the back of the queue, eligible again
+/// `policy.backoff_s(attempt)` simulated seconds after it failed. The
+/// returned [`ScheduleResult`] carries one [`Assignment`] per *attempt*
+/// (a task's final attempt is its last assignment), and `gpu_busy`
+/// includes the GPU time wasted on failed attempts.
+///
+/// With every task single-attempt this reduces exactly to
+/// [`schedule_fifo`] under FIFO ordering.
+pub fn schedule_fifo_retry(
+    n_gpus: usize,
+    tasks: &[RetryTask],
+    policy: &RetryPolicy,
+) -> ScheduleResult {
+    assert!(n_gpus > 0, "need at least one GPU");
+    struct Ready {
+        task: usize,
+        attempt: u32,
+        not_before: f64,
+    }
+    let mut queue: std::collections::VecDeque<Ready> = tasks
+        .iter()
+        .enumerate()
+        .map(|(task, t)| {
+            assert!(
+                !t.attempt_durations.is_empty(),
+                "task {} has no attempts",
+                t.id
+            );
+            assert!(
+                t.attempt_durations.iter().all(|&d| d >= 0.0),
+                "negative duration for task {}",
+                t.id
+            );
+            Ready {
+                task,
+                attempt: 1,
+                not_before: 0.0,
+            }
+        })
+        .collect();
+    let mut free_at = vec![0.0f64; n_gpus];
+    let mut busy = vec![0.0f64; n_gpus];
+    let total_attempts: usize = tasks.iter().map(|t| t.attempt_durations.len()).sum();
+    let mut assignments = Vec::with_capacity(total_attempts);
+    while !queue.is_empty() {
+        // Earliest-free GPU, lowest index on ties.
+        let gpu = (0..n_gpus)
+            .min_by(|&a, &b| {
+                free_at[a]
+                    .partial_cmp(&free_at[b])
+                    .expect("no NaN times")
+                    .then(a.cmp(&b))
+            })
+            .unwrap();
+        let now = free_at[gpu];
+        // FIFO among eligible entries; if none is eligible yet, the GPU
+        // idles until the earliest backoff expires.
+        let pos = match queue.iter().position(|r| r.not_before <= now) {
+            Some(pos) => pos,
+            None => {
+                let (pos, _) = queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.not_before
+                            .partial_cmp(&b.not_before)
+                            .expect("no NaN times")
+                    })
+                    .expect("queue non-empty");
+                pos
+            }
+        };
+        let ready = queue.remove(pos).expect("position valid");
+        let task = &tasks[ready.task];
+        let duration = task.attempt_durations[(ready.attempt - 1) as usize];
+        let start = now.max(ready.not_before);
+        let end = start + duration;
+        free_at[gpu] = end;
+        busy[gpu] += duration;
+        assignments.push(Assignment {
+            task_id: task.id,
+            gpu,
+            start,
+            end,
+        });
+        if (ready.attempt as usize) < task.attempt_durations.len() {
+            queue.push_back(Ready {
+                task: ready.task,
+                attempt: ready.attempt + 1,
+                not_before: end + policy.backoff_s(ready.attempt).max(0.0),
+            });
+        }
+    }
+    let makespan = assignments.iter().map(|a| a.end).fold(0.0, f64::max);
     ScheduleResult {
         n_gpus,
         assignments,
@@ -299,5 +420,116 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn zero_gpus_panics() {
         let _ = schedule_fifo(0, &tasks(&[1.0]), TaskOrdering::Fifo);
+    }
+
+    fn single_attempt(durations: &[f64]) -> Vec<RetryTask> {
+        durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| RetryTask {
+                id: i as u64,
+                attempt_durations: vec![d],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn retry_scheduler_reduces_to_fifo_without_retries() {
+        let durations = [3.0, 2.0, 5.0, 1.0, 4.0, 2.5];
+        let plain = schedule_fifo(2, &tasks(&durations), TaskOrdering::Fifo);
+        let retry = schedule_fifo_retry(2, &single_attempt(&durations), &RetryPolicy::default());
+        assert_eq!(plain.assignments, retry.assignments);
+        assert_eq!(plain.makespan, retry.makespan);
+        assert_eq!(plain.gpu_busy, retry.gpu_busy);
+    }
+
+    #[test]
+    fn failed_attempts_occupy_the_gpu_and_requeue_after_backoff() {
+        // One task, first attempt fails after 2 s, retry takes 3 s; the
+        // backoff between the attempts keeps the GPU idle.
+        let t = vec![RetryTask {
+            id: 7,
+            attempt_durations: vec![2.0, 3.0],
+        }];
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff_base_s: 1.5,
+            backoff_factor: 2.0,
+        };
+        let r = schedule_fifo_retry(1, &t, &policy);
+        assert_eq!(r.assignments.len(), 2);
+        assert_eq!(r.assignments[0].end, 2.0);
+        // Retry eligible at 2.0 + 1.5.
+        assert_eq!(r.assignments[1].start, 3.5);
+        assert_eq!(r.makespan, 6.5);
+        assert_eq!(r.gpu_busy[0], 5.0);
+    }
+
+    #[test]
+    fn other_tasks_fill_in_during_a_backoff() {
+        // Task 0 fails fast; task 1 runs while task 0 backs off.
+        let t = vec![
+            RetryTask {
+                id: 0,
+                attempt_durations: vec![1.0, 1.0],
+            },
+            RetryTask {
+                id: 1,
+                attempt_durations: vec![4.0],
+            },
+        ];
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff_base_s: 0.5,
+            backoff_factor: 2.0,
+        };
+        let r = schedule_fifo_retry(1, &t, &policy);
+        // Dispatch order: task 0 attempt 1, task 1, task 0 attempt 2.
+        assert_eq!(r.assignments[1].task_id, 1);
+        assert_eq!(r.assignments[1].start, 1.0);
+        assert_eq!(r.assignments[2].task_id, 0);
+        assert_eq!(r.assignments[2].start, 5.0);
+    }
+
+    #[test]
+    fn final_attempt_is_last_assignment_per_task() {
+        let t = vec![
+            RetryTask {
+                id: 0,
+                attempt_durations: vec![2.0, 2.0, 2.0],
+            },
+            RetryTask {
+                id: 1,
+                attempt_durations: vec![3.0],
+            },
+        ];
+        let r = schedule_fifo_retry(2, &t, &RetryPolicy::default());
+        let finals: Vec<&Assignment> = t
+            .iter()
+            .map(|task| {
+                r.assignments
+                    .iter()
+                    .rev()
+                    .find(|a| a.task_id == task.id)
+                    .unwrap()
+            })
+            .collect();
+        // Attempts of a task never overlap and the final one ends last.
+        for (task, fin) in t.iter().zip(&finals) {
+            for a in r.assignments.iter().filter(|a| a.task_id == task.id) {
+                assert!(a.end <= fin.end);
+            }
+        }
+        assert_eq!(r.assignments.len(), 4);
+    }
+
+    #[test]
+    fn retry_busy_time_includes_wasted_attempts() {
+        let t = vec![RetryTask {
+            id: 0,
+            attempt_durations: vec![5.0, 5.0],
+        }];
+        let r = schedule_fifo_retry(2, &t, &RetryPolicy::default());
+        assert_eq!(r.gpu_busy.iter().sum::<f64>(), 10.0);
     }
 }

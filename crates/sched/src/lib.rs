@@ -19,11 +19,13 @@
 
 pub mod des;
 pub mod pool;
+pub mod retry;
 pub mod trace;
 
 pub use des::{
-    schedule_fifo, schedule_generations, Assignment, GenerationSchedule, ScheduleResult, Task,
-    TaskOrdering,
+    schedule_fifo, schedule_fifo_retry, schedule_generations, Assignment, GenerationSchedule,
+    RetryTask, ScheduleResult, Task, TaskOrdering,
 };
-pub use pool::GpuPool;
+pub use pool::{AttemptRecord, GpuPool, JobReport, JobStatus, RetryBatch};
+pub use retry::RetryPolicy;
 pub use trace::chrome_trace;

@@ -84,7 +84,10 @@ fn main() {
              val accs {:?}",
             accs.len(),
             workers_used.len(),
-            accs.iter().map(|a| format!("{a:.0}")).collect::<Vec<_>>()
+            accs.iter()
+                .flatten()
+                .map(|a| format!("{a:.0}"))
+                .collect::<Vec<_>>()
         );
     }
     println!("\nFIFO dynamic scheduling: each free worker takes the next untrained model,");

@@ -53,7 +53,7 @@ fn main() {
             r.flops,
             r.final_fitness,
             r.epochs_trained(),
-            if r.terminated_early { " (early)" } else { "" },
+            if r.terminated_early() { " (early)" } else { "" },
             r.arch_summary,
         );
     }

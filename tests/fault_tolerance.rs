@@ -1,0 +1,337 @@
+//! The fault-injection harness: both orchestration modes must survive
+//! identical deterministic fault plans with identical results.
+//!
+//! A [`FaultPlan`] is pure data keyed on `(model, epoch, attempt)`, so
+//! `Direct` (rayon + inline engine) and `Bus` (thread pool + engine
+//! service over the event bus) hit exactly the same injection sites.
+//! The contract under test, per fault class:
+//!
+//! - an empty plan reproduces the fault-free run byte for byte;
+//! - recoverable panics retry deterministically: the surviving commons
+//!   differs from the fault-free run only in retry accounting (and GPU
+//!   placement, since failed attempts are charged to the cluster);
+//! - exhausted retries surface as `Terminated::Failed` records carrying
+//!   the final attempt's partial trail, never poisoning the batch;
+//! - an engine crash degrades the affected model to run-to-completion
+//!   training (frozen engine stats, no deadlock);
+//! - stalls (real wall time) and a lagging lossy subscriber (bus
+//!   backpressure) change no recorded byte at all.
+
+use a4nn_core::prelude::*;
+use a4nn_faults::FaultEvent;
+use a4nn_lineage::{epochs_csv, models_csv};
+
+fn config(seed: u64, engine: bool) -> WorkflowConfig {
+    WorkflowConfig {
+        nas: NasSettings {
+            population: 6,
+            offspring: 6,
+            generations: 3,
+            epochs: 12,
+            ..NasSettings::paper_defaults()
+        },
+        engine: engine.then(|| EngineConfig {
+            e_pred: 12,
+            ..EngineConfig::paper_defaults()
+        }),
+        gpus: 2,
+        beam: BeamIntensity::Medium,
+        seed,
+    }
+}
+
+fn run(seed: u64, engine: bool, orchestration: Orchestration, ft: &FaultTolerance) -> RunOutput {
+    let cfg = config(seed, engine);
+    let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
+    A4nnWorkflow::new(cfg).run_resilient(&factory, None, orchestration, ft)
+}
+
+/// Assert the two outputs carry byte-identical commons and exports.
+fn assert_equivalent(direct: &RunOutput, bus: &RunOutput, label: &str) {
+    assert_eq!(
+        models_csv(&direct.commons),
+        models_csv(&bus.commons),
+        "models.csv diverged: {label}"
+    );
+    assert_eq!(
+        epochs_csv(&direct.commons),
+        epochs_csv(&bus.commons),
+        "epochs.csv diverged: {label}"
+    );
+    assert_eq!(direct.commons, bus.commons, "commons diverged: {label}");
+    assert_eq!(
+        direct.engine_interactions, bus.engine_interactions,
+        "engine interactions diverged: {label}"
+    );
+    assert_eq!(
+        direct.schedule.total_wall_time(),
+        bus.schedule.total_wall_time(),
+        "DES schedule diverged: {label}"
+    );
+    assert_eq!(
+        direct.fault_stats.models_failed, bus.fault_stats.models_failed,
+        "failed-model count diverged: {label}"
+    );
+    assert_eq!(
+        direct.fault_stats.retries, bus.fault_stats.retries,
+        "retry count diverged: {label}"
+    );
+}
+
+#[test]
+fn zero_fault_plan_reproduces_the_fault_free_run_byte_for_byte() {
+    for orchestration in [Orchestration::Direct, Orchestration::Bus] {
+        let plain = run(2023, true, orchestration, &FaultTolerance::default());
+        let armed = run(
+            2023,
+            true,
+            orchestration,
+            &FaultTolerance::new(RetryPolicy::with_retries(5), FaultPlan::none()),
+        );
+        assert_eq!(plain.commons, armed.commons);
+        assert_eq!(models_csv(&plain.commons), models_csv(&armed.commons));
+        assert_eq!(epochs_csv(&plain.commons), epochs_csv(&armed.commons));
+        assert_eq!(
+            plain.schedule.total_wall_time(),
+            armed.schedule.total_wall_time()
+        );
+        assert!(armed.fault_stats.is_quiet());
+        for r in &armed.commons.records {
+            assert_eq!(r.attempts, 1);
+            assert_ne!(r.termination, Terminated::Failed);
+        }
+    }
+}
+
+#[test]
+fn recoverable_panics_retry_to_the_same_results() {
+    let plan = FaultPlan::new(vec![
+        FaultEvent::PanicAt {
+            model: 2,
+            epoch: 3,
+            failures: 2,
+        },
+        FaultEvent::PanicAt {
+            model: 7,
+            epoch: 1,
+            failures: 1,
+        },
+    ]);
+    let ft = FaultTolerance::new(RetryPolicy::with_retries(2), plan);
+    let clean = run(
+        2023,
+        true,
+        Orchestration::Direct,
+        &FaultTolerance::default(),
+    );
+    let direct = run(2023, true, Orchestration::Direct, &ft);
+    let bus = run(2023, true, Orchestration::Bus, &ft);
+    assert_equivalent(&direct, &bus, "recoverable panics");
+
+    // Recovered models replay deterministically, so the epoch trails —
+    // and hence epochs.csv — match the fault-free run exactly.
+    assert_eq!(epochs_csv(&clean.commons), epochs_csv(&direct.commons));
+    assert_eq!(direct.fault_stats.models_failed, 0);
+    assert_eq!(direct.fault_stats.models_recovered, 2);
+    assert_eq!(direct.fault_stats.retries, 2 + 1);
+    for (c, f) in clean.commons.records.iter().zip(&direct.commons.records) {
+        // Identical modulo retry accounting and GPU placement (failed
+        // attempts occupy cluster slots).
+        let mut normalized = f.clone();
+        normalized.attempts = c.attempts;
+        normalized.gpu = c.gpu;
+        assert_eq!(c, &normalized);
+    }
+    assert_eq!(direct.commons.records[2].attempts, 3);
+    assert_eq!(direct.commons.records[7].attempts, 2);
+    // Failed attempts are simulated time the cluster actually spends.
+    assert!(direct.schedule.total_wall_time() > clean.schedule.total_wall_time());
+}
+
+#[test]
+fn exhausted_retries_surface_failed_records_with_partial_trails() {
+    let plan = FaultPlan::new(vec![FaultEvent::PanicAt {
+        model: 4,
+        epoch: 5,
+        failures: 99,
+    }]);
+    let ft = FaultTolerance::new(RetryPolicy::with_retries(1), plan);
+    let direct = run(2023, true, Orchestration::Direct, &ft);
+    let bus = run(2023, true, Orchestration::Bus, &ft);
+    assert_equivalent(&direct, &bus, "exhausted retries");
+
+    let failed = &direct.commons.records[4];
+    assert_eq!(failed.termination, Terminated::Failed);
+    assert!(failed.failed());
+    assert!(!failed.terminated_early());
+    assert_eq!(failed.attempts, 2, "both allowed attempts were consumed");
+    assert_eq!(failed.final_fitness, 0.0, "failed models are dominated");
+    assert!(failed.predicted_fitness.is_none());
+    assert_eq!(
+        failed.epochs_trained(),
+        4,
+        "partial trail ends where the final attempt died"
+    );
+    assert_eq!(direct.fault_stats.models_failed, 1);
+    // Every other model is untouched.
+    for (k, r) in direct.commons.records.iter().enumerate() {
+        if k != 4 {
+            assert_ne!(r.termination, Terminated::Failed);
+            assert_eq!(r.attempts, 1);
+        }
+    }
+}
+
+#[test]
+fn engine_crash_degrades_to_run_to_completion_without_deadlock() {
+    let plan = FaultPlan::new(vec![FaultEvent::EngineDrop { model: 3, epoch: 4 }]);
+    let ft = FaultTolerance::new(RetryPolicy::default(), plan);
+    let direct = run(2023, true, Orchestration::Direct, &ft);
+    let bus = run(2023, true, Orchestration::Bus, &ft);
+    assert_equivalent(&direct, &bus, "engine drop");
+
+    let degraded = &direct.commons.records[3];
+    assert_eq!(
+        degraded.epochs_trained(),
+        12,
+        "no engine, no early termination: full budget"
+    );
+    assert!(!degraded.terminated_early());
+    assert!(degraded.predicted_fitness.is_none());
+    // Epochs from the crash on have no predictions; the trail before the
+    // crash keeps whatever the engine produced.
+    for e in &degraded.epochs {
+        if e.epoch >= 4 {
+            assert!(
+                e.prediction.is_none(),
+                "epoch {} kept a prediction",
+                e.epoch
+            );
+        }
+    }
+    assert!(direct.fault_stats.is_quiet(), "degradation is not a retry");
+}
+
+#[test]
+fn stalls_and_subscriber_lag_change_no_recorded_byte() {
+    let plan = FaultPlan::new(vec![
+        FaultEvent::StallFor {
+            model: 1,
+            epoch: 2,
+            millis: 3,
+        },
+        FaultEvent::StallFor {
+            model: 9,
+            epoch: 1,
+            millis: 2,
+        },
+        FaultEvent::SubscriberLag {
+            capacity: 2,
+            delay_millis: 1,
+        },
+    ]);
+    let ft = FaultTolerance::new(RetryPolicy::default(), plan);
+    let clean = run(
+        2023,
+        true,
+        Orchestration::Direct,
+        &FaultTolerance::default(),
+    );
+    let direct = run(2023, true, Orchestration::Direct, &ft);
+    let bus = run(2023, true, Orchestration::Bus, &ft);
+    assert_equivalent(&direct, &bus, "stalls + laggard");
+    assert_eq!(clean.commons, direct.commons, "stalls are wall-clock only");
+    assert_eq!(
+        clean.schedule.total_wall_time(),
+        direct.schedule.total_wall_time()
+    );
+    // The laggard really ran (bus mode only) and really lagged or
+    // delivered, but stayed fully isolated from the results.
+    let laggard = bus.fault_stats.laggard.expect("laggard attached on bus");
+    assert!(laggard.enqueued > 0, "laggard saw the stream");
+    assert!(direct.fault_stats.laggard.is_none(), "no bus, no laggard");
+}
+
+#[test]
+fn seeded_chaos_plans_keep_both_modes_equivalent() {
+    let total_models = 6 + 6 * 2;
+    let mut stats_dump =
+        String::from("seed,models_failed,models_recovered,retries,laggard_dropped\n");
+    for seed in [2023u64, 7, 99] {
+        let spec = ChaosSpec {
+            models: total_models,
+            max_epoch: 8,
+            max_failures: 3,
+            ..ChaosSpec::default()
+        };
+        let plan = FaultPlan::seeded(seed, &spec);
+        assert!(!plan.is_empty(), "chaos plan at seed {seed} is empty");
+        // Two retries: plans drawing `failures == 3` produce terminal
+        // failures, smaller draws recover — both paths exercised.
+        let ft = FaultTolerance::new(RetryPolicy::with_retries(2), plan.clone());
+        let direct = run(seed, true, Orchestration::Direct, &ft);
+        let bus = run(seed, true, Orchestration::Bus, &ft);
+        assert_equivalent(&direct, &bus, &format!("chaos seed {seed}"));
+
+        // Exact retry accounting: a record's extra attempts must be
+        // covered by a PanicAt for that model, and terminally failed
+        // records consumed the whole attempt budget.
+        for r in &direct.commons.records {
+            assert!(r.attempts >= 1 && r.attempts <= 3);
+            if r.attempts > 1 {
+                let planned = plan.events().iter().any(|e| {
+                    matches!(e, FaultEvent::PanicAt { model, failures, .. }
+                        if *model == r.model_id && *failures >= r.attempts - 1)
+                });
+                assert!(
+                    planned,
+                    "model {} reports {} attempts without a matching fault",
+                    r.model_id, r.attempts
+                );
+            }
+            if r.failed() {
+                assert_eq!(r.attempts, 3, "failed models exhaust the budget");
+                assert_eq!(r.final_fitness, 0.0);
+            }
+        }
+        stats_dump.push_str(&format!(
+            "{seed},{},{},{},{}\n",
+            direct.fault_stats.models_failed,
+            direct.fault_stats.models_recovered,
+            direct.fault_stats.retries,
+            bus.fault_stats.laggard.map_or(0, |l| l.dropped),
+        ));
+    }
+    // Leave the accounting behind for CI to attach on failure elsewhere.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("fault-stats.csv");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out, stats_dump).expect("fault stats written");
+}
+
+#[test]
+fn standalone_runs_survive_trainer_faults_identically() {
+    // No engine at all: the fault layer must work without verdicts.
+    let plan = FaultPlan::new(vec![
+        FaultEvent::PanicAt {
+            model: 0,
+            epoch: 2,
+            failures: 1,
+        },
+        FaultEvent::PanicAt {
+            model: 5,
+            epoch: 4,
+            failures: 99,
+        },
+    ]);
+    let ft = FaultTolerance::new(RetryPolicy::with_retries(1), plan);
+    let direct = run(31, false, Orchestration::Direct, &ft);
+    let bus = run(31, false, Orchestration::Bus, &ft);
+    assert_equivalent(&direct, &bus, "standalone faults");
+    assert_eq!(direct.commons.records[0].attempts, 2);
+    assert_ne!(direct.commons.records[0].termination, Terminated::Failed);
+    assert!(direct.commons.records[5].failed());
+}

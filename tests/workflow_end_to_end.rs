@@ -38,7 +38,7 @@ fn full_paper_scale_run_matches_expected_structure() {
         assert!((0.0..=100.0).contains(&r.final_fitness));
         let wall: f64 = r.epochs.iter().map(|e| e.duration_s).sum();
         assert!((wall - r.wall_time_s).abs() < 1e-9);
-        if r.terminated_early {
+        if r.terminated_early() {
             assert!(r.predicted_fitness.is_some());
             assert!(r.epochs_trained() < 25);
         } else {

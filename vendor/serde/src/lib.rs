@@ -191,6 +191,19 @@ pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
     }
 }
 
+/// Look up `key` in an object value: `Ok(Some(..))` when present and
+/// deserializable, `Ok(None)` when absent. Backs `#[serde(default)]`
+/// fields, whose fallback the derive supplies at the call site.
+pub fn de_opt_field<T: Deserialize>(v: &Value, key: &str) -> Result<Option<T>, DeError> {
+    match v {
+        Value::Object(fields) => match fields.iter().find(|(k, _)| k == key) {
+            Some((_, field)) => T::from_value(field).map(Some).map_err(|e| e.at(key)),
+            None => Ok(None),
+        },
+        _ => Err(DeError::expected("object")),
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()

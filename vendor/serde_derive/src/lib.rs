@@ -4,7 +4,8 @@
 //! traits in the sibling `serde` stand-in, without syn or quote: the
 //! input item is parsed directly from its `TokenTree` sequence into a
 //! small shape model (named struct / tuple struct / enum, plus type
-//! parameters and `#[serde(skip)]` markers), and the impl is emitted as
+//! parameters and `#[serde(skip)]` / `#[serde(default)]` /
+//! `#[serde(default = "path")]` markers), and the impl is emitted as
 //! source text and re-parsed into a `TokenStream`.
 //!
 //! Encoding matches upstream serde's JSON conventions for the shapes
@@ -24,11 +25,20 @@ struct Item {
 
 #[derive(Debug)]
 enum Kind {
-    /// Named-field struct: (field name, skip).
-    Struct(Vec<(String, bool)>),
+    /// Named-field struct.
+    Struct(Vec<(String, FieldAttrs)>),
     /// Tuple struct with N fields.
     Tuple(usize),
     Enum(Vec<Variant>),
+}
+
+/// Per-field `#[serde(...)]` markers this stand-in understands.
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `Some(None)` for `#[serde(default)]` (use `Default::default()`),
+    /// `Some(Some(path))` for `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
 }
 
 #[derive(Debug)]
@@ -46,26 +56,47 @@ enum Payload {
     Struct(Vec<String>),
 }
 
-/// Advance past one attribute (`#` + bracket group), returning whether
-/// it was `#[serde(skip)]`.
-fn eat_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// Advance past one attribute (`#` + bracket group), returning the
+/// `#[serde(...)]` markers it carried (`skip`, `default`,
+/// `default = "path"`).
+fn eat_attr(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
     *i += 1; // '#'
-    let mut is_skip = false;
+    let mut attrs = FieldAttrs::default();
     if let Some(TokenTree::Group(g)) = tokens.get(*i) {
         let inner: Vec<TokenTree> = g.stream().into_iter().collect();
         if let Some(TokenTree::Ident(id)) = inner.first() {
             if id.to_string() == "serde" {
                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                    is_skip = args
-                        .stream()
-                        .into_iter()
-                        .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"));
+                    let arg_tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+                    let mut j = 0;
+                    while j < arg_tokens.len() {
+                        match &arg_tokens[j] {
+                            TokenTree::Ident(a) if a.to_string() == "skip" => attrs.skip = true,
+                            TokenTree::Ident(a) if a.to_string() == "default" => {
+                                let eq = matches!(
+                                    arg_tokens.get(j + 1),
+                                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                );
+                                if let (true, Some(TokenTree::Literal(lit))) =
+                                    (eq, arg_tokens.get(j + 2))
+                                {
+                                    let path = lit.to_string().trim_matches('"').to_string();
+                                    attrs.default = Some(Some(path));
+                                    j += 2;
+                                } else {
+                                    attrs.default = Some(None);
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
                 }
             }
         }
         *i += 1;
     }
-    is_skip
+    attrs
 }
 
 /// Parse the `<...>` generic parameter list starting at the opening
@@ -112,14 +143,18 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
 
 /// Parse named fields from the tokens of a brace group:
 /// `[attrs] [pub] name : Type ,` repeated.
-fn parse_named_fields(body: &[TokenTree]) -> Vec<(String, bool)> {
+fn parse_named_fields(body: &[TokenTree]) -> Vec<(String, FieldAttrs)> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < body.len() {
-        let mut skip = false;
+        let mut attrs = FieldAttrs::default();
         // Attributes (doc comments arrive as #[doc = "..."] too).
         while matches!(&body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
-            skip |= eat_attr(body, &mut i);
+            let a = eat_attr(body, &mut i);
+            attrs.skip |= a.skip;
+            if a.default.is_some() {
+                attrs.default = a.default;
+            }
         }
         // Visibility.
         if matches!(&body.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
@@ -132,7 +167,7 @@ fn parse_named_fields(body: &[TokenTree]) -> Vec<(String, bool)> {
         let Some(TokenTree::Ident(name)) = body.get(i) else {
             break;
         };
-        fields.push((name.to_string(), skip));
+        fields.push((name.to_string(), attrs));
         i += 1; // name
         i += 1; // ':'
                 // Type tokens until a comma at angle depth 0. Groups are atomic
@@ -307,8 +342,8 @@ fn gen_serialize(item: &Item) -> String {
         Kind::Struct(fields) => {
             let mut code =
                 String::from("let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
-            for (field, skip) in fields {
-                if *skip {
+            for (field, attrs) in fields {
+                if attrs.skip {
                     continue;
                 }
                 code.push_str(&format!(
@@ -383,9 +418,20 @@ fn gen_deserialize(item: &Item) -> String {
     let body = match &item.kind {
         Kind::Struct(fields) => {
             let mut inits = String::new();
-            for (field, skip) in fields {
-                if *skip {
+            for (field, attrs) in fields {
+                if attrs.skip {
                     inits.push_str(&format!("{field}: Default::default(),\n"));
+                } else if let Some(default) = &attrs.default {
+                    let fallback = match default {
+                        Some(path) => format!("{path}()"),
+                        None => String::from("Default::default()"),
+                    };
+                    inits.push_str(&format!(
+                        "{field}: match serde::de_opt_field(__v, \"{field}\")? {{\n\
+                             Some(__present) => __present,\n\
+                             None => {fallback},\n\
+                         }},\n"
+                    ));
                 } else {
                     inits.push_str(&format!("{field}: serde::de_field(__v, \"{field}\")?,\n"));
                 }

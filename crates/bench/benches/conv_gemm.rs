@@ -1,0 +1,259 @@
+//! Conv backend benchmark: naive loops vs im2col + blocked GEMM.
+//!
+//! Measures the training hot path at the paper's 128×128 XFEL shape
+//! (§2.1: single-channel diffraction images) in three tiers — conv
+//! forward, conv forward+backward, and a full `train_epoch` — for both
+//! [`ConvImpl`] backends, plus the lowered backend's intra-op thread
+//! scaling. Besides the criterion groups, a measurement pass writes
+//! `BENCH_conv.json` at the workspace root with explicit timings and
+//! speedups, and *asserts* backend equivalence (≤ 1e-4 relative) so a
+//! numerical regression fails the bench job, not just slows it.
+
+use a4nn_nn::layers::Conv2d;
+use a4nn_nn::{gemm, train_epoch, ConvImpl, Dataset, NetSpec, Network, PhaseNetSpec, Sgd, Tensor4};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The paper's input geometry: batch of single-channel 128×128 images
+/// through the stem's 3×3 convolution.
+const N: usize = 4;
+const C_IN: usize = 1;
+const C_OUT: usize = 8;
+const HW: usize = 128;
+const KERNEL: usize = 3;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn paper_input() -> Tensor4 {
+    let mut r = rng(11);
+    let mut x = Tensor4::zeros(N, C_IN, HW, HW);
+    for v in x.data_mut() {
+        *v = r.gen_range(-1.0..1.0);
+    }
+    x
+}
+
+fn conv_with(backend: ConvImpl) -> Conv2d {
+    let mut conv = Conv2d::new(C_IN, C_OUT, KERNEL, &mut rng(3));
+    conv.set_impl(backend);
+    conv
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_forward");
+    group.sample_size(10);
+    let x = paper_input();
+    gemm::set_thread_budget(1);
+    for (label, backend) in [("naive", ConvImpl::Naive), ("im2col", ConvImpl::Im2colGemm)] {
+        let mut conv = conv_with(backend);
+        group.bench_with_input(BenchmarkId::new(label, "1x128x128"), &x, |b, x| {
+            b.iter(|| black_box(conv.forward(black_box(x))));
+        });
+    }
+    gemm::set_thread_budget(4);
+    let mut conv = conv_with(ConvImpl::Im2colGemm);
+    group.bench_with_input(BenchmarkId::new("im2col_4t", "1x128x128"), &x, |b, x| {
+        b.iter(|| black_box(conv.forward(black_box(x))));
+    });
+    gemm::set_thread_budget(0);
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_backward");
+    group.sample_size(10);
+    let x = paper_input();
+    gemm::set_thread_budget(1);
+    for (label, backend) in [("naive", ConvImpl::Naive), ("im2col", ConvImpl::Im2colGemm)] {
+        let mut conv = conv_with(backend);
+        group.bench_with_input(BenchmarkId::new(label, "1x128x128"), &x, |b, x| {
+            b.iter(|| {
+                let out = conv.forward(black_box(x));
+                black_box(conv.backward(&out));
+            });
+        });
+    }
+    gemm::set_thread_budget(0);
+    group.finish();
+}
+
+/// A synthetic two-class dataset at a given detector size — the labels
+/// are separable so an epoch does real gradient work.
+fn synthetic_dataset(images: usize, hw: usize) -> Dataset {
+    let mut data = Dataset::empty(1, hw, hw);
+    let mut r = rng(17);
+    let mut pixels = vec![0.0f32; hw * hw];
+    for i in 0..images {
+        let label = i % 2;
+        let bias = if label == 0 { 0.3 } else { -0.3 };
+        for p in pixels.iter_mut() {
+            *p = r.gen_range(-1.0..1.0) + bias;
+        }
+        data.push(&pixels, label);
+    }
+    data
+}
+
+fn stem_net(seed: u64) -> Network {
+    let spec = NetSpec {
+        input_channels: 1,
+        phases: vec![PhaseNetSpec::degenerate(C_OUT, KERNEL)],
+        num_classes: 2,
+    };
+    Network::new(&spec, &mut rng(seed))
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+    let data = synthetic_dataset(16, 32);
+    gemm::set_thread_budget(1);
+    for (label, backend) in [("naive", ConvImpl::Naive), ("im2col", ConvImpl::Im2colGemm)] {
+        let mut net = stem_net(5);
+        net.set_conv_impl(backend);
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        let mut r = rng(23);
+        group.bench_function(BenchmarkId::new(label, "16x1x32x32"), |b| {
+            b.iter(|| black_box(train_epoch(&mut net, &mut opt, &data, 8, &mut r)));
+        });
+    }
+    gemm::set_thread_budget(0);
+    group.finish();
+}
+
+/// Seconds per iteration, best of `reps` (minimum filters scheduler
+/// noise without criterion's warm-up budget).
+fn time_per_iter(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches and allocations
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The explicit measurement pass: asserts backend equivalence on the
+/// paper shape, times both backends and the 4-thread split, and writes
+/// `BENCH_conv.json` at the workspace root.
+fn measurement_report(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 2 } else { 10 };
+
+    // Equivalence gate: forward outputs and weight gradients of the two
+    // backends on the paper shape, relative tolerance 1e-4.
+    let x = paper_input();
+    let mut naive = conv_with(ConvImpl::Naive);
+    let mut lowered = conv_with(ConvImpl::Im2colGemm);
+    let out_n = naive.forward(&x);
+    let out_l = lowered.forward(&x);
+    let gin_n = naive.backward(&out_n);
+    let gin_l = lowered.backward(&out_l);
+    let mut max_rel = 0.0f32;
+    for (a, b) in out_n
+        .data()
+        .iter()
+        .zip(out_l.data())
+        .chain(gin_n.data().iter().zip(gin_l.data()))
+    {
+        let rel = (a - b).abs() / (1.0 + a.abs().max(b.abs()));
+        max_rel = max_rel.max(rel);
+    }
+    assert!(
+        max_rel <= 1e-4,
+        "conv backend equivalence regressed: max relative deviation {max_rel:e}"
+    );
+
+    let time_forward = |backend: ConvImpl, threads: usize| {
+        gemm::set_thread_budget(threads);
+        let mut conv = conv_with(backend);
+        let s = time_per_iter(reps, || {
+            black_box(conv.forward(black_box(&x)));
+        });
+        gemm::set_thread_budget(0);
+        s
+    };
+    let time_backward = |backend: ConvImpl, threads: usize| {
+        gemm::set_thread_budget(threads);
+        let mut conv = conv_with(backend);
+        let s = time_per_iter(reps, || {
+            let out = conv.forward(black_box(&x));
+            black_box(conv.backward(&out));
+        });
+        gemm::set_thread_budget(0);
+        s
+    };
+
+    let fwd_naive = time_forward(ConvImpl::Naive, 1);
+    let fwd_gemm_1t = time_forward(ConvImpl::Im2colGemm, 1);
+    let fwd_gemm_4t = time_forward(ConvImpl::Im2colGemm, 4);
+    let bwd_naive = time_backward(ConvImpl::Naive, 1);
+    let bwd_gemm_1t = time_backward(ConvImpl::Im2colGemm, 1);
+    let bwd_gemm_4t = time_backward(ConvImpl::Im2colGemm, 4);
+
+    let epoch = |backend: ConvImpl| {
+        gemm::set_thread_budget(1);
+        let data = synthetic_dataset(16, 32);
+        let mut net = stem_net(5);
+        net.set_conv_impl(backend);
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        let mut r = rng(23);
+        let s = time_per_iter(reps.min(4), || {
+            black_box(train_epoch(&mut net, &mut opt, &data, 8, &mut r));
+        });
+        gemm::set_thread_budget(0);
+        s
+    };
+    let epoch_naive = epoch(ConvImpl::Naive);
+    let epoch_gemm = epoch(ConvImpl::Im2colGemm);
+
+    // Thread scaling is only meaningful when the host actually has the
+    // cores; a 1-core container shows scaling ≤ 1 by construction.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let json = format!(
+        r#"{{
+  "shape": {{"batch": {N}, "c_in": {C_IN}, "c_out": {C_OUT}, "hw": {HW}, "kernel": {KERNEL}}},
+  "smoke_mode": {smoke},
+  "host_cores": {cores},
+  "max_relative_deviation": {max_rel:e},
+  "conv_forward_s": {{"naive_1t": {fwd_naive:e}, "im2col_1t": {fwd_gemm_1t:e}, "im2col_4t": {fwd_gemm_4t:e}}},
+  "conv_backward_s": {{"naive_1t": {bwd_naive:e}, "im2col_1t": {bwd_gemm_1t:e}, "im2col_4t": {bwd_gemm_4t:e}}},
+  "train_epoch_s": {{"naive": {epoch_naive:e}, "im2col": {epoch_gemm:e}}},
+  "speedup": {{
+    "forward_1t": {:.3},
+    "backward_1t": {:.3},
+    "forward_4t_vs_1t": {:.3},
+    "backward_4t_vs_1t": {:.3},
+    "train_epoch": {:.3}
+  }}
+}}
+"#,
+        fwd_naive / fwd_gemm_1t,
+        bwd_naive / bwd_gemm_1t,
+        fwd_gemm_1t / fwd_gemm_4t,
+        bwd_gemm_1t / bwd_gemm_4t,
+        epoch_naive / epoch_gemm,
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_conv.json");
+    std::fs::write(&out, &json).expect("BENCH_conv.json written");
+    println!("conv backend report ({}):", out.display());
+    print!("{json}");
+}
+
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_conv_backward,
+    bench_train_epoch,
+    measurement_report
+);
+criterion_main!(benches);

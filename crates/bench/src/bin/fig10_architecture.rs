@@ -16,7 +16,7 @@ fn main() {
     let out = run_a4nn(BeamIntensity::Low, 1);
     let analyzer = Analyzer::new(&out.commons);
     let mut front = analyzer.pareto_front();
-    front.sort_by(|a, b| b.final_fitness.partial_cmp(&a.final_fitness).unwrap());
+    front.sort_by(|a, b| a4nn_lineage::fitness_cmp(b.final_fitness, a.final_fitness));
     let model = front.first().expect("run produced a Pareto front");
     let space = out.config.search_space();
     let arch = space.decode(&model.genome);

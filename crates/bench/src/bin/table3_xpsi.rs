@@ -50,7 +50,7 @@ fn main() {
         let search_4 = run_a4nn(beam, 4);
         let analyzer = Analyzer::new(&search_1.commons);
         let mut front = analyzer.pareto_front();
-        front.sort_by(|a, b| b.final_fitness.partial_cmp(&a.final_fitness).unwrap());
+        front.sort_by(|a, b| a4nn_lineage::fitness_cmp(b.final_fitness, a.final_fitness));
         let factory = RealTrainerFactory::new(
             WorkflowConfig::a4nn(beam, 1, HARNESS_SEED).search_space(),
             Arc::new(train),

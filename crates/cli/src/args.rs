@@ -37,6 +37,8 @@ search/baseline options (paper Table 2 defaults):
                              training attempt          [2]
   --real                     train for real on the CPU substrate
   --images <n>               images per class for --real / xpsi / dataset [100]
+  --conv-impl <name>         conv backend for --real training:
+                             naive|im2col              [im2col]
 
 engine options (search only; paper Table 1 defaults):
   --function <name>          exp-base|pow3|log3|vap3|weibull4|janoschek3
@@ -123,6 +125,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--orchestration",
     "--max-retries",
     "--images",
+    "--conv-impl",
     "--function",
     "--e-pred",
     "--n-converge",

@@ -114,6 +114,11 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
     let workflow = A4nnWorkflow::new(config.clone());
     let output = if parsed.flag("--real") {
         let images = parsed.get_parse("--images", 100usize, "usize")?;
+        let conv_impl = parsed.get_parse(
+            "--conv-impl",
+            a4nn_nn::ConvImpl::default(),
+            "conv backend (naive|im2col)",
+        )?;
         let (train, test) =
             generate_split(&XfelConfig::default(), config.beam, images, config.seed);
         println!(
@@ -125,7 +130,10 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             config.search_space(),
             Arc::new(train),
             Arc::new(test),
-            TrainingHyperparams::default(),
+            TrainingHyperparams {
+                conv_impl,
+                ..TrainingHyperparams::default()
+            },
         );
         workflow.run_resilient(&factory, None, orchestration, &tolerance)
     } else {
@@ -373,6 +381,22 @@ mod tests {
     fn baseline_has_no_engine() {
         let cfg = workflow_config(&parsed("baseline --beam low"), false).unwrap();
         assert!(cfg.engine.is_none());
+    }
+
+    #[test]
+    fn conv_impl_flag_parses_and_rejects_garbage() {
+        let p = parsed("search --conv-impl naive");
+        assert_eq!(
+            p.get_parse("--conv-impl", a4nn_nn::ConvImpl::default(), "conv backend")
+                .unwrap(),
+            a4nn_nn::ConvImpl::Naive
+        );
+        // Default is the lowered GEMM backend.
+        assert_eq!(a4nn_nn::ConvImpl::default(), a4nn_nn::ConvImpl::Im2colGemm);
+        let bad = parsed("search --conv-impl winograd");
+        assert!(bad
+            .get_parse("--conv-impl", a4nn_nn::ConvImpl::default(), "conv backend")
+            .is_err());
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub fn evaluate_generation_bus_resilient(
     ft: &FaultTolerance,
 ) -> BusBatchResult {
     let engine_enabled = cfg.engine.is_some();
+    // Same core split as the direct path: `gpus` concurrent trainers,
+    // each with `cores / gpus` intra-op GEMM threads.
+    a4nn_nn::gemm::set_thread_budget(a4nn_sched::intra_op_threads(cfg.gpus));
     let partials: Mutex<HashMap<u64, Partial>> = Mutex::new(HashMap::new());
     let jobs: Vec<_> = genomes
         .iter()
@@ -331,7 +334,10 @@ fn train_over_bus(
             final_fitness,
             predicted_fitness,
             terminated_early,
-            failed: false,
+            // NaN fitness classifies as failed, exactly as in the direct
+            // path (`train_with_engine_fallible`) — the two orchestration
+            // modes must stay byte-identical.
+            failed: final_fitness.is_nan(),
             attempts: attempt,
             failed_attempt_seconds: Vec::new(),
             train_seconds,

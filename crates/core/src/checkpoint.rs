@@ -60,11 +60,16 @@ impl CheckpointStore {
     }
 
     /// Write every checkpoint to `dir` in the compact binary format.
+    ///
+    /// Each file goes through an atomic tmp + rename, so a crash
+    /// mid-checkpoint never truncates a previously saved snapshot;
+    /// [`load_dir`](Self::load_dir) only considers `.a4nn` names and thus
+    /// skips any stale `.tmp` residue from an interrupted save.
     pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for ((model, epoch), state) in self.inner.lock().iter() {
             let path = dir.join(format!("model_{model:05}_epoch_{epoch:03}.a4nn"));
-            std::fs::write(path, state.to_bytes())?;
+            a4nn_lineage::write_atomic(&path, &state.to_bytes())?;
         }
         Ok(())
     }
@@ -156,6 +161,29 @@ mod tests {
         let loaded = CheckpointStore::load_dir(&dir).unwrap();
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.get(0, 2).unwrap(), store.get(0, 2).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_save_leaves_prior_snapshot_loadable() {
+        let store = CheckpointStore::new();
+        store.put(0, 1, state(5, 1));
+        let dir = std::env::temp_dir().join(format!("a4nn-ckpt-torn-{}", std::process::id()));
+        store.save_dir(&dir).unwrap();
+        // No tmp residue after a clean save.
+        assert!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .all(|e| !e.file_name().to_string_lossy().ends_with(".tmp")),
+            "clean save left tmp files behind"
+        );
+        // Simulate a crash mid-way through a later save: a torn tmp for
+        // epoch 2 next to the intact epoch-1 snapshot.
+        std::fs::write(dir.join("model_00000_epoch_002.a4nn.tmp"), [0u8; 3]).unwrap();
+        let loaded = CheckpointStore::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(0, 1).unwrap(), store.get(0, 1).unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }
 

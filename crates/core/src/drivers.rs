@@ -154,10 +154,7 @@ impl AgingEvolutionWorkflow {
                         let parent = (0..sample)
                             .map(|_| rng.gen_range(0..population.len()))
                             .max_by(|&a, &b| {
-                                population[a]
-                                    .1
-                                    .partial_cmp(&population[b].1)
-                                    .expect("fitness not NaN")
+                                a4nn_lineage::fitness_cmp(population[a].1, population[b].1)
                             })
                             .expect("population non-empty");
                         let mut child = population[parent].0.clone();

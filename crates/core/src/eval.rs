@@ -75,6 +75,11 @@ pub fn evaluate_generation_resilient(
     checkpoints: Option<&CheckpointStore>,
     ft: &FaultTolerance,
 ) -> BatchResult {
+    // Divide the cores between the generation's concurrent trainers and
+    // each trainer's GEMM kernels: `gpus` models train at once, so each
+    // gets `cores / gpus` intra-op threads (results are bitwise
+    // independent of this budget; it only affects wall time).
+    a4nn_nn::gemm::set_thread_budget(a4nn_sched::intra_op_threads(cfg.gpus));
     let outcomes: Vec<(TrainingOutcome, f64)> = genomes
         .par_iter()
         .enumerate()

@@ -4,7 +4,7 @@
 use crate::bridge::netspec_from_arch;
 use crate::trainer::{EpochResult, Trainer, TrainerFactory};
 use a4nn_genome::{Genome, SearchSpace};
-use a4nn_nn::{train_epoch, Dataset, Network, Sgd};
+use a4nn_nn::{train_epoch, ConvImpl, Dataset, Network, Sgd};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -21,6 +21,9 @@ pub struct TrainingHyperparams {
     pub weight_decay: f32,
     /// Minibatch size.
     pub batch_size: usize,
+    /// Convolution backend for every network this loop trains.
+    #[serde(default)]
+    pub conv_impl: ConvImpl,
 }
 
 impl Default for TrainingHyperparams {
@@ -30,6 +33,7 @@ impl Default for TrainingHyperparams {
             momentum: 0.9,
             weight_decay: 1e-4,
             batch_size: 32,
+            conv_impl: ConvImpl::default(),
         }
     }
 }
@@ -112,7 +116,8 @@ impl TrainerFactory for RealTrainerFactory {
             rand::rngs::StdRng::seed_from_u64(seed ^ model_id.wrapping_mul(0xD134_2543_DE82_EF95));
         let arch = self.space.decode(genome);
         let spec = netspec_from_arch(&arch);
-        let net = Network::new(&spec, &mut rng);
+        let mut net = Network::new(&spec, &mut rng);
+        net.set_conv_impl(self.hyper.conv_impl);
         let flops = net.flops((self.train.height, self.train.width)) / 1e6;
         Box::new(RealTrainer {
             net,

@@ -195,7 +195,11 @@ pub fn train_with_engine_fallible(
         final_fitness,
         predicted_fitness,
         terminated_early,
-        failed: false,
+        // A training that produced a NaN fitness (diverged loss, bad
+        // engine extrapolation) is a failure: the record keeps the NaN
+        // so the selection layer can exercise its NaN-worst ordering,
+        // but the trail reports `Terminated::Failed`.
+        failed: final_fitness.is_nan(),
         attempts: 1,
         failed_attempt_seconds: Vec::new(),
         train_seconds: progress.train_seconds,

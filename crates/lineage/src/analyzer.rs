@@ -119,13 +119,13 @@ impl<'a> Analyzer<'a> {
             .collect()
     }
 
-    /// The most accurate model.
+    /// The most accurate model. NaN fitness (failed trainings) ranks
+    /// strictly worst rather than poisoning the comparison.
     pub fn best_by_fitness(&self) -> Option<&'a ModelRecord> {
-        self.commons.records.iter().max_by(|a, b| {
-            a.final_fitness
-                .partial_cmp(&b.final_fitness)
-                .expect("fitness must not be NaN")
-        })
+        self.commons
+            .records
+            .iter()
+            .max_by(|a, b| crate::record::fitness_cmp(a.final_fitness, b.final_fitness))
     }
 
     /// Pearson correlation between FLOPs and final fitness — the

@@ -7,7 +7,20 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Write `bytes` to `path` atomically: write a `.tmp` sibling first, then
+/// rename it over the target. A crash mid-write leaves at worst a stale
+/// `.tmp` file next to the previous intact snapshot — never a torn file
+/// under the real name. Loaders skip `.tmp` residue by construction
+/// (nothing looks up files with that suffix).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
 
 /// Thread-safe recorder that concurrent trainers append to. The workflow
 /// shares one tracker across all virtual GPUs.
@@ -87,19 +100,24 @@ impl DataCommons {
 
     /// Write the commons to `dir`: `manifest.json` plus
     /// `model_<id>.json` per record.
+    ///
+    /// Every file is written atomically (tmp + rename), and the manifest
+    /// is written last: a crash anywhere in the middle leaves the previous
+    /// manifest intact, so [`load_dir`](Self::load_dir) still sees a
+    /// consistent (if older) snapshot.
     pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         for record in &self.records {
             let path = dir.join(format!("model_{:05}.json", record.model_id));
-            fs::write(path, serde_json::to_vec_pretty(record)?)?;
+            write_atomic(&path, &serde_json::to_vec_pretty(record)?)?;
         }
         let manifest = Manifest {
             model_count: self.records.len(),
             model_ids: self.records.iter().map(|r| r.model_id).collect(),
         };
-        fs::write(
-            dir.join("manifest.json"),
-            serde_json::to_vec_pretty(&manifest)?,
+        write_atomic(
+            &dir.join("manifest.json"),
+            &serde_json::to_vec_pretty(&manifest)?,
         )?;
         Ok(())
     }
@@ -205,6 +223,38 @@ mod tests {
         commons.save_dir(&dir).unwrap();
         let loaded = DataCommons::load_dir(&dir).unwrap();
         assert_eq!(commons, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_residue_and_load_ignores_stale_tmp() {
+        let dir = std::env::temp_dir().join(format!("a4nn-commons-atomic-{}", std::process::id()));
+        let commons = DataCommons::new(vec![record(0), record(1)]);
+        commons.save_dir(&dir).unwrap();
+        // A clean save renames every tmp file away.
+        let tmps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(tmps.is_empty(), "tmp residue after save: {tmps:?}");
+        // Simulate a later save that crashed mid-write: torn tmp files
+        // next to the intact snapshot must not affect loading.
+        std::fs::write(dir.join("model_00000.json.tmp"), b"{ torn").unwrap();
+        std::fs::write(dir.join("manifest.json.tmp"), b"{ torn").unwrap();
+        let loaded = DataCommons::load_dir(&dir).unwrap();
+        assert_eq!(loaded, commons);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_file() {
+        let dir = std::env::temp_dir().join(format!("a4nn-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.json");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -29,8 +29,8 @@ pub mod record;
 pub mod structure;
 
 pub use analyzer::Analyzer;
-pub use commons::{DataCommons, LineageTracker};
+pub use commons::{write_atomic, DataCommons, LineageTracker};
 pub use curves::{classify_curve, classify_record, shape_census, CurveShape};
 pub use export::{epochs_csv, models_csv};
-pub use record::{EngineParamsRecord, EpochRecord, ModelRecord, Terminated};
+pub use record::{fitness_cmp, EngineParamsRecord, EpochRecord, ModelRecord, Terminated};
 pub use structure::{feature_fitness_correlations, success_contrast, StructuralFeatures};

@@ -71,6 +71,20 @@ fn default_attempts() -> u32 {
     1
 }
 
+/// Ascending fitness order that ranks NaN (a failed training's fitness)
+/// strictly worst — below every real value, including −∞ — instead of
+/// panicking like `partial_cmp().unwrap()` or letting `total_cmp` rank a
+/// negative NaN above everything. Use wherever records are ordered by
+/// `final_fitness`.
+pub fn fitness_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
 /// The complete record trail of one neural architecture's life in the
 /// search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

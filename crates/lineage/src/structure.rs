@@ -136,7 +136,7 @@ pub fn success_contrast(
         return None;
     }
     let mut sorted: Vec<&ModelRecord> = commons.records.iter().collect();
-    sorted.sort_by(|a, b| b.final_fitness.partial_cmp(&a.final_fitness).unwrap());
+    sorted.sort_by(|a, b| crate::record::fitness_cmp(b.final_fitness, a.final_fitness));
     let cut = ((sorted.len() as f64 * top_fraction).round() as usize).clamp(1, sorted.len() - 1);
     let (top, rest) = sorted.split_at(cut);
     Some((StructuralMeans::of(top), StructuralMeans::of(rest)))

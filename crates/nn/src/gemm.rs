@@ -1,0 +1,360 @@
+//! Cache-blocked, register-tiled `f32` GEMM kernels for the conv hot path.
+//!
+//! Two variants cover everything the im2col-lowered convolution needs:
+//!
+//! - [`gemm_nn`] — `C += A·B` with both operands row-major (forward and
+//!   the input-gradient lowering),
+//! - [`gemm_nt`] — `C += A·Bᵀ` (the weight-gradient lowering, where both
+//!   operands share the long output-pixel axis).
+//!
+//! The kernels are deterministic by construction: every output element is
+//! accumulated in a fixed order that does not depend on blocking factors
+//! landing mid-row or on how many threads run, so results are bitwise
+//! reproducible across machines and thread budgets. Parallelism splits the
+//! *rows* of `C` onto scoped threads — each element is still produced by
+//! exactly one thread.
+//!
+//! The thread budget is a process-wide knob ([`set_thread_budget`]) sized
+//! by the scheduler from its worker count, so intra-op threads and
+//! inter-model workers share the machine instead of oversubscribing it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide intra-op thread budget; `0` means "auto" (all cores).
+static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the intra-op thread budget. `0` restores auto (all available
+/// cores). The scheduler calls this with `cores / workers` so concurrent
+/// model trainings don't oversubscribe the machine.
+pub fn set_thread_budget(n: usize) {
+    THREAD_BUDGET.store(n, Ordering::Relaxed);
+}
+
+/// The raw configured budget (`0` = auto).
+pub fn thread_budget() -> usize {
+    THREAD_BUDGET.load(Ordering::Relaxed)
+}
+
+/// Budget resolved against the host and the amount of splittable work:
+/// at least 1, at most `work` and at most the configured budget.
+pub fn resolved_threads(work: usize) -> usize {
+    let budget = match thread_budget() {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    budget.min(work).max(1)
+}
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per register tile (two AVX2 lanes worth of `f32`).
+const NR: usize = 16;
+/// K-panel depth: a `KC×NR` B panel stays resident in L1.
+const KC: usize = 256;
+/// Column block: a `KC×NC` B panel stays resident in L2.
+const NC: usize = 1024;
+
+/// `C[m×n] += A[m×k] · B[k×n]`, all row-major. Splits the rows of `C`
+/// across up to `threads` scoped threads (capped by the global budget).
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    assert_eq!(a.len(), m * k, "gemm_nn: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm_nn: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nn: C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let t = threads.min(resolved_threads(m));
+    if t <= 1 {
+        gemm_nn_serial(m, n, k, a, b, c);
+        return;
+    }
+    // Contiguous row blocks: thread i owns rows [i·rows_per, …) of C and
+    // the matching rows of A. Accumulation order per element is identical
+    // to the serial kernel, so the split is invisible in the output.
+    let rows_per = m.div_ceil(t);
+    std::thread::scope(|s| {
+        for (ti, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let mh = c_chunk.len() / n;
+            let a_chunk = &a[ti * rows_per * k..ti * rows_per * k + mh * k];
+            s.spawn(move || gemm_nn_serial(mh, n, k, a_chunk, b, c_chunk));
+        }
+    });
+}
+
+/// Single-threaded blocked `C += A·B`.
+fn gemm_nn_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut jb = 0;
+    while jb < n {
+        let jw = NC.min(n - jb);
+        let mut pb = 0;
+        while pb < k {
+            let pw = KC.min(k - pb);
+            let mut ib = 0;
+            while ib < m {
+                let mh = MR.min(m - ib);
+                micro_panel_nn(ib, mh, jb, jw, pb, pw, n, k, a, b, c);
+                ib += mh;
+            }
+            pb += pw;
+        }
+        jb += jw;
+    }
+}
+
+/// Register-tiled inner panel: an `mh×jw` tile of C gains the `pw`-deep
+/// partial product, walked in `NR`-wide column strips with fixed-size
+/// accumulators the compiler keeps in vector registers.
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot-loop tile coordinates; a struct would obscure the blocking
+fn micro_panel_nn(
+    ib: usize,
+    mh: usize,
+    jb: usize,
+    jw: usize,
+    pb: usize,
+    pw: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let jend = jb + jw;
+    let mut j = jb;
+    while j < jend {
+        let u = NR.min(jend - j);
+        if u == NR && mh == MR {
+            // Fast path: full MR×NR tile with array-typed slices so the
+            // bounds checks hoist and the inner loops vectorize.
+            let mut acc = [[0.0f32; NR]; MR];
+            let mut ar = [0.0f32; MR];
+            for p in pb..pb + pw {
+                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR].try_into().unwrap();
+                for (r, v) in ar.iter_mut().enumerate() {
+                    *v = a[(ib + r) * k + p];
+                }
+                for r in 0..MR {
+                    let arp = ar[r];
+                    for jj in 0..NR {
+                        acc[r][jj] += arp * brow[jj];
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let crow = &mut c[(ib + r) * n + j..(ib + r) * n + j + NR];
+                for jj in 0..NR {
+                    crow[jj] += accr[jj];
+                }
+            }
+        } else {
+            // Remainder path: ragged tile edges, same accumulation order.
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in pb..pb + pw {
+                let brow = &b[p * n + j..p * n + j + u];
+                for r in 0..mh {
+                    let arp = a[(ib + r) * k + p];
+                    for jj in 0..u {
+                        acc[r][jj] += arp * brow[jj];
+                    }
+                }
+            }
+            for r in 0..mh {
+                let crow = &mut c[(ib + r) * n + j..(ib + r) * n + j + u];
+                for jj in 0..u {
+                    crow[jj] += acc[r][jj];
+                }
+            }
+        }
+        j += u;
+    }
+}
+
+/// `C[m×n] += A[m×k] · Bᵀ` where `B` is `n×k` row-major: every output is
+/// a dot product of an A row with a B row. Used for the weight gradient,
+/// where the shared axis (output pixels) is long and both operands are
+/// row-major along it.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nt: C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let t = threads.min(resolved_threads(m));
+    if t <= 1 {
+        gemm_nt_serial(m, n, k, a, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(t);
+    std::thread::scope(|s| {
+        for (ti, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let mh = c_chunk.len() / n;
+            let a_chunk = &a[ti * rows_per * k..ti * rows_per * k + mh * k];
+            s.spawn(move || gemm_nt_serial(mh, n, k, a_chunk, b, c_chunk));
+        }
+    });
+}
+
+fn gemm_nt_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv += dot_lanes(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Eight-lane strided dot product: vectorizes despite strict FP ordering
+/// because the lane structure is fixed, and stays deterministic because it
+/// never depends on thread count or slice alignment.
+#[inline]
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    const L: usize = 8;
+    let mut lanes = [0.0f32; L];
+    let chunks = x.len() / L;
+    for ci in 0..chunks {
+        let xs: &[f32; L] = x[ci * L..ci * L + L].try_into().unwrap();
+        let ys: &[f32; L] = y[ci * L..ci * L + L].try_into().unwrap();
+        for l in 0..L {
+            lanes[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * L..x.len() {
+        tail += x[i] * y[i];
+    }
+    let even = (lanes[0] + lanes[4]) + (lanes[2] + lanes[6]);
+    let odd = (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]);
+    (even + odd) + tail
+}
+
+/// Row-major transpose: `dst[k×m] = src[m×k]ᵀ`.
+pub fn transpose(m: usize, k: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), m * k, "transpose: src shape mismatch");
+    assert_eq!(dst.len(), m * k, "transpose: dst shape mismatch");
+    for i in 0..m {
+        for p in 0..k {
+            dst[p * m + i] = src[i * k + p];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += f64::from(a[i * k + p]) * f64::from(b[p * n + j]);
+                }
+            }
+        }
+        c.into_iter().map(|v| v as f32).collect()
+    }
+
+    fn pseudo(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_nn_matches_reference_on_awkward_shapes() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (4, 16, 8), (5, 17, 9), (13, 33, 70)] {
+            let a = pseudo(m * k, 1);
+            let b = pseudo(k * n, 2);
+            let mut c = vec![0.0f32; m * n];
+            gemm_nn(m, n, k, &a, &b, &mut c, 1);
+            let want = reference_nn(m, n, k, &a, &b);
+            for (got, want) in c.iter().zip(&want) {
+                assert!(
+                    (got - want).abs() < 1e-4,
+                    "{got} vs {want} at ({m},{n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_reference() {
+        let (m, n, k) = (5, 7, 67);
+        let a = pseudo(m * k, 3);
+        let bt = pseudo(n * k, 4);
+        // Reference computes A·B with B = Bᵀ-of-bt materialized.
+        let mut b = vec![0.0f32; k * n];
+        transpose(n, k, &bt, &mut b);
+        let want = reference_nn(m, n, k, &a, &b);
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &bt, &mut c, 1);
+        for (got, want) in c.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn parallel_split_is_bitwise_identical_to_serial() {
+        let (m, n, k) = (37, 129, 65);
+        let a = pseudo(m * k, 5);
+        let b = pseudo(k * n, 6);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_nn_serial(m, n, k, &a, &b, &mut serial);
+        for threads in [2, 3, 4, 8] {
+            let mut par = vec![0.0f32; m * n];
+            gemm_nn(m, n, k, &a, &b, &mut par, threads);
+            assert_eq!(serial, par, "thread count {threads} changed the result");
+        }
+        let bt = {
+            let mut t = vec![0.0f32; k * n];
+            transpose(k, n, &b, &mut t);
+            t
+        };
+        let mut nt_serial = vec![0.0f32; m * n];
+        gemm_nt_serial(m, n, k, &a, &bt, &mut nt_serial);
+        for threads in [2, 5] {
+            let mut par = vec![0.0f32; m * n];
+            gemm_nt(m, n, k, &a, &bt, &mut par, threads);
+            assert_eq!(nt_serial, par);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_existing_c() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [10.0f32];
+        gemm_nn(1, 1, 2, &a, &b, &mut c, 1);
+        assert_eq!(c[0], 10.0 + 3.0 + 8.0);
+    }
+
+    #[test]
+    fn thread_budget_round_trips() {
+        let prev = thread_budget();
+        set_thread_budget(3);
+        assert_eq!(thread_budget(), 3);
+        assert_eq!(resolved_threads(100), 3);
+        assert_eq!(resolved_threads(2), 2);
+        set_thread_budget(0);
+        assert!(resolved_threads(1) == 1);
+        set_thread_budget(prev);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let src = pseudo(6, 9);
+        let mut t = vec![0.0f32; 6];
+        transpose(2, 3, &src, &mut t);
+        let mut back = vec![0.0f32; 6];
+        transpose(3, 2, &t, &mut back);
+        assert_eq!(src, back);
+    }
+}

@@ -9,7 +9,9 @@
 //! The crate stays decoupled from `a4nn-genome` by accepting a neutral
 //! [`NetSpec`]; the workflow crate converts decoded genomes into specs.
 
-use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, MaxPool2d, ParamVisitor, Relu};
+use crate::layers::{
+    BatchNorm2d, Conv2d, ConvImpl, Dense, GlobalAvgPool, MaxPool2d, ParamVisitor, Relu,
+};
 use crate::tensor::{Tensor2, Tensor4};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -108,6 +110,10 @@ impl ConvBnRelu {
     fn rebuild_buffers(&mut self) {
         self.conv.rebuild_buffers();
         self.bn.rebuild_buffers();
+    }
+
+    fn set_conv_impl(&mut self, conv_impl: ConvImpl) {
+        self.conv.set_impl(conv_impl);
     }
 
     fn flops(&self, h: usize, w: usize) -> f64 {
@@ -219,6 +225,13 @@ impl PhaseBlock {
             node.rebuild_buffers();
         }
         self.cache = None;
+    }
+
+    fn set_conv_impl(&mut self, conv_impl: ConvImpl) {
+        self.stem.set_conv_impl(conv_impl);
+        for node in &mut self.nodes {
+            node.set_conv_impl(conv_impl);
+        }
     }
 
     fn flops(&self, h: usize, w: usize) -> f64 {
@@ -352,6 +365,13 @@ impl Network {
             phase.rebuild_buffers();
         }
         self.classifier.rebuild_buffers();
+    }
+
+    /// Select the convolution backend for every conv in the network.
+    pub fn set_conv_impl(&mut self, conv_impl: ConvImpl) {
+        for phase in &mut self.phases {
+            phase.set_conv_impl(conv_impl);
+        }
     }
 }
 

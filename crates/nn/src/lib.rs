@@ -23,7 +23,9 @@
 pub mod augment;
 pub mod cell;
 pub mod data;
+pub mod gemm;
 pub mod graph;
+pub mod im2col;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -37,6 +39,7 @@ pub use augment::{augment_batch, AugmentConfig};
 pub use cell::{CellNodeSpec, CellOp, CellSpec, MicroNetSpec, MicroNetwork};
 pub use data::{BatchIter, Dataset};
 pub use graph::{NetSpec, Network, PhaseNetSpec};
+pub use layers::ConvImpl;
 pub use loss::{cross_entropy, CrossEntropyOutput};
 pub use optim::{Adam, Sgd};
 pub use schedule::LrSchedule;

@@ -22,6 +22,15 @@ pub struct Tensor4 {
     data: Vec<f32>,
 }
 
+/// `n·c·h·w` with overflow detection: a wrapped product in release mode
+/// would silently allocate a wrong-sized tensor.
+fn checked_len(n: usize, c: usize, h: usize, w: usize) -> usize {
+    n.checked_mul(c)
+        .and_then(|v| v.checked_mul(h))
+        .and_then(|v| v.checked_mul(w))
+        .unwrap_or_else(|| panic!("tensor shape {n}x{c}x{h}x{w} overflows usize element count"))
+}
+
 impl Tensor4 {
     /// Zero-filled tensor.
     pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
@@ -30,13 +39,17 @@ impl Tensor4 {
             c,
             h,
             w,
-            data: vec![0.0; n * c * h * w],
+            data: vec![0.0; checked_len(n, c, h, w)],
         }
     }
 
     /// Wrap existing data; length must equal `n·c·h·w`.
     pub fn from_vec(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), n * c * h * w, "tensor data length mismatch");
+        assert_eq!(
+            data.len(),
+            checked_len(n, c, h, w),
+            "tensor data length mismatch"
+        );
         Tensor4 { n, c, h, w, data }
     }
 
@@ -241,6 +254,18 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn from_vec_validates_length() {
         let _ = Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize element count")]
+    fn zeros_rejects_overflowing_shape() {
+        let _ = Tensor4::zeros(usize::MAX / 2, 4, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize element count")]
+    fn from_vec_rejects_overflowing_shape() {
+        let _ = Tensor4::from_vec(usize::MAX, 2, 1, 1, vec![0.0; 4]);
     }
 
     #[test]

@@ -7,39 +7,47 @@
 //! accuracy-vs-FLOPs front of the NAS spread out instead of collapsing
 //! onto one region.
 
-use crate::objectives::Objectives;
+use crate::objectives::{cmp_objective, Objectives};
 
 /// Compute crowding distances for the members of one front.
 ///
 /// `front` holds indices into `points`; the result is parallel to `front`.
-/// Fronts of size ≤ 2 get all-infinite distances.
+/// Members with a NaN objective (failed evaluations) are excluded from
+/// the spread computation and pinned at distance 0 — maximally crowded —
+/// so they are discarded first and never hijack a boundary's `+∞`. Among
+/// the remaining members, fronts of size ≤ 2 get all-infinite distances.
 pub fn crowding_distance(points: &[Objectives], front: &[usize]) -> Vec<f64> {
     let m = front.len();
     if m == 0 {
         return Vec::new();
     }
-    let n_obj = points[front[0]].len();
     let mut dist = vec![0.0f64; m];
-    if m <= 2 {
-        return vec![f64::INFINITY; m];
+    // Positions within `front` whose objectives are all real.
+    let clean: Vec<usize> = (0..m).filter(|&i| !points[front[i]].has_nan()).collect();
+    if clean.len() <= 2 {
+        for &i in &clean {
+            dist[i] = f64::INFINITY;
+        }
+        return dist;
     }
-    // Positions within `front`, sorted per objective.
-    let mut order: Vec<usize> = (0..m).collect();
+    let n_obj = points[front[0]].len();
+    let mc = clean.len();
+    let mut order = clean;
     for obj in 0..n_obj {
         order.sort_by(|&a, &b| {
             let va = points[front[a]].values()[obj];
             let vb = points[front[b]].values()[obj];
-            va.partial_cmp(&vb).expect("objectives must not be NaN")
+            cmp_objective(va, vb)
         });
         let lo = points[front[order[0]]].values()[obj];
-        let hi = points[front[order[m - 1]]].values()[obj];
+        let hi = points[front[order[mc - 1]]].values()[obj];
         dist[order[0]] = f64::INFINITY;
-        dist[order[m - 1]] = f64::INFINITY;
+        dist[order[mc - 1]] = f64::INFINITY;
         let span = hi - lo;
         if span <= f64::EPSILON {
             continue; // Degenerate objective: contributes nothing.
         }
-        for w in 1..(m - 1) {
+        for w in 1..(mc - 1) {
             let prev = points[front[order[w - 1]]].values()[obj];
             let next = points[front[order[w + 1]]].values()[obj];
             dist[order[w]] += (next - prev) / span;
@@ -100,6 +108,32 @@ mod tests {
             .iter()
             .all(|d| d.is_infinite()));
         assert!(crowding_distance(&pts, &[]).is_empty());
+    }
+
+    #[test]
+    fn nan_members_are_pinned_most_crowded() {
+        // A failed model sitting in a front must neither panic the sort
+        // nor capture a boundary's infinite distance.
+        let pts = objs(&[
+            &[0.0, 3.0],
+            &[f64::NAN, f64::NAN],
+            &[1.0, 2.0],
+            &[2.0, 1.0],
+            &[3.0, 0.0],
+        ]);
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distance(&pts, &front);
+        assert_eq!(d[1], 0.0, "NaN member must be maximally crowded");
+        assert!(d[0].is_infinite() && d[4].is_infinite());
+        assert!(d[2].is_finite() && d[2] > 0.0);
+        assert!(d.iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn all_nan_front_is_all_zero() {
+        let pts = objs(&[&[f64::NAN, 1.0], &[f64::NAN, f64::NAN], &[2.0, f64::NAN]]);
+        let d = crowding_distance(&pts, &[0, 1, 2]);
+        assert_eq!(d, vec![0.0, 0.0, 0.0]);
     }
 
     #[test]

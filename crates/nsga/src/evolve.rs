@@ -239,8 +239,10 @@ pub fn environmental_selection<G>(
         } else {
             let d = crowding_distance(&objs, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
-            // Descending crowding distance; infinities (extremes) first.
-            order.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("no NaN distances"));
+            // Descending crowding distance; infinities (extremes) first,
+            // NaN-objective members (pinned at 0) last. total_cmp keeps
+            // the sort total even if a distance were ever NaN.
+            order.sort_by(|&a, &b| d[b].total_cmp(&d[a]));
             for &local in order.iter().take(keep - survivors.len()) {
                 survivors.push(pool[front[local]]);
             }
@@ -425,6 +427,84 @@ mod tests {
         let mut p = DupProblem { dup_checks: 0 };
         let _ = Nsga2::new(cfg).run(&mut p, |_| {});
         assert_eq!(p.dup_checks, 8); // 4 offspring × 2 generations.
+    }
+
+    /// Regression: a population containing failed models (NaN objectives,
+    /// legal since trainings can exhaust their retry budget) must evolve
+    /// to completion instead of panicking in crowding/selection, and the
+    /// failed models must never displace viable ones from the survivors.
+    #[test]
+    fn evolves_population_containing_failed_models() {
+        struct Flaky;
+        impl Problem for Flaky {
+            type Genome = f64;
+            fn evaluate(&mut self, g: &f64, _ctx: &EvalContext) -> Objectives {
+                if *g < 0.0 {
+                    // Crashed training: NaN fitness (negated, as the
+                    // workflow negates accuracy) and NaN cost.
+                    Objectives::new(vec![-f64::NAN, f64::NAN])
+                } else {
+                    Objectives::new(vec![g * g, (g - 2.0) * (g - 2.0)])
+                }
+            }
+            fn random_genome(&mut self, rng: &mut dyn RngCore) -> f64 {
+                rng.gen_range(-6.0..6.0) // roughly half the seeds fail
+            }
+            fn vary(&mut self, a: &f64, b: &f64, rng: &mut dyn RngCore) -> f64 {
+                (a + b) / 2.0 + rng.gen_range(-1.0..1.0)
+            }
+        }
+        let cfg = NsgaConfig {
+            population: 12,
+            offspring: 12,
+            generations: 8,
+            seed: 11,
+        };
+        let result = Nsga2::new(cfg).run(&mut Flaky, |_| {});
+        assert_eq!(result.all.len(), cfg.total_evaluations());
+        let failed_total = result.all.iter().filter(|i| i.objectives.has_nan()).count();
+        assert!(failed_total > 0, "test needs some failed evaluations");
+        // Survivors: only failed if fewer viable candidates than slots.
+        let viable_total = result.all.len() - failed_total;
+        if viable_total >= cfg.population {
+            for &s in &result.final_population {
+                assert!(
+                    !result.all[s].objectives.has_nan(),
+                    "failed model survived selection over viable ones"
+                );
+            }
+        }
+        // The global Pareto front never contains a fully-NaN individual.
+        for ind in result.pareto_front() {
+            assert!(!ind.objectives.values().iter().all(|v| v.is_nan()));
+        }
+    }
+
+    /// environmental_selection over an overflowing front with a NaN
+    /// member: no panic, and the NaN member is cut first.
+    #[test]
+    fn selection_discards_nan_member_first() {
+        let mk = |objs: Vec<f64>, id: u64| Individual {
+            id,
+            generation: 0,
+            genome: 0.0f64,
+            objectives: Objectives::new(objs),
+        };
+        // Mutually indifferent trade-off front plus one partially-NaN
+        // member that is indifferent to all (cheapest FLOPs).
+        let all = vec![
+            mk(vec![0.0, 3.0], 0),
+            mk(vec![1.0, 2.0], 1),
+            mk(vec![2.0, 1.0], 2),
+            mk(vec![f64::NAN, 0.5], 3),
+        ];
+        let pool: Vec<usize> = (0..4).collect();
+        let survivors = environmental_selection(&all, &pool, 3);
+        assert_eq!(survivors.len(), 3);
+        assert!(
+            !survivors.contains(&3),
+            "NaN member outlived a viable one: {survivors:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub use des::{
     schedule_fifo, schedule_fifo_retry, schedule_generations, Assignment, GenerationSchedule,
     RetryTask, ScheduleResult, Task, TaskOrdering,
 };
-pub use pool::{AttemptRecord, GpuPool, JobReport, JobStatus, RetryBatch};
+pub use pool::{intra_op_threads, AttemptRecord, GpuPool, JobReport, JobStatus, RetryBatch};
 pub use retry::RetryPolicy;
 pub use trace::chrome_trace;

@@ -19,6 +19,18 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+/// Intra-op thread budget for each of `workers` concurrent jobs: the
+/// machine's cores divided evenly among the virtual GPUs, at least 1.
+/// The workflow hands this to the NN substrate's GEMM kernels so
+/// inter-model parallelism (this pool) and intra-model parallelism
+/// (blocked GEMM) share the cores instead of oversubscribing them.
+pub fn intra_op_threads(workers: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    (cores / workers.max(1)).max(1)
+}
+
 /// Terminal state of one job in a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobStatus {
@@ -328,6 +340,19 @@ impl GpuPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+    #[test]
+    fn intra_op_budget_divides_cores_and_never_hits_zero() {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(intra_op_threads(1), cores);
+        assert_eq!(intra_op_threads(0), cores); // degenerate: treated as 1 worker
+        assert_eq!(intra_op_threads(cores * 2), 1);
+        for w in 1..=cores {
+            assert!(intra_op_threads(w) * w <= cores, "oversubscribed at {w}");
+        }
+    }
 
     #[test]
     fn results_preserve_submission_order() {

@@ -274,6 +274,13 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Symmetric with the JSON writer's degradation of non-finite
+        // floats to null: a null read into a bare float is NaN, so a
+        // NaN fitness survives a save/load round trip instead of
+        // failing the whole file.
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
         v.as_f64().ok_or_else(|| DeError::expected("f64"))
     }
 }
@@ -286,6 +293,9 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
+        if matches!(v, Value::Null) {
+            return Ok(f32::NAN);
+        }
         v.as_f64()
             .map(|f| f as f32)
             .ok_or_else(|| DeError::expected("f32"))
@@ -423,6 +433,16 @@ mod tests {
         assert_eq!(None::<u32>.to_value(), Value::Null);
         assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
         assert_eq!(Option::<u32>::from_value(&Value::U64(9)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn null_reads_back_as_nan_for_bare_floats() {
+        // The JSON writer degrades non-finite floats to null; the read
+        // side must hand them back as NaN instead of failing the file.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        assert!(f32::from_value(&Value::Null).unwrap().is_nan());
+        // Option still wins its null first: Some(NaN) collapses to None.
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
     }
 
     #[test]

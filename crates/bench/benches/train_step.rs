@@ -1,0 +1,382 @@
+//! End-to-end training hot-path benchmark: the PR 3 baseline (naive
+//! sequential `Dense`, throwaway buffers every batch) versus the
+//! optimized path (GEMM-backed `Dense`, persistent zero-allocation
+//! `Workspace`, chunked evaluation).
+//!
+//! Three tiers on a Dense-heavy architecture — a single 1×1-kernel phase
+//! feeding a wide classifier, the regime PR 3 left naive — plus a small
+//! direct-orchestration search run over real XFEL trainers:
+//!
+//! - `train_step`: one gathered batch through forward + loss + backward
+//!   + SGD step,
+//! - `train_epoch`: a full epoch including shuffling and remainder
+//!   batches,
+//! - `search_throughput`: `RealTrainerFactory` trainers driven for a few
+//!   epochs each, the unit of search wall-clock.
+//!
+//! A measurement pass writes `BENCH_train.json` at the workspace root,
+//! asserts the two paths agree **bitwise** on logits and gradients, and
+//! gates on regression: the measured dense-heavy `train_epoch` speedup
+//! must stay within 20% of the committed baseline ratio (ratios of two
+//! times on the same host are hardware-neutral, unlike absolute times).
+//! Set `A4NN_BENCH_NO_GATE=1` to skip the gate when recalibrating.
+
+use a4nn_core::real::{RealTrainerFactory, TrainingHyperparams};
+use a4nn_core::trainer::TrainerFactory;
+use a4nn_genome::SearchSpace;
+use a4nn_nn::{
+    cross_entropy_ws, gemm, train_epoch, train_epoch_ws, ConvImpl, Dataset, DenseImpl, NetSpec,
+    Network, PhaseNetSpec, Sgd, Workspace,
+};
+use a4nn_xfel::{generate_split, BeamIntensity, XfelConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dense-heavy geometry. The classifier's input width equals the last
+/// phase's channel count (through GAP), and the phase's node conv costs
+/// `channels² × pixels` MACs on *both* paths (im2col GEMM), so channels
+/// stay moderate and the classifier is very wide (128 → 10000): the
+/// Dense layer then owns the large majority of the FLOPs, and the naive
+/// backend's strictly sequential dot products — unvectorizable without
+/// reordering float adds — set the baseline pace. 4×4 spatial keeps the
+/// conv's im2col GEMM on its full-width vector tile (16 output pixels)
+/// so the shared conv cost stays small on both paths.
+const HW: usize = 4;
+const CHANNELS: usize = 128;
+const CLASSES: usize = 10000;
+const BATCH: usize = 32;
+const IMAGES: usize = 64;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn dense_heavy_spec() -> NetSpec {
+    NetSpec {
+        input_channels: 1,
+        phases: vec![PhaseNetSpec::degenerate(CHANNELS, 1)],
+        num_classes: CLASSES,
+    }
+}
+
+fn dense_heavy_net(seed: u64, dense: DenseImpl) -> Network {
+    let mut net = Network::new(&dense_heavy_spec(), &mut rng(seed));
+    net.set_conv_impl(ConvImpl::Im2colGemm);
+    net.set_dense_impl(dense);
+    net
+}
+
+fn synthetic_dataset(images: usize) -> Dataset {
+    let mut data = Dataset::empty(1, HW, HW);
+    let mut r = rng(17);
+    let mut pixels = vec![0.0f32; HW * HW];
+    for i in 0..images {
+        let label = i % CLASSES.min(images);
+        for p in pixels.iter_mut() {
+            *p = r.gen_range(-1.0..1.0) + (label % 2) as f32 * 0.4 - 0.2;
+        }
+        data.push(&pixels, label);
+    }
+    data
+}
+
+/// One training step on a pre-gathered batch: the PR 3 baseline
+/// allocates everything per step; the optimized path reuses `ws`.
+fn one_step(
+    net: &mut Network,
+    opt: &mut Sgd,
+    images: &a4nn_nn::Tensor4,
+    labels: &[usize],
+    ws: &mut Workspace,
+) {
+    let logits = net.forward_ws(images, true, ws);
+    let out = cross_entropy_ws(&logits, labels, ws);
+    ws.give2(logits);
+    net.backward_ws(&out.dlogits, ws);
+    ws.give2(out.dlogits);
+    ws.give2(out.probs);
+    opt.step(net);
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let data = synthetic_dataset(IMAGES);
+    let indices: Vec<usize> = (0..BATCH).collect();
+    let (images, labels) = data.gather(&indices);
+    gemm::set_thread_budget(1);
+    // Baseline: naive Dense, throwaway workspace per step.
+    let mut net = dense_heavy_net(5, DenseImpl::Naive);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    group.bench_function(BenchmarkId::new("naive_fresh", "dense_heavy"), |b| {
+        b.iter(|| {
+            let mut ws = Workspace::new();
+            one_step(&mut net, &mut opt, &images, &labels, &mut ws);
+        });
+    });
+    // Optimized: GEMM Dense, persistent workspace.
+    let mut net = dense_heavy_net(5, DenseImpl::Gemm);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut ws = Workspace::new();
+    group.bench_function(BenchmarkId::new("gemm_workspace", "dense_heavy"), |b| {
+        b.iter(|| one_step(&mut net, &mut opt, &images, &labels, &mut ws));
+    });
+    gemm::set_thread_budget(0);
+    group.finish();
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+    let data = synthetic_dataset(IMAGES);
+    gemm::set_thread_budget(1);
+    let mut net = dense_heavy_net(5, DenseImpl::Naive);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut r = rng(23);
+    group.bench_function(BenchmarkId::new("naive_fresh", "dense_heavy"), |b| {
+        b.iter(|| black_box(train_epoch(&mut net, &mut opt, &data, BATCH, &mut r)));
+    });
+    let mut net = dense_heavy_net(5, DenseImpl::Gemm);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut r = rng(23);
+    let mut ws = Workspace::new();
+    group.bench_function(BenchmarkId::new("gemm_workspace", "dense_heavy"), |b| {
+        b.iter(|| {
+            black_box(train_epoch_ws(
+                &mut net, &mut opt, &data, BATCH, &mut r, &mut ws,
+            ))
+        });
+    });
+    gemm::set_thread_budget(0);
+    group.finish();
+}
+
+/// Drive real XFEL trainers for `epochs` epochs each — the direct
+/// orchestration unit a NAS generation is made of.
+fn search_run(hyper: TrainingHyperparams, models: usize, epochs: u32) -> f64 {
+    let (train, val) = generate_split(&XfelConfig::default(), BeamIntensity::High, 24, 1);
+    let factory = RealTrainerFactory::new(
+        SearchSpace::paper_defaults(),
+        Arc::new(train),
+        Arc::new(val),
+        hyper,
+    );
+    let space = SearchSpace::paper_defaults();
+    let t0 = Instant::now();
+    for model in 0..models {
+        let genome = space.random_genome(&mut rng(40 + model as u64));
+        let mut trainer = factory.make(&genome, model as u64, 9);
+        for e in 1..=epochs {
+            black_box(trainer.train_epoch(e));
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn baseline_hyper() -> TrainingHyperparams {
+    TrainingHyperparams {
+        dense_impl: DenseImpl::Naive,
+        batch_size: 16,
+        ..TrainingHyperparams::default()
+    }
+}
+
+fn optimized_hyper() -> TrainingHyperparams {
+    TrainingHyperparams {
+        dense_impl: DenseImpl::Gemm,
+        batch_size: 16,
+        ..TrainingHyperparams::default()
+    }
+}
+
+fn bench_search_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_throughput");
+    group.sample_size(10);
+    gemm::set_thread_budget(1);
+    group.bench_function(BenchmarkId::new("naive", "xfel_2models"), |b| {
+        b.iter(|| black_box(search_run(baseline_hyper(), 2, 2)));
+    });
+    group.bench_function(BenchmarkId::new("optimized", "xfel_2models"), |b| {
+        b.iter(|| black_box(search_run(optimized_hyper(), 2, 2)));
+    });
+    gemm::set_thread_budget(0);
+    group.finish();
+}
+
+/// Seconds per iteration, best of `reps`.
+fn time_per_iter(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches, pools and lazy optimizer state
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Bitwise equivalence gate: the optimized path must reproduce the
+/// baseline's logits and parameter gradients exactly.
+fn assert_bitwise_equivalence() {
+    let data = synthetic_dataset(IMAGES);
+    let indices: Vec<usize> = (0..BATCH).collect();
+    let (images, labels) = data.gather(&indices);
+    let mut naive = dense_heavy_net(5, DenseImpl::Naive);
+    let mut fast = dense_heavy_net(5, DenseImpl::Gemm);
+    let mut ws = Workspace::new();
+
+    let logits_naive = naive.forward(&images, true);
+    let logits_fast = fast.forward_ws(&images, true, &mut ws);
+    for (i, (a, b)) in logits_naive
+        .data()
+        .iter()
+        .zip(logits_fast.data())
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "logits[{i}]: {a} vs {b}");
+    }
+    let out_naive = a4nn_nn::cross_entropy(&logits_naive, &labels);
+    let out_fast = cross_entropy_ws(&logits_fast, &labels, &mut ws);
+    naive.backward(&out_naive.dlogits);
+    fast.backward_ws(&out_fast.dlogits, &mut ws);
+    let mut grads: Vec<Vec<f32>> = Vec::new();
+    naive.visit_params(&mut |_, g| grads.push(g.to_vec()));
+    let mut slot = 0;
+    fast.visit_params(&mut |_, g| {
+        for (i, (a, b)) in grads[slot].iter().zip(g.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad[{slot}][{i}]: {a} vs {b}");
+        }
+        slot += 1;
+    });
+}
+
+/// The explicit measurement pass: times every tier, writes
+/// `BENCH_train.json`, and fails on regression versus the committed
+/// baseline speedup.
+fn measurement_report(_c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = if smoke { 2 } else { 8 };
+
+    gemm::set_thread_budget(1);
+    assert_bitwise_equivalence();
+
+    let data = synthetic_dataset(IMAGES);
+    let indices: Vec<usize> = (0..BATCH).collect();
+    let (images, labels) = data.gather(&indices);
+
+    // --- train_step ---
+    let mut net = dense_heavy_net(5, DenseImpl::Naive);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let step_naive = time_per_iter(reps, || {
+        let mut ws = Workspace::new();
+        one_step(&mut net, &mut opt, &images, &labels, &mut ws);
+    });
+    let mut net = dense_heavy_net(5, DenseImpl::Gemm);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut ws = Workspace::new();
+    let step_fast = time_per_iter(reps, || {
+        one_step(&mut net, &mut opt, &images, &labels, &mut ws);
+    });
+
+    // --- train_epoch ---
+    let mut net = dense_heavy_net(5, DenseImpl::Naive);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut r = rng(23);
+    let epoch_naive = time_per_iter(reps, || {
+        black_box(train_epoch(&mut net, &mut opt, &data, BATCH, &mut r));
+    });
+    let mut net = dense_heavy_net(5, DenseImpl::Gemm);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut r = rng(23);
+    let mut ws = Workspace::new();
+    let epoch_fast = time_per_iter(reps, || {
+        black_box(train_epoch_ws(
+            &mut net, &mut opt, &data, BATCH, &mut r, &mut ws,
+        ));
+    });
+
+    // --- search_throughput ---
+    let search_reps = if smoke { 1 } else { 3 };
+    let search_naive = time_per_iter(search_reps, || {
+        black_box(search_run(baseline_hyper(), 2, 2));
+    });
+    let search_fast = time_per_iter(search_reps, || {
+        black_box(search_run(optimized_hyper(), 2, 2));
+    });
+
+    gemm::set_thread_budget(0);
+
+    let step_speedup = step_naive / step_fast;
+    let epoch_speedup = epoch_naive / epoch_fast;
+    let search_speedup = search_naive / search_fast;
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "architecture": {{"hw": {HW}, "channels": {CHANNELS}, "classes": {CLASSES}, "kernel": 1, "batch": {BATCH}, "images": {IMAGES}}},
+  "smoke_mode": {smoke},
+  "host_cores": {cores},
+  "bitwise_equivalent": true,
+  "train_step_s": {{"naive_fresh": {step_naive:e}, "gemm_workspace": {step_fast:e}}},
+  "train_epoch_s": {{"naive_fresh": {epoch_naive:e}, "gemm_workspace": {epoch_fast:e}}},
+  "search_throughput_s": {{"naive": {search_naive:e}, "optimized": {search_fast:e}}},
+  "speedup": {{
+    "train_step": {step_speedup:.3},
+    "train_epoch": {epoch_speedup:.3},
+    "search_throughput": {search_speedup:.3}
+  }}
+}}
+"#,
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = root.join("BENCH_train.json");
+
+    // Regression gate: compare the measured speedup RATIO against the
+    // committed baseline's ratio — ratios of two timings taken on the
+    // same host transfer across machines, absolute seconds do not.
+    let no_gate = std::env::var_os("A4NN_BENCH_NO_GATE").is_some();
+    if !no_gate && !smoke {
+        if let Ok(committed) = std::fs::read_to_string(&out) {
+            if let Some(baseline) = parse_speedup(&committed, "train_epoch") {
+                assert!(
+                    epoch_speedup >= 0.8 * baseline,
+                    "train_epoch speedup regressed: measured {epoch_speedup:.3}x vs \
+                     committed {baseline:.3}x (floor {:.3}x); set A4NN_BENCH_NO_GATE=1 \
+                     to recalibrate",
+                    0.8 * baseline
+                );
+            }
+        }
+        assert!(
+            epoch_speedup >= 2.0,
+            "dense-heavy train_epoch speedup {epoch_speedup:.3}x below the 2x acceptance floor"
+        );
+    }
+
+    std::fs::write(&out, &json).expect("BENCH_train.json written");
+    println!("training hot-path report ({}):", out.display());
+    print!("{json}");
+}
+
+/// Pull `"speedup": {... "<key>": <value> ...}` out of a committed
+/// report without assuming anything else about its layout.
+fn parse_speedup(json: &str, key: &str) -> Option<f64> {
+    let tail = &json[json.find("\"speedup\"")?..];
+    let tail = &tail[tail.find(&format!("\"{key}\""))?..];
+    let tail = &tail[tail.find(':')? + 1..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+criterion_group!(
+    benches,
+    bench_train_step,
+    bench_train_epoch,
+    bench_search_throughput,
+    measurement_report
+);
+criterion_main!(benches);

@@ -20,6 +20,7 @@
 //! | `ablation_flops_accuracy` | §6 — FLOPs↔accuracy correlation |
 //! | `ablation_scheduler` | §2.5 — FIFO vs LPT idle-tail ablation |
 
+#![warn(clippy::redundant_clone)]
 use a4nn_core::prelude::*;
 use a4nn_lineage::Analyzer;
 

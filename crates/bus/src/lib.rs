@@ -25,6 +25,7 @@
 //! engine state is per-model, verdicts are joined back by
 //! `(model_id, epoch)`, and the recorder orders records by model id.
 
+#![warn(clippy::redundant_clone)]
 pub mod events;
 pub mod services;
 pub mod topic;

@@ -401,14 +401,11 @@ mod tests {
     fn block_policy_applies_backpressure() {
         let topic: Topic<u32> = Topic::new("t");
         let sub = topic.subscribe(Policy::Block { capacity: 2 });
-        let publisher = {
-            let topic = topic.clone();
-            std::thread::spawn(move || {
-                for i in 0..50 {
-                    topic.publish(i).unwrap();
-                }
-            })
-        };
+        let publisher = std::thread::spawn(move || {
+            for i in 0..50 {
+                topic.publish(i).unwrap();
+            }
+        });
         let mut seen = Vec::new();
         while seen.len() < 50 {
             seen.push(sub.recv().unwrap());
@@ -434,14 +431,11 @@ mod tests {
         let topic: Topic<u32> = Topic::new("t");
         let sub = topic.subscribe(Policy::Block { capacity: 1 });
         topic.publish(0).unwrap();
-        let publisher = {
-            let topic = topic.clone();
-            std::thread::spawn(move || {
-                // Blocks on the full queue until the subscription drops.
-                topic.publish(1).unwrap();
-                topic.publish(2).unwrap();
-            })
-        };
+        let publisher = std::thread::spawn(move || {
+            // Blocks on the full queue until the subscription drops.
+            topic.publish(1).unwrap();
+            topic.publish(2).unwrap();
+        });
         std::thread::sleep(Duration::from_millis(20));
         drop(sub);
         publisher.join().unwrap();

@@ -39,6 +39,10 @@ search/baseline options (paper Table 2 defaults):
   --images <n>               images per class for --real / xpsi / dataset [100]
   --conv-impl <name>         conv backend for --real training:
                              naive|im2col              [im2col]
+  --dense-impl <name>        dense backend for --real training:
+                             naive|gemm                [gemm]
+  --eval-chunk <n>           validation chunk size for --real
+                             training                  [256]
 
 engine options (search only; paper Table 1 defaults):
   --function <name>          exp-base|pow3|log3|vap3|weibull4|janoschek3
@@ -126,6 +130,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-retries",
     "--images",
     "--conv-impl",
+    "--dense-impl",
+    "--eval-chunk",
     "--function",
     "--e-pred",
     "--n-converge",

@@ -119,6 +119,16 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             a4nn_nn::ConvImpl::default(),
             "conv backend (naive|im2col)",
         )?;
+        let dense_impl = parsed.get_parse(
+            "--dense-impl",
+            a4nn_nn::DenseImpl::default(),
+            "dense backend (naive|gemm)",
+        )?;
+        let eval_chunk = parsed.get_parse(
+            "--eval-chunk",
+            TrainingHyperparams::default().eval_chunk,
+            "usize",
+        )?;
         let (train, test) =
             generate_split(&XfelConfig::default(), config.beam, images, config.seed);
         println!(
@@ -132,6 +142,8 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             Arc::new(test),
             TrainingHyperparams {
                 conv_impl,
+                dense_impl,
+                eval_chunk,
                 ..TrainingHyperparams::default()
             },
         );
@@ -397,6 +409,36 @@ mod tests {
         assert!(bad
             .get_parse("--conv-impl", a4nn_nn::ConvImpl::default(), "conv backend")
             .is_err());
+    }
+
+    #[test]
+    fn dense_impl_flag_parses_and_rejects_garbage() {
+        let p = parsed("search --dense-impl naive");
+        assert_eq!(
+            p.get_parse(
+                "--dense-impl",
+                a4nn_nn::DenseImpl::default(),
+                "dense backend"
+            )
+            .unwrap(),
+            a4nn_nn::DenseImpl::Naive
+        );
+        // Default is the GEMM backend.
+        assert_eq!(a4nn_nn::DenseImpl::default(), a4nn_nn::DenseImpl::Gemm);
+        let bad = parsed("search --dense-impl strassen");
+        assert!(bad
+            .get_parse(
+                "--dense-impl",
+                a4nn_nn::DenseImpl::default(),
+                "dense backend"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn eval_chunk_flag_parses() {
+        let p = parsed("search --eval-chunk 64");
+        assert_eq!(p.get_parse("--eval-chunk", 256usize, "usize").unwrap(), 64);
     }
 
     #[test]

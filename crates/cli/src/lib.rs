@@ -19,6 +19,7 @@
 //! Everything the subcommands do is a thin composition of the library
 //! crates, so the CLI is also living documentation of the public API.
 
+#![warn(clippy::redundant_clone)]
 pub mod args;
 pub mod commands;
 

@@ -1,5 +1,6 @@
 //! The `a4nn` binary: §2.6's command-line driver.
 
+#![warn(clippy::redundant_clone)]
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(a4nn_cli::run(&argv));

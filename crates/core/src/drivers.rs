@@ -272,7 +272,7 @@ mod tests {
         let r1 = RandomSearchWorkflow::new(cfg.clone()).run(&f);
         let r2 = RandomSearchWorkflow::new(cfg.clone()).run(&f);
         assert_eq!(r1.commons, r2.commons);
-        let a1 = AgingEvolutionWorkflow::new(cfg.clone(), 3).run(&f);
+        let a1 = AgingEvolutionWorkflow::new(cfg, 3).run(&f);
         assert_ne!(
             r1.commons, a1.commons,
             "different drivers, different searches"

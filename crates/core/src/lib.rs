@@ -38,6 +38,7 @@
 //! assert!(output.total_epochs() > 0);
 //! ```
 
+#![warn(clippy::redundant_clone)]
 pub mod bridge;
 pub mod bus_eval;
 pub mod checkpoint;

@@ -228,7 +228,7 @@ mod tests {
     fn micro_trainer_learns_above_chance() {
         let (train, val) = datasets();
         let space = MicroSearchSpace::reduced_defaults();
-        let factory = MicroTrainerFactory::new(space.clone(), train, val);
+        let factory = MicroTrainerFactory::new(space, train, val);
         // A conv-bearing chain cell (random cells can be all-pooling,
         // which learn only through the stage transitions).
         let genome = MicroGenome {

@@ -4,7 +4,7 @@
 use crate::bridge::netspec_from_arch;
 use crate::trainer::{EpochResult, Trainer, TrainerFactory};
 use a4nn_genome::{Genome, SearchSpace};
-use a4nn_nn::{train_epoch, ConvImpl, Dataset, Network, Sgd};
+use a4nn_nn::{train_epoch_ws, ConvImpl, Dataset, DenseImpl, Network, Sgd, Workspace};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -24,6 +24,17 @@ pub struct TrainingHyperparams {
     /// Convolution backend for every network this loop trains.
     #[serde(default)]
     pub conv_impl: ConvImpl,
+    /// Dense (classifier) backend for every network this loop trains.
+    #[serde(default)]
+    pub dense_impl: DenseImpl,
+    /// Validation is evaluated in chunks of this many samples, bounding
+    /// peak activation memory on large validation sets.
+    #[serde(default = "default_eval_chunk")]
+    pub eval_chunk: usize,
+}
+
+fn default_eval_chunk() -> usize {
+    a4nn_nn::graph::DEFAULT_EVAL_CHUNK
 }
 
 impl Default for TrainingHyperparams {
@@ -34,6 +45,8 @@ impl Default for TrainingHyperparams {
             weight_decay: 1e-4,
             batch_size: 32,
             conv_impl: ConvImpl::default(),
+            dense_impl: DenseImpl::default(),
+            eval_chunk: default_eval_chunk(),
         }
     }
 }
@@ -47,20 +60,25 @@ pub struct RealTrainer {
     hyper: TrainingHyperparams,
     flops: f64,
     rng: rand::rngs::StdRng,
+    /// Scratch arena shared across this trainer's epochs: after the first
+    /// batch, steady-state training and evaluation allocate nothing.
+    ws: Workspace,
 }
 
 impl Trainer for RealTrainer {
     fn train_epoch(&mut self, _epoch: u32) -> EpochResult {
         let t0 = Instant::now();
-        let (_, train_acc) = train_epoch(
+        let (_, train_acc) = train_epoch_ws(
             &mut self.net,
             &mut self.opt,
             &self.train,
             self.hyper.batch_size,
             &mut self.rng,
+            &mut self.ws,
         );
-        let (images, labels) = self.val.as_tensor();
-        let val_acc = self.net.evaluate(&images, labels);
+        let val_acc = self
+            .net
+            .evaluate_dataset(&self.val, self.hyper.eval_chunk, &mut self.ws);
         EpochResult {
             train_acc: f64::from(train_acc),
             val_acc: f64::from(val_acc),
@@ -118,6 +136,7 @@ impl TrainerFactory for RealTrainerFactory {
         let spec = netspec_from_arch(&arch);
         let mut net = Network::new(&spec, &mut rng);
         net.set_conv_impl(self.hyper.conv_impl);
+        net.set_dense_impl(self.hyper.dense_impl);
         let flops = net.flops((self.train.height, self.train.width)) / 1e6;
         Box::new(RealTrainer {
             net,
@@ -127,6 +146,7 @@ impl TrainerFactory for RealTrainerFactory {
             hyper: self.hyper,
             flops,
             rng,
+            ws: Workspace::new(),
         })
     }
 }

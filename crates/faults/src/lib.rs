@@ -26,6 +26,7 @@
 //! which is what makes a fault schedule replayable across orchestration
 //! modes and across reruns.
 
+#![warn(clippy::redundant_clone)]
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 

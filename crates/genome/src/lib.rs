@@ -24,6 +24,7 @@
 //! - [`viz`] — ASCII and Graphviz-DOT renderings of decoded architectures
 //!   (the paper's Figures 3 and 10).
 
+#![warn(clippy::redundant_clone)]
 pub mod arch;
 pub mod encoding;
 pub mod flops;

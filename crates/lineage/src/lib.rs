@@ -21,6 +21,7 @@
 //! - [`export`] — CSV exports (per-model and per-epoch) matching the
 //!   paper's "load into a DataFrame" affordance.
 
+#![warn(clippy::redundant_clone)]
 pub mod analyzer;
 pub mod commons;
 pub mod curves;

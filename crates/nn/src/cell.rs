@@ -165,7 +165,7 @@ impl OpLayer {
             OpLayer::Conv { conv, bn, relu } => {
                 let a = conv.forward(x);
                 let b = bn.forward(&a, training);
-                relu.forward(&b)
+                relu.forward_owned(b)
             }
             OpLayer::MaxPool(p) => p.forward(x),
             OpLayer::AvgPool(p) => p.forward(x),
@@ -318,7 +318,7 @@ impl Transition {
     fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
         let a = self.conv.forward(x);
         let b = self.bn.forward(&a, training);
-        self.relu.forward(&b)
+        self.relu.forward_owned(b)
     }
     fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
         let g = self.relu.backward(grad);

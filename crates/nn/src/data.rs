@@ -69,6 +69,37 @@ impl Dataset {
         (batch, labels)
     }
 
+    /// Gather the samples at `indices` into caller-owned buffers,
+    /// reshaping `batch` in place — the zero-allocation counterpart of
+    /// [`gather`](Self::gather) once `batch`/`labels` capacities have
+    /// warmed up.
+    pub fn gather_into(&self, indices: &[usize], batch: &mut Tensor4, labels: &mut Vec<usize>) {
+        let stride = self.sample_stride();
+        batch.reset(indices.len(), self.channels, self.height, self.width);
+        labels.clear();
+        for (b, &i) in indices.iter().enumerate() {
+            batch
+                .sample_mut(b)
+                .copy_from_slice(&self.images[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+    }
+
+    /// Copy the contiguous sample range `start..end` into `batch`,
+    /// reshaping it in place (chunked evaluation without materializing
+    /// the whole set).
+    pub fn copy_range_into(&self, start: usize, end: usize, batch: &mut Tensor4) {
+        assert!(
+            start <= end && end <= self.len(),
+            "sample range out of bounds"
+        );
+        let stride = self.sample_stride();
+        batch.reset(end - start, self.channels, self.height, self.width);
+        batch
+            .data_mut()
+            .copy_from_slice(&self.images[start * stride..end * stride]);
+    }
+
     /// Materialize the whole dataset as one tensor (for evaluation).
     pub fn as_tensor(&self) -> (Tensor4, &[usize]) {
         let all: Vec<usize> = (0..self.len()).collect();
@@ -137,6 +168,22 @@ pub struct BatchIter<'a> {
     order: Vec<usize>,
     batch_size: usize,
     cursor: usize,
+}
+
+impl BatchIter<'_> {
+    /// Advance to the next minibatch, gathering into caller-owned
+    /// buffers instead of allocating. Returns `false` when the epoch is
+    /// exhausted (buffers are left untouched).
+    pub fn next_into(&mut self, batch: &mut Tensor4, labels: &mut Vec<usize>) -> bool {
+        if self.cursor >= self.order.len() {
+            return false;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        self.dataset
+            .gather_into(&self.order[self.cursor..end], batch, labels);
+        self.cursor = end;
+        true
+    }
 }
 
 impl Iterator for BatchIter<'_> {
@@ -223,6 +270,48 @@ mod tests {
     fn class_counts_balanced() {
         let d = dataset(10);
         assert_eq!(d.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    fn gather_into_matches_gather() {
+        let d = dataset(6);
+        let (want_t, want_l) = d.gather(&[4, 0, 2]);
+        let mut batch = Tensor4::zeros(0, 0, 0, 0);
+        let mut labels = Vec::new();
+        d.gather_into(&[4, 0, 2], &mut batch, &mut labels);
+        assert_eq!(batch, want_t);
+        assert_eq!(labels, want_l);
+        // Reuse with a different batch size: shape follows the indices.
+        d.gather_into(&[1], &mut batch, &mut labels);
+        assert_eq!(batch.shape(), (1, 1, 2, 2));
+        assert_eq!(labels, vec![1]);
+    }
+
+    #[test]
+    fn next_into_matches_iterator() {
+        let d = dataset(10);
+        let a = d.shuffled_batches(3, &mut rand::rngs::StdRng::seed_from_u64(4));
+        let mut b = d.shuffled_batches(3, &mut rand::rngs::StdRng::seed_from_u64(4));
+        let mut batch = Tensor4::zeros(0, 0, 0, 0);
+        let mut labels = Vec::new();
+        for (want_t, want_l) in a {
+            assert!(b.next_into(&mut batch, &mut labels));
+            assert_eq!(batch, want_t);
+            assert_eq!(labels, want_l);
+        }
+        assert!(!b.next_into(&mut batch, &mut labels));
+    }
+
+    #[test]
+    fn copy_range_into_extracts_contiguous_samples() {
+        let d = dataset(5);
+        let mut batch = Tensor4::zeros(0, 0, 0, 0);
+        d.copy_range_into(2, 5, &mut batch);
+        assert_eq!(batch.shape(), (3, 1, 2, 2));
+        assert_eq!(batch.sample(0), &[2.0; 4]);
+        assert_eq!(batch.sample(2), &[4.0; 4]);
+        d.copy_range_into(0, 0, &mut batch);
+        assert_eq!(batch.shape(), (0, 1, 2, 2));
     }
 
     #[test]

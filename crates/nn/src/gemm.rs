@@ -47,6 +47,22 @@ pub fn resolved_threads(work: usize) -> usize {
     budget.min(work).max(1)
 }
 
+/// Cached runtime AVX2 detection. The kernels are written as plain
+/// scalar loops over fixed-size tiles, so the *same* Rust source is
+/// compiled twice — once for the baseline target (SSE2 on x86-64) and
+/// once under `#[target_feature(enable = "avx2")]` — and the fastest
+/// available copy is picked per call. Both copies execute the identical
+/// sequence of f32 additions and multiplications (vectorization packs
+/// independent accumulator chains into wider lanes without reordering
+/// any chain, and rustc never contracts `a*b + c` into a fused
+/// multiply-add), so results are bitwise identical across ISAs.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
 /// Rows per register tile.
 const MR: usize = 4;
 /// Columns per register tile (two AVX2 lanes worth of `f32`).
@@ -83,8 +99,28 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     });
 }
 
-/// Single-threaded blocked `C += A·B`.
+/// Single-threaded blocked `C += A·B`: dispatches to the widest ISA the
+/// host supports (see [`avx2_available`] for why this is bitwise-safe).
 fn gemm_nn_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was verified at runtime above.
+        unsafe { gemm_nn_serial_avx2(m, n, k, a, b, c) };
+        return;
+    }
+    gemm_nn_serial_generic(m, n, k, a, b, c)
+}
+
+/// The generic kernel body recompiled with AVX2 codegen enabled; the
+/// `#[inline(always)]` bodies inline here and re-vectorize 8-wide.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nn_serial_avx2(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nn_serial_generic(m, n, k, a, b, c)
+}
+
+#[inline(always)]
+fn gemm_nn_serial_generic(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     let mut jb = 0;
     while jb < n {
         let jw = NC.min(n - jb);
@@ -106,7 +142,7 @@ fn gemm_nn_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f
 /// Register-tiled inner panel: an `mh×jw` tile of C gains the `pw`-deep
 /// partial product, walked in `NR`-wide column strips with fixed-size
 /// accumulators the compiler keeps in vector registers.
-#[inline]
+#[inline(always)]
 #[allow(clippy::too_many_arguments)] // hot-loop tile coordinates; a struct would obscure the blocking
 fn micro_panel_nn(
     ib: usize,
@@ -171,6 +207,167 @@ fn micro_panel_nn(
     }
 }
 
+/// `C[m×n] ⟵ seq(C, A·B)`: like [`gemm_nn`] but every output element is
+/// accumulated *onto its existing value* in strict ascending-`k` order —
+/// `c = (((c + a₀b₀) + a₁b₁) + …)` — instead of summing a zero-seeded
+/// register tile into `C` afterwards.
+///
+/// This reproduces, bit for bit, the rounding of a naive sequential dot
+/// product seeded from `C` (the order `Dense`'s reference loops use), while
+/// still vectorizing: the serial dependency is per *element*, but the
+/// `MR×NR` register tile advances all its elements' chains in lockstep, so
+/// the adds run 16-wide across independent outputs. Thread parallelism
+/// splits the rows of `C` exactly like [`gemm_nn`], so results are
+/// identical for any thread budget.
+pub fn gemm_nn_seq(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn_seq: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm_nn_seq: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nn_seq: C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let t = threads.min(resolved_threads(m));
+    if t <= 1 {
+        gemm_nn_seq_serial(m, n, k, a, b, c);
+        return;
+    }
+    let rows_per = m.div_ceil(t);
+    std::thread::scope(|s| {
+        for (ti, c_chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let mh = c_chunk.len() / n;
+            let a_chunk = &a[ti * rows_per * k..ti * rows_per * k + mh * k];
+            s.spawn(move || gemm_nn_seq_serial(mh, n, k, a_chunk, b, c_chunk));
+        }
+    });
+}
+
+/// Single-threaded blocked sequential-accumulation GEMM. Identical
+/// blocking to [`gemm_nn_serial`]; only the tile epilogue differs (the
+/// accumulator is *loaded from* and *stored to* `C`, so chaining the `KC`
+/// panels extends one strict sequential sum per element). ISA dispatch
+/// mirrors [`gemm_nn_serial`] and is bitwise-invisible for the same
+/// reason.
+fn gemm_nn_seq_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was verified at runtime above.
+        unsafe { gemm_nn_seq_serial_avx2(m, n, k, a, b, c) };
+        return;
+    }
+    gemm_nn_seq_serial_generic(m, n, k, a, b, c)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nn_seq_serial_avx2(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    gemm_nn_seq_serial_generic(m, n, k, a, b, c)
+}
+
+#[inline(always)]
+fn gemm_nn_seq_serial_generic(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut jb = 0;
+    while jb < n {
+        let jw = NC.min(n - jb);
+        let mut pb = 0;
+        while pb < k {
+            let pw = KC.min(k - pb);
+            let mut ib = 0;
+            while ib < m {
+                let mh = MR.min(m - ib);
+                micro_panel_nn_seq(ib, mh, jb, jw, pb, pw, n, k, a, b, c);
+                ib += mh;
+            }
+            pb += pw;
+        }
+        jb += jw;
+    }
+}
+
+/// Sequential-accumulation twin of [`micro_panel_nn`]: the register tile
+/// starts from the current `C` values and is written back verbatim, so the
+/// per-element FP order is `c ⊕ a·b` over ascending `p` with no separate
+/// tile-sum rounding step.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // hot-loop tile coordinates; a struct would obscure the blocking
+fn micro_panel_nn_seq(
+    ib: usize,
+    mh: usize,
+    jb: usize,
+    jw: usize,
+    pb: usize,
+    pw: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let jend = jb + jw;
+    let mut j = jb;
+    while j < jend {
+        let u = NR.min(jend - j);
+        if u == NR && mh == MR {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let crow: &[f32; NR] = c[(ib + r) * n + j..(ib + r) * n + j + NR]
+                    .try_into()
+                    .unwrap();
+                *accr = *crow;
+            }
+            let mut ar = [0.0f32; MR];
+            for p in pb..pb + pw {
+                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR].try_into().unwrap();
+                for (r, v) in ar.iter_mut().enumerate() {
+                    *v = a[(ib + r) * k + p];
+                }
+                for r in 0..MR {
+                    let arp = ar[r];
+                    for jj in 0..NR {
+                        acc[r][jj] += arp * brow[jj];
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                c[(ib + r) * n + j..(ib + r) * n + j + NR].copy_from_slice(accr);
+            }
+        } else {
+            let mut acc = [[0.0f32; NR]; MR];
+            for r in 0..mh {
+                let crow = &c[(ib + r) * n + j..(ib + r) * n + j + u];
+                acc[r][..u].copy_from_slice(crow);
+            }
+            for p in pb..pb + pw {
+                let brow = &b[p * n + j..p * n + j + u];
+                for r in 0..mh {
+                    let arp = a[(ib + r) * k + p];
+                    for jj in 0..u {
+                        acc[r][jj] += arp * brow[jj];
+                    }
+                }
+            }
+            for r in 0..mh {
+                c[(ib + r) * n + j..(ib + r) * n + j + u].copy_from_slice(&acc[r][..u]);
+            }
+        }
+        j += u;
+    }
+}
+
 /// `C[m×n] += A[m×k] · Bᵀ` where `B` is `n×k` row-major: every output is
 /// a dot product of an A row with a B row. Used for the weight gradient,
 /// where the shared axis (output pixels) is long and both operands are
@@ -198,6 +395,23 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
 }
 
 fn gemm_nt_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was verified at runtime above.
+        unsafe { gemm_nt_serial_avx2(m, n, k, a, b, c) };
+        return;
+    }
+    gemm_nt_serial_generic(m, n, k, a, b, c)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nt_serial_avx2(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_serial_generic(m, n, k, a, b, c)
+}
+
+#[inline(always)]
+fn gemm_nt_serial_generic(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -210,7 +424,7 @@ fn gemm_nt_serial(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f
 /// Eight-lane strided dot product: vectorizes despite strict FP ordering
 /// because the lane structure is fixed, and stays deterministic because it
 /// never depends on thread count or slice alignment.
-#[inline]
+#[inline(always)]
 fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
     const L: usize = 8;
     let mut lanes = [0.0f32; L];
@@ -232,13 +446,32 @@ fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
 }
 
 /// Row-major transpose: `dst[k×m] = src[m×k]ᵀ`.
+///
+/// Cache-blocked: walking the full matrix in row order makes every write
+/// land a whole row-stride apart (a different cache line and, for large
+/// matrices, a different page), so the naive loop is bound by cache-line
+/// fills rather than bandwidth. Processing `TB×TB` tiles keeps both the
+/// reads and the writes inside a small resident set. Pure data movement —
+/// element values are untouched, so this is bitwise-neutral by
+/// construction.
 pub fn transpose(m: usize, k: usize, src: &[f32], dst: &mut [f32]) {
     assert_eq!(src.len(), m * k, "transpose: src shape mismatch");
     assert_eq!(dst.len(), m * k, "transpose: dst shape mismatch");
-    for i in 0..m {
-        for p in 0..k {
-            dst[p * m + i] = src[i * k + p];
+    const TB: usize = 32;
+    let mut ib = 0;
+    while ib < m {
+        let ih = TB.min(m - ib);
+        let mut pb = 0;
+        while pb < k {
+            let pw = TB.min(k - pb);
+            for i in ib..ib + ih {
+                for p in pb..pb + pw {
+                    dst[p * m + i] = src[i * k + p];
+                }
+            }
+            pb += pw;
         }
+        ib += ih;
     }
 }
 
@@ -334,6 +567,98 @@ mod tests {
         let mut c = [10.0f32];
         gemm_nn(1, 1, 2, &a, &b, &mut c, 1);
         assert_eq!(c[0], 10.0 + 3.0 + 8.0);
+    }
+
+    /// Strict per-element sequential reference: `c = ((c + a₀b₀) + a₁b₁)…`
+    /// in `f32`, ascending `p` — the order the naive `Dense` loops use.
+    fn reference_seq(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_seq_is_bitwise_sequential() {
+        // Shapes straddle every blocking boundary: k over KC (multi-panel
+        // chaining), n over NR, ragged edges everywhere.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 8),
+            (5, 17, 300),
+            (13, 33, 513),
+            (2, 16, 257),
+        ] {
+            let a = pseudo(m * k, 11);
+            let b = pseudo(k * n, 12);
+            let seed = pseudo(m * n, 13);
+            let mut want = seed.clone();
+            reference_seq(m, n, k, &a, &b, &mut want);
+            let mut got = seed.clone();
+            gemm_nn_seq(m, n, k, &a, &b, &mut got, 1);
+            let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                wb, gb,
+                "seq gemm diverged from sequential order at ({m},{n},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_nn_seq_thread_count_invariant() {
+        let (m, n, k) = (37, 29, 301);
+        let a = pseudo(m * k, 14);
+        let b = pseudo(k * n, 15);
+        let seed = pseudo(m * n, 16);
+        let mut serial = seed.clone();
+        gemm_nn_seq_serial(m, n, k, &a, &b, &mut serial);
+        for threads in [2, 3, 4, 8] {
+            let mut par = seed.clone();
+            gemm_nn_seq(m, n, k, &a, &b, &mut par, threads);
+            assert_eq!(serial, par, "thread count {threads} changed the result");
+        }
+    }
+
+    /// On AVX2 hosts the dispatchers take the wide path; it must be
+    /// bitwise indistinguishable from the baseline-ISA compilation of
+    /// the same source. (On non-AVX2 hosts both sides are the generic
+    /// kernel and the test is trivially true.)
+    #[test]
+    fn isa_dispatch_is_bitwise_invisible() {
+        let (m, n, k) = (13, 37, 301);
+        let a = pseudo(m * k, 21);
+        let b = pseudo(k * n, 22);
+        let seed = pseudo(m * n, 23);
+
+        let mut dispatched = seed.clone();
+        gemm_nn_serial(m, n, k, &a, &b, &mut dispatched);
+        let mut generic = seed.clone();
+        gemm_nn_serial_generic(m, n, k, &a, &b, &mut generic);
+        assert_eq!(dispatched, generic, "gemm_nn ISA paths diverged");
+
+        let mut dispatched = seed.clone();
+        gemm_nn_seq_serial(m, n, k, &a, &b, &mut dispatched);
+        let mut generic = seed;
+        gemm_nn_seq_serial_generic(m, n, k, &a, &b, &mut generic);
+        assert_eq!(dispatched, generic, "gemm_nn_seq ISA paths diverged");
+
+        let bt = {
+            let mut t = vec![0.0f32; k * n];
+            transpose(k, n, &b, &mut t);
+            t
+        };
+        let mut dispatched = vec![0.0f32; m * n];
+        gemm_nt_serial(m, n, k, &a, &bt, &mut dispatched);
+        let mut generic = vec![0.0f32; m * n];
+        gemm_nt_serial_generic(m, n, k, &a, &bt, &mut generic);
+        assert_eq!(dispatched, generic, "gemm_nt ISA paths diverged");
     }
 
     #[test]

@@ -10,11 +10,23 @@
 //! [`NetSpec`]; the workflow crate converts decoded genomes into specs.
 
 use crate::layers::{
-    BatchNorm2d, Conv2d, ConvImpl, Dense, GlobalAvgPool, MaxPool2d, ParamVisitor, Relu,
+    BatchNorm2d, Conv2d, ConvImpl, Dense, DenseImpl, GlobalAvgPool, MaxPool2d, ParamVisitor, Relu,
 };
 use crate::tensor::{Tensor2, Tensor4};
+use crate::workspace::Workspace;
+use crate::{data::Dataset, gemm};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Default evaluation chunk size: bounds peak activation memory on large
+/// validation sets while keeping per-chunk overhead negligible.
+pub const DEFAULT_EVAL_CHUNK: usize = 256;
+
+/// An empty placeholder tensor (capacity 0, no allocation) used to move
+/// buffers out of slots that must keep a value.
+fn empty_t4() -> Tensor4 {
+    Tensor4::from_vec(0, 0, 0, 0, Vec::new())
+}
 
 /// Specification of one phase. Node indices refer to positions in
 /// `node_inputs`; an empty input list means the node reads the stem.
@@ -90,16 +102,19 @@ impl ConvBnRelu {
         }
     }
 
-    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
-        let a = self.conv.forward(x);
-        let b = self.bn.forward(&a, training);
-        self.relu.forward(&b)
+    fn forward_ws(&mut self, x: &Tensor4, training: bool, ws: &mut Workspace) -> Tensor4 {
+        let a = self.conv.forward_ws(x, ws);
+        let b = self.bn.forward_ws(&a, training, ws);
+        ws.give4(a);
+        self.relu.forward_owned(b)
     }
 
-    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
-        let g = self.relu.backward(grad);
-        let g = self.bn.backward(&g);
-        self.conv.backward(&g)
+    fn backward_ws(&mut self, grad: Tensor4, ws: &mut Workspace) -> Tensor4 {
+        let g = self.relu.backward_owned(grad);
+        let g = self.bn.backward_owned(g, ws);
+        let gin = self.conv.backward_ws(&g, ws);
+        ws.give4(g);
+        gin
     }
 
     fn visit_params(&mut self, f: ParamVisitor<'_>) {
@@ -130,14 +145,21 @@ struct PhaseBlock {
     pool: MaxPool2d,
     #[serde(skip)]
     cache: Option<PhaseCache>,
+    /// Persistent node-output slots: drained back into the workspace at
+    /// the end of every forward, so only the `Vec` capacity survives.
+    #[serde(skip)]
+    node_outs: Vec<Tensor4>,
+    /// Persistent node-gradient slots (see `node_outs`).
+    #[serde(skip)]
+    node_grads: Vec<Tensor4>,
 }
 
 #[derive(Debug, Clone)]
 struct PhaseCache {
     // Each conv block caches its own input for backward; the phase only
-    // needs the stem output's shape (and the stem activation for the
-    // residual gradient path, which flows through `stem.backward`).
-    stem_out: Tensor4,
+    // needs the stem output's shape (the stem activation's gradient path
+    // flows through `stem.backward_ws`).
+    stem_shape: (usize, usize, usize, usize),
 }
 
 impl PhaseBlock {
@@ -153,54 +175,71 @@ impl PhaseBlock {
             nodes,
             pool: MaxPool2d::new(),
             cache: None,
+            node_outs: Vec::new(),
+            node_grads: Vec::new(),
         }
     }
 
-    fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
-        let stem_out = self.stem.forward(x, training);
-        let mut node_outs: Vec<Tensor4> = Vec::with_capacity(self.nodes.len());
+    fn forward_ws(&mut self, x: &Tensor4, training: bool, ws: &mut Workspace) -> Tensor4 {
+        let stem_out = self.stem.forward_ws(x, training, ws);
+        let mut node_outs = std::mem::take(&mut self.node_outs);
+        node_outs.reserve(self.nodes.len());
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            let input = if self.spec.node_inputs[i].is_empty() {
-                stem_out.clone()
+            let out = if self.spec.node_inputs[i].is_empty() {
+                node.forward_ws(&stem_out, training, ws)
             } else {
-                let mut acc = node_outs[self.spec.node_inputs[i][0]].clone();
+                let mut acc = ws.t4_copy(&node_outs[self.spec.node_inputs[i][0]]);
                 for &j in &self.spec.node_inputs[i][1..] {
                     acc.add_assign(&node_outs[j]);
                 }
-                acc
+                let out = node.forward_ws(&acc, training, ws);
+                ws.give4(acc);
+                out
             };
-            node_outs.push(node.forward(&input, training));
+            node_outs.push(out);
         }
-        let mut out = node_outs[self.spec.leaves[0]].clone();
+        let mut out = ws.t4_copy(&node_outs[self.spec.leaves[0]]);
         for &l in &self.spec.leaves[1..] {
             out.add_assign(&node_outs[l]);
         }
         if self.spec.skip {
             out.add_assign(&stem_out);
         }
-        drop(node_outs);
-        self.cache = Some(PhaseCache { stem_out });
-        self.pool.forward(&out)
+        for t in node_outs.drain(..) {
+            ws.give4(t);
+        }
+        self.node_outs = node_outs;
+        self.cache = Some(PhaseCache {
+            stem_shape: stem_out.shape(),
+        });
+        ws.give4(stem_out);
+        let pooled = self.pool.forward_ws(&out, ws);
+        ws.give4(out);
+        pooled
     }
 
-    fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+    fn backward_ws(&mut self, grad: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         let cache = self.cache.take().expect("phase backward before forward");
-        let grad = self.pool.backward(grad);
-        let (n, c, h, w) = cache.stem_out.shape();
-        let mut node_grads: Vec<Tensor4> = (0..self.nodes.len())
-            .map(|_| Tensor4::zeros(n, c, h, w))
-            .collect();
-        let mut stem_grad = Tensor4::zeros(n, c, h, w);
+        let grad = self.pool.backward_ws(grad, ws);
+        let (n, c, h, w) = cache.stem_shape;
+        let mut node_grads = std::mem::take(&mut self.node_grads);
+        node_grads.reserve(self.nodes.len());
+        for _ in 0..self.nodes.len() {
+            node_grads.push(ws.t4_zeroed(n, c, h, w));
+        }
+        let mut stem_grad = ws.t4_zeroed(n, c, h, w);
         for &l in &self.spec.leaves {
             node_grads[l].add_assign(&grad);
         }
         if self.spec.skip {
             stem_grad.add_assign(&grad);
         }
+        ws.give4(grad);
         for i in (0..self.nodes.len()).rev() {
             // Skip inactive gradients cheaply: an all-zero grad still
             // back-propagates to zero, but the conv backward is expensive.
-            let gin = self.nodes[i].backward(&node_grads[i]);
+            let ng = std::mem::replace(&mut node_grads[i], empty_t4());
+            let gin = self.nodes[i].backward_ws(ng, ws);
             if self.spec.node_inputs[i].is_empty() {
                 stem_grad.add_assign(&gin);
             } else {
@@ -208,8 +247,13 @@ impl PhaseBlock {
                     node_grads[j].add_assign(&gin);
                 }
             }
+            ws.give4(gin);
         }
-        self.stem.backward(&stem_grad)
+        for t in node_grads.drain(..) {
+            ws.give4(t);
+        }
+        self.node_grads = node_grads;
+        self.stem.backward_ws(stem_grad, ws)
     }
 
     fn visit_params(&mut self, f: ParamVisitor<'_>) {
@@ -287,23 +331,46 @@ impl Network {
         &self.spec
     }
 
-    /// Forward pass returning classifier logits.
+    /// Forward pass returning classifier logits. Convenience wrapper over
+    /// [`forward_ws`](Self::forward_ws) with a throwaway workspace.
     pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor2 {
-        let mut act = self.phases[0].forward(x, training);
-        for phase in &mut self.phases[1..] {
-            act = phase.forward(&act, training);
-        }
-        let pooled = self.gap.forward(&act);
-        self.classifier.forward(&pooled)
+        self.forward_ws(x, training, &mut Workspace::default())
     }
 
-    /// Backward pass from logits gradient.
-    pub fn backward(&mut self, dlogits: &Tensor2) {
-        let g = self.classifier.backward(dlogits);
-        let mut g = self.gap.backward(&g);
-        for phase in self.phases.iter_mut().rev() {
-            g = phase.backward(&g);
+    /// Forward pass drawing every intermediate activation from `ws`. The
+    /// returned logits borrow pool storage; recycle them with
+    /// [`Workspace::give2`] when done.
+    pub fn forward_ws(&mut self, x: &Tensor4, training: bool, ws: &mut Workspace) -> Tensor2 {
+        let mut act = self.phases[0].forward_ws(x, training, ws);
+        for phase in &mut self.phases[1..] {
+            let next = phase.forward_ws(&act, training, ws);
+            ws.give4(act);
+            act = next;
         }
+        let pooled = self.gap.forward_ws(&act, ws);
+        ws.give4(act);
+        let logits = self.classifier.forward_ws(&pooled, ws);
+        ws.give2(pooled);
+        logits
+    }
+
+    /// Backward pass from logits gradient. Convenience wrapper over
+    /// [`backward_ws`](Self::backward_ws) with a throwaway workspace.
+    pub fn backward(&mut self, dlogits: &Tensor2) {
+        self.backward_ws(dlogits, &mut Workspace::default());
+    }
+
+    /// Backward pass drawing every intermediate gradient from `ws`.
+    pub fn backward_ws(&mut self, dlogits: &Tensor2, ws: &mut Workspace) {
+        let g = self.classifier.backward_ws(dlogits, ws);
+        let mut g4 = self.gap.backward_ws(&g, ws);
+        ws.give2(g);
+        for phase in self.phases.iter_mut().rev() {
+            let next = phase.backward_ws(&g4, ws);
+            ws.give4(g4);
+            g4 = next;
+        }
+        ws.give4(g4);
     }
 
     /// Visit all `(param, grad)` pairs in a stable order.
@@ -337,26 +404,129 @@ impl Network {
     }
 
     /// Classification accuracy (%) over a labeled set of images.
+    /// Evaluates in bounded-size chunks (see
+    /// [`evaluate_chunked`](Self::evaluate_chunked)); per-sample inference
+    /// is independent in eval mode, so the result is bitwise identical to
+    /// a single whole-set forward.
     pub fn evaluate(&mut self, images: &Tensor4, labels: &[usize]) -> f32 {
+        self.evaluate_chunked(images, labels, DEFAULT_EVAL_CHUNK)
+    }
+
+    /// Accuracy over `images`, forwarding at most `chunk` samples at a
+    /// time (capping peak activation memory) and spreading chunks across
+    /// the intra-op thread budget with one network clone per worker.
+    /// Chunking and threading cannot change the result: eval-mode forward
+    /// treats every sample independently (per-sample im2col, running BN
+    /// stats, row-wise dense), and the correct-count sum is an integer.
+    pub fn evaluate_chunked(&mut self, images: &Tensor4, labels: &[usize], chunk: usize) -> f32 {
         assert_eq!(images.n, labels.len());
         if labels.is_empty() {
             return 0.0;
         }
-        let logits = self.forward(images, false);
-        let mut correct = 0;
-        for (r, &label) in labels.iter().enumerate() {
-            let row = logits.row(r);
-            let pred = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap();
-            if pred == label {
-                correct += 1;
-            }
-        }
+        let chunk = chunk.max(1);
+        let n = images.n;
+        let n_chunks = n.div_ceil(chunk);
+        let threads = gemm::resolved_threads(n_chunks);
+        let correct: usize = if threads <= 1 {
+            let mut ws = Workspace::new();
+            (0..n_chunks)
+                .map(|i| {
+                    let start = i * chunk;
+                    self.eval_chunk(images, labels, start, (start + chunk).min(n), &mut ws)
+                })
+                .sum()
+        } else {
+            // Contiguous runs of chunks per worker; each worker clones the
+            // network once and reuses one warm workspace across its run.
+            let runs: Vec<(usize, usize)> = (0..threads)
+                .map(|t| {
+                    let per = n_chunks.div_ceil(threads);
+                    (t * per, ((t + 1) * per).min(n_chunks))
+                })
+                .filter(|(a, b)| a < b)
+                .collect();
+            let mut clones: Vec<Network> = (1..runs.len()).map(|_| self.clone()).collect();
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(clones.len());
+                for (net, &(c0, c1)) in clones.iter_mut().zip(&runs[1..]) {
+                    handles.push(s.spawn(move || {
+                        let mut ws = Workspace::new();
+                        (c0..c1)
+                            .map(|i| {
+                                let start = i * chunk;
+                                net.eval_chunk(
+                                    images,
+                                    labels,
+                                    start,
+                                    (start + chunk).min(n),
+                                    &mut ws,
+                                )
+                            })
+                            .sum::<usize>()
+                    }));
+                }
+                let (c0, c1) = runs[0];
+                let mut ws = Workspace::new();
+                let mut total: usize = (c0..c1)
+                    .map(|i| {
+                        let start = i * chunk;
+                        self.eval_chunk(images, labels, start, (start + chunk).min(n), &mut ws)
+                    })
+                    .sum();
+                for h in handles {
+                    total += h.join().expect("evaluation worker panicked");
+                }
+                total
+            })
+        };
         100.0 * correct as f32 / labels.len() as f32
+    }
+
+    /// Forward samples `start..end` in eval mode and count correct
+    /// predictions, with all scratch drawn from `ws`.
+    fn eval_chunk(
+        &mut self,
+        images: &Tensor4,
+        labels: &[usize],
+        start: usize,
+        end: usize,
+        ws: &mut Workspace,
+    ) -> usize {
+        let (_, c, h, w) = images.shape();
+        let stride = c * h * w;
+        let mut x = ws.t4_scratch(end - start, c, h, w);
+        x.data_mut()
+            .copy_from_slice(&images.data()[start * stride..end * stride]);
+        let logits = self.forward_ws(&x, false, ws);
+        ws.give4(x);
+        let correct = count_correct(&logits, &labels[start..end]);
+        ws.give2(logits);
+        correct
+    }
+
+    /// Accuracy over a [`Dataset`] without materializing it as one tensor:
+    /// chunks are copied straight from the dataset's flat storage into a
+    /// pooled batch buffer. Serial over chunks (inner ops still use the
+    /// intra-op budget); `ws` persists across calls so steady-state
+    /// evaluation allocates nothing.
+    pub fn evaluate_dataset(&mut self, ds: &Dataset, chunk: usize, ws: &mut Workspace) -> f32 {
+        if ds.is_empty() {
+            return 0.0;
+        }
+        let chunk = chunk.max(1);
+        let mut x = ws.t4_scratch(chunk.min(ds.len()), ds.channels, ds.height, ds.width);
+        let mut correct = 0usize;
+        let mut start = 0;
+        while start < ds.len() {
+            let end = (start + chunk).min(ds.len());
+            ds.copy_range_into(start, end, &mut x);
+            let logits = self.forward_ws(&x, false, ws);
+            correct += count_correct(&logits, &ds.labels[start..end]);
+            ws.give2(logits);
+            start = end;
+        }
+        ws.give4(x);
+        100.0 * correct as f32 / ds.len() as f32
     }
 
     /// Rebuild transient buffers after deserialization.
@@ -373,6 +543,31 @@ impl Network {
             phase.set_conv_impl(conv_impl);
         }
     }
+
+    /// Select the dense (classifier) compute backend.
+    pub fn set_dense_impl(&mut self, dense_impl: DenseImpl) {
+        self.classifier.set_impl(dense_impl);
+    }
+}
+
+/// Count rows of `logits` whose argmax matches the label. Exactly the
+/// argmax the pre-chunking `evaluate` used (first maximum wins via
+/// `partial_cmp`), so chunked and whole-set evaluation agree bitwise.
+fn count_correct(logits: &Tensor2, labels: &[usize]) -> usize {
+    let mut correct = 0;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if pred == label {
+            correct += 1;
+        }
+    }
+    correct
 }
 
 #[cfg(test)]

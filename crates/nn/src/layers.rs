@@ -9,6 +9,7 @@ use crate::gemm;
 use crate::im2col::{self, ConvGeometry};
 use crate::init::{he_normal, xavier_normal};
 use crate::tensor::{Tensor2, Tensor4};
+use crate::workspace::Workspace;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -54,6 +55,47 @@ impl std::fmt::Display for ConvImpl {
         f.write_str(match self {
             ConvImpl::Naive => "naive",
             ConvImpl::Im2colGemm => "im2col",
+        })
+    }
+}
+
+/// Which kernel [`Dense`] runs on.
+///
+/// Unlike the conv backends (which agree to ≤1e-4), the two dense backends
+/// are **bitwise identical**: `Gemm` routes through
+/// [`gemm::gemm_nn_seq`], whose per-element accumulation order reproduces
+/// the naive sequential loops exactly (verified by the equivalence tests
+/// in `crates/nn/tests/dense_equivalence.rs`). `Naive` is kept for
+/// differential testing and as the PR 3 baseline in the training bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DenseImpl {
+    /// Straight-line triple loop, one sequential dot per output.
+    Naive,
+    /// Blocked sequential-accumulation GEMM ([`gemm::gemm_nn_seq`]),
+    /// row-parallel on scoped threads sized by the intra-op budget.
+    #[default]
+    Gemm,
+}
+
+impl std::str::FromStr for DenseImpl {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(DenseImpl::Naive),
+            "gemm" => Ok(DenseImpl::Gemm),
+            other => Err(format!(
+                "unknown dense impl {other:?} (expected naive|gemm)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for DenseImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DenseImpl::Naive => "naive",
+            DenseImpl::Gemm => "gemm",
         })
     }
 }
@@ -106,21 +148,29 @@ impl Conv2d {
         self.conv_impl = conv_impl;
     }
 
-    /// Forward pass; caches the input for backward.
+    /// Forward pass; caches the input for backward. Convenience wrapper
+    /// over [`forward_ws`](Self::forward_ws) with a throwaway workspace.
     pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        self.forward_ws(x, &mut Workspace::default())
+    }
+
+    /// Forward pass drawing all scratch (output tensor, im2col panel,
+    /// input cache) from `ws` instead of the allocator.
+    pub fn forward_ws(&mut self, x: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         match self.conv_impl {
-            ConvImpl::Naive => self.forward_naive(x),
-            ConvImpl::Im2colGemm => self.forward_gemm(x),
+            ConvImpl::Naive => self.forward_naive(x, ws),
+            ConvImpl::Im2colGemm => self.forward_gemm(x, ws),
         }
     }
 
     /// Reference forward: direct loop nest, batch-parallel via rayon.
-    fn forward_naive(&mut self, x: &Tensor4) -> Tensor4 {
+    fn forward_naive(&mut self, x: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         assert_eq!(x.c, self.c_in, "conv input channel mismatch");
         let (n, _, h, w) = x.shape();
         let k = self.kernel;
         let pad = k / 2;
-        let mut out = Tensor4::zeros(n, self.c_out, h, w);
+        // Every output element is written below, so stale scratch is fine.
+        let mut out = ws.t4_scratch(n, self.c_out, h, w);
         let sample_out = self.c_out * h * w;
         let weight = &self.weight;
         let bias = &self.bias;
@@ -159,7 +209,12 @@ impl Conv2d {
                     }
                 }
             });
-        self.cached_input = Some(x.clone());
+        // Recycle a cache left by a forward that never ran backward
+        // (inference), so repeated eval forwards don't drain the pool.
+        if let Some(old) = self.cached_input.take() {
+            ws.give4(old);
+        }
+        self.cached_input = Some(ws.t4_copy(x));
         out
     }
 
@@ -168,20 +223,24 @@ impl Conv2d {
     /// distributed in contiguous blocks over scoped threads sized by the
     /// intra-op budget; every output element is produced by exactly one
     /// thread, so results are identical for any thread count.
-    fn forward_gemm(&mut self, x: &Tensor4) -> Tensor4 {
+    fn forward_gemm(&mut self, x: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         assert_eq!(x.c, self.c_in, "conv input channel mismatch");
         let (n, _, h, w) = x.shape();
         let g = ConvGeometry::same(self.c_in, h, w, self.kernel);
-        let mut out = Tensor4::zeros(n, self.c_out, h, w);
+        // conv_forward_sample seeds every output row with the bias before
+        // the GEMM accumulates, so stale scratch contents never leak.
+        let mut out = ws.t4_scratch(n, self.c_out, h, w);
         let sample_out = self.c_out * h * w;
         let weight = &self.weight;
         let bias = &self.bias;
         let threads = gemm::resolved_threads(n.max(1));
         if threads <= 1 || n <= 1 {
-            let mut col = vec![0.0f32; g.patch() * g.pixels()];
+            // im2col overwrites the whole panel per sample.
+            let mut col = ws.take_scratch(g.patch() * g.pixels());
             for (ni, out_s) in out.data_mut().chunks_mut(sample_out).enumerate() {
                 im2col::conv_forward_sample(x.sample(ni), weight, bias, &g, &mut col, out_s);
             }
+            ws.give(col);
         } else {
             let per = n.div_ceil(threads);
             std::thread::scope(|s| {
@@ -203,16 +262,33 @@ impl Conv2d {
                 }
             });
         }
-        self.cached_input = Some(x.clone());
+        // Recycle a cache left by a forward that never ran backward
+        // (inference), so repeated eval forwards don't drain the pool.
+        if let Some(old) = self.cached_input.take() {
+            ws.give4(old);
+        }
+        self.cached_input = Some(ws.t4_copy(x));
         out
     }
 
     /// Backward pass: consumes `grad_out`, accumulates weight/bias grads,
-    /// returns the gradient with respect to the input.
+    /// returns the gradient with respect to the input. Convenience wrapper
+    /// over [`backward_ws`](Self::backward_ws) with a throwaway workspace.
     pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
         match self.conv_impl {
             ConvImpl::Naive => self.backward_naive(grad_out),
-            ConvImpl::Im2colGemm => self.backward_gemm(grad_out),
+            ConvImpl::Im2colGemm => self.backward_gemm(grad_out, &mut Workspace::default()),
+        }
+    }
+
+    /// Backward pass drawing all scratch from `ws`; the input cache taken
+    /// during forward is recycled back into the pool.
+    pub fn backward_ws(&mut self, grad_out: &Tensor4, ws: &mut Workspace) -> Tensor4 {
+        match self.conv_impl {
+            // The naive path keeps its allocating rayon partials — it
+            // exists for differential testing, not throughput.
+            ConvImpl::Naive => self.backward_naive(grad_out),
+            ConvImpl::Im2colGemm => self.backward_gemm(grad_out, ws),
         }
     }
 
@@ -220,7 +296,7 @@ impl Conv2d {
     /// computed on scoped threads (samples in contiguous blocks) and
     /// reduced in sample order, matching the naive path's reduction, so
     /// results do not depend on the thread budget.
-    fn backward_gemm(&mut self, grad_out: &Tensor4) -> Tensor4 {
+    fn backward_gemm(&mut self, grad_out: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         let x = self
             .cached_input
             .take()
@@ -229,23 +305,28 @@ impl Conv2d {
         assert_eq!(grad_out.shape(), (n, self.c_out, h, w));
         let g = ConvGeometry::same(self.c_in, h, w, self.kernel);
         let (kp, c_out) = (g.patch(), self.c_out);
-        let mut wt = vec![0.0f32; kp * c_out];
-        gemm::transpose(c_out, kp, &self.weight, &mut wt);
-        let wt = &wt;
+        // transpose overwrites every element, so scratch contents are fine.
+        let mut wt_buf = ws.take_scratch(kp * c_out);
+        gemm::transpose(c_out, kp, &self.weight, &mut wt_buf);
+        let wt = &wt_buf;
         let wlen = self.weight.len();
         let sample_in = self.c_in * h * w;
-        let mut grad_in = Tensor4::zeros(n, self.c_in, h, w);
-        // Per-sample (wg, bg) partials in sample order, exactly like the
-        // naive path — the reduction order (and thus rounding) is fixed
-        // no matter how samples were distributed over threads.
-        let mut partials: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(n);
+        // col2im accumulates, so the input gradient must start zeroed.
+        let mut grad_in = ws.t4_zeroed(n, self.c_in, h, w);
         let threads = gemm::resolved_threads(n.max(1));
         if threads <= 1 || n <= 1 {
-            let mut col = vec![0.0f32; kp * g.pixels()];
-            let mut gcol = vec![0.0f32; kp * g.pixels()];
+            // Serial path: the per-sample (wg, bg) partials live in two
+            // pooled buffers zeroed per sample and reduced immediately —
+            // identical FP order to collecting them first (each partial is
+            // an independent zero-seeded sum, and the reduction still runs
+            // in ascending sample order), with no per-sample allocation.
+            let mut col = ws.take_scratch(kp * g.pixels());
+            let mut gcol = ws.take_scratch(kp * g.pixels());
+            let mut wg = ws.take_scratch(wlen);
+            let mut bg = ws.take_scratch(c_out);
             for (ni, gin_s) in grad_in.data_mut().chunks_mut(sample_in).enumerate() {
-                let mut wg = vec![0.0f32; wlen];
-                let mut bg = vec![0.0f32; c_out];
+                wg.fill(0.0);
+                bg.fill(0.0);
                 im2col::conv_backward_sample(
                     x.sample(ni),
                     grad_out.sample(ni),
@@ -257,9 +338,22 @@ impl Conv2d {
                     &mut wg,
                     &mut bg,
                 );
-                partials.push((wg, bg));
+                for (acc, v) in self.wgrad.iter_mut().zip(&wg) {
+                    *acc += v;
+                }
+                for (acc, v) in self.bgrad.iter_mut().zip(&bg) {
+                    *acc += v;
+                }
             }
+            ws.give(col);
+            ws.give(gcol);
+            ws.give(wg);
+            ws.give(bg);
         } else {
+            // Per-sample (wg, bg) partials in sample order, exactly like
+            // the naive path — the reduction order (and thus rounding) is
+            // fixed no matter how samples were distributed over threads.
+            let mut partials: Vec<(Vec<f32>, Vec<f32>)> = Vec::with_capacity(n);
             let per = n.div_ceil(threads);
             let x = &x;
             std::thread::scope(|s| {
@@ -293,15 +387,17 @@ impl Conv2d {
                     partials.extend(handle.join().expect("conv backward thread panicked"));
                 }
             });
-        }
-        for (wg, bg) in &partials {
-            for (acc, v) in self.wgrad.iter_mut().zip(wg) {
-                *acc += v;
+            for (wg, bg) in &partials {
+                for (acc, v) in self.wgrad.iter_mut().zip(wg) {
+                    *acc += v;
+                }
+                for (acc, v) in self.bgrad.iter_mut().zip(bg) {
+                    *acc += v;
+                }
             }
-            for (acc, v) in self.bgrad.iter_mut().zip(bg) {
-                *acc += v;
-            }
         }
+        ws.give(wt_buf);
+        ws.give4(x);
         grad_in
     }
 
@@ -456,15 +552,23 @@ impl BatchNorm2d {
     }
 
     /// Forward pass. `training` selects batch statistics (and updates the
-    /// running averages) versus running statistics.
+    /// running averages) versus running statistics. Convenience wrapper
+    /// over [`forward_ws`](Self::forward_ws) with a throwaway workspace.
     pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        self.forward_ws(x, training, &mut Workspace::default())
+    }
+
+    /// Forward pass drawing the output, `x̂` cache and per-channel stat
+    /// buffers from `ws`.
+    pub fn forward_ws(&mut self, x: &Tensor4, training: bool, ws: &mut Workspace) -> Tensor4 {
         assert_eq!(x.c, self.channels, "batchnorm channel mismatch");
         let (n, c, h, w) = x.shape();
         let per_c = (n * h * w) as f32;
-        let mut out = Tensor4::zeros(n, c, h, w);
+        // Every element of `out` (and `xhat`) is written below.
+        let mut out = ws.t4_scratch(n, c, h, w);
         if training {
-            let mut mean = vec![0.0f32; c];
-            let mut var = vec![0.0f32; c];
+            let mut mean = ws.take_zeroed(c);
+            let mut var = ws.take_zeroed(c);
             for ni in 0..n {
                 let s = x.sample(ni);
                 for ci in 0..c {
@@ -484,8 +588,11 @@ impl BatchNorm2d {
                 }
             }
             var.iter_mut().for_each(|v| *v /= per_c);
-            let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
-            let mut xhat = Tensor4::zeros(n, c, h, w);
+            let mut inv_std = ws.take_scratch(c);
+            for (is, v) in inv_std.iter_mut().zip(&var) {
+                *is = 1.0 / (v + self.eps).sqrt();
+            }
+            let mut xhat = ws.t4_scratch(n, c, h, w);
             for ni in 0..n {
                 let xs = x.sample(ni);
                 let xh = xhat.sample_mut(ni);
@@ -505,6 +612,13 @@ impl BatchNorm2d {
                 self.running_var[ci] =
                     (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
             }
+            ws.give(mean);
+            ws.give(var);
+            // Recycle a cache left by a forward that never ran backward.
+            if let Some(old) = self.cache.take() {
+                ws.give4(old.xhat);
+                ws.give(old.inv_std);
+            }
             self.cache = Some(BnCache { xhat, inv_std });
         } else {
             for ni in 0..n {
@@ -523,14 +637,22 @@ impl BatchNorm2d {
         out
     }
 
-    /// Backward through the training-mode normalization.
+    /// Backward through the training-mode normalization. Convenience
+    /// wrapper over [`backward_owned`](Self::backward_owned).
     pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        self.backward_owned(grad_out.clone(), &mut Workspace::default())
+    }
+
+    /// Backward through the training-mode normalization, writing the input
+    /// gradient in place over `grad_out` (each element is read exactly
+    /// once before its slot is overwritten) and recycling the `x̂` cache.
+    pub fn backward_owned(&mut self, mut grad_out: Tensor4, ws: &mut Workspace) -> Tensor4 {
         let cache = self.cache.take().expect("backward before training forward");
         let (n, c, h, w) = grad_out.shape();
         let per_c = (n * h * w) as f32;
         // Channel reductions: Σg, Σ(g·xhat).
-        let mut sum_g = vec![0.0f32; c];
-        let mut sum_gx = vec![0.0f32; c];
+        let mut sum_g = ws.take_zeroed(c);
+        let mut sum_gx = ws.take_zeroed(c);
         for ni in 0..n {
             let gs = grad_out.sample(ni);
             let xh = cache.xhat.sample(ni);
@@ -545,20 +667,22 @@ impl BatchNorm2d {
             self.bgrad[ci] += sum_g[ci];
             self.ggrad[ci] += sum_gx[ci];
         }
-        let mut grad_in = Tensor4::zeros(n, c, h, w);
         for ni in 0..n {
-            let gs = grad_out.sample(ni);
             let xh = cache.xhat.sample(ni);
-            let gi = grad_in.sample_mut(ni);
+            let gi = grad_out.sample_mut(ni);
             for ci in 0..c {
                 let scale = self.gamma[ci] * cache.inv_std[ci] / per_c;
                 let (sg, sgx) = (sum_g[ci], sum_gx[ci]);
                 for i in ci * h * w..(ci + 1) * h * w {
-                    gi[i] = scale * (per_c * gs[i] - sg - xh[i] * sgx);
+                    gi[i] = scale * (per_c * gi[i] - sg - xh[i] * sgx);
                 }
             }
         }
-        grad_in
+        ws.give(sum_g);
+        ws.give(sum_gx);
+        ws.give4(cache.xhat);
+        ws.give(cache.inv_std);
+        grad_out
     }
 
     /// Visit `(param, grad)` pairs (γ then β).
@@ -597,31 +721,44 @@ impl Relu {
         Relu::default()
     }
 
-    /// Forward pass; records the activation mask.
+    /// Forward pass; records the activation mask. Clones the input — the
+    /// graph hot path uses [`forward_owned`](Self::forward_owned) instead.
     pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
-        let mut out = x.clone();
+        self.forward_owned(x.clone())
+    }
+
+    /// In-place forward over an owned tensor: rectifies `x` directly and
+    /// records the activation mask, with no copy. The mask capacity
+    /// persists across calls, so steady state allocates nothing.
+    pub fn forward_owned(&mut self, mut x: Tensor4) -> Tensor4 {
         self.mask.clear();
-        self.mask.reserve(out.len());
-        for v in out.data_mut() {
+        self.mask.reserve(x.len());
+        for v in x.data_mut() {
             let on = *v > 0.0;
             self.mask.push(on);
             if !on {
                 *v = 0.0;
             }
         }
-        out
+        x
     }
 
-    /// Backward: zero gradients where the forward input was ≤ 0.
+    /// Backward: zero gradients where the forward input was ≤ 0. Clones
+    /// the gradient — the graph hot path uses
+    /// [`backward_owned`](Self::backward_owned) instead.
     pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        self.backward_owned(grad_out.clone())
+    }
+
+    /// In-place backward over an owned gradient tensor.
+    pub fn backward_owned(&mut self, mut grad_out: Tensor4) -> Tensor4 {
         assert_eq!(grad_out.len(), self.mask.len(), "relu backward shape");
-        let mut g = grad_out.clone();
-        for (v, &on) in g.data_mut().iter_mut().zip(&self.mask) {
+        for (v, &on) in grad_out.data_mut().iter_mut().zip(&self.mask) {
             if !on {
                 *v = 0.0;
             }
         }
-        g
+        grad_out
     }
 
     /// Forward FLOPs for one sample with `c` channels at `h × w`.
@@ -665,11 +802,18 @@ impl Dropout {
     }
 
     /// Forward pass. In training mode a fresh mask is drawn; in inference
-    /// the input passes through unchanged.
+    /// the input passes through unchanged. Clones the input — owners use
+    /// [`forward_owned`](Self::forward_owned) instead.
     pub fn forward(&mut self, x: &Tensor4, training: bool) -> Tensor4 {
+        self.forward_owned(x.clone(), training)
+    }
+
+    /// In-place forward over an owned tensor: masks and rescales `x`
+    /// directly, with no copy.
+    pub fn forward_owned(&mut self, mut x: Tensor4, training: bool) -> Tensor4 {
         if !training || self.p == 0.0 {
             self.mask.clear();
-            return x.clone();
+            return x;
         }
         use rand::{Rng, SeedableRng};
         // A fresh, deterministic stream per forward call.
@@ -678,31 +822,34 @@ impl Dropout {
         );
         self.draws += 1;
         let keep_scale = 1.0 / (1.0 - self.p);
-        let mut out = x.clone();
         self.mask.clear();
-        self.mask.reserve(out.len());
-        for v in out.data_mut() {
+        self.mask.reserve(x.len());
+        for v in x.data_mut() {
             let keep = !rng.gen_bool(f64::from(self.p));
             self.mask.push(keep);
             *v = if keep { *v * keep_scale } else { 0.0 };
         }
-        out
+        x
     }
 
     /// Backward: route gradients through the surviving units with the same
     /// scale. Must follow a training-mode forward; after an inference
     /// forward the gradient passes through unchanged.
     pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        self.backward_owned(grad_out.clone())
+    }
+
+    /// In-place backward over an owned gradient tensor.
+    pub fn backward_owned(&mut self, mut grad_out: Tensor4) -> Tensor4 {
         if self.mask.is_empty() {
-            return grad_out.clone();
+            return grad_out;
         }
         assert_eq!(grad_out.len(), self.mask.len(), "dropout backward shape");
         let keep_scale = 1.0 / (1.0 - self.p);
-        let mut g = grad_out.clone();
-        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+        for (v, &keep) in grad_out.data_mut().iter_mut().zip(&self.mask) {
             *v = if keep { *v * keep_scale } else { 0.0 };
         }
-        g
+        grad_out
     }
 }
 
@@ -726,10 +873,18 @@ impl MaxPool2d {
     }
 
     /// Forward pass; records argmax indices for routing gradients.
+    /// Convenience wrapper over [`forward_ws`](Self::forward_ws).
     pub fn forward(&mut self, x: &Tensor4) -> Tensor4 {
+        self.forward_ws(x, &mut Workspace::default())
+    }
+
+    /// Forward pass drawing the output from `ws`. The argmax index buffer
+    /// persists in the layer, so steady state allocates nothing.
+    pub fn forward_ws(&mut self, x: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         let (n, c, h, w) = x.shape();
         let (oh, ow) = ((h / 2).max(1), (w / 2).max(1));
-        let mut out = Tensor4::zeros(n, c, oh, ow);
+        // Every output element is written below.
+        let mut out = ws.t4_scratch(n, c, oh, ow);
         self.argmax.clear();
         self.argmax.resize(n * c * oh * ow, 0);
         self.in_shape = x.shape();
@@ -763,10 +918,17 @@ impl MaxPool2d {
         out
     }
 
-    /// Backward: route each gradient to its argmax location.
+    /// Backward: route each gradient to its argmax location. Convenience
+    /// wrapper over [`backward_ws`](Self::backward_ws).
     pub fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        self.backward_ws(grad_out, &mut Workspace::default())
+    }
+
+    /// Backward drawing the (zero-seeded — most positions receive no
+    /// gradient) input-gradient tensor from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor4, ws: &mut Workspace) -> Tensor4 {
         let (n, c, h, w) = self.in_shape;
-        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        let mut grad_in = ws.t4_zeroed(n, c, h, w);
         for (o, &src) in self.argmax.iter().enumerate() {
             grad_in.data_mut()[src] += grad_out.data()[o];
         }
@@ -796,12 +958,19 @@ impl GlobalAvgPool {
         GlobalAvgPool::default()
     }
 
-    /// Forward pass.
+    /// Forward pass. Convenience wrapper over
+    /// [`forward_ws`](Self::forward_ws).
     pub fn forward(&mut self, x: &Tensor4) -> Tensor2 {
+        self.forward_ws(x, &mut Workspace::default())
+    }
+
+    /// Forward pass drawing the pooled matrix from `ws`.
+    pub fn forward_ws(&mut self, x: &Tensor4, ws: &mut Workspace) -> Tensor2 {
         let (n, c, h, w) = x.shape();
         self.in_shape = x.shape();
         let scale = 1.0 / (h * w) as f32;
-        let mut out = Tensor2::zeros(n, c);
+        // Every element is written below.
+        let mut out = ws.t2_scratch(n, c);
         for ni in 0..n {
             let s = x.sample(ni);
             let row = out.row_mut(ni);
@@ -814,10 +983,17 @@ impl GlobalAvgPool {
     }
 
     /// Backward: spread each channel gradient uniformly over `h × w`.
+    /// Convenience wrapper over [`backward_ws`](Self::backward_ws).
     pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor4 {
+        self.backward_ws(grad_out, &mut Workspace::default())
+    }
+
+    /// Backward drawing the input-gradient tensor from `ws`.
+    pub fn backward_ws(&mut self, grad_out: &Tensor2, ws: &mut Workspace) -> Tensor4 {
         let (n, c, h, w) = self.in_shape;
         let scale = 1.0 / (h * w) as f32;
-        let mut grad_in = Tensor4::zeros(n, c, h, w);
+        // Every element is written below (full channel fill).
+        let mut grad_in = ws.t4_scratch(n, c, h, w);
         for ni in 0..n {
             let row = grad_out.row(ni);
             let gi = grad_in.sample_mut(ni);
@@ -847,6 +1023,9 @@ pub struct Dense {
     pub weight: Vec<f32>,
     /// Bias `[d_out]`.
     pub bias: Vec<f32>,
+    /// Selected compute backend.
+    #[serde(default)]
+    pub dense_impl: DenseImpl,
     #[serde(skip)]
     wgrad: Vec<f32>,
     #[serde(skip)]
@@ -865,16 +1044,38 @@ impl Dense {
             d_out,
             weight,
             bias: vec![0.0; d_out],
+            dense_impl: DenseImpl::default(),
             wgrad: vec![0.0; d_out * d_in],
             bgrad: vec![0.0; d_out],
             cached_input: None,
         }
     }
 
-    /// Forward pass; caches the input.
+    /// Select the compute backend.
+    pub fn set_impl(&mut self, dense_impl: DenseImpl) {
+        self.dense_impl = dense_impl;
+    }
+
+    /// Forward pass; caches the input. Convenience wrapper over
+    /// [`forward_ws`](Self::forward_ws) with a throwaway workspace.
     pub fn forward(&mut self, x: &Tensor2) -> Tensor2 {
+        self.forward_ws(x, &mut Workspace::default())
+    }
+
+    /// Forward pass drawing the output, the `Wᵀ` panel and the input
+    /// cache from `ws`.
+    pub fn forward_ws(&mut self, x: &Tensor2, ws: &mut Workspace) -> Tensor2 {
         assert_eq!(x.cols, self.d_in, "dense input width mismatch");
-        let mut out = Tensor2::zeros(x.rows, self.d_out);
+        match self.dense_impl {
+            DenseImpl::Naive => self.forward_naive(x, ws),
+            DenseImpl::Gemm => self.forward_gemm(x, ws),
+        }
+    }
+
+    /// Reference forward: one strictly sequential dot per output element.
+    fn forward_naive(&mut self, x: &Tensor2, ws: &mut Workspace) -> Tensor2 {
+        // Every output element is written below.
+        let mut out = ws.t2_scratch(x.rows, self.d_out);
         for r in 0..x.rows {
             let xi = x.row(r);
             let or = out.row_mut(r);
@@ -887,18 +1088,74 @@ impl Dense {
                 *out_v = acc;
             }
         }
-        self.cached_input = Some(x.clone());
+        // Recycle a cache left by a forward that never ran backward
+        // (inference), so repeated eval forwards don't drain the pool.
+        if let Some(old) = self.cached_input.take() {
+            ws.give2(old);
+        }
+        self.cached_input = Some(ws.t2_copy(x));
         out
     }
 
-    /// Backward pass.
+    /// Blocked-GEMM forward, bitwise identical to the naive path: the
+    /// output is seeded with the bias and [`gemm::gemm_nn_seq`] extends
+    /// each element as one strict ascending-`i` sum `bias + Σ x[i]·w[i]` —
+    /// exactly the naive loop's order. Rows of the output split across
+    /// scoped threads under the intra-op budget; each element is produced
+    /// by one thread, so any budget gives identical bits.
+    fn forward_gemm(&mut self, x: &Tensor2, ws: &mut Workspace) -> Tensor2 {
+        let rows = x.rows;
+        // B = Wᵀ, materialized so the shared axis (d_in) is the GEMM's
+        // sequential k axis. transpose overwrites every element.
+        let mut wt = ws.take_scratch(self.d_in * self.d_out);
+        gemm::transpose(self.d_out, self.d_in, &self.weight, &mut wt);
+        let mut out = ws.t2_scratch(rows, self.d_out);
+        for r in 0..rows {
+            out.row_mut(r).copy_from_slice(&self.bias);
+        }
+        gemm::gemm_nn_seq(
+            rows,
+            self.d_out,
+            self.d_in,
+            x.data(),
+            &wt,
+            out.data_mut(),
+            gemm::resolved_threads(rows.max(1)),
+        );
+        ws.give(wt);
+        // Recycle a cache left by a forward that never ran backward
+        // (inference), so repeated eval forwards don't drain the pool.
+        if let Some(old) = self.cached_input.take() {
+            ws.give2(old);
+        }
+        self.cached_input = Some(ws.t2_copy(x));
+        out
+    }
+
+    /// Backward pass. Convenience wrapper over
+    /// [`backward_ws`](Self::backward_ws) with a throwaway workspace.
     pub fn backward(&mut self, grad_out: &Tensor2) -> Tensor2 {
+        self.backward_ws(grad_out, &mut Workspace::default())
+    }
+
+    /// Backward pass drawing all scratch from `ws`; the input cache is
+    /// recycled back into the pool.
+    pub fn backward_ws(&mut self, grad_out: &Tensor2, ws: &mut Workspace) -> Tensor2 {
+        assert_eq!(grad_out.cols, self.d_out);
+        match self.dense_impl {
+            DenseImpl::Naive => self.backward_naive(grad_out, ws),
+            DenseImpl::Gemm => self.backward_gemm(grad_out, ws),
+        }
+    }
+
+    /// Reference backward: skips zero output-gradients, accumulates
+    /// directly into the persistent gradient buffers.
+    fn backward_naive(&mut self, grad_out: &Tensor2, ws: &mut Workspace) -> Tensor2 {
         let x = self
             .cached_input
             .take()
             .expect("backward called before forward");
-        assert_eq!(grad_out.cols, self.d_out);
-        let mut grad_in = Tensor2::zeros(x.rows, self.d_in);
+        let mut grad_in = ws.t2_zeroed(x.rows, self.d_in);
         for r in 0..x.rows {
             let g = grad_out.row(r);
             let xi = x.row(r);
@@ -916,6 +1173,62 @@ impl Dense {
                 }
             }
         }
+        ws.give2(x);
+        grad_in
+    }
+
+    /// Blocked-GEMM backward, bitwise identical to the naive path:
+    ///
+    /// - `wgrad += gᵀ·x` via [`gemm::gemm_nn_seq`] — per element the
+    ///   shared axis is the batch row `r`, walked ascending and seeded
+    ///   from the existing `wgrad`, which is the naive `r`-outer loop's
+    ///   exact order;
+    /// - `grad_in = g·W`, zero-seeded, shared axis `o` ascending — again
+    ///   the naive order;
+    /// - `bgrad` via the plain column-sum loop.
+    ///
+    /// The naive path *skips* `go == 0.0` terms; the GEMM adds them. The
+    /// added products are `±0.0`, and IEEE-754 addition of `±0.0` onto an
+    /// accumulator that is not `-0.0` is the identity — and no accumulator
+    /// here can ever reach `-0.0`, because each starts at `+0.0` (or a
+    /// prior sum) and `(+0.0) + (−0.0) = +0.0` under round-to-nearest. So
+    /// skipping versus adding zeros produces identical bits (pinned by the
+    /// dense equivalence tests).
+    fn backward_gemm(&mut self, grad_out: &Tensor2, ws: &mut Workspace) -> Tensor2 {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        let rows = x.rows;
+        for r in 0..rows {
+            for (o, &go) in grad_out.row(r).iter().enumerate() {
+                self.bgrad[o] += go;
+            }
+        }
+        // A = gᵀ so the shared axis (rows) is the GEMM's sequential k.
+        let mut gt = ws.take_scratch(rows * self.d_out);
+        gemm::transpose(rows, self.d_out, grad_out.data(), &mut gt);
+        gemm::gemm_nn_seq(
+            self.d_out,
+            self.d_in,
+            rows,
+            &gt,
+            x.data(),
+            &mut self.wgrad,
+            gemm::resolved_threads(self.d_out.max(1)),
+        );
+        ws.give(gt);
+        let mut grad_in = ws.t2_zeroed(rows, self.d_in);
+        gemm::gemm_nn_seq(
+            rows,
+            self.d_in,
+            self.d_out,
+            grad_out.data(),
+            &self.weight,
+            grad_in.data_mut(),
+            gemm::resolved_threads(rows.max(1)),
+        );
+        ws.give2(x);
         grad_in
     }
 
@@ -961,7 +1274,7 @@ mod tests {
         };
         // Analytic gradient of L wrt one weight.
         let out = conv.forward(&x);
-        let grad_out = out.clone(); // dL/dout = out for L = Σout²/2
+        let grad_out = out; // dL/dout = out for L = Σout²/2
         let _ = conv.backward(&grad_out);
         let analytic = conv.wgrad[7];
         // Numeric.
@@ -1142,7 +1455,7 @@ mod tests {
         let mut dense = Dense::new(3, 2, &mut r);
         let x = Tensor2::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
         let out = dense.forward(&x);
-        let _ = dense.backward(&out.clone());
+        let _ = dense.backward(&out);
         let analytic = dense.wgrad[1];
         let h = 1e-3f32;
         let loss = |d: &mut Dense, delta: f32| {

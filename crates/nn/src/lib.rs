@@ -20,6 +20,7 @@
 //! Minibatch forward/backward is data-parallel over the batch dimension
 //! via rayon. All randomness flows through caller-provided seeds.
 
+#![warn(clippy::redundant_clone)]
 pub mod augment;
 pub mod cell;
 pub mod data;
@@ -34,20 +35,24 @@ pub mod pool_same;
 pub mod schedule;
 pub mod serialize;
 pub mod tensor;
+pub mod workspace;
 
 pub use augment::{augment_batch, AugmentConfig};
 pub use cell::{CellNodeSpec, CellOp, CellSpec, MicroNetSpec, MicroNetwork};
 pub use data::{BatchIter, Dataset};
 pub use graph::{NetSpec, Network, PhaseNetSpec};
-pub use layers::ConvImpl;
-pub use loss::{cross_entropy, CrossEntropyOutput};
+pub use layers::{ConvImpl, DenseImpl};
+pub use loss::{cross_entropy, cross_entropy_ws, CrossEntropyOutput};
 pub use optim::{Adam, Sgd};
 pub use schedule::LrSchedule;
 pub use serialize::ModelState;
 pub use tensor::{Tensor2, Tensor4};
+pub use workspace::Workspace;
 
 /// Train `net` for one epoch over `train` and return `(mean loss,
-/// train accuracy %)`. Evaluation helpers live in [`graph::Network`].
+/// train accuracy %)`. Convenience wrapper over [`train_epoch_ws`] with
+/// a throwaway workspace; persistent callers (the trainers) hold their
+/// own [`Workspace`] so steady-state epochs allocate nothing.
 pub fn train_epoch(
     net: &mut Network,
     opt: &mut Sgd,
@@ -55,18 +60,47 @@ pub fn train_epoch(
     batch_size: usize,
     rng: &mut impl rand::Rng,
 ) -> (f32, f32) {
+    train_epoch_ws(net, opt, train, batch_size, rng, &mut Workspace::default())
+}
+
+/// [`train_epoch`] with all per-batch buffers — the gathered batch, every
+/// activation and gradient, loss scratch — drawn from `ws`. After the
+/// first batch warms the pool, the loop performs zero heap allocations
+/// per batch (pinned by `tests/alloc_regression.rs`); results are bitwise
+/// identical to the allocating path.
+pub fn train_epoch_ws(
+    net: &mut Network,
+    opt: &mut Sgd,
+    train: &Dataset,
+    batch_size: usize,
+    rng: &mut impl rand::Rng,
+    ws: &mut Workspace,
+) -> (f32, f32) {
     let mut total_loss = 0.0f64;
     let mut correct = 0usize;
     let mut seen = 0usize;
-    for (images, labels) in train.shuffled_batches(batch_size, rng) {
-        let logits = net.forward(&images, true);
-        let out = cross_entropy(&logits, &labels);
+    // Size the gather buffer for a full batch up front so best-fit reuse
+    // keeps serving it even after a smaller remainder batch.
+    let mut images = {
+        let (c, h, w) = (train.channels, train.height, train.width);
+        ws.t4_scratch(batch_size.min(train.len().max(1)), c, h, w)
+    };
+    let mut labels = ws.take_labels();
+    let mut iter = train.shuffled_batches(batch_size, rng);
+    while iter.next_into(&mut images, &mut labels) {
+        let logits = net.forward_ws(&images, true, ws);
+        let out = cross_entropy_ws(&logits, &labels, ws);
+        ws.give2(logits);
         total_loss += f64::from(out.loss) * labels.len() as f64;
         correct += out.correct;
         seen += labels.len();
-        net.backward(&out.dlogits);
+        net.backward_ws(&out.dlogits, ws);
+        ws.give2(out.dlogits);
+        ws.give2(out.probs);
         opt.step(net);
     }
+    ws.give4(images);
+    ws.give_labels(labels);
     let mean_loss = if seen == 0 {
         0.0
     } else {

@@ -1,6 +1,7 @@
 //! Softmax cross-entropy loss.
 
 use crate::tensor::Tensor2;
+use crate::workspace::Workspace;
 
 /// Output of [`cross_entropy`].
 #[derive(Debug, Clone)]
@@ -16,11 +17,24 @@ pub struct CrossEntropyOutput {
 }
 
 /// Numerically stable softmax cross-entropy with integer class labels.
+/// Convenience wrapper over [`cross_entropy_ws`] with a throwaway
+/// workspace.
 pub fn cross_entropy(logits: &Tensor2, labels: &[usize]) -> CrossEntropyOutput {
+    cross_entropy_ws(logits, labels, &mut Workspace::default())
+}
+
+/// [`cross_entropy`] drawing `probs` and `dlogits` from `ws`; recycle
+/// them with [`Workspace::give2`] when done. Every element of both
+/// matrices is overwritten, so scratch reuse cannot change results.
+pub fn cross_entropy_ws(
+    logits: &Tensor2,
+    labels: &[usize],
+    ws: &mut Workspace,
+) -> CrossEntropyOutput {
     assert_eq!(logits.rows, labels.len(), "one label per row required");
     let n = logits.rows.max(1);
-    let mut probs = Tensor2::zeros(logits.rows, logits.cols);
-    let mut dlogits = Tensor2::zeros(logits.rows, logits.cols);
+    let mut probs = ws.t2_scratch(logits.rows, logits.cols);
+    let mut dlogits = ws.t2_scratch(logits.rows, logits.cols);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
     for (r, &label) in labels.iter().enumerate() {

@@ -117,6 +117,28 @@ impl Tensor4 {
         &mut self.data[n * stride..(n + 1) * stride]
     }
 
+    /// Consume the tensor, returning its backing storage (for recycling
+    /// into a [`crate::workspace::Workspace`]).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshape in place to `n×c×h×w`, keeping the allocation. Contents
+    /// are arbitrary afterwards (callers overwrite every element).
+    pub fn reset(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        let len = checked_len(n, c, h, w);
+        if self.data.len() > len {
+            self.data.truncate(len);
+        } else {
+            self.data.resize(len, 0.0);
+        }
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+    }
+
     /// Elementwise `self += other`; shapes must match.
     pub fn add_assign(&mut self, other: &Tensor4) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
@@ -205,6 +227,13 @@ impl Tensor2 {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Consume the matrix, returning its backing storage (for recycling
+    /// into a [`crate::workspace::Workspace`]).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
     }
 }
 

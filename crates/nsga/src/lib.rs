@@ -47,6 +47,7 @@
 //! }
 //! ```
 
+#![warn(clippy::redundant_clone)]
 pub mod crowding;
 pub mod evolve;
 pub mod objectives;

@@ -40,6 +40,7 @@
 //! assert!((predicted - 95.0).abs() < 2.0);
 //! ```
 
+#![warn(clippy::redundant_clone)]
 pub mod analyzer;
 pub mod curve;
 pub mod engine;

@@ -17,6 +17,7 @@
 //! - [`lpt`] ordering lives in [`des`] as an ablation: longest-processing-
 //!   time-first reduces the idle tail FIFO leaves behind.
 
+#![warn(clippy::redundant_clone)]
 pub mod des;
 pub mod pool;
 pub mod retry;

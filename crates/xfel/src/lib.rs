@@ -22,6 +22,7 @@
 //! - balanced, seeded **dataset generation** with the paper's 80/20
 //!   train/test split ([`dataset`]).
 
+#![warn(clippy::redundant_clone)]
 pub mod beam;
 pub mod conformer;
 pub mod dataset;

@@ -8,6 +8,7 @@
 //! `a4nn-nn` substrate so Table 3 (A4NN vs XPSI wall time and accuracy)
 //! can be regenerated.
 
+#![warn(clippy::redundant_clone)]
 pub mod autoencoder;
 pub mod knn;
 pub mod pipeline;

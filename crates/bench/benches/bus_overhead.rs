@@ -93,7 +93,7 @@ fn bench_engine_interaction(c: &mut Criterion) {
     group.finish();
     drop(verdicts);
     topic.close();
-    let totals = service.join();
+    let totals = service.join().expect("engine service is healthy");
     println!(
         "  engine service totals: {} interactions, {:.6} s inside the engine",
         totals.interactions, totals.total_seconds

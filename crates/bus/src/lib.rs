@@ -26,6 +26,7 @@
 //! `(model_id, epoch)`, and the recorder orders records by model id.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod events;
 pub mod services;
 pub mod topic;

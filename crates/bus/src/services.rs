@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
+use a4nn_error::A4nnError;
 use a4nn_lineage::{EngineParamsRecord, EpochRecord, ModelRecord, Terminated};
 use a4nn_penguin::{EngineConfig, EngineStats, PredictionEngine};
 
@@ -130,9 +131,9 @@ impl PredictionEngineService {
                         // Graceful degradation: retire this model's
                         // engine with stats frozen before the crash
                         // epoch, tell the trainer, keep serving others.
-                        let crashed = engines
-                            .remove(&epoch.model_id)
-                            .expect("crashed engine was just inserted");
+                        let Some(crashed) = engines.remove(&epoch.model_id) else {
+                            unreachable!("crashed engine was just inserted")
+                        };
                         let frozen = crashed.stats();
                         retired.insert(epoch.model_id, frozen);
                         Event::EngineVerdict(EngineVerdict {
@@ -178,10 +179,13 @@ impl PredictionEngineService {
 
     /// Wait for close-and-drain; returns the aggregate engine stats
     /// across every model the service analyzed.
-    pub fn join(self) -> EngineStats {
+    ///
+    /// Errs only if the service thread itself panicked — per-model engine
+    /// crashes are absorbed by the degradation path above.
+    pub fn join(self) -> Result<EngineStats, A4nnError> {
         self.handle
             .join()
-            .expect("prediction engine service panicked")
+            .map_err(|_| A4nnError::Internal("prediction engine service panicked".into()))
     }
 }
 
@@ -290,11 +294,11 @@ impl LineageRecorderService {
     }
 
     /// Wait for close-and-drain; returns the assembled record trails
-    /// (sorted by model id).
-    pub fn join(self) -> Vec<ModelRecord> {
+    /// (sorted by model id). Errs only if the recorder thread panicked.
+    pub fn join(self) -> Result<Vec<ModelRecord>, A4nnError> {
         self.handle
             .join()
-            .expect("lineage recorder service panicked")
+            .map_err(|_| A4nnError::Internal("lineage recorder service panicked".into()))
     }
 }
 
@@ -354,9 +358,12 @@ impl RunStatsAggregator {
         RunStatsAggregator { handle }
     }
 
-    /// Wait for close-and-drain; returns the folded counters.
-    pub fn join(self) -> BusRunStats {
-        self.handle.join().expect("run stats aggregator panicked")
+    /// Wait for close-and-drain; returns the folded counters. Errs only
+    /// if the aggregator thread panicked.
+    pub fn join(self) -> Result<BusRunStats, A4nnError> {
+        self.handle
+            .join()
+            .map_err(|_| A4nnError::Internal("run stats aggregator panicked".into()))
     }
 }
 
@@ -405,7 +412,7 @@ mod tests {
             }
         }
         topic.close();
-        let totals = service.join();
+        let totals = service.join().unwrap();
         assert!(totals.interactions > 0);
     }
 
@@ -477,7 +484,7 @@ mod tests {
             }))
             .unwrap();
         topic.close();
-        let records = recorder.join();
+        let records = recorder.join().unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].model_id, 1);
         assert_eq!(records[1].model_id, 2);
@@ -531,7 +538,7 @@ mod tests {
         topic.close();
         // Run totals still include the crashed model's frozen stats
         // (the model completed, degraded) plus model 8's one epoch.
-        assert_eq!(service.join().interactions, 3);
+        assert_eq!(service.join().unwrap().interactions, 3);
     }
 
     #[test]
@@ -602,7 +609,7 @@ mod tests {
             .unwrap();
         topic.close();
 
-        let records = recorder.join();
+        let records = recorder.join().unwrap();
         assert_eq!(records.len(), 2);
         let recovered = &records[0];
         assert_eq!(recovered.model_id, 5);
@@ -636,7 +643,7 @@ mod tests {
             }))
             .unwrap();
         topic.close();
-        let stats = aggregator.join();
+        let stats = aggregator.join().unwrap();
         assert_eq!(stats.epochs_observed, 4);
         assert_eq!(stats.generations_scheduled, 1);
         assert_eq!(stats.gpu_busy_seconds, vec![0.0, 8.0]);

@@ -20,6 +20,23 @@ pub enum CommandError {
     Invalid(String),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// The workflow machinery failed (see [`A4nnError`]).
+    Workflow(A4nnError),
+}
+
+impl CommandError {
+    /// Process exit code for this error, mirroring the workspace-wide
+    /// convention documented in `a4nn-error`: 2 = argument parsing,
+    /// 3 = invalid value, 4 = I/O, and workflow errors carry their own
+    /// class-specific codes (5 checkpoint, 6 bus, 7 trainer, 8 internal).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CommandError::Args(_) => 2,
+            CommandError::Invalid(_) => 3,
+            CommandError::Io(_) => 4,
+            CommandError::Workflow(e) => e.exit_code(),
+        }
+    }
 }
 
 impl fmt::Display for CommandError {
@@ -33,6 +50,7 @@ macro_rules! fmt_impl {
                 CommandError::Args(e) => write!(f, "{e}"),
                 CommandError::Invalid(msg) => write!(f, "{msg}"),
                 CommandError::Io(e) => write!(f, "io: {e}"),
+                CommandError::Workflow(e) => write!(f, "{e}"),
             }
         }
     };
@@ -50,6 +68,12 @@ impl From<ArgError> for CommandError {
 impl From<std::io::Error> for CommandError {
     fn from(e: std::io::Error) -> Self {
         CommandError::Io(e)
+    }
+}
+
+impl From<A4nnError> for CommandError {
+    fn from(e: A4nnError) -> Self {
+        CommandError::Workflow(e)
     }
 }
 
@@ -147,10 +171,10 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
                 ..TrainingHyperparams::default()
             },
         );
-        workflow.run_resilient(&factory, None, orchestration, &tolerance)
+        workflow.try_run_resilient(&factory, None, orchestration, &tolerance)?
     } else {
         let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
-        workflow.run_resilient(&factory, None, orchestration, &tolerance)
+        workflow.try_run_resilient(&factory, None, orchestration, &tolerance)?
     };
 
     let analyzer = Analyzer::new(&output.commons);
@@ -189,7 +213,7 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
     }
     println!("Pareto front:");
     let mut front = analyzer.pareto_front();
-    front.sort_by(|a, b| a.flops.partial_cmp(&b.flops).unwrap());
+    front.sort_by(|a, b| a.flops.total_cmp(&b.flops));
     for r in front {
         println!(
             "  model {:>3} | {:>8.1} MFLOPs | {:>6.2}%",
@@ -240,10 +264,9 @@ fn run_dataset(parsed: &Parsed) -> Result<(), CommandError> {
     );
     if let Some(out) = parsed.get("--out") {
         let path = PathBuf::from(out);
-        std::fs::write(
-            &path,
-            serde_json::to_vec(&dataset).expect("dataset serializes"),
-        )?;
+        let bytes = serde_json::to_vec(&dataset)
+            .map_err(|e| CommandError::Invalid(format!("serializing dataset: {e}")))?;
+        std::fs::write(&path, bytes)?;
         println!("dataset written to {}", path.display());
     }
     Ok(())
@@ -281,7 +304,7 @@ fn run_analyze(parsed: &Parsed) -> Result<(), CommandError> {
     }
     println!("  Pareto front:");
     let mut front = analyzer.pareto_front();
-    front.sort_by(|a, b| a.flops.partial_cmp(&b.flops).unwrap());
+    front.sort_by(|a, b| a.flops.total_cmp(&b.flops));
     for r in front {
         println!(
             "    model {:>3} | {:>8.1} MFLOPs | {:>6.2}%",

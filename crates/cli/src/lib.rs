@@ -20,6 +20,7 @@
 //! crates, so the CLI is also living documentation of the public API.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod args;
 pub mod commands;
 
@@ -28,6 +29,11 @@ pub use commands::{run_command, CommandError};
 
 /// Entry point shared by the binary and the integration tests: parse and
 /// dispatch, returning a process exit code.
+///
+/// Exit codes: 0 success, 2 argument parsing, then one code per error
+/// class via [`CommandError::exit_code`] (3 invalid value, 4 I/O,
+/// 5 checkpoint, 6 bus, 7 trainer, 8 internal). Every failure prints a
+/// single-line `error: ...` diagnostic to stderr.
 pub fn run(argv: &[String]) -> i32 {
     let parsed = match args::Parsed::parse(argv) {
         Ok(p) => p,
@@ -41,7 +47,7 @@ pub fn run(argv: &[String]) -> i32 {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
-            1
+            e.exit_code()
         }
     }
 }

@@ -1,0 +1,70 @@
+//! Exit-code contract of the `a4nn` driver: every error class maps to a
+//! distinct nonzero code (documented in `a4nn_cli::run` and DESIGN.md),
+//! and every failure is a single-line `error: ...` diagnostic — the
+//! CLI never panics on user mistakes or missing files.
+
+use a4nn_cli::run;
+
+fn code(cmdline: &str) -> i32 {
+    let argv: Vec<String> = cmdline.split_whitespace().map(String::from).collect();
+    run(&argv)
+}
+
+#[test]
+fn success_is_zero() {
+    assert_eq!(code("help"), 0);
+    assert_eq!(code("dataset --beam low --images 2"), 0);
+}
+
+#[test]
+fn argument_parse_failures_are_two() {
+    assert_eq!(code(""), 2, "missing subcommand");
+    assert_eq!(code("launch"), 2, "unknown subcommand");
+    assert_eq!(code("search --bogus 1"), 2, "unknown flag");
+    assert_eq!(code("search --beam"), 2, "flag without value");
+}
+
+#[test]
+fn invalid_values_are_three() {
+    assert_eq!(code("dataset --beam ultraviolet"), 3, "unknown beam");
+    assert_eq!(code("analyze"), 3, "missing required --commons");
+    assert_eq!(
+        code("search --generations 1 --function polynomial17"),
+        3,
+        "unknown parametric function"
+    );
+}
+
+#[test]
+fn io_failures_are_four() {
+    assert_eq!(
+        code("analyze --commons /nonexistent/a4nn-commons"),
+        4,
+        "commons dir that does not exist surfaces the workflow Io code"
+    );
+    let file = std::env::temp_dir().join(format!("a4nn-exit-codes-{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").unwrap();
+    let out = format!("{}/nested/data.json", file.display());
+    assert_eq!(
+        code(&format!("dataset --beam low --images 2 --out {out}")),
+        4,
+        "writing below an existing file is an I/O error"
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn search_errors_still_print_and_exit_nonzero() {
+    // A search that completes but cannot persist its commons: the error
+    // travels run_resilient -> save_dir -> A4nnError::Io -> exit code 4.
+    let file = std::env::temp_dir().join(format!("a4nn-exit-codes-out-{}", std::process::id()));
+    std::fs::write(&file, b"occupied").unwrap();
+    let out = format!("{}/commons", file.display());
+    assert_eq!(
+        code(&format!(
+            "baseline --beam low --population 3 --offspring 3 --generations 1 --epochs 2 --out {out}"
+        )),
+        4
+    );
+    std::fs::remove_file(&file).ok();
+}

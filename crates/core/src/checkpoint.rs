@@ -12,10 +12,10 @@
 //! the real CPU trainer captures its network; the surrogate has no weights
 //! and returns `None`.
 
+use a4nn_error::A4nnError;
 use a4nn_nn::ModelState;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::io;
 use std::path::Path;
 
 /// Thread-safe store of per-epoch model states, keyed `(model_id, epoch)`.
@@ -65,8 +65,9 @@ impl CheckpointStore {
     /// mid-checkpoint never truncates a previously saved snapshot;
     /// [`load_dir`](Self::load_dir) only considers `.a4nn` names and thus
     /// skips any stale `.tmp` residue from an interrupted save.
-    pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
-        std::fs::create_dir_all(dir)?;
+    pub fn save_dir(&self, dir: &Path) -> Result<(), A4nnError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| A4nnError::io(format!("creating checkpoint dir {}", dir.display()), e))?;
         for ((model, epoch), state) in self.inner.lock().iter() {
             let path = dir.join(format!("model_{model:05}_epoch_{epoch:03}.a4nn"));
             a4nn_lineage::write_atomic(&path, &state.to_bytes())?;
@@ -75,10 +76,15 @@ impl CheckpointStore {
     }
 
     /// Load every `.a4nn` checkpoint from `dir`.
-    pub fn load_dir(dir: &Path) -> io::Result<Self> {
+    pub fn load_dir(dir: &Path) -> Result<Self, A4nnError> {
         let store = CheckpointStore::new();
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| A4nnError::io(format!("reading checkpoint dir {}", dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                A4nnError::io(format!("reading checkpoint dir {}", dir.display()), e)
+            })?;
+            let path = entry.path();
             let name = match path.file_name().and_then(|n| n.to_str()) {
                 Some(n) if n.ends_with(".a4nn") => n.to_string(),
                 _ => continue,
@@ -88,15 +94,18 @@ impl CheckpointStore {
             let (model, epoch) = match parts.as_slice() {
                 ["model", id, "epoch", e] => (
                     id.parse::<u64>()
-                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad model id"))?,
+                        .map_err(|_| A4nnError::Checkpoint(format!("bad model id in {name:?}")))?,
                     e.parse::<u32>()
-                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad epoch"))?,
+                        .map_err(|_| A4nnError::Checkpoint(format!("bad epoch in {name:?}")))?,
                 ),
                 _ => continue,
             };
-            let bytes = bytes::Bytes::from(std::fs::read(&path)?);
+            let bytes = bytes::Bytes::from(
+                std::fs::read(&path)
+                    .map_err(|e| A4nnError::io(format!("reading {}", path.display()), e))?,
+            );
             let state = ModelState::from_bytes(bytes)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                .map_err(|e| A4nnError::Checkpoint(format!("decoding {}: {e}", path.display())))?;
             store.put(model, epoch, state);
         }
         Ok(store)

@@ -11,10 +11,11 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
-use crate::eval::evaluate_generation;
-use crate::fault::FaultStats;
+use crate::fault::{FaultStats, FaultTolerance};
+use crate::pipeline::{DirectTransport, EvalPipeline};
 use crate::trainer::TrainerFactory;
 use crate::workflow::RunOutput;
+use a4nn_error::A4nnError;
 use a4nn_genome::Genome;
 use a4nn_lineage::DataCommons;
 use a4nn_sched::GenerationSchedule;
@@ -42,14 +43,29 @@ impl RandomSearchWorkflow {
         self.run_checkpointed(factory, None)
     }
 
-    /// [`run`](Self::run) with per-epoch checkpointing.
+    /// [`run`](Self::run) with per-epoch checkpointing. Panics on a
+    /// machinery failure; see
+    /// [`try_run_checkpointed`](Self::try_run_checkpointed).
     pub fn run_checkpointed(
         &self,
         factory: &dyn TrainerFactory,
         checkpoints: Option<&CheckpointStore>,
     ) -> RunOutput {
+        self.try_run_checkpointed(factory, checkpoints)
+            .unwrap_or_else(|e| panic!("random search failed: {e}"))
+    }
+
+    /// [`run_checkpointed`](Self::run_checkpointed) returning machinery
+    /// failures as [`A4nnError`] instead of panicking.
+    pub fn try_run_checkpointed(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+    ) -> Result<RunOutput, A4nnError> {
         let cfg = &self.config;
         let space = cfg.search_space();
+        let ft = FaultTolerance::default();
+        let pipeline = EvalPipeline::new(cfg, &space, factory, checkpoints, &ft);
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let mut records = Vec::with_capacity(cfg.nas.total_models());
         let mut schedules = Vec::with_capacity(cfg.nas.generations);
@@ -63,15 +79,7 @@ impl RandomSearchWorkflow {
                 cfg.nas.offspring
             };
             let genomes: Vec<Genome> = (0..count).map(|_| space.random_genome(&mut rng)).collect();
-            let batch = evaluate_generation(
-                cfg,
-                &space,
-                factory,
-                &genomes,
-                generation,
-                next_id,
-                checkpoints,
-            );
+            let batch = pipeline.run(&DirectTransport, &genomes, generation, next_id)?;
             for (outcome, _) in &batch.outcomes {
                 engine_seconds += outcome.engine_seconds;
                 engine_interactions += outcome.engine_interactions;
@@ -81,7 +89,7 @@ impl RandomSearchWorkflow {
             next_id += count as u64;
         }
         let fault_stats = FaultStats::from_records(&records);
-        RunOutput {
+        Ok(RunOutput {
             commons: DataCommons::new(records),
             schedule: GenerationSchedule {
                 generations: schedules,
@@ -91,7 +99,7 @@ impl RandomSearchWorkflow {
             engine_interactions,
             bus_stats: None,
             fault_stats,
-        }
+        })
     }
 }
 
@@ -124,14 +132,29 @@ impl AgingEvolutionWorkflow {
         self.run_checkpointed(factory, None)
     }
 
-    /// [`run`](Self::run) with per-epoch checkpointing.
+    /// [`run`](Self::run) with per-epoch checkpointing. Panics on a
+    /// machinery failure; see
+    /// [`try_run_checkpointed`](Self::try_run_checkpointed).
     pub fn run_checkpointed(
         &self,
         factory: &dyn TrainerFactory,
         checkpoints: Option<&CheckpointStore>,
     ) -> RunOutput {
+        self.try_run_checkpointed(factory, checkpoints)
+            .unwrap_or_else(|e| panic!("aging evolution failed: {e}"))
+    }
+
+    /// [`run_checkpointed`](Self::run_checkpointed) returning machinery
+    /// failures as [`A4nnError`] instead of panicking.
+    pub fn try_run_checkpointed(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+    ) -> Result<RunOutput, A4nnError> {
         let cfg = &self.config;
         let space = cfg.search_space();
+        let ft = FaultTolerance::default();
+        let pipeline = EvalPipeline::new(cfg, &space, factory, checkpoints, &ft);
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let mut records = Vec::with_capacity(cfg.nas.total_models());
         let mut schedules = Vec::with_capacity(cfg.nas.generations);
@@ -151,27 +174,23 @@ impl AgingEvolutionWorkflow {
                     .map(|_| {
                         // Tournament: best of S uniform samples.
                         let sample = self.sample_size.min(population.len());
-                        let parent = (0..sample)
+                        let Some(parent) = (0..sample)
                             .map(|_| rng.gen_range(0..population.len()))
                             .max_by(|&a, &b| {
                                 a4nn_lineage::fitness_cmp(population[a].1, population[b].1)
                             })
-                            .expect("population non-empty");
+                        else {
+                            // `sample_size >= 1` is asserted and the
+                            // population is non-empty past generation 0.
+                            unreachable!("tournament sample is non-empty")
+                        };
                         let mut child = population[parent].0.clone();
                         space.mutate(&mut child, &mut rng);
                         child
                     })
                     .collect()
             };
-            let batch = evaluate_generation(
-                cfg,
-                &space,
-                factory,
-                &genomes,
-                generation,
-                next_id,
-                checkpoints,
-            );
+            let batch = pipeline.run(&DirectTransport, &genomes, generation, next_id)?;
             for (genome, (outcome, _)) in genomes.iter().zip(&batch.outcomes) {
                 engine_seconds += outcome.engine_seconds;
                 engine_interactions += outcome.engine_interactions;
@@ -186,7 +205,7 @@ impl AgingEvolutionWorkflow {
             next_id += genomes.len() as u64;
         }
         let fault_stats = FaultStats::from_records(&records);
-        RunOutput {
+        Ok(RunOutput {
             commons: DataCommons::new(records),
             schedule: GenerationSchedule {
                 generations: schedules,
@@ -196,7 +215,7 @@ impl AgingEvolutionWorkflow {
             engine_interactions,
             bus_stats: None,
             fault_stats,
-        }
+        })
     }
 }
 

@@ -1,26 +1,18 @@
-//! Fault-tolerant execution: retry policies, deterministic fault
-//! injection, and failure accounting shared by both coupling modes.
+//! Fault-tolerance policy and accounting: retry policies, deterministic
+//! fault injection, and failure counters shared by both transports.
 //!
 //! A [`FaultTolerance`] bundles the per-job [`RetryPolicy`] with an
 //! [`a4nn_faults::FaultPlan`] — a pure, seeded schedule of injected
-//! faults. Both orchestration modes consult the same plan at the same
-//! `(model, epoch, attempt)` sites, so a run under faults is as
-//! reproducible as a clean one and `Direct`/`Bus` keep producing
-//! identical record trails. The default value injects nothing and
-//! leaves every happy-path byte unchanged.
+//! faults. Both transports of [`crate::pipeline::EvalPipeline`] consult
+//! the same plan at the same `(model, epoch, attempt)` sites, so a run
+//! under faults is as reproducible as a clean one and `Direct`/`Bus`
+//! keep producing identical record trails. The default value injects
+//! nothing and leaves every happy-path byte unchanged.
 
-use crate::checkpoint::CheckpointStore;
-use crate::config::WorkflowConfig;
-use crate::trainer::TrainerFactory;
-use crate::training::{train_with_engine_fallible, AttemptProgress, TrainingOutcome};
 use a4nn_bus::SubscriberStats;
 use a4nn_faults::FaultPlan;
-use a4nn_genome::Genome;
 use a4nn_lineage::ModelRecord;
-use a4nn_sched::{
-    schedule_fifo, schedule_fifo_retry, RetryPolicy, RetryTask, ScheduleResult, Task, TaskOrdering,
-};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use a4nn_sched::RetryPolicy;
 
 /// How a run tolerates (and, in tests, provokes) failures.
 #[derive(Debug, Clone, Default)]
@@ -80,107 +72,6 @@ impl FaultStats {
     }
 }
 
-/// The generation's discrete-event schedule, retry-aware.
-///
-/// When no model needed a retry this is exactly the seed's
-/// `schedule_fifo` (bitwise happy-path identity); otherwise every
-/// attempt — failed ones included — is charged to the virtual GPUs via
-/// `schedule_fifo_retry`, with the policy's backoff between attempts.
-pub(crate) fn generation_schedule(
-    gpus: usize,
-    base_id: u64,
-    outcomes: &[(TrainingOutcome, f64)],
-    policy: &RetryPolicy,
-) -> ScheduleResult {
-    if outcomes.iter().all(|(o, _)| o.attempts == 1) {
-        let tasks: Vec<Task> = outcomes
-            .iter()
-            .enumerate()
-            .map(|(k, (outcome, _))| Task {
-                id: base_id + k as u64,
-                duration: outcome.train_seconds,
-            })
-            .collect();
-        schedule_fifo(gpus, &tasks, TaskOrdering::Fifo)
-    } else {
-        let tasks: Vec<RetryTask> = outcomes
-            .iter()
-            .enumerate()
-            .map(|(k, (outcome, _))| RetryTask {
-                id: base_id + k as u64,
-                attempt_durations: outcome
-                    .failed_attempt_seconds
-                    .iter()
-                    .copied()
-                    .chain([outcome.train_seconds])
-                    .collect(),
-            })
-            .collect();
-        schedule_fifo_retry(gpus, &tasks, policy)
-    }
-}
-
-/// Train one model in direct mode with retries: each attempt runs under
-/// `catch_unwind` with a fresh trainer (deterministic replay of the
-/// same stochastic stream), and a model that exhausts its budget
-/// returns a `failed` outcome carrying the final attempt's partial
-/// trail instead of poisoning the generation.
-pub(crate) fn train_resilient_direct(
-    cfg: &WorkflowConfig,
-    factory: &dyn TrainerFactory,
-    genome: &Genome,
-    model_id: u64,
-    checkpoints: Option<&CheckpointStore>,
-    ft: &FaultTolerance,
-) -> (TrainingOutcome, f64) {
-    let mut failed_attempt_seconds = Vec::new();
-    let mut attempt = 1u32;
-    loop {
-        let mut trainer = factory.make(genome, model_id, cfg.seed);
-        let flops = trainer.flops();
-        let mut progress = AttemptProgress::default();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            train_with_engine_fallible(
-                trainer.as_mut(),
-                cfg.engine.as_ref(),
-                cfg.nas.epochs,
-                checkpoints.map(|store| (store, model_id)),
-                Some((&ft.plan, model_id, attempt)),
-                &mut progress,
-            )
-        }));
-        match result {
-            Ok(mut outcome) => {
-                outcome.attempts = attempt;
-                outcome.failed_attempt_seconds = failed_attempt_seconds;
-                return (outcome, flops);
-            }
-            Err(_) if attempt < ft.retry.max_attempts.max(1) => {
-                failed_attempt_seconds.push(progress.train_seconds);
-                attempt += 1;
-            }
-            Err(_) => {
-                // Retry budget exhausted: surface the partial trail as a
-                // Terminated::Failed record with fitness 0, which NSGA-II
-                // treats as dominated.
-                let outcome = TrainingOutcome {
-                    epochs: progress.epochs,
-                    final_fitness: 0.0,
-                    predicted_fitness: None,
-                    terminated_early: false,
-                    failed: true,
-                    attempts: attempt,
-                    failed_attempt_seconds,
-                    train_seconds: progress.train_seconds,
-                    engine_seconds: 0.0,
-                    engine_interactions: 0,
-                };
-                return (outcome, flops);
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,61 +111,5 @@ mod tests {
         assert_eq!(stats.retries, 2 + 1 + 2);
         assert!(!stats.is_quiet());
         assert!(FaultStats::from_records(&[record(Terminated::Completed, 1)]).is_quiet());
-    }
-
-    #[test]
-    fn clean_outcomes_schedule_exactly_like_the_seed() {
-        let outcome = |s: f64| TrainingOutcome {
-            epochs: Vec::new(),
-            final_fitness: 0.0,
-            predicted_fitness: None,
-            terminated_early: false,
-            failed: false,
-            attempts: 1,
-            failed_attempt_seconds: Vec::new(),
-            train_seconds: s,
-            engine_seconds: 0.0,
-            engine_interactions: 0,
-        };
-        let outcomes = vec![(outcome(30.0), 1.0), (outcome(10.0), 1.0)];
-        let tasks = vec![
-            Task {
-                id: 5,
-                duration: 30.0,
-            },
-            Task {
-                id: 6,
-                duration: 10.0,
-            },
-        ];
-        let plain = schedule_fifo(2, &tasks, TaskOrdering::Fifo);
-        let routed = generation_schedule(2, 5, &outcomes, &RetryPolicy::default());
-        assert_eq!(plain.assignments, routed.assignments);
-    }
-
-    #[test]
-    fn retried_outcomes_charge_failed_attempts_to_the_gpus() {
-        let mut retried = TrainingOutcome {
-            epochs: Vec::new(),
-            final_fitness: 0.0,
-            predicted_fitness: None,
-            terminated_early: false,
-            failed: false,
-            attempts: 2,
-            failed_attempt_seconds: vec![20.0],
-            train_seconds: 50.0,
-            engine_seconds: 0.0,
-            engine_interactions: 0,
-        };
-        retried.attempts = 2;
-        let policy = RetryPolicy {
-            max_attempts: 3,
-            backoff_base_s: 1.0,
-            backoff_factor: 2.0,
-        };
-        let schedule = generation_schedule(1, 0, &[(retried, 1.0)], &policy);
-        // Failed 20 s attempt + 1 s backoff + 50 s success.
-        assert_eq!(schedule.assignments.len(), 2);
-        assert!((schedule.makespan - 71.0).abs() < 1e-9);
     }
 }

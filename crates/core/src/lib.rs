@@ -9,6 +9,10 @@
 //! - the **workflow orchestrator** ([`workflow`]) moving fitness histories
 //!   to the engine and predictions back to the NAS, while checkpointing
 //!   model state and record trails;
+//! - the **evaluation pipeline** ([`pipeline`]): the one generation loop
+//!   every driver trains through, generic over a pluggable
+//!   [`Transport`] (in-process [`DirectTransport`] or the `a4nn-bus`
+//!   event bus via [`BusTransport`]) with fault tolerance always on;
 //! - the **lineage tracker / data commons** (`a4nn-lineage`);
 //! - the **resource manager** (`a4nn-sched`): FIFO dynamic scheduling of
 //!   models onto virtual GPUs within each generation;
@@ -39,28 +43,28 @@
 //! ```
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod bridge;
-pub mod bus_eval;
 pub mod checkpoint;
 pub mod config;
 pub mod drivers;
-pub mod eval;
 pub mod fault;
 pub mod micro;
+pub mod pipeline;
 pub mod real;
 pub mod surrogate;
 pub mod trainer;
 pub mod training;
 pub mod workflow;
 
+pub use a4nn_error::A4nnError;
 pub use bridge::netspec_from_arch;
-pub use bus_eval::{evaluate_generation_bus, evaluate_generation_bus_resilient, BusBatchResult};
 pub use checkpoint::CheckpointStore;
 pub use config::{NasSettings, WorkflowConfig};
 pub use drivers::{AgingEvolutionWorkflow, RandomSearchWorkflow};
-pub use eval::{evaluate_generation, evaluate_generation_resilient, BatchResult};
 pub use fault::{FaultStats, FaultTolerance};
 pub use micro::{micro_netspec, micro_random_search, MicroTrainerFactory};
+pub use pipeline::{BatchResult, BusTransport, DirectTransport, EvalPipeline, Transport};
 pub use real::{RealTrainerFactory, TrainingHyperparams};
 pub use surrogate::{SurrogateFactory, SurrogateParams};
 pub use trainer::{EpochResult, Trainer, TrainerFactory};
@@ -73,10 +77,10 @@ pub use workflow::{A4nnWorkflow, Orchestration, RunOutput};
 /// Convenience re-exports, including the satellite crates' key types.
 pub mod prelude {
     pub use crate::{
-        netspec_from_arch, train_with_engine, A4nnWorkflow, CheckpointStore, EpochResult,
-        FaultStats, FaultTolerance, NasSettings, Orchestration, RealTrainerFactory, RunOutput,
-        SurrogateFactory, SurrogateParams, Trainer, TrainerFactory, TrainingHyperparams,
-        TrainingOutcome, WorkflowConfig,
+        netspec_from_arch, train_with_engine, A4nnError, A4nnWorkflow, CheckpointStore,
+        EpochResult, EvalPipeline, FaultStats, FaultTolerance, NasSettings, Orchestration,
+        RealTrainerFactory, RunOutput, SurrogateFactory, SurrogateParams, Trainer, TrainerFactory,
+        TrainingHyperparams, TrainingOutcome, Transport, WorkflowConfig,
     };
     pub use a4nn_faults::{ChaosSpec, FaultEvent, FaultPlan};
     pub use a4nn_genome::{Genome, SearchSpace};

@@ -16,7 +16,9 @@ use std::time::Instant;
 
 /// Convert a micro genome into the substrate's network spec.
 pub fn micro_netspec(genome: &MicroGenome, space: &MicroSearchSpace) -> MicroNetSpec {
-    genome.validate().expect("genome must be valid");
+    if let Err(e) = genome.validate() {
+        panic!("genome must be valid: {e}");
+    }
     let nodes = genome
         .nodes
         .iter()
@@ -141,6 +143,11 @@ pub fn micro_random_search(
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     let mut records = Vec::with_capacity(budget);
     let mut tasks = Vec::with_capacity(budget);
+    // Record the micro genome through the compact-string bridge so the
+    // macro-genome commons schema stays unchanged.
+    let Ok(placeholder_genome) = a4nn_genome::Genome::from_compact_string("0000000") else {
+        unreachable!("placeholder genome literal is valid")
+    };
     for model_id in 0..budget as u64 {
         let genome = space.random_genome(&mut rng);
         let mut trainer = factory.make(&genome, model_id, cfg.seed);
@@ -153,9 +160,7 @@ pub fn micro_random_search(
             model_id,
             generation: 0,
             gpu: None,
-            // Record the micro genome through the compact-string bridge so
-            // the macro-genome commons schema stays unchanged.
-            genome: a4nn_genome::Genome::from_compact_string("0000000").expect("placeholder"),
+            genome: placeholder_genome.clone(),
             arch_summary: format!("micro cell {}", genome.to_compact_string()),
             flops: trainer.flops(),
             engine: None,

@@ -1,0 +1,852 @@
+//! The one generation-evaluation loop, generic over a pluggable
+//! [`Transport`].
+//!
+//! Every NAS driver — NSGA-Net, random search, aging evolution — trains
+//! its generations through the same [`EvalPipeline`]: set the intra-op
+//! thread budget, run every genome through the transport (with the
+//! fault-tolerance layer's retries and deterministic injection always
+//! on — a zero-fault plan with no retries *is* the plain path), replay
+//! the simulated durations on the discrete-event scheduler, and emit
+//! record trails. The transport decides only *how* trainers and the
+//! prediction engine are coupled:
+//!
+//! - [`DirectTransport`] — in-process calls: each trainer drives its own
+//!   engine instance inline (rayon data parallelism), and the pipeline
+//!   assembles the record trails itself;
+//! - [`BusTransport`] — the `a4nn-bus` event bus (§2.2's in-situ task
+//!   coupling): trainers run as jobs on the sched thread pool, publish
+//!   per-epoch fitness, and block on the engine service's verdicts; the
+//!   lineage recorder service assembles the trails from the stream at
+//!   end of run.
+//!
+//! Determinism contract: both transports consult the same
+//! [`FaultTolerance`] plan at the same `(model, epoch, attempt)` sites
+//! and reproduce identical record trails per seed.
+//!
+//! Failure taxonomy: trainer panics (injected or organic) are *data* —
+//! they flow through retries into `Terminated::Failed` records. An
+//! [`A4nnError`] is reserved for the machinery itself breaking: a bus
+//! that closed mid-run, a poisoned pool, a crashed service thread.
+
+use crate::checkpoint::CheckpointStore;
+use crate::config::WorkflowConfig;
+use crate::fault::FaultTolerance;
+use crate::trainer::TrainerFactory;
+use crate::training::{train_with_engine_fallible, AttemptProgress, TrainingOutcome};
+use a4nn_bus::{
+    EpochCompleted, Event, GenerationScheduled, GpuSlot, ModelCompleted, Policy, Topic,
+    TrainingFailed,
+};
+use a4nn_error::A4nnError;
+use a4nn_genome::{Genome, SearchSpace};
+use a4nn_lineage::{EngineParamsRecord, EpochRecord, ModelRecord};
+use a4nn_penguin::ParametricCurve;
+use a4nn_sched::{
+    schedule_fifo, schedule_fifo_retry, GpuPool, RetryPolicy, RetryTask, ScheduleResult, Task,
+    TaskOrdering,
+};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of evaluating one generation batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-genome training outcomes, in submission order.
+    pub outcomes: Vec<(TrainingOutcome, f64)>,
+    /// The generation's cluster schedule.
+    pub schedule: ScheduleResult,
+    /// Completed record trails, in submission order — empty when the
+    /// transport assembles them elsewhere (see
+    /// [`Transport::assembles_records`]).
+    pub records: Vec<ModelRecord>,
+}
+
+/// The engine-parameters stamp attached to every record trail of a run
+/// (Table 1), or `None` for standalone-NAS runs.
+pub fn engine_params_record(cfg: &WorkflowConfig) -> Option<EngineParamsRecord> {
+    cfg.engine.as_ref().map(|e| EngineParamsRecord {
+        function: e.family.name().to_string(),
+        c_min: e.c_min,
+        e_pred: e.e_pred,
+        n: e.n_converge,
+        r: e.r,
+    })
+}
+
+/// How one generation's trainers are coupled to the prediction engine
+/// and the lineage sink. Implementations must keep the search trajectory
+/// bit-identical across transports: same outcomes per `(seed, genome)`,
+/// same simulated durations, same fault-plan consultation sites.
+pub trait Transport {
+    /// Train every genome of the generation, returning
+    /// `(outcome, flops)` per genome in submission order.
+    ///
+    /// Trainer panics are absorbed into the outcomes (retries, then a
+    /// `failed` outcome); `Err` means the transport's own machinery
+    /// broke and the run cannot continue.
+    fn run_generation(
+        &self,
+        pipeline: &EvalPipeline<'_>,
+        genomes: &[Genome],
+        generation: usize,
+        base_id: u64,
+    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError>;
+
+    /// Announce the completed generation (outcomes plus its cluster
+    /// schedule) to any out-of-process listeners. The direct transport
+    /// has none and does nothing.
+    fn publish_generation(
+        &self,
+        pipeline: &EvalPipeline<'_>,
+        genomes: &[Genome],
+        generation: usize,
+        base_id: u64,
+        outcomes: &[(TrainingOutcome, f64)],
+        schedule: &ScheduleResult,
+    ) -> Result<(), A4nnError>;
+
+    /// Whether the pipeline should assemble record trails inline
+    /// (`true`), or a downstream service folds them from the published
+    /// events (`false`).
+    fn assembles_records(&self) -> bool;
+}
+
+/// One generation-evaluation pipeline: the shared train → schedule →
+/// record sequence every driver and both transports run through.
+pub struct EvalPipeline<'a> {
+    cfg: &'a WorkflowConfig,
+    space: &'a SearchSpace,
+    factory: &'a dyn TrainerFactory,
+    checkpoints: Option<&'a CheckpointStore>,
+    ft: &'a FaultTolerance,
+}
+
+impl<'a> EvalPipeline<'a> {
+    /// Assemble a pipeline over the run's shared state. A default
+    /// [`FaultTolerance`] (no injected faults, default retry budget)
+    /// reproduces a run without the fault layer byte for byte.
+    pub fn new(
+        cfg: &'a WorkflowConfig,
+        space: &'a SearchSpace,
+        factory: &'a dyn TrainerFactory,
+        checkpoints: Option<&'a CheckpointStore>,
+        ft: &'a FaultTolerance,
+    ) -> Self {
+        EvalPipeline {
+            cfg,
+            space,
+            factory,
+            checkpoints,
+            ft,
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &WorkflowConfig {
+        self.cfg
+    }
+
+    /// The search space genomes decode under.
+    pub fn space(&self) -> &SearchSpace {
+        self.space
+    }
+
+    /// The trainer factory.
+    pub fn factory(&self) -> &dyn TrainerFactory {
+        self.factory
+    }
+
+    /// The per-epoch checkpoint sink, when one is attached.
+    pub fn checkpoints(&self) -> Option<&CheckpointStore> {
+        self.checkpoints
+    }
+
+    /// The retry policy and fault plan in force.
+    pub fn fault_tolerance(&self) -> &FaultTolerance {
+        self.ft
+    }
+
+    /// Evaluate one generation through `transport`: train every genome
+    /// (each model's stochasticity keyed to its id, so the parallelism
+    /// is deterministic), FIFO-schedule the simulated durations onto
+    /// `cfg.gpus` virtual GPUs, publish, and record.
+    pub fn run(
+        &self,
+        transport: &dyn Transport,
+        genomes: &[Genome],
+        generation: usize,
+        base_id: u64,
+    ) -> Result<BatchResult, A4nnError> {
+        // Divide the cores between the generation's concurrent trainers
+        // and each trainer's GEMM kernels: `gpus` models train at once,
+        // so each gets `cores / gpus` intra-op threads (results are
+        // bitwise independent of this budget; it only affects wall time).
+        a4nn_nn::gemm::set_thread_budget(a4nn_sched::intra_op_threads(self.cfg.gpus));
+        let outcomes = transport.run_generation(self, genomes, generation, base_id)?;
+
+        // Engine overhead is measured wall time and reported separately
+        // (§4.3.1 finds it negligible); folding it into simulated
+        // durations would make runs non-reproducible. Failed attempts,
+        // on the other hand, are simulated time and are charged to the
+        // GPUs.
+        let schedule = generation_schedule(self.cfg.gpus, base_id, &outcomes, &self.ft.retry);
+        transport.publish_generation(self, genomes, generation, base_id, &outcomes, &schedule)?;
+
+        let records = if transport.assembles_records() {
+            self.assemble_records(genomes, generation, base_id, &outcomes, &schedule)
+        } else {
+            Vec::new()
+        };
+        Ok(BatchResult {
+            outcomes,
+            schedule,
+            records,
+        })
+    }
+
+    /// Fold outcomes and placements into one record trail per genome —
+    /// the exact shape the bus recorder service reproduces from events.
+    fn assemble_records(
+        &self,
+        genomes: &[Genome],
+        generation: usize,
+        base_id: u64,
+        outcomes: &[(TrainingOutcome, f64)],
+        schedule: &ScheduleResult,
+    ) -> Vec<ModelRecord> {
+        let engine_record = engine_params_record(self.cfg);
+        genomes
+            .iter()
+            .zip(outcomes)
+            .enumerate()
+            .map(|(k, (genome, (outcome, flops)))| {
+                let model_id = base_id + k as u64;
+                // With retries the schedule holds one slot per attempt;
+                // the model's placement is its final attempt's GPU.
+                let gpu = schedule
+                    .assignments
+                    .iter()
+                    .rev()
+                    .find(|a| a.task_id == model_id)
+                    .map(|a| a.gpu);
+                let arch = self.space.decode(genome);
+                ModelRecord {
+                    model_id,
+                    generation,
+                    gpu,
+                    genome: genome.clone(),
+                    arch_summary: arch.summary(),
+                    flops: *flops,
+                    engine: engine_record.clone(),
+                    epochs: outcome.epochs.clone(),
+                    final_fitness: outcome.final_fitness,
+                    predicted_fitness: outcome.predicted_fitness,
+                    termination: outcome.termination(),
+                    attempts: outcome.attempts,
+                    beam: self.cfg.beam.label().to_string(),
+                    wall_time_s: outcome.train_seconds,
+                }
+            })
+            .collect()
+    }
+}
+
+/// In-process coupling: rayon data parallelism, each trainer driving its
+/// own engine instance inline, record trails assembled by the pipeline.
+pub struct DirectTransport;
+
+impl Transport for DirectTransport {
+    fn run_generation(
+        &self,
+        pipeline: &EvalPipeline<'_>,
+        genomes: &[Genome],
+        _generation: usize,
+        base_id: u64,
+    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError> {
+        Ok(genomes
+            .par_iter()
+            .enumerate()
+            .map(|(k, genome)| {
+                let model_id = base_id + k as u64;
+                train_resilient_direct(
+                    pipeline.cfg,
+                    pipeline.factory,
+                    genome,
+                    model_id,
+                    pipeline.checkpoints,
+                    pipeline.ft,
+                )
+            })
+            .collect())
+    }
+
+    fn publish_generation(
+        &self,
+        _pipeline: &EvalPipeline<'_>,
+        _genomes: &[Genome],
+        _generation: usize,
+        _base_id: u64,
+        _outcomes: &[(TrainingOutcome, f64)],
+        _schedule: &ScheduleResult,
+    ) -> Result<(), A4nnError> {
+        Ok(())
+    }
+
+    fn assembles_records(&self) -> bool {
+        true
+    }
+}
+
+/// Bus coupling: trainers run as jobs on the sched thread pool
+/// ([`GpuPool`]), publish per-epoch fitness onto the topic, and block on
+/// the engine service's verdicts — the same synchronous per-epoch
+/// hand-off as Algorithm 1, just routed through communicators. Requires
+/// the engine service (when `cfg.engine` is set), the lineage recorder,
+/// and any stats services to already be subscribed.
+///
+/// Fault tolerance: attempts run under the pool's `catch_unwind`; a
+/// dying attempt publishes [`TrainingFailed`] *before* it unwinds, so
+/// the engine and recorder services discard its partial state ahead of
+/// any retry's events. A trainer that receives a `retired` verdict (the
+/// engine crashed for its model) — or whose verdict subscription dies
+/// outright — degrades to run-to-completion training instead of
+/// deadlocking.
+pub struct BusTransport<'t> {
+    topic: &'t Topic<Event>,
+}
+
+impl<'t> BusTransport<'t> {
+    /// Couple the pipeline to `topic`.
+    pub fn new(topic: &'t Topic<Event>) -> Self {
+        BusTransport { topic }
+    }
+}
+
+impl Transport for BusTransport<'_> {
+    fn run_generation(
+        &self,
+        pipeline: &EvalPipeline<'_>,
+        genomes: &[Genome],
+        generation: usize,
+        base_id: u64,
+    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError> {
+        let cfg = pipeline.cfg;
+        let engine_enabled = cfg.engine.is_some();
+        let partials: Mutex<HashMap<u64, Partial>> = Mutex::new(HashMap::new());
+        let jobs: Vec<_> = genomes
+            .iter()
+            .enumerate()
+            .map(|(k, genome)| {
+                let model_id = base_id + k as u64;
+                let topic = self.topic.clone();
+                let partials = &partials;
+                move |_worker: usize, attempt: u32| {
+                    train_over_bus(
+                        cfg,
+                        pipeline.factory,
+                        genome,
+                        model_id,
+                        generation,
+                        engine_enabled,
+                        pipeline.checkpoints,
+                        &topic,
+                        pipeline.ft,
+                        attempt,
+                        partials,
+                    )
+                }
+            })
+            .collect();
+        let batch = GpuPool::new(cfg.gpus).run_batch_retry(jobs, &pipeline.ft.retry)?;
+
+        let mut partials = partials.into_inner();
+        let reports = batch.reports;
+        let mut outcomes = Vec::with_capacity(genomes.len());
+        for (k, output) in batch.outputs.into_iter().enumerate() {
+            let model_id = base_id + k as u64;
+            let attempts = reports[k].attempts;
+            let partial = partials.remove(&model_id).unwrap_or_default();
+            match output {
+                Some(Ok((mut outcome, flops))) => {
+                    outcome.attempts = attempts;
+                    outcome.failed_attempt_seconds = partial.failed_attempt_seconds;
+                    outcomes.push((outcome, flops));
+                }
+                // The attempt itself hit broken machinery (bus closed
+                // mid-run): abort the generation.
+                Some(Err(e)) => return Err(e),
+                None => {
+                    // Every attempt died: a failed outcome from the
+                    // final attempt's partial trail, mirroring the
+                    // direct path.
+                    let outcome = TrainingOutcome {
+                        epochs: partial.epochs,
+                        final_fitness: 0.0,
+                        predicted_fitness: None,
+                        terminated_early: false,
+                        failed: true,
+                        attempts,
+                        failed_attempt_seconds: partial.failed_attempt_seconds,
+                        train_seconds: partial.train_seconds,
+                        engine_seconds: 0.0,
+                        engine_interactions: 0,
+                    };
+                    outcomes.push((outcome, partial.flops));
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
+    fn publish_generation(
+        &self,
+        pipeline: &EvalPipeline<'_>,
+        genomes: &[Genome],
+        generation: usize,
+        base_id: u64,
+        outcomes: &[(TrainingOutcome, f64)],
+        schedule: &ScheduleResult,
+    ) -> Result<(), A4nnError> {
+        for (k, (genome, (outcome, flops))) in genomes.iter().zip(outcomes).enumerate() {
+            let event = Event::ModelCompleted(ModelCompleted {
+                model_id: base_id + k as u64,
+                generation,
+                genome: genome.clone(),
+                arch_summary: pipeline.space.decode(genome).summary(),
+                flops: *flops,
+                final_fitness: outcome.final_fitness,
+                predicted_fitness: outcome.predicted_fitness,
+                terminated_early: outcome.terminated_early,
+                failed: outcome.failed,
+                attempts: outcome.attempts,
+                train_seconds: outcome.train_seconds,
+            });
+            self.topic.publish(event).map_err(|_| {
+                A4nnError::BusClosed(format!(
+                    "publishing completion of model {} in generation {generation}",
+                    base_id + k as u64
+                ))
+            })?;
+        }
+        self.topic
+            .publish(Event::GenerationScheduled(GenerationScheduled {
+                generation,
+                assignments: schedule
+                    .assignments
+                    .iter()
+                    .map(|a| GpuSlot {
+                        model_id: a.task_id,
+                        gpu: a.gpu,
+                        start_s: a.start,
+                        end_s: a.end,
+                    })
+                    .collect(),
+            }))
+            .map_err(|_| {
+                A4nnError::BusClosed(format!("publishing schedule of generation {generation}"))
+            })?;
+        Ok(())
+    }
+
+    fn assembles_records(&self) -> bool {
+        false
+    }
+}
+
+/// The generation's discrete-event schedule, retry-aware.
+///
+/// When no model needed a retry this is exactly the seed's
+/// `schedule_fifo` (bitwise happy-path identity); otherwise every
+/// attempt — failed ones included — is charged to the virtual GPUs via
+/// `schedule_fifo_retry`, with the policy's backoff between attempts.
+fn generation_schedule(
+    gpus: usize,
+    base_id: u64,
+    outcomes: &[(TrainingOutcome, f64)],
+    policy: &RetryPolicy,
+) -> ScheduleResult {
+    if outcomes.iter().all(|(o, _)| o.attempts == 1) {
+        let tasks: Vec<Task> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(k, (outcome, _))| Task {
+                id: base_id + k as u64,
+                duration: outcome.train_seconds,
+            })
+            .collect();
+        schedule_fifo(gpus, &tasks, TaskOrdering::Fifo)
+    } else {
+        let tasks: Vec<RetryTask> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(k, (outcome, _))| RetryTask {
+                id: base_id + k as u64,
+                attempt_durations: outcome
+                    .failed_attempt_seconds
+                    .iter()
+                    .copied()
+                    .chain([outcome.train_seconds])
+                    .collect(),
+            })
+            .collect();
+        schedule_fifo_retry(gpus, &tasks, policy)
+    }
+}
+
+/// Train one model in direct mode with retries: each attempt runs under
+/// `catch_unwind` with a fresh trainer (deterministic replay of the
+/// same stochastic stream), and a model that exhausts its budget
+/// returns a `failed` outcome carrying the final attempt's partial
+/// trail instead of poisoning the generation.
+fn train_resilient_direct(
+    cfg: &WorkflowConfig,
+    factory: &dyn TrainerFactory,
+    genome: &Genome,
+    model_id: u64,
+    checkpoints: Option<&CheckpointStore>,
+    ft: &FaultTolerance,
+) -> (TrainingOutcome, f64) {
+    let mut failed_attempt_seconds = Vec::new();
+    let mut attempt = 1u32;
+    loop {
+        let mut trainer = factory.make(genome, model_id, cfg.seed);
+        let flops = trainer.flops();
+        let mut progress = AttemptProgress::default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            train_with_engine_fallible(
+                trainer.as_mut(),
+                cfg.engine.as_ref(),
+                cfg.nas.epochs,
+                checkpoints.map(|store| (store, model_id)),
+                Some((&ft.plan, model_id, attempt)),
+                &mut progress,
+            )
+        }));
+        match result {
+            Ok(mut outcome) => {
+                outcome.attempts = attempt;
+                outcome.failed_attempt_seconds = failed_attempt_seconds;
+                return (outcome, flops);
+            }
+            Err(_) if attempt < ft.retry.max_attempts.max(1) => {
+                failed_attempt_seconds.push(progress.train_seconds);
+                attempt += 1;
+            }
+            Err(_) => {
+                // Retry budget exhausted: surface the partial trail as a
+                // Terminated::Failed record with fitness 0, which NSGA-II
+                // treats as dominated.
+                let outcome = TrainingOutcome {
+                    epochs: progress.epochs,
+                    final_fitness: 0.0,
+                    predicted_fitness: None,
+                    terminated_early: false,
+                    failed: true,
+                    attempts: attempt,
+                    failed_attempt_seconds,
+                    train_seconds: progress.train_seconds,
+                    engine_seconds: 0.0,
+                    engine_interactions: 0,
+                };
+                return (outcome, flops);
+            }
+        }
+    }
+}
+
+/// What a dying or dead attempt leaves behind for the failure
+/// bookkeeping: the final attempt's partial trail plus the simulated
+/// seconds every failed attempt consumed.
+#[derive(Debug, Default)]
+struct Partial {
+    epochs: Vec<EpochRecord>,
+    train_seconds: f64,
+    flops: f64,
+    failed_attempt_seconds: Vec<f64>,
+}
+
+/// One attempt of Algorithm 1 with the engine across the bus: publish
+/// the epoch, block on the engine service's verdict, terminate early on
+/// convergence. Injected trainer faults record their partial progress
+/// and announce [`TrainingFailed`] before panicking out to the pool; a
+/// `retired` verdict (or a dead verdict stream) degrades the rest of the
+/// attempt to run-to-completion training. `Err` only when the bus
+/// closed under the attempt.
+#[allow(clippy::too_many_arguments)]
+fn train_over_bus(
+    cfg: &WorkflowConfig,
+    factory: &dyn TrainerFactory,
+    genome: &Genome,
+    model_id: u64,
+    generation: usize,
+    engine_enabled: bool,
+    checkpoints: Option<&CheckpointStore>,
+    topic: &Topic<Event>,
+    ft: &FaultTolerance,
+    attempt: u32,
+    partials: &Mutex<HashMap<u64, Partial>>,
+) -> Result<(TrainingOutcome, f64), A4nnError> {
+    // Subscribe to this model's verdicts before the first publish so no
+    // reply can be missed. Capacity 1 suffices: the hand-off is
+    // strictly request/reply, one verdict in flight per model.
+    let mut verdicts = engine_enabled.then(|| {
+        topic.subscribe_filtered(
+            Policy::Block { capacity: 1 },
+            move |event| matches!(event, Event::EngineVerdict(v) if v.model_id == model_id),
+        )
+    });
+    let mut trainer = factory.make(genome, model_id, cfg.seed);
+    let flops = trainer.flops();
+    let max_epochs = cfg.nas.epochs;
+    let mut epochs = Vec::with_capacity(max_epochs as usize);
+    let mut train_seconds = 0.0;
+    let mut final_fitness = 0.0;
+    let mut predicted_fitness = None;
+    let mut terminated_early = false;
+    let mut engine_seconds = 0.0;
+    let mut engine_interactions = 0u64;
+
+    for e in 1..=max_epochs {
+        let stall = ft.plan.stall_millis(model_id, e);
+        if stall > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(stall));
+        }
+        if ft.plan.panic_due(model_id, e, attempt) {
+            let will_retry = attempt < ft.retry.max_attempts.max(1);
+            {
+                let mut map = partials.lock();
+                let partial = map.entry(model_id).or_default();
+                partial.flops = flops;
+                if will_retry {
+                    partial.failed_attempt_seconds.push(train_seconds);
+                } else {
+                    partial.epochs = std::mem::take(&mut epochs);
+                    partial.train_seconds = train_seconds;
+                }
+            }
+            // Announce the failure before unwinding so every subscriber
+            // sees it ahead of any retry's events. A publish error means
+            // the bus already closed; the panic below still aborts the
+            // attempt either way.
+            let _ = topic.publish(Event::TrainingFailed(TrainingFailed {
+                model_id,
+                generation,
+                epoch_reached: e - 1,
+                attempt,
+                will_retry,
+            }));
+            panic!("injected trainer fault: model {model_id} epoch {e} attempt {attempt}");
+        }
+        let result = trainer.train_epoch(e);
+        if let Some(store) = checkpoints {
+            if let Some(state) = trainer.snapshot(e) {
+                store.put(model_id, e, state);
+            }
+        }
+        train_seconds += result.duration_s;
+        final_fitness = result.val_acc;
+        topic
+            .publish(Event::EpochCompleted(EpochCompleted {
+                model_id,
+                generation,
+                epoch: e,
+                train_acc: result.train_acc,
+                val_acc: result.val_acc,
+                duration_s: result.duration_s,
+            }))
+            .map_err(|_| {
+                A4nnError::BusClosed(format!("publishing epoch {e} of model {model_id}"))
+            })?;
+        let mut prediction = None;
+        let mut converged = None;
+        if let Some(stream) = verdicts.take() {
+            match stream.recv() {
+                Ok(Event::EngineVerdict(v)) if v.retired => {
+                    // The engine crashed for this model; keep its frozen
+                    // stats and run the remaining epochs without it.
+                    engine_seconds = v.engine_seconds;
+                    engine_interactions = v.engine_interactions;
+                }
+                Ok(Event::EngineVerdict(v)) => {
+                    prediction = v.prediction;
+                    converged = v.converged;
+                    engine_seconds = v.engine_seconds;
+                    engine_interactions = v.engine_interactions;
+                    verdicts = Some(stream);
+                }
+                // The engine service itself died: degrade to
+                // run-to-completion instead of deadlocking.
+                _ => {}
+            }
+        }
+        epochs.push(EpochRecord {
+            epoch: e,
+            train_acc: result.train_acc,
+            val_acc: result.val_acc,
+            duration_s: result.duration_s,
+            prediction,
+        });
+        if let Some(p) = converged {
+            final_fitness = p;
+            predicted_fitness = Some(p);
+            terminated_early = true;
+            break;
+        }
+    }
+    Ok((
+        TrainingOutcome {
+            epochs,
+            final_fitness,
+            predicted_fitness,
+            terminated_early,
+            // NaN fitness classifies as failed, exactly as in the direct
+            // path (`train_with_engine_fallible`) — the two transports
+            // must stay byte-identical.
+            failed: final_fitness.is_nan(),
+            attempts: attempt,
+            failed_attempt_seconds: Vec::new(),
+            train_seconds,
+            engine_seconds,
+            engine_interactions,
+        },
+        flops,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surrogate::{SurrogateFactory, SurrogateParams};
+    use a4nn_xfel::BeamIntensity;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_evaluation_is_complete_and_consistent() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let space = cfg.search_space();
+        let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
+        let ft = FaultTolerance::default();
+        let pipeline = EvalPipeline::new(&cfg, &space, &factory, None, &ft);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let genomes: Vec<_> = (0..5).map(|_| space.random_genome(&mut rng)).collect();
+        let batch = pipeline.run(&DirectTransport, &genomes, 3, 10).unwrap();
+        assert_eq!(batch.outcomes.len(), 5);
+        assert_eq!(batch.records.len(), 5);
+        assert_eq!(batch.schedule.assignments.len(), 5);
+        for (k, r) in batch.records.iter().enumerate() {
+            assert_eq!(r.model_id, 10 + k as u64);
+            assert_eq!(r.generation, 3);
+            assert!(r.gpu.unwrap() < 2);
+            assert!((r.wall_time_s - batch.outcomes[k].0.train_seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transports_produce_identical_outcomes_and_schedules() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 9);
+        let space = cfg.search_space();
+        let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
+        let ft = FaultTolerance::default();
+        let pipeline = EvalPipeline::new(&cfg, &space, &factory, None, &ft);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let genomes: Vec<_> = (0..4).map(|_| space.random_genome(&mut rng)).collect();
+
+        let direct = pipeline.run(&DirectTransport, &genomes, 0, 0).unwrap();
+
+        let topic: Topic<Event> = Topic::new("a4nn");
+        let engine = cfg
+            .engine
+            .clone()
+            .map(|e| a4nn_bus::PredictionEngineService::spawn(&topic, e));
+        let bus = pipeline
+            .run(&BusTransport::new(&topic), &genomes, 0, 0)
+            .unwrap();
+        topic.close();
+        if let Some(service) = engine {
+            service.join().unwrap();
+        }
+
+        assert!(bus.records.is_empty(), "bus leaves records to the recorder");
+        assert_eq!(direct.schedule.assignments, bus.schedule.assignments);
+        for ((d, df), (b, bf)) in direct.outcomes.iter().zip(&bus.outcomes) {
+            assert_eq!(df, bf);
+            assert_eq!(d.final_fitness, b.final_fitness);
+            assert_eq!(d.epochs, b.epochs);
+            assert_eq!(d.terminated_early, b.terminated_early);
+        }
+    }
+
+    #[test]
+    fn bus_transport_errors_when_topic_closed() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 1, 3);
+        let space = cfg.search_space();
+        let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
+        let ft = FaultTolerance::default();
+        let pipeline = EvalPipeline::new(&cfg, &space, &factory, None, &ft);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let genomes = vec![space.random_genome(&mut rng)];
+        let topic: Topic<Event> = Topic::new("a4nn");
+        topic.close();
+        let err = pipeline
+            .run(&BusTransport::new(&topic), &genomes, 0, 0)
+            .unwrap_err();
+        assert!(matches!(err, A4nnError::BusClosed(_)), "got {err}");
+    }
+
+    #[test]
+    fn clean_outcomes_schedule_exactly_like_the_seed() {
+        let outcome = |s: f64| TrainingOutcome {
+            epochs: Vec::new(),
+            final_fitness: 0.0,
+            predicted_fitness: None,
+            terminated_early: false,
+            failed: false,
+            attempts: 1,
+            failed_attempt_seconds: Vec::new(),
+            train_seconds: s,
+            engine_seconds: 0.0,
+            engine_interactions: 0,
+        };
+        let outcomes = vec![(outcome(30.0), 1.0), (outcome(10.0), 1.0)];
+        let tasks = vec![
+            Task {
+                id: 5,
+                duration: 30.0,
+            },
+            Task {
+                id: 6,
+                duration: 10.0,
+            },
+        ];
+        let plain = schedule_fifo(2, &tasks, TaskOrdering::Fifo);
+        let routed = generation_schedule(2, 5, &outcomes, &RetryPolicy::default());
+        assert_eq!(plain.assignments, routed.assignments);
+    }
+
+    #[test]
+    fn retried_outcomes_charge_failed_attempts_to_the_gpus() {
+        let retried = TrainingOutcome {
+            epochs: Vec::new(),
+            final_fitness: 0.0,
+            predicted_fitness: None,
+            terminated_early: false,
+            failed: false,
+            attempts: 2,
+            failed_attempt_seconds: vec![20.0],
+            train_seconds: 50.0,
+            engine_seconds: 0.0,
+            engine_interactions: 0,
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 1.0,
+            backoff_factor: 2.0,
+        };
+        let schedule = generation_schedule(1, 0, &[(retried, 1.0)], &policy);
+        // Failed 20 s attempt + 1 s backoff + 50 s success.
+        assert_eq!(schedule.assignments.len(), 2);
+        assert!((schedule.makespan - 71.0).abs() < 1e-9);
+    }
+}

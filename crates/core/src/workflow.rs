@@ -7,17 +7,18 @@
 //! whole generation can be trained concurrently across the virtual GPUs —
 //! exactly the Ray-style resource management of §2.5.
 
-use crate::bus_eval::evaluate_generation_bus_resilient;
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
-use crate::eval::{engine_params_record, evaluate_generation_resilient};
 use crate::fault::{FaultStats, FaultTolerance};
+use crate::pipeline::{
+    engine_params_record, BatchResult, BusTransport, DirectTransport, EvalPipeline,
+};
 use crate::trainer::TrainerFactory;
-use crate::training::TrainingOutcome;
 use a4nn_bus::{
     BusRunStats, EngineFaultHook, Event, LineageRecorderService, Policy, PredictionEngineService,
     RunStatsAggregator, Topic,
 };
+use a4nn_error::A4nnError;
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::{DataCommons, ModelRecord};
 use a4nn_nsga::{
@@ -184,6 +185,11 @@ impl A4nnWorkflow {
     /// plan, and models exhausting their budget survive the search as
     /// `Terminated::Failed` records. The default tolerance reproduces
     /// the fault-free run byte for byte in both coupling modes.
+    ///
+    /// Panics if the run's machinery breaks (bus closed mid-run, a
+    /// crashed service thread); use
+    /// [`try_run_resilient`](Self::try_run_resilient) to handle that as
+    /// an error instead.
     pub fn run_resilient(
         &self,
         factory: &dyn TrainerFactory,
@@ -191,28 +197,31 @@ impl A4nnWorkflow {
         orchestration: Orchestration,
         ft: &FaultTolerance,
     ) -> RunOutput {
+        self.try_run_resilient(factory, checkpoints, orchestration, ft)
+            .unwrap_or_else(|e| panic!("workflow failed: {e}"))
+    }
+
+    /// [`run_resilient`](Self::run_resilient) returning machinery
+    /// failures as [`A4nnError`] instead of panicking. Trainer crashes
+    /// are *not* errors — they flow through the retry budget into
+    /// `Terminated::Failed` records; `Err` here means the run itself
+    /// could not continue (closed bus, crashed service, poisoned pool).
+    pub fn try_run_resilient(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+        orchestration: Orchestration,
+        ft: &FaultTolerance,
+    ) -> Result<RunOutput, A4nnError> {
         let cfg = &self.config;
+        let pipeline = EvalPipeline::new(cfg, &self.space, factory, checkpoints, ft);
         match orchestration {
             Orchestration::Direct => {
                 let out = self.run_loop(&mut |genomes, generation, base_id| {
-                    let batch = evaluate_generation_resilient(
-                        cfg,
-                        &self.space,
-                        factory,
-                        genomes,
-                        generation,
-                        base_id,
-                        checkpoints,
-                        ft,
-                    );
-                    GenerationEval {
-                        outcomes: batch.outcomes,
-                        schedule: batch.schedule,
-                        records: batch.records,
-                    }
-                });
+                    pipeline.run(&DirectTransport, genomes, generation, base_id)
+                })?;
                 let fault_stats = FaultStats::from_records(&out.records);
-                RunOutput {
+                Ok(RunOutput {
                     commons: DataCommons::new(out.records),
                     schedule: GenerationSchedule {
                         generations: out.schedules,
@@ -222,7 +231,7 @@ impl A4nnWorkflow {
                     engine_interactions: out.engine_interactions,
                     bus_stats: None,
                     fault_stats,
-                }
+                })
             }
             Orchestration::Bus => {
                 let topic: Topic<Event> = Topic::new("a4nn");
@@ -255,34 +264,29 @@ impl A4nnWorkflow {
                         inbox.stats()
                     })
                 });
-                let out = self.run_loop(&mut |genomes, generation, base_id| {
-                    let batch = evaluate_generation_bus_resilient(
-                        cfg,
-                        &self.space,
-                        factory,
-                        genomes,
-                        generation,
-                        base_id,
-                        checkpoints,
-                        &topic,
-                        ft,
-                    );
-                    GenerationEval {
-                        outcomes: batch.outcomes,
-                        schedule: batch.schedule,
-                        records: Vec::new(), // assembled by the recorder
-                    }
+                let transport = BusTransport::new(&topic);
+                let loop_result = self.run_loop(&mut |genomes, generation, base_id| {
+                    pipeline.run(&transport, genomes, generation, base_id)
                 });
+                // Always close and drain the services — even when the
+                // loop failed — so no thread is left blocked; then
+                // surface the loop's error ahead of any join error.
                 topic.close();
-                if let Some(service) = engine_service {
-                    service.join();
-                }
+                let engine_join = engine_service.map(|service| service.join()).transpose();
                 let records = recorder.join();
                 let bus_stats = aggregator.join();
+                let out = loop_result?;
+                engine_join?;
+                let records = records?;
+                let bus_stats = bus_stats?;
                 let mut fault_stats = FaultStats::from_records(&records);
-                fault_stats.laggard =
-                    laggard.map(|handle| handle.join().expect("laggard thread panicked"));
-                RunOutput {
+                fault_stats.laggard = match laggard {
+                    Some(handle) => Some(handle.join().map_err(|_| {
+                        A4nnError::Internal("laggard subscriber thread panicked".into())
+                    })?),
+                    None => None,
+                };
+                Ok(RunOutput {
                     commons: DataCommons::new(records),
                     schedule: GenerationSchedule {
                         generations: out.schedules,
@@ -292,17 +296,14 @@ impl A4nnWorkflow {
                     engine_interactions: out.engine_interactions,
                     bus_stats: Some(bus_stats),
                     fault_stats,
-                }
+                })
             }
         }
     }
 
     /// The shared NSGA-Net generational loop; `evaluate` trains one
-    /// generation batch (directly or over the bus).
-    fn run_loop(
-        &self,
-        evaluate: &mut dyn FnMut(&[Genome], usize, u64) -> GenerationEval,
-    ) -> LoopOutput {
+    /// generation batch through the pipeline (on either transport).
+    fn run_loop(&self, evaluate: &mut GenerationEvaluator<'_>) -> Result<LoopOutput, A4nnError> {
         let cfg = &self.config;
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let mut records: Vec<ModelRecord> = Vec::with_capacity(cfg.nas.total_models());
@@ -364,7 +365,7 @@ impl A4nnWorkflow {
 
             // Train the whole generation on the configured evaluator.
             let base_id = next_id;
-            let batch = evaluate(&genomes, generation, base_id);
+            let batch = evaluate(&genomes, generation, base_id)?;
             let mut generation_indices = Vec::with_capacity(genomes.len());
             for (k, genome) in genomes.iter().enumerate() {
                 let model_id = base_id + k as u64;
@@ -394,23 +395,19 @@ impl A4nnWorkflow {
             }
         }
 
-        LoopOutput {
+        Ok(LoopOutput {
             records,
             schedules,
             engine_seconds,
             engine_interactions,
-        }
+        })
     }
 }
 
-/// One generation's evaluation, from either coupling mode.
-struct GenerationEval {
-    outcomes: Vec<(TrainingOutcome, f64)>,
-    schedule: ScheduleResult,
-    /// Record trails — empty in bus mode, where the lineage recorder
-    /// service assembles them from the event stream.
-    records: Vec<ModelRecord>,
-}
+/// Closure handed to [`A4nnWorkflow::run_loop`]: trains one generation
+/// batch `(genomes, generation, base_id)` through the pipeline.
+type GenerationEvaluator<'a> =
+    dyn FnMut(&[Genome], usize, u64) -> Result<BatchResult, A4nnError> + 'a;
 
 /// What the shared generational loop accumulates.
 struct LoopOutput {

@@ -1,0 +1,186 @@
+//! # a4nn-error — the workspace error vocabulary
+//!
+//! One typed error enum, [`A4nnError`], shared by every layer of the
+//! workflow: the evaluation pipeline, the scheduler pool, the lineage
+//! writers, the bus service layer, and the CLI. Fallible operations
+//! return `Result<_, A4nnError>` instead of panicking, and the CLI maps
+//! each variant onto a distinct process exit code so scripted callers
+//! (the paper's driver scripts, CI) can dispatch on failure class
+//! without parsing stderr.
+//!
+//! The enum is deliberately coarse: variants distinguish *what kind of
+//! subsystem failed* (I/O, checkpoint store, bus, trainer, config), not
+//! every individual failure site — the human-readable context string
+//! carries the specifics.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::io;
+
+/// Every failure class the a4nn workflow can surface.
+///
+/// ```
+/// use a4nn_error::A4nnError;
+///
+/// let e = A4nnError::Config("population must be positive".into());
+/// assert_eq!(e.exit_code(), 3);
+/// assert_eq!(e.to_string(), "invalid configuration: population must be positive");
+/// ```
+#[derive(Debug)]
+pub enum A4nnError {
+    /// Filesystem or serialization I/O failed; `context` names the
+    /// operation and path.
+    Io {
+        /// What was being attempted (operation + path).
+        context: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A checkpoint could not be saved, loaded, or decoded.
+    Checkpoint(String),
+    /// The event bus closed while a producer or service still needed it.
+    BusClosed(String),
+    /// A trainer crashed past its retry budget in a context where the
+    /// crash cannot be absorbed as a `Terminated::Failed` record.
+    TrainerCrash {
+        /// The model whose trainer crashed.
+        model_id: u64,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// The crash message, when one was recoverable.
+        message: String,
+    },
+    /// The requested configuration is invalid or inconsistent.
+    Config(String),
+    /// An internal invariant broke (a worker thread died, a service
+    /// panicked); always a bug, never a user error.
+    Internal(String),
+}
+
+impl A4nnError {
+    /// Shorthand for an [`A4nnError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        A4nnError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// The process exit code the CLI maps this failure class onto.
+    ///
+    /// `0` is success and `2` is reserved for argument-parse errors
+    /// (both outside this enum), so variants start at `3`:
+    ///
+    /// | code | class |
+    /// |------|-------|
+    /// | 3 | invalid configuration |
+    /// | 4 | I/O failure |
+    /// | 5 | checkpoint failure |
+    /// | 6 | bus closed |
+    /// | 7 | trainer crash past retries |
+    /// | 8 | internal invariant broken |
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            A4nnError::Config(_) => 3,
+            A4nnError::Io { .. } => 4,
+            A4nnError::Checkpoint(_) => 5,
+            A4nnError::BusClosed(_) => 6,
+            A4nnError::TrainerCrash { .. } => 7,
+            A4nnError::Internal(_) => 8,
+        }
+    }
+}
+
+impl fmt::Display for A4nnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            A4nnError::Io { context, source } => write!(f, "{context}: {source}"),
+            A4nnError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            A4nnError::BusClosed(msg) => write!(f, "bus closed: {msg}"),
+            A4nnError::TrainerCrash {
+                model_id,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "trainer for model {model_id} crashed after {attempts} attempt(s): {message}"
+            ),
+            A4nnError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            A4nnError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for A4nnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            A4nnError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for A4nnError {
+    fn from(source: io::Error) -> Self {
+        A4nnError::Io {
+            context: "I/O error".to_string(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errors = [
+            A4nnError::Config("c".into()),
+            A4nnError::io("ctx", io::Error::other("x")),
+            A4nnError::Checkpoint("c".into()),
+            A4nnError::BusClosed("b".into()),
+            A4nnError::TrainerCrash {
+                model_id: 1,
+                attempts: 3,
+                message: "m".into(),
+            },
+            A4nnError::Internal("i".into()),
+        ];
+        let codes: Vec<i32> = errors.iter().map(A4nnError::exit_code).collect();
+        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8]);
+        for c in codes {
+            assert!(c != 0 && c != 1 && c != 2, "reserved code reused: {c}");
+        }
+    }
+
+    #[test]
+    fn display_is_single_line_with_context() {
+        let e = A4nnError::io(
+            "writing commons to ./out",
+            io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("writing commons to ./out: "));
+        assert!(!s.contains('\n'), "diagnostics must be one line: {s:?}");
+        let crash = A4nnError::TrainerCrash {
+            model_id: 7,
+            attempts: 3,
+            message: "injected".into(),
+        };
+        assert_eq!(
+            crash.to_string(),
+            "trainer for model 7 crashed after 3 attempt(s): injected"
+        );
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain_source() {
+        use std::error::Error;
+        let e: A4nnError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(e.exit_code(), 4);
+        assert!(e.source().is_some());
+        assert!(A4nnError::Config("x".into()).source().is_none());
+    }
+}

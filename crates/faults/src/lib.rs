@@ -27,6 +27,7 @@
 //! modes and across reruns.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 

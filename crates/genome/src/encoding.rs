@@ -57,7 +57,10 @@ impl PhaseGenome {
     /// The residual/skip bit (last bit).
     #[inline]
     pub fn skip(&self) -> bool {
-        *self.bits.last().expect("phase has at least the skip bit")
+        let Some(&skip) = self.bits.last() else {
+            unreachable!("phase has at least the skip bit")
+        };
+        skip
     }
 }
 

@@ -25,6 +25,7 @@
 //!   (the paper's Figures 3 and 10).
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod arch;
 pub mod encoding;
 pub mod flops;

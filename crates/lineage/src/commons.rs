@@ -3,10 +3,10 @@
 //! stand-in for the paper's Harvard Dataverse deposit.
 
 use crate::record::ModelRecord;
+use a4nn_error::A4nnError;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::io;
 use std::path::{Path, PathBuf};
 
 /// Write `bytes` to `path` atomically: write a `.tmp` sibling first, then
@@ -14,12 +14,17 @@ use std::path::{Path, PathBuf};
 /// `.tmp` file next to the previous intact snapshot — never a torn file
 /// under the real name. Loaders skip `.tmp` residue by construction
 /// (nothing looks up files with that suffix).
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), A4nnError> {
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
+    fs::write(&tmp, bytes).map_err(|e| A4nnError::io(format!("writing {}", tmp.display()), e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        A4nnError::io(
+            format!("renaming {} to {}", tmp.display(), path.display()),
+            e,
+        )
+    })
 }
 
 /// Thread-safe recorder that concurrent trainers append to. The workflow
@@ -105,30 +110,40 @@ impl DataCommons {
     /// is written last: a crash anywhere in the middle leaves the previous
     /// manifest intact, so [`load_dir`](Self::load_dir) still sees a
     /// consistent (if older) snapshot.
-    pub fn save_dir(&self, dir: &Path) -> io::Result<()> {
-        fs::create_dir_all(dir)?;
+    pub fn save_dir(&self, dir: &Path) -> Result<(), A4nnError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| A4nnError::io(format!("creating commons dir {}", dir.display()), e))?;
         for record in &self.records {
             let path = dir.join(format!("model_{:05}.json", record.model_id));
-            write_atomic(&path, &serde_json::to_vec_pretty(record)?)?;
+            let json = serde_json::to_vec_pretty(record).map_err(|e| {
+                A4nnError::Internal(format!("serializing record {}: {e}", record.model_id))
+            })?;
+            write_atomic(&path, &json)?;
         }
         let manifest = Manifest {
             model_count: self.records.len(),
             model_ids: self.records.iter().map(|r| r.model_id).collect(),
         };
-        write_atomic(
-            &dir.join("manifest.json"),
-            &serde_json::to_vec_pretty(&manifest)?,
-        )?;
+        let json = serde_json::to_vec_pretty(&manifest)
+            .map_err(|e| A4nnError::Internal(format!("serializing manifest: {e}")))?;
+        write_atomic(&dir.join("manifest.json"), &json)?;
         Ok(())
     }
 
     /// Load a commons previously written by [`save_dir`](Self::save_dir).
-    pub fn load_dir(dir: &Path) -> io::Result<Self> {
-        let manifest: Manifest = serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
+    pub fn load_dir(dir: &Path) -> Result<Self, A4nnError> {
+        let manifest_path = dir.join("manifest.json");
+        let bytes = fs::read(&manifest_path)
+            .map_err(|e| A4nnError::io(format!("reading {}", manifest_path.display()), e))?;
+        let manifest: Manifest = serde_json::from_slice(&bytes)
+            .map_err(|e| A4nnError::io(format!("parsing {}", manifest_path.display()), e.into()))?;
         let mut records = Vec::with_capacity(manifest.model_count);
         for id in manifest.model_ids {
             let path = dir.join(format!("model_{id:05}.json"));
-            let record: ModelRecord = serde_json::from_slice(&fs::read(path)?)?;
+            let bytes = fs::read(&path)
+                .map_err(|e| A4nnError::io(format!("reading {}", path.display()), e))?;
+            let record: ModelRecord = serde_json::from_slice(&bytes)
+                .map_err(|e| A4nnError::io(format!("parsing {}", path.display()), e.into()))?;
             records.push(record);
         }
         Ok(DataCommons::new(records))

@@ -49,7 +49,7 @@ pub fn classify_curve(vals: &[f64]) -> CurveShape {
         return CurveShape::TooShort;
     }
     let first = vals[0];
-    let last = *vals.last().expect("non-empty");
+    let last = vals[vals.len() - 1];
     let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let rise = max - first;
     if rise < 5.0 && (last - first).abs() < 5.0 {
@@ -96,10 +96,14 @@ pub fn shape_census(commons: &DataCommons) -> Vec<(CurveShape, usize, usize)> {
     let mut counts = vec![(0usize, 0usize); shapes.len()];
     for r in &commons.records {
         let shape = classify_record(r);
-        let idx = shapes
-            .iter()
-            .position(|&s| s == shape)
-            .expect("in taxonomy");
+        // `shapes` enumerates every CurveShape variant, in order.
+        let idx = match shape {
+            CurveShape::Saturating => 0,
+            CurveShape::Accelerating => 1,
+            CurveShape::Flat => 2,
+            CurveShape::Erratic => 3,
+            CurveShape::TooShort => 4,
+        };
         counts[idx].0 += 1;
         if r.terminated_early() {
             counts[idx].1 += 1;

@@ -1,6 +1,6 @@
 //! # a4nn-lineage — lineage tracker and NN data commons
 //!
-//! §2.3: A4NN "rigorously record[s] neural architecture histories, model
+//! §2.3: A4NN "rigorously record\[s\] neural architecture histories, model
 //! states, and metadata to reproduce the search for near-optimal NNs."
 //! This crate is that record system:
 //!
@@ -22,6 +22,7 @@
 //!   paper's "load into a DataFrame" affordance.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod analyzer;
 pub mod commons;
 pub mod curves;

@@ -446,7 +446,9 @@ impl MicroNetwork {
             w = (w / 2).max(1);
             total += 3.0 * (c * h * w) as f64;
         }
-        let c_last = *self.spec.stage_channels.last().unwrap();
+        let Some(&c_last) = self.spec.stage_channels.last() else {
+            unreachable!("spec has at least one stage")
+        };
         total += (c_last * h * w) as f64;
         total += self.classifier.flops();
         total
@@ -462,12 +464,9 @@ impl MicroNetwork {
         let mut correct = 0;
         for (r, &label) in labels.iter().enumerate() {
             let row = logits.row(r);
-            let pred = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap();
+            let Some((pred, _)) = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) else {
+                unreachable!("logits row is non-empty")
+            };
             if pred == label {
                 correct += 1;
             }

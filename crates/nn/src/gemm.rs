@@ -63,6 +63,16 @@ fn avx2_available() -> bool {
     *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
 }
 
+/// View an exactly-`N`-element slice as a fixed-size array reference so
+/// the micro-kernels' bounds checks hoist out of the inner loops.
+#[inline(always)]
+fn as_chunk<const N: usize>(s: &[f32]) -> &[f32; N] {
+    match s.try_into() {
+        Ok(arr) => arr,
+        Err(_) => unreachable!("callers slice exactly {N} elements, got {}", s.len()),
+    }
+}
+
 /// Rows per register tile.
 const MR: usize = 4;
 /// Columns per register tile (two AVX2 lanes worth of `f32`).
@@ -167,7 +177,7 @@ fn micro_panel_nn(
             let mut acc = [[0.0f32; NR]; MR];
             let mut ar = [0.0f32; MR];
             for p in pb..pb + pw {
-                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR].try_into().unwrap();
+                let brow: &[f32; NR] = as_chunk(&b[p * n + j..p * n + j + NR]);
                 for (r, v) in ar.iter_mut().enumerate() {
                     *v = a[(ib + r) * k + p];
                 }
@@ -324,14 +334,12 @@ fn micro_panel_nn_seq(
         if u == NR && mh == MR {
             let mut acc = [[0.0f32; NR]; MR];
             for (r, accr) in acc.iter_mut().enumerate() {
-                let crow: &[f32; NR] = c[(ib + r) * n + j..(ib + r) * n + j + NR]
-                    .try_into()
-                    .unwrap();
+                let crow: &[f32; NR] = as_chunk(&c[(ib + r) * n + j..(ib + r) * n + j + NR]);
                 *accr = *crow;
             }
             let mut ar = [0.0f32; MR];
             for p in pb..pb + pw {
-                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR].try_into().unwrap();
+                let brow: &[f32; NR] = as_chunk(&b[p * n + j..p * n + j + NR]);
                 for (r, v) in ar.iter_mut().enumerate() {
                     *v = a[(ib + r) * k + p];
                 }
@@ -430,8 +438,8 @@ fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
     let mut lanes = [0.0f32; L];
     let chunks = x.len() / L;
     for ci in 0..chunks {
-        let xs: &[f32; L] = x[ci * L..ci * L + L].try_into().unwrap();
-        let ys: &[f32; L] = y[ci * L..ci * L + L].try_into().unwrap();
+        let xs: &[f32; L] = as_chunk(&x[ci * L..ci * L + L]);
+        let ys: &[f32; L] = as_chunk(&y[ci * L..ci * L + L]);
         for l in 0..L {
             lanes[l] += xs[l] * ys[l];
         }

@@ -219,7 +219,9 @@ impl PhaseBlock {
     }
 
     fn backward_ws(&mut self, grad: &Tensor4, ws: &mut Workspace) -> Tensor4 {
-        let cache = self.cache.take().expect("phase backward before forward");
+        let Some(cache) = self.cache.take() else {
+            panic!("phase backward before forward")
+        };
         let grad = self.pool.backward_ws(grad, ws);
         let (n, c, h, w) = cache.stem_shape;
         let mut node_grads = std::mem::take(&mut self.node_grads);
@@ -397,7 +399,10 @@ impl Network {
             h = (h / 2).max(1);
             w = (w / 2).max(1);
         }
-        let c_last = self.spec.phases.last().unwrap().out_channels;
+        let Some(last_phase) = self.spec.phases.last() else {
+            unreachable!("spec has at least one phase")
+        };
+        let c_last = last_phase.out_channels;
         total += (c_last * h * w) as f64; // global average pool
         total += self.classifier.flops();
         total
@@ -474,7 +479,10 @@ impl Network {
                     })
                     .sum();
                 for h in handles {
-                    total += h.join().expect("evaluation worker panicked");
+                    total += match h.join() {
+                        Ok(correct) => correct,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    };
                 }
                 total
             })
@@ -550,19 +558,16 @@ impl Network {
     }
 }
 
-/// Count rows of `logits` whose argmax matches the label. Exactly the
-/// argmax the pre-chunking `evaluate` used (first maximum wins via
-/// `partial_cmp`), so chunked and whole-set evaluation agree bitwise.
+/// Count rows of `logits` whose argmax matches the label. The argmax is
+/// a plain `max_by` over `total_cmp` — the same reduction whether the
+/// rows arrive chunked or whole, so both evaluation paths agree bitwise.
 fn count_correct(logits: &Tensor2, labels: &[usize]) -> usize {
     let mut correct = 0;
     for (r, &label) in labels.iter().enumerate() {
         let row = logits.row(r);
-        let pred = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let Some((pred, _)) = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) else {
+            unreachable!("logits row is non-empty")
+        };
         if pred == label {
             correct += 1;
         }

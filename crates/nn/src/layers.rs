@@ -297,10 +297,9 @@ impl Conv2d {
     /// reduced in sample order, matching the naive path's reduction, so
     /// results do not depend on the thread budget.
     fn backward_gemm(&mut self, grad_out: &Tensor4, ws: &mut Workspace) -> Tensor4 {
-        let x = self
-            .cached_input
-            .take()
-            .expect("backward called before forward");
+        let Some(x) = self.cached_input.take() else {
+            panic!("backward called before forward")
+        };
         let (n, _, h, w) = x.shape();
         assert_eq!(grad_out.shape(), (n, self.c_out, h, w));
         let g = ConvGeometry::same(self.c_in, h, w, self.kernel);
@@ -384,7 +383,10 @@ impl Conv2d {
                     }));
                 }
                 for handle in handles {
-                    partials.extend(handle.join().expect("conv backward thread panicked"));
+                    match handle.join() {
+                        Ok(group) => partials.extend(group),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
             });
             for (wg, bg) in &partials {
@@ -403,10 +405,9 @@ impl Conv2d {
 
     /// Reference backward: direct loop nest with per-sample partials.
     fn backward_naive(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let x = self
-            .cached_input
-            .take()
-            .expect("backward called before forward");
+        let Some(x) = self.cached_input.take() else {
+            panic!("backward called before forward")
+        };
         let (n, _, h, w) = x.shape();
         let k = self.kernel;
         let pad = k / 2;
@@ -647,7 +648,9 @@ impl BatchNorm2d {
     /// gradient in place over `grad_out` (each element is read exactly
     /// once before its slot is overwritten) and recycling the `x̂` cache.
     pub fn backward_owned(&mut self, mut grad_out: Tensor4, ws: &mut Workspace) -> Tensor4 {
-        let cache = self.cache.take().expect("backward before training forward");
+        let Some(cache) = self.cache.take() else {
+            panic!("backward before training forward")
+        };
         let (n, c, h, w) = grad_out.shape();
         let per_c = (n * h * w) as f32;
         // Channel reductions: Σg, Σ(g·xhat).
@@ -1151,10 +1154,9 @@ impl Dense {
     /// Reference backward: skips zero output-gradients, accumulates
     /// directly into the persistent gradient buffers.
     fn backward_naive(&mut self, grad_out: &Tensor2, ws: &mut Workspace) -> Tensor2 {
-        let x = self
-            .cached_input
-            .take()
-            .expect("backward called before forward");
+        let Some(x) = self.cached_input.take() else {
+            panic!("backward called before forward")
+        };
         let mut grad_in = ws.t2_zeroed(x.rows, self.d_in);
         for r in 0..x.rows {
             let g = grad_out.row(r);
@@ -1195,10 +1197,9 @@ impl Dense {
     /// skipping versus adding zeros produces identical bits (pinned by the
     /// dense equivalence tests).
     fn backward_gemm(&mut self, grad_out: &Tensor2, ws: &mut Workspace) -> Tensor2 {
-        let x = self
-            .cached_input
-            .take()
-            .expect("backward called before forward");
+        let Some(x) = self.cached_input.take() else {
+            panic!("backward called before forward")
+        };
         let rows = x.rows;
         for r in 0..rows {
             for (o, &go) in grad_out.row(r).iter().enumerate() {

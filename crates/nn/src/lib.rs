@@ -21,6 +21,7 @@
 //! via rayon. All randomness flows through caller-provided seeds.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod augment;
 pub mod cell;
 pub mod data;

@@ -59,7 +59,11 @@ impl ModelState {
     /// Compact binary encoding: a little-endian stream of tensor lengths
     /// and payloads wrapped around the JSON-encoded spec.
     pub fn to_bytes(&self) -> Bytes {
-        let spec_json = serde_json::to_vec(&self.spec).expect("spec serializes");
+        let spec_json = match serde_json::to_vec(&self.spec) {
+            Ok(json) => json,
+            // NetSpec is a plain data struct; serialization cannot fail.
+            Err(e) => unreachable!("spec serializes: {e}"),
+        };
         let mut buf = BytesMut::with_capacity(
             16 + spec_json.len() + self.params.iter().map(|p| 4 + p.len() * 4).sum::<usize>(),
         );

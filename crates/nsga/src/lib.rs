@@ -46,8 +46,8 @@
 //!     assert!(ind.genome > -0.5 && ind.genome < 2.5);
 //! }
 //! ```
-
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod crowding;
 pub mod evolve;
 pub mod objectives;

@@ -39,8 +39,8 @@
 //! assert!(terminated_at < 25);
 //! assert!((predicted - 95.0).abs() < 2.0);
 //! ```
-
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod analyzer;
 pub mod curve;
 pub mod engine;

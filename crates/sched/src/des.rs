@@ -79,12 +79,9 @@ pub fn schedule_fifo(n_gpus: usize, tasks: &[Task], ordering: TaskOrdering) -> S
     assert!(n_gpus > 0, "need at least one GPU");
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     if ordering == TaskOrdering::Lpt {
-        order.sort_by(|&a, &b| {
-            tasks[b]
-                .duration
-                .partial_cmp(&tasks[a].duration)
-                .expect("durations must not be NaN")
-        });
+        // total_cmp: durations are asserted non-negative below, so this
+        // matches partial_cmp on every valid input.
+        order.sort_by(|&a, &b| tasks[b].duration.total_cmp(&tasks[a].duration));
     }
     let mut free_at = vec![0.0f64; n_gpus];
     let mut busy = vec![0.0f64; n_gpus];
@@ -96,15 +93,11 @@ pub fn schedule_fifo(n_gpus: usize, tasks: &[Task], ordering: TaskOrdering) -> S
             "negative duration for task {}",
             task.id
         );
-        // Earliest-free GPU, lowest index on ties.
+        // Earliest-free GPU, lowest index on ties (`n_gpus > 0` is
+        // asserted above, so the minimum exists).
         let gpu = (0..n_gpus)
-            .min_by(|&a, &b| {
-                free_at[a]
-                    .partial_cmp(&free_at[b])
-                    .expect("no NaN times")
-                    .then(a.cmp(&b))
-            })
-            .unwrap();
+            .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]).then(a.cmp(&b)))
+            .unwrap_or(0);
         let start = free_at[gpu];
         let end = start + task.duration;
         free_at[gpu] = end;
@@ -188,34 +181,27 @@ pub fn schedule_fifo_retry(
     let total_attempts: usize = tasks.iter().map(|t| t.attempt_durations.len()).sum();
     let mut assignments = Vec::with_capacity(total_attempts);
     while !queue.is_empty() {
-        // Earliest-free GPU, lowest index on ties.
+        // Earliest-free GPU, lowest index on ties (`n_gpus > 0` is
+        // asserted above, so the minimum exists).
         let gpu = (0..n_gpus)
-            .min_by(|&a, &b| {
-                free_at[a]
-                    .partial_cmp(&free_at[b])
-                    .expect("no NaN times")
-                    .then(a.cmp(&b))
-            })
-            .unwrap();
+            .min_by(|&a, &b| free_at[a].total_cmp(&free_at[b]).then(a.cmp(&b)))
+            .unwrap_or(0);
         let now = free_at[gpu];
         // FIFO among eligible entries; if none is eligible yet, the GPU
-        // idles until the earliest backoff expires.
+        // idles until the earliest backoff expires. The queue is
+        // non-empty (loop condition), so a fallback of 0 is never taken.
         let pos = match queue.iter().position(|r| r.not_before <= now) {
             Some(pos) => pos,
-            None => {
-                let (pos, _) = queue
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        a.not_before
-                            .partial_cmp(&b.not_before)
-                            .expect("no NaN times")
-                    })
-                    .expect("queue non-empty");
-                pos
-            }
+            None => queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.not_before.total_cmp(&b.not_before))
+                .map(|(pos, _)| pos)
+                .unwrap_or(0),
         };
-        let ready = queue.remove(pos).expect("position valid");
+        let Some(ready) = queue.remove(pos) else {
+            unreachable!("position from iter::position/min_by is in bounds")
+        };
         let task = &tasks[ready.task];
         let duration = task.attempt_durations[(ready.attempt - 1) as usize];
         let start = now.max(ready.not_before);

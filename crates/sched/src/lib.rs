@@ -14,10 +14,11 @@
 //! - [`pool`] — a **real thread-pool executor** with the same FIFO
 //!   semantics, mapping virtual GPUs onto worker threads, used when the
 //!   workflow actually trains networks with `a4nn-nn`.
-//! - [`lpt`] ordering lives in [`des`] as an ablation: longest-processing-
+//! - LPT ordering lives in [`des`] as an ablation: longest-processing-
 //!   time-first reduces the idle tail FIFO leaves behind.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod des;
 pub mod pool;
 pub mod retry;

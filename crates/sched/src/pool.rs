@@ -13,6 +13,7 @@
 //! [`RetryPolicy`]-bounded attempt count.
 
 use crate::retry::RetryPolicy;
+use a4nn_error::A4nnError;
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -138,8 +139,13 @@ impl GpuPool {
     /// [`JobStatus::Failed`] and never loses the rest of the batch.
     ///
     /// Jobs receive the worker index so trainers can tag lineage records
-    /// with their virtual GPU.
-    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> (Vec<Option<T>>, Vec<JobReport>)
+    /// with their virtual GPU. Errs only when the pool's own machinery
+    /// breaks (a worker thread dies outside a job's `catch_unwind`) —
+    /// job panics are data, not errors.
+    pub fn run_batch<T, F>(
+        &self,
+        jobs: Vec<F>,
+    ) -> Result<(Vec<Option<T>>, Vec<JobReport>), A4nnError>
     where
         T: Send,
         F: FnOnce(usize) -> T + Send,
@@ -147,7 +153,9 @@ impl GpuPool {
         let n = jobs.len();
         let (job_tx, job_rx) = channel::unbounded::<(usize, F)>();
         for (i, job) in jobs.into_iter().enumerate() {
-            job_tx.send((i, job)).expect("queue open");
+            job_tx
+                .send((i, job))
+                .map_err(|_| A4nnError::Internal("job queue closed before dispatch".into()))?;
         }
         drop(job_tx);
 
@@ -183,16 +191,17 @@ impl GpuPool {
                 });
             }
         })
-        .expect("worker panicked");
+        .map_err(|_| A4nnError::Internal("pool worker thread panicked".into()))?;
 
         let mut outs = Vec::with_capacity(n);
         let mut reports = Vec::with_capacity(n);
         for slot in results.into_inner() {
-            let (out, report) = slot.expect("every job completes");
+            let (out, report) =
+                slot.ok_or_else(|| A4nnError::Internal("pool worker dropped a job slot".into()))?;
             outs.push(out);
             reports.push(report);
         }
-        (outs, reports)
+        Ok((outs, reports))
     }
 
     /// Run every job FIFO with per-job retries: an attempt that panics is
@@ -202,8 +211,14 @@ impl GpuPool {
     /// attempts are reported as [`JobStatus::Failed`].
     ///
     /// Jobs receive `(worker, attempt)` so trainers can key per-attempt
-    /// behaviour (attempt is 1-based).
-    pub fn run_batch_retry<T, F>(&self, jobs: Vec<F>, policy: &RetryPolicy) -> RetryBatch<T>
+    /// behaviour (attempt is 1-based). As with [`run_batch`](Self::run_batch),
+    /// an `Err` means the pool itself broke; exhausted jobs come back as
+    /// `None` outputs with [`JobStatus::Failed`] reports.
+    pub fn run_batch_retry<T, F>(
+        &self,
+        jobs: Vec<F>,
+        policy: &RetryPolicy,
+    ) -> Result<RetryBatch<T>, A4nnError>
     where
         T: Send,
         F: Fn(usize, u32) -> T + Send + Sync,
@@ -251,7 +266,10 @@ impl GpuPool {
                             let now = Instant::now();
                             // FIFO among eligible entries.
                             if let Some(pos) = q.iter().position(|p| p.not_before <= now) {
-                                break q.remove(pos).expect("position valid");
+                                let Some(p) = q.remove(pos) else {
+                                    unreachable!("position from iter::position is in bounds")
+                                };
+                                break p;
                             }
                             match q.iter().map(|p| p.not_before).min() {
                                 // Backoffs pending: sleep until the
@@ -321,18 +339,21 @@ impl GpuPool {
                 });
             }
         })
-        .expect("worker panicked");
+        .map_err(|_| A4nnError::Internal("pool worker thread panicked".into()))?;
 
-        RetryBatch {
+        let reports = reports
+            .into_inner()
+            .into_iter()
+            .map(|r| {
+                r.ok_or_else(|| A4nnError::Internal("pool worker dropped a job report".into()))
+            })
+            .collect::<Result<Vec<_>, A4nnError>>()?;
+        Ok(RetryBatch {
             outputs: outputs.into_inner(),
-            reports: reports
-                .into_inner()
-                .into_iter()
-                .map(|r| r.expect("every job resolves"))
-                .collect(),
+            reports,
             attempts: attempts_log.into_inner(),
             worker_busy_s: busy.into_inner(),
-        }
+        })
     }
 }
 
@@ -358,7 +379,7 @@ mod tests {
     fn results_preserve_submission_order() {
         let pool = GpuPool::new(4);
         let jobs: Vec<_> = (0..16).map(|i| move |_w: usize| i * 10).collect();
-        let (outs, reports) = pool.run_batch(jobs);
+        let (outs, reports) = pool.run_batch(jobs).unwrap();
         assert_eq!(outs, (0..16).map(|i| Some(i * 10)).collect::<Vec<_>>());
         assert_eq!(reports.len(), 16);
         for (i, r) in reports.iter().enumerate() {
@@ -379,7 +400,7 @@ mod tests {
                 }
             })
             .collect();
-        let (_, reports) = pool.run_batch(jobs);
+        let (_, reports) = pool.run_batch(jobs).unwrap();
         let mut seen = [false; 3];
         for r in reports {
             seen[r.worker] = true;
@@ -402,14 +423,14 @@ mod tests {
                 }
             })
             .collect();
-        let _ = pool.run_batch(jobs);
+        let _ = pool.run_batch(jobs).unwrap();
         assert!(PEAK.load(Ordering::SeqCst) <= 2);
     }
 
     #[test]
     fn empty_batch_is_fine() {
         let pool = GpuPool::new(2);
-        let (outs, reports) = pool.run_batch(Vec::<fn(usize) -> ()>::new());
+        let (outs, reports) = pool.run_batch(Vec::<fn(usize) -> ()>::new()).unwrap();
         assert!(outs.is_empty() && reports.is_empty());
     }
 
@@ -425,10 +446,10 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         let t0 = Instant::now();
-        GpuPool::new(1).run_batch(mk_jobs());
+        GpuPool::new(1).run_batch(mk_jobs()).unwrap();
         let serial = t0.elapsed();
         let t1 = Instant::now();
-        GpuPool::new(4).run_batch(mk_jobs());
+        GpuPool::new(4).run_batch(mk_jobs()).unwrap();
         let parallel = t1.elapsed();
         assert!(
             parallel < serial,
@@ -451,7 +472,7 @@ mod tests {
                 }) as Box<dyn FnOnce(usize) -> usize + Send>
             })
             .collect();
-        let (outs, reports) = pool.run_batch(jobs);
+        let (outs, reports) = pool.run_batch(jobs).unwrap();
         for i in 0..6 {
             if i == 3 {
                 assert_eq!(outs[i], None);
@@ -483,14 +504,16 @@ mod tests {
                 }
             })
             .collect();
-        let batch = pool.run_batch_retry(
-            jobs,
-            &RetryPolicy {
-                max_attempts: 3,
-                backoff_base_s: 0.001,
-                backoff_factor: 2.0,
-            },
-        );
+        let batch = pool
+            .run_batch_retry(
+                jobs,
+                &RetryPolicy {
+                    max_attempts: 3,
+                    backoff_base_s: 0.001,
+                    backoff_factor: 2.0,
+                },
+            )
+            .unwrap();
         for (i, counter) in counters.iter().enumerate() {
             assert_eq!(batch.outputs[i], Some(i));
             assert_eq!(batch.reports[i].status, JobStatus::Completed);
@@ -515,14 +538,16 @@ mod tests {
                 }
             })
             .collect();
-        let batch = pool.run_batch_retry(
-            jobs,
-            &RetryPolicy {
-                max_attempts: 3,
-                backoff_base_s: 0.001,
-                backoff_factor: 2.0,
-            },
-        );
+        let batch = pool
+            .run_batch_retry(
+                jobs,
+                &RetryPolicy {
+                    max_attempts: 3,
+                    backoff_base_s: 0.001,
+                    backoff_factor: 2.0,
+                },
+            )
+            .unwrap();
         assert_eq!(batch.outputs[1], None);
         assert_eq!(batch.reports[1].attempts, 3);
         assert!(matches!(batch.reports[1].status, JobStatus::Failed { .. }));
@@ -553,7 +578,7 @@ mod tests {
                 }
             })
             .collect();
-        let batch = pool.run_batch_retry(jobs, &RetryPolicy::default());
+        let batch = pool.run_batch_retry(jobs, &RetryPolicy::default()).unwrap();
         let attempt_total: f64 = batch.attempts.iter().map(|a| a.seconds).sum();
         let busy_total: f64 = batch.worker_busy_s.iter().sum();
         assert!((attempt_total - busy_total).abs() < 1e-9);

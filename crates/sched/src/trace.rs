@@ -1,11 +1,12 @@
 //! Chrome-trace export of cluster schedules.
 //!
-//! Serializes a [`GenerationSchedule`](crate::des::GenerationSchedule) into
+//! Serializes a [`GenerationSchedule`] into
 //! the Chrome Trace Event JSON format (`chrome://tracing`, Perfetto), one
 //! lane per GPU, one complete event per model-training task — the visual
 //! the paper's Figure-9-style wall-time analysis is usually debugged with.
 
 use crate::des::GenerationSchedule;
+use a4nn_error::A4nnError;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,7 +25,7 @@ struct TraceEvent {
 /// Render the schedule as a Chrome Trace Event JSON array. Generations are
 /// laid out back to back (barrier semantics); `pid` 1 is the cluster, each
 /// GPU is a `tid` lane, and task ids become event names.
-pub fn chrome_trace(schedule: &GenerationSchedule) -> String {
+pub fn chrome_trace(schedule: &GenerationSchedule) -> Result<String, A4nnError> {
     let mut events = Vec::new();
     let mut origin = 0.0f64;
     for (g, generation) in schedule.generations.iter().enumerate() {
@@ -41,7 +42,8 @@ pub fn chrome_trace(schedule: &GenerationSchedule) -> String {
         }
         origin += generation.makespan;
     }
-    serde_json::to_string_pretty(&events).expect("trace serializes")
+    serde_json::to_string_pretty(&events)
+        .map_err(|e| A4nnError::Internal(format!("trace serialization failed: {e}")))
 }
 
 #[cfg(test)]
@@ -75,7 +77,7 @@ mod tests {
 
     #[test]
     fn trace_is_valid_json_with_all_tasks() {
-        let json = chrome_trace(&sample());
+        let json = chrome_trace(&sample()).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let events = parsed.as_array().unwrap();
         assert_eq!(events.len(), 4);
@@ -89,7 +91,7 @@ mod tests {
     #[test]
     fn second_generation_starts_after_first_barrier() {
         let schedule = sample();
-        let json = chrome_trace(&schedule);
+        let json = chrome_trace(&schedule).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         let gen0_makespan_us = (schedule.generations[0].makespan * 1e6) as u64;
         let model3 = parsed
@@ -106,7 +108,8 @@ mod tests {
         let empty = GenerationSchedule {
             generations: vec![],
         };
-        let parsed: serde_json::Value = serde_json::from_str(&chrome_trace(&empty)).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&chrome_trace(&empty).unwrap()).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 0);
     }
 }

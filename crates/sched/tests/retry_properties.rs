@@ -56,7 +56,7 @@ proptest! {
                 }
             })
             .collect();
-        let batch = GpuPool::new(workers).run_batch_retry(jobs, &fast_policy(max_attempts));
+        let batch = GpuPool::new(workers).run_batch_retry(jobs, &fast_policy(max_attempts)).unwrap();
 
         for (i, &budget) in failures.iter().enumerate() {
             prop_assert_eq!(batch.outputs[i], Some(i), "job {} output", i);
@@ -91,7 +91,7 @@ proptest! {
                 }
             })
             .collect();
-        let batch = GpuPool::new(workers).run_batch_retry(jobs, &fast_policy(2));
+        let batch = GpuPool::new(workers).run_batch_retry(jobs, &fast_policy(2)).unwrap();
 
         prop_assert_eq!(batch.worker_busy_s.len(), workers);
         let busy: f64 = batch.worker_busy_s.iter().sum();

@@ -102,7 +102,11 @@ fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
         let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
         return (lambda + z * lambda.sqrt()).max(0.0);
     }
-    let dist = Poisson::new(lambda).expect("positive finite lambda");
+    // Poisson::new only rejects non-positive or non-finite lambda, both
+    // excluded by the guards above.
+    let Ok(dist) = Poisson::new(lambda) else {
+        unreachable!("lambda {lambda} is positive and finite")
+    };
     dist.sample(rng)
 }
 

@@ -23,6 +23,7 @@
 //!   train/test split ([`dataset`]).
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod beam;
 pub mod conformer;
 pub mod dataset;

@@ -9,6 +9,7 @@
 //! can be regenerated.
 
 #![warn(clippy::redundant_clone)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod autoencoder;
 pub mod knn;
 pub mod pipeline;

@@ -75,7 +75,7 @@ fn main() {
                 }
             })
             .collect();
-        let (accs, reports) = pool.run_batch(jobs);
+        let (accs, reports) = pool.run_batch(jobs).expect("pool machinery is healthy");
         let elapsed = t0.elapsed().as_secs_f64();
         let workers_used: std::collections::HashSet<usize> =
             reports.iter().map(|r| r.worker).collect();

@@ -18,6 +18,7 @@
 //! | [`lineage`] | `a4nn-lineage` | record trails, data commons, analyzer |
 //! | [`xpsi`] | `a4nn-xpsi` | XPSI baseline (autoencoder + kNN) |
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub use a4nn_core as core;
 pub use a4nn_genome as genome;
 pub use a4nn_lineage as lineage;

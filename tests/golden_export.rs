@@ -74,6 +74,30 @@ fn paper_configuration_exports_match_golden_files() {
     check_golden("epochs_seed2023.csv", &epochs_csv(&out.commons));
 }
 
+/// The unified [`EvalPipeline`] with a zero-fault plan must be invisible:
+/// a resilient run that injects nothing and retries nothing is
+/// byte-identical to the plain `run()` that produced the golden files.
+fn zero_fault_run(orchestration: Orchestration) -> RunOutput {
+    let config = WorkflowConfig::a4nn(BeamIntensity::Medium, 4, 2023);
+    let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+    let ft = FaultTolerance::new(RetryPolicy::with_retries(0), FaultPlan::none());
+    A4nnWorkflow::new(config).run_resilient(&factory, None, orchestration, &ft)
+}
+
+#[test]
+fn zero_fault_pipeline_matches_golden_files_direct() {
+    let out = zero_fault_run(Orchestration::Direct);
+    check_golden("models_seed2023.csv", &models_csv(&out.commons));
+    check_golden("epochs_seed2023.csv", &epochs_csv(&out.commons));
+}
+
+#[test]
+fn zero_fault_pipeline_matches_golden_files_bus() {
+    let out = zero_fault_run(Orchestration::Bus);
+    check_golden("models_seed2023.csv", &models_csv(&out.commons));
+    check_golden("epochs_seed2023.csv", &epochs_csv(&out.commons));
+}
+
 #[test]
 fn row_format_survives_a_failed_model() {
     // A terminally failed model must still export a well-formed row:

@@ -19,6 +19,7 @@ commands:
   analyze    summarize a data commons directory
   viz        render an architecture from a commons (ASCII or DOT)
   export     write models.csv and epochs.csv from a commons
+  worker     serve trainer jobs to a remote search coordinator over TCP
   help       print this message
 
 common options:
@@ -32,7 +33,11 @@ search/baseline options (paper Table 2 defaults):
   --offspring <n>            offspring per generation  [10]
   --generations <n>          generations               [10]
   --epochs <n>               epoch budget per network  [25]
-  --orchestration <mode>     direct|bus task coupling  [direct]
+  --orchestration <mode>     direct|bus|socket task coupling [direct]
+  --workers <addr,...>       comma-separated worker addresses for
+                             --orchestration socket
+  --heartbeat-ms <n>         declare a silent worker dead after this
+                             many milliseconds (socket)  [2000]
   --max-retries <n>          retries per model after a crashed
                              training attempt          [2]
   --real                     train for real on the CPU substrate
@@ -49,6 +54,12 @@ engine options (search only; paper Table 1 defaults):
   --e-pred <n>               epoch predicted for       [25]
   --n-converge <n>           convergence window N      [3]
   --r <f64>                  tolerance r               [0.5]
+
+worker options:
+  --listen <addr>            bind address (required), e.g. 0.0.0.0:7070
+  --gpus <n>                 advertised concurrent job slots [1]
+  --sessions <n>             serve this many coordinator sessions then
+                             exit; 0 serves forever      [0]
 
 viz options:
   --commons <dir>            commons directory (required)
@@ -112,6 +123,8 @@ pub enum Command {
     Viz,
     /// `a4nn export`
     Export,
+    /// `a4nn worker`
+    Worker,
     /// `a4nn help`
     Help,
 }
@@ -127,6 +140,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--generations",
     "--epochs",
     "--orchestration",
+    "--workers",
+    "--heartbeat-ms",
     "--max-retries",
     "--images",
     "--conv-impl",
@@ -138,6 +153,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--r",
     "--commons",
     "--model",
+    "--listen",
+    "--sessions",
 ];
 
 /// Boolean flags.
@@ -165,6 +182,7 @@ impl Parsed {
             Some("analyze") => Command::Analyze,
             Some("viz") => Command::Viz,
             Some("export") => Command::Export,
+            Some("worker") => Command::Worker,
             Some("help" | "--help" | "-h") => Command::Help,
             Some(other) => return Err(ArgError::UnknownCommand(other.to_string())),
         };

@@ -5,6 +5,7 @@ use a4nn_core::prelude::*;
 use a4nn_core::{RealTrainerFactory, SurrogateFactory, SurrogateParams, TrainingHyperparams};
 use a4nn_genome::viz::{render_ascii, render_dot};
 use a4nn_lineage::{Analyzer, DataCommons};
+use a4nn_net::{SocketOptions, SocketTransport, WorkerServer};
 use a4nn_penguin::ParametricCurve;
 use a4nn_xfel::generate_split;
 use std::fmt;
@@ -28,7 +29,8 @@ impl CommandError {
     /// Process exit code for this error, mirroring the workspace-wide
     /// convention documented in `a4nn-error`: 2 = argument parsing,
     /// 3 = invalid value, 4 = I/O, and workflow errors carry their own
-    /// class-specific codes (5 checkpoint, 6 bus, 7 trainer, 8 internal).
+    /// class-specific codes (5 checkpoint, 6 bus, 7 trainer, 8 internal,
+    /// 9 network).
     pub fn exit_code(&self) -> i32 {
         match self {
             CommandError::Args(_) => 2,
@@ -131,12 +133,51 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
     let orchestration = parsed.get_parse(
         "--orchestration",
         Orchestration::Direct,
-        "orchestration (direct|bus)",
+        "orchestration (direct|bus|socket)",
     )?;
     let retries = parsed.get_parse("--max-retries", 2u32, "u32")?;
     let tolerance = FaultTolerance::new(RetryPolicy::with_retries(retries), FaultPlan::none());
     let workflow = A4nnWorkflow::new(config.clone());
-    let output = if parsed.flag("--real") {
+    if orchestration == Orchestration::Socket && parsed.flag("--real") {
+        return Err(CommandError::Invalid(
+            "--real is not available over --orchestration socket; workers train the \
+             deterministic surrogate rebuilt from the shipped configuration"
+                .into(),
+        ));
+    }
+    let output = if orchestration == Orchestration::Socket {
+        let workers: Vec<String> = parsed
+            .get("--workers")
+            .ok_or_else(|| {
+                CommandError::Invalid(
+                    "--orchestration socket requires --workers <addr,...> \
+                     (e.g. --workers 10.0.0.2:7070,10.0.0.3:7070)"
+                        .into(),
+                )
+            })?
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(String::from)
+            .collect();
+        let heartbeat_ms = parsed.get_parse("--heartbeat-ms", 2000u64, "u64")?;
+        let transport = SocketTransport::connect(
+            &workers,
+            &config,
+            &tolerance,
+            SocketOptions {
+                heartbeat_deadline: std::time::Duration::from_millis(heartbeat_ms.max(1)),
+                ..SocketOptions::default()
+            },
+        )?;
+        println!(
+            "sharding across {} worker(s), {} advertised GPU slot(s)",
+            transport.worker_count(),
+            transport.total_gpus()
+        );
+        let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+        workflow.try_run_transport(&factory, None, &transport, &tolerance)?
+    } else if parsed.flag("--real") {
         let images = parsed.get_parse("--images", 100usize, "usize")?;
         let conv_impl = parsed.get_parse(
             "--conv-impl",
@@ -200,6 +241,9 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             output.fault_stats.models_failed
         );
     }
+    if output.transport_stats.jobs_dispatched > 0 {
+        println!("{}", output.transport_stats.summary_line());
+    }
     if let Some(stats) = &output.bus_stats {
         println!(
             "bus: {} epochs streamed, {} verdicts, {} early stops; \
@@ -223,8 +267,35 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
     if let Some(dir) = parsed.get("--out") {
         let dir = PathBuf::from(dir);
         output.commons.save_dir(&dir)?;
+        // Written beside the commons files, not through save_dir, so
+        // transport bookkeeping can never perturb the golden commons
+        // bytes the equivalence suite pins.
+        std::fs::write(
+            dir.join("transport_stats.csv"),
+            output.transport_stats.to_csv(),
+        )?;
         println!("commons written to {}", dir.display());
     }
+    Ok(())
+}
+
+fn run_worker(parsed: &Parsed) -> Result<(), CommandError> {
+    let listen = parsed
+        .get("--listen")
+        .ok_or_else(|| CommandError::Invalid("--listen <addr> is required".into()))?;
+    let gpus = parsed.get_parse("--gpus", 1usize, "usize")?;
+    let sessions = parsed.get_parse("--sessions", 0usize, "usize")?;
+    let server = WorkerServer::bind(listen, gpus)?;
+    println!(
+        "a4nn worker listening on {} ({gpus} GPU slot(s), {})",
+        server.local_addr()?,
+        if sessions == 0 {
+            "serving until killed".to_string()
+        } else {
+            format!("serving {sessions} session(s)")
+        }
+    );
+    server.run(sessions)?;
     Ok(())
 }
 
@@ -383,6 +454,7 @@ pub fn run_command(parsed: &Parsed) -> Result<(), CommandError> {
         Command::Analyze => run_analyze(parsed),
         Command::Viz => run_viz(parsed),
         Command::Export => run_export(parsed),
+        Command::Worker => run_worker(parsed),
     }
 }
 

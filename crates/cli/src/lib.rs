@@ -32,8 +32,8 @@ pub use commands::{run_command, CommandError};
 ///
 /// Exit codes: 0 success, 2 argument parsing, then one code per error
 /// class via [`CommandError::exit_code`] (3 invalid value, 4 I/O,
-/// 5 checkpoint, 6 bus, 7 trainer, 8 internal). Every failure prints a
-/// single-line `error: ...` diagnostic to stderr.
+/// 5 checkpoint, 6 bus, 7 trainer, 8 internal, 9 network). Every failure
+/// prints a single-line `error: ...` diagnostic to stderr.
 pub fn run(argv: &[String]) -> i32 {
     let parsed = match args::Parsed::parse(argv) {
         Ok(p) => p,

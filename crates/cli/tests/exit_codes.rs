@@ -54,6 +54,107 @@ fn io_failures_are_four() {
 }
 
 #[test]
+fn net_failures_are_nine() {
+    // Nothing listens on port 1, so the coordinator fails while
+    // connecting its worker fleet — a Net-class machinery failure.
+    assert_eq!(
+        code(
+            "search --population 2 --offspring 2 --generations 1 --epochs 2 \
+             --orchestration socket --workers 127.0.0.1:1"
+        ),
+        9,
+        "unreachable worker"
+    );
+}
+
+#[test]
+fn socket_misuse_is_invalid_value() {
+    assert_eq!(
+        code("search --generations 1 --orchestration socket"),
+        3,
+        "socket orchestration without --workers"
+    );
+    assert_eq!(
+        code("search --generations 1 --orchestration socket --workers 127.0.0.1:1 --real"),
+        3,
+        "--real cannot ride the socket transport"
+    );
+    assert_eq!(code("worker --gpus 1"), 3, "worker without --listen");
+    assert_eq!(
+        code("worker --listen 127.0.0.1:0 --gpus 0"),
+        3,
+        "a worker advertising zero GPUs"
+    );
+}
+
+/// The README's exit-code table is generated prose over a real mapping;
+/// this pins every row to the code it documents so the two cannot drift
+/// again.
+#[test]
+fn readme_exit_code_table_matches_the_code() {
+    use a4nn_cli::{ArgError, CommandError};
+    use a4nn_error::A4nnError;
+
+    // The canonical table: every row the README must carry, verbatim.
+    let classes: [(i32, &str); 9] = [
+        (0, "success"),
+        (2, "argument parsing"),
+        (
+            3,
+            "invalid value (bad beam, unknown function, missing `--commons`)",
+        ),
+        (4, "filesystem failure"),
+        (5, "checkpoint encode/decode"),
+        (6, "event bus closed mid-run"),
+        (7, "trainer retry budget exhausted"),
+        (8, "internal invariant violated"),
+        (
+            9,
+            "network failure (worker lost, bad frame, handshake refused)",
+        ),
+    ];
+
+    // The canonical codes ARE the implementation's mapping.
+    let wf = |e: A4nnError| CommandError::Workflow(e).exit_code();
+    assert_eq!(CommandError::Args(ArgError::MissingCommand).exit_code(), 2);
+    assert_eq!(CommandError::Invalid("x".into()).exit_code(), 3);
+    assert_eq!(CommandError::Io(std::io::Error::other("x")).exit_code(), 4);
+    assert_eq!(wf(A4nnError::Checkpoint("x".into())), 5);
+    assert_eq!(wf(A4nnError::BusClosed("x".into())), 6);
+    assert_eq!(
+        wf(A4nnError::TrainerCrash {
+            model_id: 0,
+            attempts: 1,
+            message: "x".into(),
+        }),
+        7
+    );
+    assert_eq!(wf(A4nnError::Internal("x".into())), 8);
+    assert_eq!(wf(A4nnError::Net("x".into())), 9);
+
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).unwrap();
+    for (code, class) in &classes {
+        let row = format!("| {code} | {class} |");
+        assert!(
+            readme.contains(&row),
+            "README exit-code table is missing the row {row:?}"
+        );
+    }
+    // And carries nothing extra or stale: exactly one numeric table row
+    // per documented class.
+    let numeric_rows = readme
+        .lines()
+        .filter(|l| l.starts_with("| ") && l.chars().nth(2).is_some_and(|c| c.is_ascii_digit()))
+        .count();
+    assert_eq!(
+        numeric_rows,
+        classes.len(),
+        "README documents an exit code this test does not pin"
+    );
+}
+
+#[test]
 fn search_errors_still_print_and_exit_nonzero() {
     // A search that completes but cannot persist its commons: the error
     // travels run_resilient -> save_dir -> A4nnError::Io -> exit code 4.

@@ -12,7 +12,7 @@
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
 use crate::fault::{FaultStats, FaultTolerance};
-use crate::pipeline::{DirectTransport, EvalPipeline};
+use crate::pipeline::{DirectTransport, EvalPipeline, Transport};
 use crate::trainer::TrainerFactory;
 use crate::workflow::RunOutput;
 use a4nn_error::A4nnError;
@@ -98,6 +98,7 @@ impl RandomSearchWorkflow {
             engine_seconds,
             engine_interactions,
             bus_stats: None,
+            transport_stats: pipeline.transport_stats(DirectTransport.name()),
             fault_stats,
         })
     }
@@ -214,6 +215,7 @@ impl AgingEvolutionWorkflow {
             engine_seconds,
             engine_interactions,
             bus_stats: None,
+            transport_stats: pipeline.transport_stats(DirectTransport.name()),
             fault_stats,
         })
     }

@@ -64,7 +64,10 @@ pub use config::{NasSettings, WorkflowConfig};
 pub use drivers::{AgingEvolutionWorkflow, RandomSearchWorkflow};
 pub use fault::{FaultStats, FaultTolerance};
 pub use micro::{micro_netspec, micro_random_search, MicroTrainerFactory};
-pub use pipeline::{BatchResult, BusTransport, DirectTransport, EvalPipeline, Transport};
+pub use pipeline::{
+    train_resilient_direct, BatchResult, BusTransport, DirectTransport, EvalPipeline, Transport,
+    TransportStats,
+};
 pub use real::{RealTrainerFactory, TrainingHyperparams};
 pub use surrogate::{SurrogateFactory, SurrogateParams};
 pub use trainer::{EpochResult, Trainer, TrainerFactory};
@@ -80,7 +83,7 @@ pub mod prelude {
         netspec_from_arch, train_with_engine, A4nnError, A4nnWorkflow, CheckpointStore,
         EpochResult, EvalPipeline, FaultStats, FaultTolerance, NasSettings, Orchestration,
         RealTrainerFactory, RunOutput, SurrogateFactory, SurrogateParams, Trainer, TrainerFactory,
-        TrainingHyperparams, TrainingOutcome, Transport, WorkflowConfig,
+        TrainingHyperparams, TrainingOutcome, Transport, TransportStats, WorkflowConfig,
     };
     pub use a4nn_faults::{ChaosSpec, FaultEvent, FaultPlan};
     pub use a4nn_genome::{Genome, SearchSpace};

@@ -50,6 +50,80 @@ use rayon::prelude::*;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+/// Per-transport dispatch counters for one run — the first slice of the
+/// metrics layer. All figures are measured wall time (never simulated
+/// seconds), so they report the harness's own cost without perturbing
+/// the reproducible results.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransportStats {
+    /// Which transport dispatched the jobs (`direct`, `bus`, `socket`).
+    pub transport: String,
+    /// Trainer jobs that completed through the transport.
+    pub jobs_dispatched: u64,
+    /// Extra attempts beyond the first, summed over all jobs — trainer
+    /// retries on the in-process transports, dispatch re-queues after a
+    /// dead worker on the socket transport.
+    pub retries: u64,
+    /// Mean wall seconds from dispatching a job to holding its outcome.
+    pub round_trip_mean_s: f64,
+    /// Worst-case round trip in wall seconds.
+    pub round_trip_max_s: f64,
+    /// Mean wall seconds a job waited for a free execution slot before
+    /// dispatch (zero for in-process transports, which hand jobs
+    /// straight to the thread pool).
+    pub queue_wait_mean_s: f64,
+    /// Worst-case queue wait in wall seconds.
+    pub queue_wait_max_s: f64,
+}
+
+impl TransportStats {
+    /// The CSV header matching [`TransportStats::to_csv`].
+    pub const CSV_HEADER: &'static str = "transport,jobs_dispatched,retries,\
+         round_trip_mean_s,round_trip_max_s,queue_wait_mean_s,queue_wait_max_s";
+
+    /// One header + one data row, for export beside the commons CSVs.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{}\n{},{},{},{:.6},{:.6},{:.6},{:.6}\n",
+            Self::CSV_HEADER,
+            self.transport,
+            self.jobs_dispatched,
+            self.retries,
+            self.round_trip_mean_s,
+            self.round_trip_max_s,
+            self.queue_wait_mean_s,
+            self.queue_wait_max_s,
+        )
+    }
+
+    /// The one-line summary the CLI prints in its stats block.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "transport {}: {} job(s) dispatched, {} retr{}, round-trip mean {:.3} ms / max {:.3} ms, queue wait mean {:.3} ms / max {:.3} ms",
+            self.transport,
+            self.jobs_dispatched,
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+            self.round_trip_mean_s * 1e3,
+            self.round_trip_max_s * 1e3,
+            self.queue_wait_mean_s * 1e3,
+            self.queue_wait_max_s * 1e3,
+        )
+    }
+}
+
+/// The accumulating counters behind [`TransportStats`], shared by every
+/// transport through [`EvalPipeline::record_job`].
+#[derive(Debug, Default)]
+struct MetricsSink {
+    jobs: u64,
+    retries: u64,
+    round_trip_total_s: f64,
+    round_trip_max_s: f64,
+    queue_wait_total_s: f64,
+    queue_wait_max_s: f64,
+}
+
 /// Result of evaluating one generation batch.
 #[derive(Debug)]
 pub struct BatchResult {
@@ -111,6 +185,12 @@ pub trait Transport {
     /// (`true`), or a downstream service folds them from the published
     /// events (`false`).
     fn assembles_records(&self) -> bool;
+
+    /// Short stable name for the metrics layer (`direct`, `bus`,
+    /// `socket`).
+    fn name(&self) -> &'static str {
+        "unknown"
+    }
 }
 
 /// One generation-evaluation pipeline: the shared train → schedule →
@@ -121,6 +201,7 @@ pub struct EvalPipeline<'a> {
     factory: &'a dyn TrainerFactory,
     checkpoints: Option<&'a CheckpointStore>,
     ft: &'a FaultTolerance,
+    metrics: Mutex<MetricsSink>,
 }
 
 impl<'a> EvalPipeline<'a> {
@@ -140,6 +221,7 @@ impl<'a> EvalPipeline<'a> {
             factory,
             checkpoints,
             ft,
+            metrics: Mutex::new(MetricsSink::default()),
         }
     }
 
@@ -166,6 +248,42 @@ impl<'a> EvalPipeline<'a> {
     /// The retry policy and fault plan in force.
     pub fn fault_tolerance(&self) -> &FaultTolerance {
         self.ft
+    }
+
+    /// Record one completed job in the metrics sink: its dispatch→outcome
+    /// wall time, the wall time it queued for a free slot, and the extra
+    /// attempts it consumed beyond the first. Every transport calls this
+    /// once per job it completes.
+    pub fn record_job(&self, round_trip_s: f64, queue_wait_s: f64, retries: u64) {
+        let mut m = self.metrics.lock();
+        m.jobs += 1;
+        m.retries += retries;
+        m.round_trip_total_s += round_trip_s;
+        m.round_trip_max_s = m.round_trip_max_s.max(round_trip_s);
+        m.queue_wait_total_s += queue_wait_s;
+        m.queue_wait_max_s = m.queue_wait_max_s.max(queue_wait_s);
+    }
+
+    /// Snapshot the accumulated dispatch counters under `transport`'s
+    /// name.
+    pub fn transport_stats(&self, transport: &str) -> TransportStats {
+        let m = self.metrics.lock();
+        let mean = |total: f64| {
+            if m.jobs == 0 {
+                0.0
+            } else {
+                total / m.jobs as f64
+            }
+        };
+        TransportStats {
+            transport: transport.to_string(),
+            jobs_dispatched: m.jobs,
+            retries: m.retries,
+            round_trip_mean_s: mean(m.round_trip_total_s),
+            round_trip_max_s: m.round_trip_max_s,
+            queue_wait_mean_s: mean(m.queue_wait_total_s),
+            queue_wait_max_s: m.queue_wait_max_s,
+        }
     }
 
     /// Evaluate one generation through `transport`: train every genome
@@ -270,14 +388,21 @@ impl Transport for DirectTransport {
             .enumerate()
             .map(|(k, genome)| {
                 let model_id = base_id + k as u64;
-                train_resilient_direct(
+                let started = std::time::Instant::now();
+                let (outcome, flops) = train_resilient_direct(
                     pipeline.cfg,
                     pipeline.factory,
                     genome,
                     model_id,
                     pipeline.checkpoints,
                     pipeline.ft,
-                )
+                );
+                pipeline.record_job(
+                    started.elapsed().as_secs_f64(),
+                    0.0,
+                    u64::from(outcome.attempts.saturating_sub(1)),
+                );
+                (outcome, flops)
             })
             .collect())
     }
@@ -296,6 +421,10 @@ impl Transport for DirectTransport {
 
     fn assembles_records(&self) -> bool {
         true
+    }
+
+    fn name(&self) -> &'static str {
+        "direct"
     }
 }
 
@@ -363,6 +492,13 @@ impl Transport for BusTransport<'_> {
 
         let mut partials = partials.into_inner();
         let reports = batch.reports;
+        for report in &reports {
+            pipeline.record_job(
+                report.seconds,
+                0.0,
+                u64::from(report.attempts.saturating_sub(1)),
+            );
+        }
         let mut outcomes = Vec::with_capacity(genomes.len());
         for (k, output) in batch.outputs.into_iter().enumerate() {
             let model_id = base_id + k as u64;
@@ -453,6 +589,10 @@ impl Transport for BusTransport<'_> {
     fn assembles_records(&self) -> bool {
         false
     }
+
+    fn name(&self) -> &'static str {
+        "bus"
+    }
 }
 
 /// The generation's discrete-event schedule, retry-aware.
@@ -500,7 +640,12 @@ fn generation_schedule(
 /// same stochastic stream), and a model that exhausts its budget
 /// returns a `failed` outcome carrying the final attempt's partial
 /// trail instead of poisoning the generation.
-fn train_resilient_direct(
+///
+/// Public because the `a4nn-net` worker runs exactly this function for
+/// each job it receives — remote training is the same deterministic
+/// computation, just dispatched over TCP, which is what makes the
+/// socket transport byte-identical to the in-process ones.
+pub fn train_resilient_direct(
     cfg: &WorkflowConfig,
     factory: &dyn TrainerFactory,
     genome: &Genome,
@@ -823,6 +968,36 @@ mod tests {
         let plain = schedule_fifo(2, &tasks, TaskOrdering::Fifo);
         let routed = generation_schedule(2, 5, &outcomes, &RetryPolicy::default());
         assert_eq!(plain.assignments, routed.assignments);
+    }
+
+    #[test]
+    fn transport_stats_count_jobs_and_retries() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let space = cfg.search_space();
+        let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
+        let ft = crate::fault::FaultTolerance::new(
+            RetryPolicy::with_retries(2),
+            a4nn_faults::FaultPlan::new(vec![a4nn_faults::FaultEvent::PanicAt {
+                model: 11,
+                epoch: 1,
+                failures: 1,
+            }]),
+        );
+        let pipeline = EvalPipeline::new(&cfg, &space, &factory, None, &ft);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let genomes: Vec<_> = (0..3).map(|_| space.random_genome(&mut rng)).collect();
+        pipeline.run(&DirectTransport, &genomes, 0, 10).unwrap();
+        let stats = pipeline.transport_stats(DirectTransport.name());
+        assert_eq!(stats.transport, "direct");
+        assert_eq!(stats.jobs_dispatched, 3);
+        assert_eq!(stats.retries, 1, "model 11 retried once");
+        assert!(stats.round_trip_max_s >= stats.round_trip_mean_s);
+        assert!(stats.round_trip_mean_s > 0.0);
+        assert_eq!(stats.queue_wait_mean_s, 0.0);
+        let csv = stats.to_csv();
+        assert!(csv.starts_with(TransportStats::CSV_HEADER));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(stats.summary_line().contains("transport direct: 3 job(s)"));
     }
 
     #[test]

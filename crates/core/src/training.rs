@@ -12,10 +12,14 @@ use crate::trainer::Trainer;
 use a4nn_faults::FaultPlan;
 use a4nn_lineage::{EpochRecord, Terminated};
 use a4nn_penguin::{EngineConfig, PredictionEngine};
+use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Everything Algorithm 1 produces for one network.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a remote worker can ship the outcome back to the
+/// coordinator over the wire (`a4nn-net`) byte-for-byte intact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainingOutcome {
     /// Per-epoch records (fitness history + prediction history merged).
     pub epochs: Vec<EpochRecord>,

@@ -11,7 +11,8 @@ use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
 use crate::fault::{FaultStats, FaultTolerance};
 use crate::pipeline::{
-    engine_params_record, BatchResult, BusTransport, DirectTransport, EvalPipeline,
+    engine_params_record, BatchResult, BusTransport, DirectTransport, EvalPipeline, Transport,
+    TransportStats,
 };
 use crate::trainer::TrainerFactory;
 use a4nn_bus::{
@@ -40,6 +41,13 @@ pub enum Orchestration {
     /// engine/lineage/stats services run as subscribed threads (§2.2's
     /// in-situ task coupling). Produces identical record trails.
     Bus,
+    /// TCP worker processes via the `a4nn-net` socket transport: the
+    /// coordinator shards each generation's jobs across connected
+    /// workers. The transport lives outside this crate, so socket runs
+    /// go through [`A4nnWorkflow::try_run_transport`] with a constructed
+    /// `SocketTransport`; this variant exists so the CLI can parse the
+    /// mode uniformly. Produces identical record trails.
+    Socket,
 }
 
 impl std::str::FromStr for Orchestration {
@@ -49,8 +57,9 @@ impl std::str::FromStr for Orchestration {
         match s {
             "direct" => Ok(Orchestration::Direct),
             "bus" => Ok(Orchestration::Bus),
+            "socket" => Ok(Orchestration::Socket),
             other => Err(format!(
-                "unknown orchestration {other:?} (expected direct|bus)"
+                "unknown orchestration {other:?} (expected direct|bus|socket)"
             )),
         }
     }
@@ -71,6 +80,9 @@ pub struct RunOutput {
     pub engine_interactions: u64,
     /// Bus-level counters, present when the run was bus-orchestrated.
     pub bus_stats: Option<BusRunStats>,
+    /// Dispatch counters of the transport that trained the run: jobs,
+    /// retries, round-trip and queue-wait wall times.
+    pub transport_stats: TransportStats,
     /// Failure accounting: retries consumed, models failed/recovered,
     /// and the injected laggard's delivery counters. Quiet (all zero)
     /// on a fault-free run.
@@ -230,9 +242,15 @@ impl A4nnWorkflow {
                     engine_seconds: out.engine_seconds,
                     engine_interactions: out.engine_interactions,
                     bus_stats: None,
+                    transport_stats: pipeline.transport_stats(DirectTransport.name()),
                     fault_stats,
                 })
             }
+            Orchestration::Socket => Err(A4nnError::Config(
+                "socket orchestration needs connected workers; construct a \
+                 SocketTransport (a4nn-net) and call try_run_transport"
+                    .into(),
+            )),
             Orchestration::Bus => {
                 let topic: Topic<Event> = Topic::new("a4nn");
                 let engine_service = cfg.engine.clone().map(|engine| {
@@ -295,10 +313,52 @@ impl A4nnWorkflow {
                     engine_seconds: out.engine_seconds,
                     engine_interactions: out.engine_interactions,
                     bus_stats: Some(bus_stats),
+                    transport_stats: pipeline.transport_stats(transport.name()),
                     fault_stats,
                 })
             }
         }
+    }
+
+    /// Run the search through an externally constructed [`Transport`] —
+    /// the entry point for transports that live outside this crate, such
+    /// as `a4nn-net`'s `SocketTransport`. The transport must assemble
+    /// record trails inline (like `DirectTransport`); transports that
+    /// delegate recording to bus services go through
+    /// [`try_run_resilient`](Self::try_run_resilient) instead, which
+    /// owns the service lifecycle.
+    pub fn try_run_transport(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+        transport: &dyn Transport,
+        ft: &FaultTolerance,
+    ) -> Result<RunOutput, A4nnError> {
+        if !transport.assembles_records() {
+            return Err(A4nnError::Config(format!(
+                "transport {:?} delegates record assembly to bus services; \
+                 run it through try_run_resilient",
+                transport.name()
+            )));
+        }
+        let cfg = &self.config;
+        let pipeline = EvalPipeline::new(cfg, &self.space, factory, checkpoints, ft);
+        let out = self.run_loop(&mut |genomes, generation, base_id| {
+            pipeline.run(transport, genomes, generation, base_id)
+        })?;
+        let fault_stats = FaultStats::from_records(&out.records);
+        Ok(RunOutput {
+            commons: DataCommons::new(out.records),
+            schedule: GenerationSchedule {
+                generations: out.schedules,
+            },
+            config: cfg.clone(),
+            engine_seconds: out.engine_seconds,
+            engine_interactions: out.engine_interactions,
+            bus_stats: None,
+            transport_stats: pipeline.transport_stats(transport.name()),
+            fault_stats,
+        })
     }
 
     /// The shared NSGA-Net generational loop; `evaluate` trains one

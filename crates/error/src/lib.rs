@@ -56,6 +56,12 @@ pub enum A4nnError {
     /// An internal invariant broke (a worker thread died, a service
     /// panicked); always a bug, never a user error.
     Internal(String),
+    /// The network layer between the coordinator and a worker process
+    /// broke: a handshake was refused, a frame was malformed, a worker
+    /// died past the dispatch-retry budget, or every worker is gone.
+    /// Trainer panics *on* a worker are not `Net` errors — they flow
+    /// back as failed training outcomes, exactly like local panics.
+    Net(String),
 }
 
 impl A4nnError {
@@ -80,6 +86,7 @@ impl A4nnError {
     /// | 6 | bus closed |
     /// | 7 | trainer crash past retries |
     /// | 8 | internal invariant broken |
+    /// | 9 | network failure (worker lost, bad frame, handshake refused) |
     pub fn exit_code(&self) -> i32 {
         match self {
             A4nnError::Config(_) => 3,
@@ -88,6 +95,7 @@ impl A4nnError {
             A4nnError::BusClosed(_) => 6,
             A4nnError::TrainerCrash { .. } => 7,
             A4nnError::Internal(_) => 8,
+            A4nnError::Net(_) => 9,
         }
     }
 }
@@ -108,6 +116,7 @@ impl fmt::Display for A4nnError {
             ),
             A4nnError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             A4nnError::Internal(msg) => write!(f, "internal error: {msg}"),
+            A4nnError::Net(msg) => write!(f, "network failure: {msg}"),
         }
     }
 }
@@ -147,9 +156,10 @@ mod tests {
                 message: "m".into(),
             },
             A4nnError::Internal("i".into()),
+            A4nnError::Net("n".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(A4nnError::exit_code).collect();
-        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9]);
         for c in codes {
             assert!(c != 0 && c != 1 && c != 2, "reserved code reused: {c}");
         }
@@ -172,6 +182,10 @@ mod tests {
         assert_eq!(
             crash.to_string(),
             "trainer for model 7 crashed after 3 attempt(s): injected"
+        );
+        assert_eq!(
+            A4nnError::Net("worker 127.0.0.1:7001 missed 3 heartbeats".into()).to_string(),
+            "network failure: worker 127.0.0.1:7001 missed 3 heartbeats"
         );
     }
 

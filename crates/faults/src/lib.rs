@@ -19,7 +19,12 @@
 //!   run-to-completion (standalone semantics) instead of deadlocking;
 //! - [`SubscriberLag`](FaultEvent::SubscriberLag) — a slow lossy
 //!   bus subscriber rides along (bus mode only); isolation demands it
-//!   never perturbs results.
+//!   never perturbs results;
+//! - [`WorkerDrop`](FaultEvent::WorkerDrop) — a remote worker drops its
+//!   coordinator connection mid-job (socket mode only); the coordinator
+//!   must requeue the job elsewhere with identical results;
+//! - [`WorkerStall`](FaultEvent::WorkerStall) — a remote worker mutes
+//!   its heartbeats past the coordinator's deadline (socket mode only).
 //!
 //! Plans are plain data (no clocks, no globals): injection sites query
 //! the plan with `(model, epoch, attempt)` and the plan answers purely,
@@ -74,6 +79,33 @@ pub enum FaultEvent {
         capacity: usize,
         /// Real milliseconds the laggard sleeps per consumed event.
         delay_millis: u64,
+    },
+    /// The worker process training `model` drops its coordinator
+    /// connection when training reaches `epoch`, for the first `drops`
+    /// *dispatch* attempts of the job (1-based). The coordinator must
+    /// requeue the job onto another worker; in-process transports have
+    /// no connection to drop and ignore it, so results are identical.
+    WorkerDrop {
+        /// Model id whose job triggers the drop.
+        model: u64,
+        /// 1-based epoch at which the connection drops.
+        epoch: u32,
+        /// Number of leading dispatch attempts that drop; dispatch
+        /// attempt `drops + 1` trains through normally.
+        drops: u32,
+    },
+    /// The worker process training `model` mutes its heartbeats for
+    /// `millis` of real time when training reaches `epoch`, so a
+    /// coordinator with a shorter heartbeat deadline declares it dead.
+    /// Simulated durations are untouched; in-process transports have no
+    /// heartbeats and ignore it.
+    WorkerStall {
+        /// Model id whose job triggers the stall.
+        model: u64,
+        /// 1-based epoch at which the heartbeat goes quiet.
+        epoch: u32,
+        /// Real milliseconds the worker stays silent.
+        millis: u64,
     },
 }
 
@@ -238,6 +270,56 @@ impl FaultPlan {
             .max()
             .unwrap_or(0)
     }
+
+    /// Should the worker drop its coordinator connection when `model`'s
+    /// job (on dispatch `attempt`, 1-based) reaches `epoch`?
+    pub fn worker_drop_due(&self, model: u64, epoch: u32, attempt: u32) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::WorkerDrop { model: m, epoch: ep, drops }
+                if *m == model && *ep == epoch && attempt <= *drops)
+        })
+    }
+
+    /// Total scheduled heartbeat silence when `model` reaches `epoch`,
+    /// in real milliseconds.
+    pub fn worker_stall_millis(&self, model: u64, epoch: u32) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::WorkerStall {
+                    model: m,
+                    epoch: ep,
+                    millis,
+                } if *m == model && *ep == epoch => Some(*millis),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether the plan schedules any worker-side (connection/heartbeat)
+    /// fault at all.
+    pub fn has_worker_faults(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::WorkerDrop { .. } | FaultEvent::WorkerStall { .. }
+            )
+        })
+    }
+
+    /// Highest dispatch attempt any single `WorkerDrop` site can kill —
+    /// the coordinator needs strictly more dispatch attempts than this
+    /// (plus a live worker) to guarantee the job completes somewhere.
+    pub fn max_worker_drops(&self) -> u32 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::WorkerDrop { drops, .. } => Some(*drops),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -335,8 +417,51 @@ mod tests {
                     assert!((1..=6).contains(epoch));
                 }
                 FaultEvent::SubscriberLag { capacity, .. } => assert!(*capacity >= 1),
+                FaultEvent::WorkerDrop { .. } | FaultEvent::WorkerStall { .. } => {
+                    panic!("seeded plans never schedule worker-side faults")
+                }
             }
         }
+    }
+
+    #[test]
+    fn worker_drop_gates_on_dispatch_attempt() {
+        let p = FaultPlan::new(vec![FaultEvent::WorkerDrop {
+            model: 4,
+            epoch: 3,
+            drops: 2,
+        }]);
+        assert!(p.worker_drop_due(4, 3, 1));
+        assert!(p.worker_drop_due(4, 3, 2));
+        assert!(!p.worker_drop_due(4, 3, 3));
+        assert!(!p.worker_drop_due(4, 2, 1));
+        assert!(!p.worker_drop_due(5, 3, 1));
+        assert!(p.has_worker_faults());
+        assert_eq!(p.max_worker_drops(), 2);
+        // Worker faults are invisible to the in-process injection sites.
+        assert!(!p.panic_due(4, 3, 1));
+        assert_eq!(p.stall_millis(4, 3), 0);
+        assert_eq!(p.max_failures(), 0);
+    }
+
+    #[test]
+    fn worker_stalls_sum_per_site() {
+        let p = FaultPlan::new(vec![
+            FaultEvent::WorkerStall {
+                model: 1,
+                epoch: 2,
+                millis: 40,
+            },
+            FaultEvent::WorkerStall {
+                model: 1,
+                epoch: 2,
+                millis: 60,
+            },
+        ]);
+        assert_eq!(p.worker_stall_millis(1, 2), 100);
+        assert_eq!(p.worker_stall_millis(1, 3), 0);
+        assert!(p.has_worker_faults());
+        assert_eq!(p.max_worker_drops(), 0);
     }
 
     #[test]

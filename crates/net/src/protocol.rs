@@ -1,0 +1,94 @@
+//! The coordinator↔worker message vocabulary.
+//!
+//! One session, in order:
+//!
+//! 1. coordinator → [`Hello`](Message::Hello); worker → either
+//!    [`Welcome`](Message::Welcome) (advertising its GPU count) or
+//!    [`Reject`](Message::Reject) on a protocol-version mismatch;
+//! 2. coordinator → [`RunSetup`](Message::RunSetup): the full workflow
+//!    configuration plus the fault-tolerance contract, so the worker
+//!    reconstructs the *same* deterministic trainer the coordinator
+//!    would run in process;
+//! 3. jobs: coordinator → [`Job`](Message::Job), worker →
+//!    [`JobDone`](Message::JobDone), interleaved with periodic
+//!    [`Heartbeat`](Message::Heartbeat)s from the worker;
+//! 4. coordinator → [`Shutdown`](Message::Shutdown) (or just closes).
+//!
+//! Trainer results cross the wire as the full
+//! [`TrainingOutcome`] — every simulated duration and fitness value
+//! bit-exact (the vendored JSON codec writes `f64`s shortest-roundtrip),
+//! which is what lets the socket transport hold byte-identical commons
+//! with the in-process transports.
+
+use a4nn_core::{TrainingOutcome, WorkflowConfig};
+use a4nn_faults::FaultPlan;
+use a4nn_genome::Genome;
+use a4nn_sched::RetryPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Every message either side of an `a4nn-net` connection can send.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Message {
+    /// Coordinator's opener: the protocol revision it speaks.
+    Hello {
+        /// The coordinator's [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION).
+        version: u16,
+    },
+    /// Worker's acceptance: its revision and how many trainer jobs it
+    /// can run concurrently (the sharding weight).
+    Welcome {
+        /// The worker's protocol revision (equal to the coordinator's,
+        /// or the worker sends [`Reject`](Message::Reject) instead).
+        version: u16,
+        /// Advertised GPU count; the coordinator keeps at most this
+        /// many jobs in flight on the connection.
+        gpus: usize,
+    },
+    /// Worker's refusal (version mismatch); the session ends here.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Everything the worker needs to train deterministically.
+    RunSetup {
+        /// The run's workflow configuration (search space, engine,
+        /// seed); the worker rebuilds its trainer factory from this.
+        config: WorkflowConfig,
+        /// Trainer retry policy — worker-side attempts, identical to
+        /// the in-process retry loop.
+        retry: RetryPolicy,
+        /// The deterministic fault plan, consulted at the same
+        /// `(model, epoch, attempt)` sites as in-process transports.
+        plan: FaultPlan,
+        /// How often the worker must send
+        /// [`Heartbeat`](Message::Heartbeat)s, in milliseconds.
+        heartbeat_interval_ms: u64,
+    },
+    /// One trainer job.
+    Job {
+        /// Model id (also the reply correlation key).
+        model_id: u64,
+        /// Generation index, for logging symmetry with the bus events.
+        generation: usize,
+        /// 1-based dispatch attempt across workers — keys the
+        /// `WorkerDrop` fault gate, never the trainer's own retry
+        /// counter.
+        dispatch_attempt: u32,
+        /// The genome to decode and train.
+        genome: Genome,
+    },
+    /// The completed job, outcome intact.
+    JobDone {
+        /// Which job this answers.
+        model_id: u64,
+        /// The trained architecture's MFLOPs.
+        flops: f64,
+        /// The full training outcome, including worker-side retry
+        /// accounting.
+        outcome: TrainingOutcome,
+    },
+    /// Periodic liveness signal from the worker.
+    Heartbeat,
+    /// Coordinator is done with the session.
+    Shutdown,
+}

@@ -1,0 +1,239 @@
+//! The worker process: a TCP server that trains jobs for a remote
+//! coordinator.
+//!
+//! Each accepted connection is one coordinator *session*: handshake,
+//! [`RunSetup`](crate::Message::RunSetup), then a stream of jobs. The
+//! worker reconstructs the surrogate trainer factory from the shipped
+//! configuration, so every job it trains is the *same* deterministic
+//! computation [`a4nn_core::train_resilient_direct`] would run in
+//! process — remote placement cannot perturb results by construction.
+//!
+//! A heartbeat thread signs the worker's liveness every
+//! `heartbeat_interval_ms`; the deterministic `WorkerStall` fault mutes
+//! it (so a coordinator with a shorter deadline declares the worker
+//! dead), and `WorkerDrop` severs the connection outright, exercising
+//! the coordinator's requeue path.
+
+use crate::frame::{read_message, write_message, NetError, PROTOCOL_VERSION};
+use crate::protocol::Message;
+use a4nn_core::{train_resilient_direct, FaultTolerance, SurrogateFactory, SurrogateParams};
+use a4nn_error::A4nnError;
+use parking_lot::Mutex;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A bound worker server, ready to serve coordinator sessions.
+pub struct WorkerServer {
+    listener: TcpListener,
+    gpus: usize,
+}
+
+impl WorkerServer {
+    /// Bind the listener on `addr` (e.g. `127.0.0.1:7070`; port `0`
+    /// picks a free port) advertising `gpus` concurrent job slots.
+    pub fn bind(addr: &str, gpus: usize) -> Result<Self, A4nnError> {
+        if gpus == 0 {
+            return Err(A4nnError::Config(
+                "a worker must advertise at least one GPU".into(),
+            ));
+        }
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| A4nnError::Net(format!("binding worker listener on {addr}: {e}")))?;
+        Ok(WorkerServer { listener, gpus })
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> Result<SocketAddr, A4nnError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| A4nnError::Net(format!("reading worker listener address: {e}")))
+    }
+
+    /// Serve coordinator sessions sequentially: `sessions == 0` serves
+    /// forever, otherwise exits after that many sessions. A session
+    /// that ends abnormally (dropped connection, injected fault) is
+    /// logged and counted, never fatal — dying with the coordinator is
+    /// exactly what a worker must not do.
+    pub fn run(&self, sessions: usize) -> Result<(), A4nnError> {
+        let mut served = 0usize;
+        for stream in self.listener.incoming() {
+            let stream = stream
+                .map_err(|e| A4nnError::Net(format!("accepting coordinator connection: {e}")))?;
+            if let Err(e) = serve_session(stream, self.gpus) {
+                eprintln!("a4nn worker: session ended abnormally: {e}");
+            }
+            served += 1;
+            if sessions != 0 && served >= sessions {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bind and serve on a background thread — the in-process worker
+    /// used by tests and single-machine smoke runs.
+    pub fn spawn(addr: &str, gpus: usize, sessions: usize) -> Result<WorkerHandle, A4nnError> {
+        let server = WorkerServer::bind(addr, gpus)?;
+        let local = server.local_addr()?;
+        let join = std::thread::spawn(move || server.run(sessions));
+        Ok(WorkerHandle { addr: local, join })
+    }
+}
+
+/// Handle to a [`WorkerServer::spawn`]ed background worker.
+pub struct WorkerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<Result<(), A4nnError>>,
+}
+
+impl WorkerHandle {
+    /// The worker's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the worker to finish its session budget.
+    pub fn join(self) -> Result<(), A4nnError> {
+        self.join
+            .join()
+            .map_err(|_| A4nnError::Internal("worker server thread panicked".into()))?
+    }
+}
+
+/// Drive one coordinator session over `stream`.
+fn serve_session(stream: TcpStream, gpus: usize) -> Result<(), NetError> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone()?;
+    let writer = Mutex::new(stream);
+
+    // Handshake: refuse foreign protocol revisions explicitly so the
+    // coordinator can report *why* instead of seeing a dead socket.
+    match read_message::<_, Message>(&mut reader)? {
+        Some(Message::Hello { version }) if version == PROTOCOL_VERSION => {}
+        Some(Message::Hello { version }) => {
+            let reason = format!(
+                "protocol version mismatch: worker speaks v{PROTOCOL_VERSION}, coordinator v{version}"
+            );
+            let _ = write_message(&mut *writer.lock(), &Message::Reject { reason });
+            return Err(NetError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            });
+        }
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Hello to open the session, got {other:?}"
+            )))
+        }
+    }
+    write_message(
+        &mut *writer.lock(),
+        &Message::Welcome {
+            version: PROTOCOL_VERSION,
+            gpus,
+        },
+    )?;
+
+    let (config, retry, plan, heartbeat_interval_ms) =
+        match read_message::<_, Message>(&mut reader)? {
+            Some(Message::RunSetup {
+                config,
+                retry,
+                plan,
+                heartbeat_interval_ms,
+            }) => (config, retry, plan, heartbeat_interval_ms),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected RunSetup after the handshake, got {other:?}"
+                )))
+            }
+        };
+    // The factory is purely configuration-derived, which is the whole
+    // determinism argument: same (config, genome, model_id, seed) ⇒
+    // same trainer ⇒ same outcome, wherever it runs.
+    let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+    let ft = FaultTolerance::new(retry, plan);
+
+    let done = AtomicBool::new(false);
+    // `WorkerStall` faults push this forward to silence the heartbeat.
+    let mute_until = Mutex::new(Instant::now());
+    let interval = Duration::from_millis(heartbeat_interval_ms.max(1));
+
+    let result: Result<(), NetError> = crossbeam::thread::scope(|scope| {
+        scope.spawn(|_| {
+            while !done.load(Ordering::SeqCst) {
+                if Instant::now() >= *mute_until.lock()
+                    && write_message(&mut *writer.lock(), &Message::Heartbeat).is_err()
+                {
+                    break;
+                }
+                std::thread::sleep(interval);
+            }
+        });
+
+        let loop_result = loop {
+            match read_message::<_, Message>(&mut reader) {
+                Ok(Some(Message::Job {
+                    model_id,
+                    generation: _,
+                    dispatch_attempt,
+                    genome,
+                })) => {
+                    let factory = &factory;
+                    let ft = &ft;
+                    let config = &config;
+                    let writer = &writer;
+                    let mute_until = &mute_until;
+                    let done = &done;
+                    scope.spawn(move |_| {
+                        let epochs = config.nas.epochs;
+                        let stall_ms: u64 = (1..=epochs)
+                            .map(|e| ft.plan.worker_stall_millis(model_id, e))
+                            .sum();
+                        if stall_ms > 0 {
+                            // Go quiet past the coordinator's deadline:
+                            // heartbeats muted, job frozen.
+                            *mute_until.lock() = Instant::now() + Duration::from_millis(stall_ms);
+                            std::thread::sleep(Duration::from_millis(stall_ms));
+                        }
+                        if (1..=epochs)
+                            .any(|e| ft.plan.worker_drop_due(model_id, e, dispatch_attempt))
+                        {
+                            // Sever the connection instead of answering —
+                            // the coordinator must requeue this job (and
+                            // every other one in flight here) elsewhere.
+                            done.store(true, Ordering::SeqCst);
+                            let _ = writer.lock().shutdown(Shutdown::Both);
+                            return;
+                        }
+                        let (outcome, flops) =
+                            train_resilient_direct(config, factory, &genome, model_id, None, ft);
+                        let _ = write_message(
+                            &mut *writer.lock(),
+                            &Message::JobDone {
+                                model_id,
+                                flops,
+                                outcome,
+                            },
+                        );
+                    });
+                }
+                Ok(Some(Message::Shutdown)) | Ok(None) => break Ok(()),
+                Ok(Some(other)) => {
+                    break Err(NetError::Protocol(format!(
+                        "unexpected mid-session message {other:?}"
+                    )))
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        done.store(true, Ordering::SeqCst);
+        loop_result
+    })
+    .map_err(|_| NetError::Protocol("worker session thread panicked".into()))?;
+
+    // Unblock any peer still reading from us before the session closes.
+    let _ = writer.lock().shutdown(Shutdown::Both);
+    result
+}

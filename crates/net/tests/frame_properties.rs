@@ -1,0 +1,204 @@
+//! Property tests for the wire codec, plus the handshake-refusal
+//! contract against a live worker.
+//!
+//! The framing invariants must hold for *any* message content and *any*
+//! way the kernel splits or coalesces the byte stream:
+//!
+//! - encode → decode is the identity, regardless of read chunking;
+//! - a stream cut at any interior byte is a typed [`NetError::Truncated`]
+//!   at EOF, never a panic or a silent partial message;
+//! - a corrupted length field above the cap is [`NetError::FrameTooLarge`]
+//!   before any allocation;
+//! - a peer speaking a foreign protocol revision is refused with a typed
+//!   error on both sides of the handshake.
+
+use a4nn_core::prelude::*;
+use a4nn_net::{
+    encode, read_message, write_message, FrameDecoder, Message, NetError, SocketOptions,
+    SocketTransport, WorkerServer, HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use std::net::{TcpListener, TcpStream};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any batch of messages survives the decoder under any chunking of
+    /// the byte stream — the framing is independent of how the kernel
+    /// delivers bytes.
+    #[test]
+    fn roundtrip_is_chunking_invariant(
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200),
+            1..6,
+        ),
+        chunk in 1usize..97,
+    ) {
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            bytes.extend_from_slice(&encode(m).unwrap());
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded: Vec<Vec<u8>> = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(m) = decoder.next_frame::<Vec<u8>>().unwrap() {
+                decoded.push(m);
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+        decoder.finish().unwrap();
+    }
+
+    /// Cutting the stream at any interior byte is detected as truncation
+    /// at EOF: the decoder never yields a message from a partial frame
+    /// and never panics.
+    #[test]
+    fn any_interior_cut_is_typed_truncation(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = encode(&msg).unwrap();
+        // Interior cut: at least one byte present, at least one missing.
+        let cut = 1 + (cut_seed as usize) % (frame.len() - 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame[..cut]);
+        prop_assert!(decoder.next_frame::<Vec<u8>>().unwrap().is_none());
+        prop_assert!(matches!(decoder.finish(), Err(NetError::Truncated { .. })));
+    }
+
+    /// A length field above [`MAX_PAYLOAD`] is rejected from the header
+    /// alone — a corrupted stream cannot provoke a giant allocation.
+    #[test]
+    fn oversized_length_field_is_rejected(extra in 1u32..=1024) {
+        let len = MAX_PAYLOAD + extra;
+        let mut frame = Vec::with_capacity(HEADER_LEN);
+        frame.extend_from_slice(b"A4NN");
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+        frame.extend_from_slice(&len.to_be_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame);
+        prop_assert_eq!(
+            decoder.next_frame::<String>(),
+            Err(NetError::FrameTooLarge { len })
+        );
+    }
+
+    /// Any header version other than ours is a typed mismatch carrying
+    /// both revisions.
+    #[test]
+    fn foreign_frame_versions_are_typed_mismatches(theirs in any::<u16>()) {
+        prop_assume!(theirs != PROTOCOL_VERSION);
+        let mut frame = encode(&"x".to_string()).unwrap();
+        frame[4..6].copy_from_slice(&theirs.to_be_bytes());
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame);
+        prop_assert_eq!(
+            decoder.next_frame::<String>(),
+            Err(NetError::VersionMismatch { ours: PROTOCOL_VERSION, theirs })
+        );
+    }
+}
+
+/// The payload-size extremes: an empty collection (the smallest JSON
+/// payloads) and a string far above 64 KiB both survive the decoder and
+/// the blocking reader.
+#[test]
+fn payload_size_extremes_roundtrip() {
+    let empty: Vec<u8> = Vec::new();
+    let big = "g".repeat(80 * 1024); // > 64 KiB of payload
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&encode(&empty).unwrap());
+    bytes.extend_from_slice(&encode(&big).unwrap());
+
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&bytes);
+    assert_eq!(decoder.next_frame::<Vec<u8>>().unwrap().unwrap(), empty);
+    assert_eq!(decoder.next_frame::<String>().unwrap().unwrap(), big);
+    decoder.finish().unwrap();
+
+    let mut cursor = std::io::Cursor::new(bytes);
+    assert_eq!(
+        read_message::<_, Vec<u8>>(&mut cursor).unwrap().unwrap(),
+        empty
+    );
+    assert_eq!(
+        read_message::<_, String>(&mut cursor).unwrap().unwrap(),
+        big
+    );
+    assert!(read_message::<_, String>(&mut cursor).unwrap().is_none());
+}
+
+/// A zero-length payload is structurally valid framing but never a
+/// decodable message: the decoder reports a typed decode error, not a
+/// panic and not an empty success.
+#[test]
+fn zero_byte_payload_is_a_typed_decode_error() {
+    let mut frame = Vec::with_capacity(HEADER_LEN);
+    frame.extend_from_slice(b"A4NN");
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    let mut decoder = FrameDecoder::new();
+    decoder.push(&frame);
+    assert!(matches!(
+        decoder.next_frame::<String>(),
+        Err(NetError::Decode(_))
+    ));
+}
+
+/// A live worker refuses a coordinator announcing a foreign protocol
+/// revision with an explicit `Reject` — and keeps serving afterwards.
+#[test]
+fn worker_refuses_a_foreign_hello() {
+    let worker = WorkerServer::spawn("127.0.0.1:0", 1, 1).unwrap();
+    let stream = TcpStream::connect(worker.addr()).unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    write_message(
+        &mut &stream,
+        &Message::Hello {
+            version: PROTOCOL_VERSION + 1,
+        },
+    )
+    .unwrap();
+    match read_message::<_, Message>(&mut reader).unwrap() {
+        Some(Message::Reject { reason }) => {
+            assert!(
+                reason.contains("version"),
+                "refusal names the version mismatch: {reason}"
+            );
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    drop(stream);
+    worker.join().unwrap();
+}
+
+/// The coordinator surfaces a worker's `Reject` as a `Net`-class error
+/// (exit code 9) naming the refusing worker.
+#[test]
+fn coordinator_surfaces_refusal_as_a_net_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let refusing_worker = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let hello = read_message::<_, Message>(&mut reader).unwrap();
+        assert!(matches!(hello, Some(Message::Hello { .. })));
+        write_message(
+            &mut &stream,
+            &Message::Reject {
+                reason: "stale build".into(),
+            },
+        )
+        .unwrap();
+    });
+
+    let config = WorkflowConfig::a4nn(BeamIntensity::Medium, 1, 7);
+    let ft = FaultTolerance::new(RetryPolicy::with_retries(0), FaultPlan::none());
+    let err = SocketTransport::connect(&[addr.to_string()], &config, &ft, SocketOptions::default())
+        .err()
+        .expect("refused handshake fails construction");
+    assert_eq!(err.exit_code(), 9, "refusals are Net-class: {err}");
+    assert!(err.to_string().contains("refused"), "{err}");
+    refusing_worker.join().unwrap();
+}

@@ -19,6 +19,7 @@ commands:
   analyze    summarize a data commons directory
   viz        render an architecture from a commons (ASCII or DOT)
   export     write models.csv and epochs.csv from a commons
+  stats      summarize a run directory offline (metrics, retries, resume state)
   worker     serve trainer jobs to a remote search coordinator over TCP
   help       print this message
 
@@ -40,6 +41,15 @@ search/baseline options (paper Table 2 defaults):
                              many milliseconds (socket)  [2000]
   --max-retries <n>          retries per model after a crashed
                              training attempt          [2]
+  --resume <dir>             continue an interrupted search from the
+                             snapshot committed in <dir>; the flags must
+                             reproduce the original configuration
+                             (checked via its fingerprint, exit 5 on
+                             mismatch). With --out, snapshots commit
+                             there at every generation boundary.
+                             A4NN_SEARCH_GEN_DELAY_MS=<n> stalls each
+                             boundary by n ms (CI kill-window knob;
+                             wall-clock only, never results)
   --real                     train for real on the CPU substrate
   --images <n>               images per class for --real / xpsi / dataset [100]
   --conv-impl <name>         conv backend for --real training:
@@ -64,7 +74,13 @@ worker options:
 viz options:
   --commons <dir>            commons directory (required)
   --model <id>               model id (default: best by fitness)
-  --dot                      emit Graphviz DOT instead of ASCII";
+  --dot                      emit Graphviz DOT instead of ASCII
+
+stats options:
+  --run <dir>                run directory to summarize (required):
+                             reads metrics.json, retries.csv, the
+                             resume manifest, and the commons if
+                             present — no search is executed";
 
 /// Errors produced by [`Parsed::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +139,8 @@ pub enum Command {
     Viz,
     /// `a4nn export`
     Export,
+    /// `a4nn stats`
+    Stats,
     /// `a4nn worker`
     Worker,
     /// `a4nn help`
@@ -143,6 +161,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--heartbeat-ms",
     "--max-retries",
+    "--resume",
+    "--run",
     "--images",
     "--conv-impl",
     "--dense-impl",
@@ -182,6 +202,7 @@ impl Parsed {
             Some("analyze") => Command::Analyze,
             Some("viz") => Command::Viz,
             Some("export") => Command::Export,
+            Some("stats") => Command::Stats,
             Some("worker") => Command::Worker,
             Some("help" | "--help" | "-h") => Command::Help,
             Some(other) => return Err(ArgError::UnknownCommand(other.to_string())),

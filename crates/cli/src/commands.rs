@@ -29,8 +29,9 @@ impl CommandError {
     /// Process exit code for this error, mirroring the workspace-wide
     /// convention documented in `a4nn-error`: 2 = argument parsing,
     /// 3 = invalid value, 4 = I/O, and workflow errors carry their own
-    /// class-specific codes (5 checkpoint, 6 bus, 7 trainer, 8 internal,
-    /// 9 network).
+    /// class-specific codes (5 checkpoint — including a stale `--resume`
+    /// snapshot, 6 bus, 7 trainer, 8 internal, 9 network,
+    /// 10 interrupted at a generation boundary).
     pub fn exit_code(&self) -> i32 {
         match self {
             CommandError::Args(_) => 2,
@@ -145,6 +146,59 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
                 .into(),
         ));
     }
+
+    // Resume + snapshot wiring. The run directory (--out, or the
+    // --resume dir when --out is absent) receives a full search-state
+    // snapshot at every generation boundary, so a killed process can
+    // continue bit-for-bit with `--resume <dir>` and identical flags.
+    let resume_dir = parsed.get("--resume").map(PathBuf::from);
+    if resume_dir.is_some() && parsed.flag("--real") {
+        return Err(CommandError::Invalid(
+            "--resume is not available with --real: the training dataset is not part \
+             of the snapshot's configuration fingerprint"
+                .into(),
+        ));
+    }
+    let out_dir = parsed
+        .get("--out")
+        .map(PathBuf::from)
+        .or_else(|| resume_dir.clone());
+    let snapshot = resume_dir
+        .as_deref()
+        .map(|dir| SearchSnapshot::load(dir, &config))
+        .transpose()
+        .map_err(CommandError::Workflow)?;
+    if let Some(snap) = &snapshot {
+        println!(
+            "resuming from {} ({} of {} generation(s) already committed)",
+            resume_dir
+                .as_deref()
+                .unwrap_or(std::path::Path::new("?"))
+                .display(),
+            snap.generations_done,
+            config.nas.generations
+        );
+    }
+    // CI kill-window knob: stall each generation boundary by this many
+    // milliseconds so an external SIGKILL can land mid-run. Wall-clock
+    // only — the search results are unaffected.
+    let boundary_delay_ms = std::env::var("A4NN_SEARCH_GEN_DELAY_MS")
+        .ok()
+        .and_then(|raw| raw.parse::<u64>().ok())
+        .unwrap_or(0);
+    let pacing = move |_done: usize| {
+        if boundary_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(boundary_delay_ms));
+        }
+        false
+    };
+    let mut control = RunControl::default();
+    if let Some(dir) = &out_dir {
+        control.snapshot_dir = Some(dir.clone());
+    }
+    if boundary_delay_ms > 0 {
+        control = control.with_cancel(&pacing);
+    }
     let output = if orchestration == Orchestration::Socket {
         let workers: Vec<String> = parsed
             .get("--workers")
@@ -176,7 +230,9 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             transport.total_gpus()
         );
         let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
-        workflow.try_run_transport(&factory, None, &transport, &tolerance)?
+        workflow.try_run_transport_resumable(
+            &factory, None, &transport, &tolerance, &control, snapshot,
+        )?
     } else if parsed.flag("--real") {
         let images = parsed.get_parse("--images", 100usize, "usize")?;
         let conv_impl = parsed.get_parse(
@@ -212,10 +268,17 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
                 ..TrainingHyperparams::default()
             },
         );
-        workflow.try_run_resilient(&factory, None, orchestration, &tolerance)?
+        workflow.try_run_resumable(&factory, None, orchestration, &tolerance, &control, None)?
     } else {
         let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
-        workflow.try_run_resilient(&factory, None, orchestration, &tolerance)?
+        workflow.try_run_resumable(
+            &factory,
+            None,
+            orchestration,
+            &tolerance,
+            &control,
+            snapshot,
+        )?
     };
 
     let analyzer = Analyzer::new(&output.commons);
@@ -264,17 +327,100 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             r.model_id, r.flops, r.final_fitness
         );
     }
-    if let Some(dir) = parsed.get("--out") {
-        let dir = PathBuf::from(dir);
-        output.commons.save_dir(&dir)?;
+    if let Some(dir) = &out_dir {
+        output.commons.save_dir(dir)?;
         // Written beside the commons files, not through save_dir, so
-        // transport bookkeeping can never perturb the golden commons
-        // bytes the equivalence suite pins.
+        // run bookkeeping can never perturb the golden commons bytes
+        // the equivalence suite pins. Metrics and the retry ledger go
+        // through write_atomic: a kill during export must not leave a
+        // half-written snapshot next to a committed commons.
         std::fs::write(
             dir.join("transport_stats.csv"),
             output.transport_stats.to_csv(),
         )?;
+        a4nn_lineage::write_atomic(&dir.join("metrics.csv"), output.metrics.to_csv().as_bytes())?;
+        a4nn_lineage::write_atomic(&dir.join("metrics.json"), &output.metrics.to_json()?)?;
+        a4nn_lineage::write_atomic(
+            &dir.join("retries.csv"),
+            output.retry_ledger.to_csv().as_bytes(),
+        )?;
         println!("commons written to {}", dir.display());
+    }
+    Ok(())
+}
+
+/// `a4nn stats`: summarize a run directory offline — the artifacts a
+/// search committed (`metrics.json`, `retries.csv`, the resume
+/// manifest, and the commons), without running anything.
+fn run_stats(parsed: &Parsed) -> Result<(), CommandError> {
+    let dir = PathBuf::from(
+        parsed
+            .get("--run")
+            .ok_or_else(|| CommandError::Invalid("--run <dir> is required".into()))?,
+    );
+    let mut found_any = false;
+
+    let manifest_path = dir.join("resume_manifest.json");
+    if let Ok(bytes) = std::fs::read(&manifest_path) {
+        found_any = true;
+        let manifest: a4nn_core::resume::ResumeManifest =
+            serde_json::from_slice(&bytes).map_err(|e| {
+                CommandError::Workflow(A4nnError::Checkpoint(format!(
+                    "parsing {}: {e}",
+                    manifest_path.display()
+                )))
+            })?;
+        println!(
+            "resume state : generation boundary {} committed (config {:016x}, {})",
+            manifest.generations_done, manifest.config_hash, manifest.state_file
+        );
+    }
+
+    if let Ok(commons) = DataCommons::load_dir(&dir) {
+        found_any = true;
+        let analyzer = Analyzer::new(&commons);
+        println!(
+            "commons      : {} record trails, {} epochs, {:.0}% early terminations",
+            commons.len(),
+            analyzer.total_epochs(),
+            100.0 * analyzer.early_termination_rate()
+        );
+    }
+
+    if let Ok(bytes) = std::fs::read(dir.join("metrics.json")) {
+        found_any = true;
+        let metrics = MetricsSnapshot::from_json(&bytes)?;
+        println!("metrics      :");
+        for line in metrics.to_csv().lines().skip(1) {
+            println!("  {line}");
+        }
+    }
+
+    if let Ok(retries) = std::fs::read_to_string(dir.join("retries.csv")) {
+        found_any = true;
+        let entries = retries.lines().skip(1).filter(|l| !l.is_empty()).count();
+        let retried = retries
+            .lines()
+            .skip(1)
+            .filter(|l| l.split(',').nth(2).is_some_and(|a| a != "1"))
+            .count();
+        let failed = retries
+            .lines()
+            .skip(1)
+            .filter(|l| l.ends_with("true"))
+            .count();
+        println!(
+            "retry ledger : {entries} model(s) tracked, {retried} needed retries, \
+             {failed} failed terminally"
+        );
+    }
+
+    if !found_any {
+        return Err(CommandError::Invalid(format!(
+            "{} holds no run artifacts (no resume manifest, commons, metrics.json, \
+             or retries.csv)",
+            dir.display()
+        )));
     }
     Ok(())
 }
@@ -454,6 +600,7 @@ pub fn run_command(parsed: &Parsed) -> Result<(), CommandError> {
         Command::Analyze => run_analyze(parsed),
         Command::Viz => run_viz(parsed),
         Command::Export => run_export(parsed),
+        Command::Stats => run_stats(parsed),
         Command::Worker => run_worker(parsed),
     }
 }

@@ -96,7 +96,7 @@ fn readme_exit_code_table_matches_the_code() {
     use a4nn_error::A4nnError;
 
     // The canonical table: every row the README must carry, verbatim.
-    let classes: [(i32, &str); 9] = [
+    let classes: [(i32, &str); 10] = [
         (0, "success"),
         (2, "argument parsing"),
         (
@@ -104,7 +104,10 @@ fn readme_exit_code_table_matches_the_code() {
             "invalid value (bad beam, unknown function, missing `--commons`)",
         ),
         (4, "filesystem failure"),
-        (5, "checkpoint encode/decode"),
+        (
+            5,
+            "checkpoint encode/decode (including a stale `--resume` snapshot)",
+        ),
         (6, "event bus closed mid-run"),
         (7, "trainer retry budget exhausted"),
         (8, "internal invariant violated"),
@@ -112,6 +115,7 @@ fn readme_exit_code_table_matches_the_code() {
             9,
             "network failure (worker lost, bad frame, handshake refused)",
         ),
+        (10, "interrupted at a generation boundary (resumable)"),
     ];
 
     // The canonical codes ARE the implementation's mapping.
@@ -131,6 +135,7 @@ fn readme_exit_code_table_matches_the_code() {
     );
     assert_eq!(wf(A4nnError::Internal("x".into())), 8);
     assert_eq!(wf(A4nnError::Net("x".into())), 9);
+    assert_eq!(wf(A4nnError::Interrupted("x".into())), 10);
 
     let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
     let readme = std::fs::read_to_string(readme_path).unwrap();
@@ -152,6 +157,78 @@ fn readme_exit_code_table_matches_the_code() {
         classes.len(),
         "README documents an exit code this test does not pin"
     );
+}
+
+/// `--resume` under a different configuration is refused before any
+/// training happens: the snapshot's config fingerprint does not match,
+/// which is Checkpoint-class — exit code 5.
+#[test]
+fn stale_resume_snapshot_is_five() {
+    let dir = std::env::temp_dir().join(format!("a4nn-exit-codes-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = dir.to_string_lossy().to_string();
+    assert_eq!(
+        code(&format!(
+            "search --beam low --population 3 --offspring 3 --generations 2 --epochs 4 \
+             --seed 2023 --out {out}"
+        )),
+        0,
+        "seeding run commits its boundary snapshots"
+    );
+    assert_eq!(
+        code(&format!(
+            "search --beam low --population 3 --offspring 3 --generations 2 --epochs 4 \
+             --seed 7 --resume {out}"
+        )),
+        5,
+        "resuming with a different seed is a stale snapshot"
+    );
+    assert_eq!(
+        code(&format!(
+            "search --beam low --population 3 --offspring 3 --generations 2 --epochs 4 \
+             --seed 2023 --resume {out}"
+        )),
+        0,
+        "resuming a completed run with identical flags rebuilds its outputs"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `a4nn stats` reads a run directory offline: success on a real run
+/// dir, invalid-value on an empty one.
+#[test]
+fn stats_reads_a_run_directory_offline() {
+    let dir = std::env::temp_dir().join(format!("a4nn-exit-codes-stats-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = dir.to_string_lossy().to_string();
+    assert_eq!(
+        code(&format!(
+            "search --beam low --population 3 --offspring 3 --generations 2 --epochs 4 \
+             --out {out}"
+        )),
+        0
+    );
+    for artifact in [
+        "metrics.csv",
+        "metrics.json",
+        "retries.csv",
+        "resume_manifest.json",
+    ] {
+        assert!(
+            dir.join(artifact).exists(),
+            "search --out must commit {artifact}"
+        );
+    }
+    assert_eq!(code(&format!("stats --run {out}")), 0);
+    assert_eq!(code("stats"), 3, "stats without --run");
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert_eq!(
+        code(&format!("stats --run {}", empty.to_string_lossy())),
+        3,
+        "a directory with no run artifacts"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -100,6 +100,8 @@ impl RandomSearchWorkflow {
             bus_stats: None,
             transport_stats: pipeline.transport_stats(DirectTransport.name()),
             fault_stats,
+            retry_ledger: a4nn_sched::RetryLedger::new(),
+            metrics: pipeline.metrics_registry().snapshot(),
         })
     }
 }
@@ -217,6 +219,8 @@ impl AgingEvolutionWorkflow {
             bus_stats: None,
             transport_stats: pipeline.transport_stats(DirectTransport.name()),
             fault_stats,
+            retry_ledger: a4nn_sched::RetryLedger::new(),
+            metrics: pipeline.metrics_registry().snapshot(),
         })
     }
 }

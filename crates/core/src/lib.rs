@@ -52,6 +52,7 @@ pub mod fault;
 pub mod micro;
 pub mod pipeline;
 pub mod real;
+pub mod resume;
 pub mod surrogate;
 pub mod trainer;
 pub mod training;
@@ -69,6 +70,7 @@ pub use pipeline::{
     TransportStats,
 };
 pub use real::{RealTrainerFactory, TrainingHyperparams};
+pub use resume::{config_hash, RunControl, SearchSnapshot, SNAPSHOT_VERSION};
 pub use surrogate::{SurrogateFactory, SurrogateParams};
 pub use trainer::{EpochResult, Trainer, TrainerFactory};
 pub use training::{
@@ -82,12 +84,14 @@ pub mod prelude {
     pub use crate::{
         netspec_from_arch, train_with_engine, A4nnError, A4nnWorkflow, CheckpointStore,
         EpochResult, EvalPipeline, FaultStats, FaultTolerance, NasSettings, Orchestration,
-        RealTrainerFactory, RunOutput, SurrogateFactory, SurrogateParams, Trainer, TrainerFactory,
-        TrainingHyperparams, TrainingOutcome, Transport, TransportStats, WorkflowConfig,
+        RealTrainerFactory, RunControl, RunOutput, SearchSnapshot, SurrogateFactory,
+        SurrogateParams, Trainer, TrainerFactory, TrainingHyperparams, TrainingOutcome, Transport,
+        TransportStats, WorkflowConfig,
     };
     pub use a4nn_faults::{ChaosSpec, FaultEvent, FaultPlan};
     pub use a4nn_genome::{Genome, SearchSpace};
     pub use a4nn_lineage::{Analyzer, DataCommons, ModelRecord, Terminated};
+    pub use a4nn_metrics::{MetricsRegistry, MetricsSnapshot};
     pub use a4nn_penguin::{CurveFamily, EngineConfig, PredictionEngine};
     pub use a4nn_sched::RetryPolicy;
     pub use a4nn_xfel::{BeamIntensity, XfelConfig};

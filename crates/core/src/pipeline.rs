@@ -40,6 +40,7 @@ use a4nn_bus::{
 use a4nn_error::A4nnError;
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::{EngineParamsRecord, EpochRecord, ModelRecord};
+use a4nn_metrics::{MetricsRegistry, MetricsSnapshot};
 use a4nn_penguin::ParametricCurve;
 use a4nn_sched::{
     schedule_fifo, schedule_fifo_retry, GpuPool, RetryPolicy, RetryTask, ScheduleResult, Task,
@@ -202,6 +203,7 @@ pub struct EvalPipeline<'a> {
     checkpoints: Option<&'a CheckpointStore>,
     ft: &'a FaultTolerance,
     metrics: Mutex<MetricsSink>,
+    registry: MetricsRegistry,
 }
 
 impl<'a> EvalPipeline<'a> {
@@ -222,7 +224,21 @@ impl<'a> EvalPipeline<'a> {
             checkpoints,
             ft,
             metrics: Mutex::new(MetricsSink::default()),
+            registry: MetricsRegistry::new(),
         }
+    }
+
+    /// The structured metrics registry every transport feeds. The
+    /// workflow snapshots it at generation boundaries and the CLI
+    /// exports it as `metrics.csv`/`metrics.json`.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Prime the registry from an interrupted run's snapshot so
+    /// counters and histograms continue instead of restarting at zero.
+    pub fn restore_metrics(&self, snapshot: MetricsSnapshot) {
+        self.registry.restore(snapshot);
     }
 
     /// The run configuration.
@@ -255,13 +271,21 @@ impl<'a> EvalPipeline<'a> {
     /// attempts it consumed beyond the first. Every transport calls this
     /// once per job it completes.
     pub fn record_job(&self, round_trip_s: f64, queue_wait_s: f64, retries: u64) {
-        let mut m = self.metrics.lock();
-        m.jobs += 1;
-        m.retries += retries;
-        m.round_trip_total_s += round_trip_s;
-        m.round_trip_max_s = m.round_trip_max_s.max(round_trip_s);
-        m.queue_wait_total_s += queue_wait_s;
-        m.queue_wait_max_s = m.queue_wait_max_s.max(queue_wait_s);
+        {
+            let mut m = self.metrics.lock();
+            m.jobs += 1;
+            m.retries += retries;
+            m.round_trip_total_s += round_trip_s;
+            m.round_trip_max_s = m.round_trip_max_s.max(round_trip_s);
+            m.queue_wait_total_s += queue_wait_s;
+            m.queue_wait_max_s = m.queue_wait_max_s.max(queue_wait_s);
+        }
+        self.registry.add(a4nn_metrics::names::JOBS_DISPATCHED, 1);
+        self.registry.add(a4nn_metrics::names::RETRIES, retries);
+        self.registry
+            .observe_duration(a4nn_metrics::names::ROUND_TRIP_US, round_trip_s);
+        self.registry
+            .observe_duration(a4nn_metrics::names::QUEUE_WAIT_US, queue_wait_s);
     }
 
     /// Snapshot the accumulated dispatch counters under `transport`'s
@@ -312,6 +336,23 @@ impl<'a> EvalPipeline<'a> {
         let schedule = generation_schedule(self.cfg.gpus, base_id, &outcomes, &self.ft.retry);
         transport.publish_generation(self, genomes, generation, base_id, &outcomes, &schedule)?;
 
+        // Outcome-derived metrics are counted here, after the transport
+        // returns, so all three transports feed them identically.
+        self.registry.add(a4nn_metrics::names::GENERATIONS, 1);
+        for (outcome, _) in &outcomes {
+            self.registry.add(
+                a4nn_metrics::names::EPOCHS_TRAINED,
+                outcome.epochs.len() as u64,
+            );
+            if outcome.terminated_early {
+                self.registry
+                    .add(a4nn_metrics::names::EARLY_TERMINATIONS, 1);
+            }
+            if outcome.failed {
+                self.registry.add(a4nn_metrics::names::MODELS_FAILED, 1);
+            }
+        }
+
         let records = if transport.assembles_records() {
             self.assemble_records(genomes, generation, base_id, &outcomes, &schedule)
         } else {
@@ -326,7 +367,11 @@ impl<'a> EvalPipeline<'a> {
 
     /// Fold outcomes and placements into one record trail per genome —
     /// the exact shape the bus recorder service reproduces from events.
-    fn assemble_records(
+    /// Public so the resumable loop can materialize records for boundary
+    /// snapshots even under transports that delegate record assembly to
+    /// bus services (the proven transport-equivalence contract makes the
+    /// inline assembly byte-identical to the recorder's).
+    pub fn assemble_records(
         &self,
         genomes: &[Genome],
         generation: usize,

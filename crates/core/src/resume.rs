@@ -1,0 +1,370 @@
+//! Full search-state persistence: everything [`A4nnWorkflow::run_loop`]
+//! accumulates, snapshotted at each generation boundary so a killed
+//! search continues bit-for-bit from the last committed boundary.
+//!
+//! [`A4nnWorkflow::run_loop`]: crate::workflow::A4nnWorkflow
+//!
+//! ## Crash-consistency protocol (manifest-last)
+//!
+//! A snapshot is two files in the run directory, committed in order:
+//!
+//! 1. `search_state_g<NNNN>.json` — the full state after generation
+//!    `NNNN` completed, written via `write_atomic` under a *new* name;
+//! 2. `resume_manifest.json` — version, config hash, and the state
+//!    file's name, written via `write_atomic` *last*.
+//!
+//! The manifest is the single commit point. A crash anywhere before
+//! step 2's rename leaves the previous manifest intact and pointing at
+//! the previous (still present) state file, so a loader always sees a
+//! consistent boundary — at worst one generation older than the crash.
+//! Stale state files are pruned only *after* the manifest commits.
+//!
+//! ## What makes the continuation bit-exact
+//!
+//! The snapshot carries the raw xoshiro256** state words, so offspring
+//! variation resumes mid-stream; the NSGA-II archive with objectives,
+//! the survivor (parent) indices, the duplicate-architecture filter,
+//! the generation cursor, and the id counter reconstruct selection
+//! exactly; completed records, schedules, engine counters, the retry
+//! ledger, and the metrics snapshot restore everything the remaining
+//! generations append to. Because each model trains independently and
+//! every stochastic stream is keyed on `(seed, model_id)`, no state
+//! outside this struct crosses a generation boundary.
+
+use crate::config::WorkflowConfig;
+use a4nn_error::A4nnError;
+use a4nn_genome::Genome;
+use a4nn_lineage::{write_atomic, ModelRecord};
+use a4nn_metrics::MetricsSnapshot;
+use a4nn_nsga::Individual;
+use a4nn_sched::{RetryLedger, ScheduleResult};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Schema version of [`SearchSnapshot`]; bump on any breaking change so
+/// old snapshots fail loudly instead of resuming wrongly.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Name of the commit-point manifest inside a run directory.
+pub const MANIFEST_FILE: &str = "resume_manifest.json";
+
+/// FNV-1a 64 over the config's canonical JSON: the fingerprint that
+/// pins a snapshot to the exact configuration that produced it.
+pub fn config_hash(cfg: &WorkflowConfig) -> Result<u64, A4nnError> {
+    let bytes = serde_json::to_vec(cfg)
+        .map_err(|e| A4nnError::Internal(format!("serializing config for hashing: {e}")))?;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Ok(hash)
+}
+
+/// The commit-point record: written last, read first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResumeManifest {
+    /// Snapshot schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// [`config_hash`] of the configuration that produced the snapshot.
+    pub config_hash: u64,
+    /// Generations fully completed at the snapshot boundary.
+    pub generations_done: usize,
+    /// Name of the committed state file inside the same directory.
+    pub state_file: String,
+}
+
+/// Everything the generational loop owns at a generation boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSnapshot {
+    /// Snapshot schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// [`config_hash`] of the run's configuration.
+    pub config_hash: u64,
+    /// Generations fully completed (the next one to run).
+    pub generations_done: usize,
+    /// Raw xoshiro256** state words of the search RNG, captured after
+    /// the boundary's last draw.
+    pub rng_state: [u64; 4],
+    /// Next model id to assign.
+    pub next_id: u64,
+    /// The NSGA-II archive: every evaluated individual with objectives.
+    pub archive: Vec<Individual<Genome>>,
+    /// Indices into `archive` of the current survivor population.
+    pub parents: Vec<usize>,
+    /// Compact strings of every architecture evaluated or generated —
+    /// the duplicate filter, sorted for deterministic serialization.
+    pub seen: Vec<String>,
+    /// Completed record trails, in evaluation order.
+    pub records: Vec<ModelRecord>,
+    /// Per-generation cluster schedules.
+    pub schedules: Vec<ScheduleResult>,
+    /// Accumulated prediction-engine overhead (measured wall seconds).
+    pub engine_seconds: f64,
+    /// Accumulated engine interactions.
+    pub engine_interactions: u64,
+    /// Per-model attempt accounting.
+    pub retries: RetryLedger,
+    /// The metrics registry's state at the boundary.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SearchSnapshot {
+    /// Name of this snapshot's state file.
+    fn state_file_name(&self) -> String {
+        format!("search_state_g{:04}.json", self.generations_done)
+    }
+
+    /// Commit this snapshot into `dir` under the manifest-last protocol
+    /// described in the module docs, then prune superseded state files.
+    pub fn save(&self, dir: &Path) -> Result<(), A4nnError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| A4nnError::io(format!("creating run dir {}", dir.display()), e))?;
+        let state_file = self.state_file_name();
+        let state_json = serde_json::to_vec_pretty(self)
+            .map_err(|e| A4nnError::Internal(format!("serializing search snapshot: {e}")))?;
+        write_atomic(&dir.join(&state_file), &state_json)?;
+        let manifest = ResumeManifest {
+            version: self.version,
+            config_hash: self.config_hash,
+            generations_done: self.generations_done,
+            state_file: state_file.clone(),
+        };
+        let manifest_json = serde_json::to_vec_pretty(&manifest)
+            .map_err(|e| A4nnError::Internal(format!("serializing resume manifest: {e}")))?;
+        write_atomic(&dir.join(MANIFEST_FILE), &manifest_json)?;
+        // The manifest has committed; older state files are unreachable
+        // and a failed unlink is harmless residue, not an error.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("search_state_g") && name != state_file {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the committed snapshot from `dir` and verify it belongs to
+    /// `cfg`: schema version and config hash must both match, otherwise
+    /// the snapshot is stale and resuming would silently diverge — that
+    /// is an [`A4nnError::Checkpoint`] naming both fingerprints.
+    pub fn load(dir: &Path, cfg: &WorkflowConfig) -> Result<SearchSnapshot, A4nnError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&manifest_path).map_err(|e| {
+            A4nnError::Checkpoint(format!(
+                "no resumable search in {}: reading {}: {e}",
+                dir.display(),
+                manifest_path.display()
+            ))
+        })?;
+        let manifest: ResumeManifest = serde_json::from_slice(&bytes).map_err(|e| {
+            A4nnError::Checkpoint(format!("parsing {}: {e}", manifest_path.display()))
+        })?;
+        if manifest.version != SNAPSHOT_VERSION {
+            return Err(A4nnError::Checkpoint(format!(
+                "snapshot schema version {} does not match this binary's version {}",
+                manifest.version, SNAPSHOT_VERSION
+            )));
+        }
+        let expected = config_hash(cfg)?;
+        if manifest.config_hash != expected {
+            return Err(A4nnError::Checkpoint(format!(
+                "stale snapshot: run directory was produced by config {:016x} but the \
+                 requested configuration hashes to {:016x}; rerun with the original flags \
+                 or start a fresh run directory",
+                manifest.config_hash, expected
+            )));
+        }
+        let state_path = dir.join(&manifest.state_file);
+        let bytes = std::fs::read(&state_path)
+            .map_err(|e| A4nnError::Checkpoint(format!("reading {}: {e}", state_path.display())))?;
+        let state: SearchSnapshot = serde_json::from_slice(&bytes)
+            .map_err(|e| A4nnError::Checkpoint(format!("parsing {}: {e}", state_path.display())))?;
+        if state.generations_done != manifest.generations_done
+            || state.config_hash != manifest.config_hash
+        {
+            return Err(A4nnError::Checkpoint(format!(
+                "torn snapshot: manifest points at generation {} of config {:016x} but {} \
+                 holds generation {} of config {:016x}",
+                manifest.generations_done,
+                manifest.config_hash,
+                manifest.state_file,
+                state.generations_done,
+                state.config_hash
+            )));
+        }
+        Ok(state)
+    }
+}
+
+/// A cancellation hook consulted after each generation boundary commits:
+/// return `true` to stop the search there (it exits as
+/// [`A4nnError::Interrupted`], resumable from the committed snapshot).
+pub type CancelHook<'a> = dyn Fn(usize) -> bool + Sync + 'a;
+
+/// How a run interacts with the resume machinery: where (and whether) to
+/// commit boundary snapshots, and an optional cancellation hook — the
+/// in-process analogue of SIGKILL that the crash-determinism harness
+/// drives.
+#[derive(Default)]
+pub struct RunControl<'a> {
+    /// Directory boundary snapshots commit into; `None` disables
+    /// snapshotting entirely (the zero-overhead default).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Consulted with the number of completed generations after each
+    /// boundary snapshot commits; `true` interrupts the search.
+    pub cancel: Option<&'a CancelHook<'a>>,
+}
+
+impl std::fmt::Debug for RunControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field("snapshot_dir", &self.snapshot_dir)
+            .field("cancel", &self.cancel.map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+impl<'a> RunControl<'a> {
+    /// Snapshot every generation boundary into `dir`, no cancel hook.
+    pub fn snapshot_into(dir: impl Into<PathBuf>) -> Self {
+        RunControl {
+            snapshot_dir: Some(dir.into()),
+            cancel: None,
+        }
+    }
+
+    /// Attach a cancellation hook.
+    pub fn with_cancel(mut self, hook: &'a CancelHook<'a>) -> Self {
+        self.cancel = Some(hook);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a4nn_xfel::BeamIntensity;
+
+    fn snapshot(cfg: &WorkflowConfig, generations_done: usize) -> SearchSnapshot {
+        SearchSnapshot {
+            version: SNAPSHOT_VERSION,
+            config_hash: config_hash(cfg).unwrap(),
+            generations_done,
+            rng_state: [1, 2, 3, 4],
+            next_id: 10,
+            archive: Vec::new(),
+            parents: Vec::new(),
+            seen: vec!["0000000".into()],
+            records: Vec::new(),
+            schedules: Vec::new(),
+            engine_seconds: 0.25,
+            engine_interactions: 7,
+            retries: RetryLedger::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("a4nn-resume-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_state() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("roundtrip");
+        let snap = snapshot(&cfg, 3);
+        snap.save(&dir).unwrap();
+        let loaded = SearchSnapshot::load(&dir, &cfg).unwrap();
+        assert_eq!(loaded.generations_done, 3);
+        assert_eq!(loaded.rng_state, [1, 2, 3, 4]);
+        assert_eq!(loaded.next_id, 10);
+        assert_eq!(loaded.seen, vec!["0000000".to_string()]);
+        assert_eq!(loaded.engine_seconds, 0.25);
+        assert_eq!(loaded.engine_interactions, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn superseded_state_files_are_pruned_after_commit() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("prune");
+        snapshot(&cfg, 1).save(&dir).unwrap();
+        snapshot(&cfg, 2).save(&dir).unwrap();
+        let states: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("search_state_g"))
+            .collect();
+        assert_eq!(states, vec!["search_state_g0002.json".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_mismatch_is_a_checkpoint_error_naming_both_hashes() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("mismatch");
+        snapshot(&cfg, 1).save(&dir).unwrap();
+        let mut other = cfg.clone();
+        other.seed = 6;
+        let err = SearchSnapshot::load(&dir, &other).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "stale snapshots map to exit 5");
+        let msg = err.to_string();
+        let a = format!("{:016x}", config_hash(&cfg).unwrap());
+        let b = format!("{:016x}", config_hash(&other).unwrap());
+        assert!(msg.contains(&a) && msg.contains(&b), "got: {msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("version");
+        let mut snap = snapshot(&cfg, 1);
+        snap.version = SNAPSHOT_VERSION + 1;
+        snap.save(&dir).unwrap();
+        let err = SearchSnapshot::load(&dir, &cfg).unwrap_err();
+        assert!(matches!(err, A4nnError::Checkpoint(_)), "got {err}");
+        assert!(err.to_string().contains("schema version"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_checkpoint_error() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = SearchSnapshot::load(&dir, &cfg).unwrap_err();
+        assert!(matches!(err, A4nnError::Checkpoint(_)), "got {err}");
+        assert!(err.to_string().contains("no resumable search"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_state_detected_via_manifest_cross_check() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("torn");
+        snapshot(&cfg, 2).save(&dir).unwrap();
+        // Corrupt the committed state file to claim a different boundary.
+        let state_path = dir.join("search_state_g0002.json");
+        let mut tampered = snapshot(&cfg, 1);
+        tampered.config_hash = config_hash(&cfg).unwrap();
+        std::fs::write(&state_path, serde_json::to_vec_pretty(&tampered).unwrap()).unwrap();
+        let err = SearchSnapshot::load(&dir, &cfg).unwrap_err();
+        assert!(err.to_string().contains("torn snapshot"), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        assert_eq!(config_hash(&cfg).unwrap(), config_hash(&cfg).unwrap());
+        let mut other = cfg.clone();
+        other.nas.generations += 1;
+        assert_ne!(config_hash(&cfg).unwrap(), config_hash(&other).unwrap());
+    }
+}

@@ -14,6 +14,7 @@ use crate::pipeline::{
     engine_params_record, BatchResult, BusTransport, DirectTransport, EvalPipeline, Transport,
     TransportStats,
 };
+use crate::resume::{config_hash, RunControl, SearchSnapshot, SNAPSHOT_VERSION};
 use crate::trainer::TrainerFactory;
 use a4nn_bus::{
     BusRunStats, EngineFaultHook, Event, LineageRecorderService, Policy, PredictionEngineService,
@@ -22,11 +23,12 @@ use a4nn_bus::{
 use a4nn_error::A4nnError;
 use a4nn_genome::{Genome, SearchSpace};
 use a4nn_lineage::{DataCommons, ModelRecord};
+use a4nn_metrics::MetricsSnapshot;
 use a4nn_nsga::{
     crowding_distance, environmental_selection, fast_non_dominated_sort, ranks_from_fronts,
     tournament_select, Individual, Objectives, RankedIndividual,
 };
-use a4nn_sched::{GenerationSchedule, ScheduleResult};
+use a4nn_sched::{GenerationSchedule, RetryEntry, RetryLedger, ScheduleResult};
 use rand::SeedableRng;
 use std::collections::HashSet;
 
@@ -87,6 +89,12 @@ pub struct RunOutput {
     /// and the injected laggard's delivery counters. Quiet (all zero)
     /// on a fault-free run.
     pub fault_stats: FaultStats,
+    /// Durable per-model attempt accounting, carried across resume.
+    pub retry_ledger: RetryLedger,
+    /// The structured metrics registry's final state: counters and
+    /// histograms accumulated across the whole run (both halves, when
+    /// the run was interrupted and resumed).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunOutput {
@@ -225,13 +233,45 @@ impl A4nnWorkflow {
         orchestration: Orchestration,
         ft: &FaultTolerance,
     ) -> Result<RunOutput, A4nnError> {
+        self.try_run_resumable(
+            factory,
+            checkpoints,
+            orchestration,
+            ft,
+            &RunControl::default(),
+            None,
+        )
+    }
+
+    /// [`try_run_resilient`](Self::try_run_resilient) under a
+    /// [`RunControl`]: commit a full search-state snapshot at every
+    /// generation boundary into `control.snapshot_dir`, optionally stop
+    /// at a boundary via `control.cancel` (surfaced as
+    /// [`A4nnError::Interrupted`]), and continue a prior run from
+    /// `resume` — the snapshot a previous process committed before it
+    /// was interrupted or killed. A resumed run reproduces the
+    /// uninterrupted run's commons byte for byte on every transport.
+    pub fn try_run_resumable(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+        orchestration: Orchestration,
+        ft: &FaultTolerance,
+        control: &RunControl<'_>,
+        resume: Option<SearchSnapshot>,
+    ) -> Result<RunOutput, A4nnError> {
         let cfg = &self.config;
         let pipeline = EvalPipeline::new(cfg, &self.space, factory, checkpoints, ft);
         match orchestration {
             Orchestration::Direct => {
-                let out = self.run_loop(&mut |genomes, generation, base_id| {
-                    pipeline.run(&DirectTransport, genomes, generation, base_id)
-                })?;
+                let out = self.run_loop(
+                    &pipeline,
+                    &mut |genomes, generation, base_id| {
+                        pipeline.run(&DirectTransport, genomes, generation, base_id)
+                    },
+                    control,
+                    resume,
+                )?;
                 let fault_stats = FaultStats::from_records(&out.records);
                 Ok(RunOutput {
                     commons: DataCommons::new(out.records),
@@ -244,6 +284,8 @@ impl A4nnWorkflow {
                     bus_stats: None,
                     transport_stats: pipeline.transport_stats(DirectTransport.name()),
                     fault_stats,
+                    retry_ledger: out.retry_ledger,
+                    metrics: pipeline.metrics_registry().snapshot(),
                 })
             }
             Orchestration::Socket => Err(A4nnError::Config(
@@ -252,6 +294,13 @@ impl A4nnWorkflow {
                     .into(),
             )),
             Orchestration::Bus => {
+                // The recorder service only sees events from this
+                // process; the generations completed before an
+                // interruption are prepended from the snapshot.
+                let prior_records: Vec<ModelRecord> = resume
+                    .as_ref()
+                    .map(|s| s.records.clone())
+                    .unwrap_or_default();
                 let topic: Topic<Event> = Topic::new("a4nn");
                 let engine_service = cfg.engine.clone().map(|engine| {
                     // Injected engine crashes ride in through the service's
@@ -283,9 +332,14 @@ impl A4nnWorkflow {
                     })
                 });
                 let transport = BusTransport::new(&topic);
-                let loop_result = self.run_loop(&mut |genomes, generation, base_id| {
-                    pipeline.run(&transport, genomes, generation, base_id)
-                });
+                let loop_result = self.run_loop(
+                    &pipeline,
+                    &mut |genomes, generation, base_id| {
+                        pipeline.run(&transport, genomes, generation, base_id)
+                    },
+                    control,
+                    resume,
+                );
                 // Always close and drain the services — even when the
                 // loop failed — so no thread is left blocked; then
                 // surface the loop's error ahead of any join error.
@@ -295,7 +349,11 @@ impl A4nnWorkflow {
                 let bus_stats = aggregator.join();
                 let out = loop_result?;
                 engine_join?;
-                let records = records?;
+                let records = {
+                    let mut all = prior_records;
+                    all.extend(records?);
+                    all
+                };
                 let bus_stats = bus_stats?;
                 let mut fault_stats = FaultStats::from_records(&records);
                 fault_stats.laggard = match laggard {
@@ -315,6 +373,8 @@ impl A4nnWorkflow {
                     bus_stats: Some(bus_stats),
                     transport_stats: pipeline.transport_stats(transport.name()),
                     fault_stats,
+                    retry_ledger: out.retry_ledger,
+                    metrics: pipeline.metrics_registry().snapshot(),
                 })
             }
         }
@@ -334,6 +394,29 @@ impl A4nnWorkflow {
         transport: &dyn Transport,
         ft: &FaultTolerance,
     ) -> Result<RunOutput, A4nnError> {
+        self.try_run_transport_resumable(
+            factory,
+            checkpoints,
+            transport,
+            ft,
+            &RunControl::default(),
+            None,
+        )
+    }
+
+    /// [`try_run_transport`](Self::try_run_transport) under a
+    /// [`RunControl`]: boundary snapshots, optional cancellation, and
+    /// continuation from a prior snapshot — the socket-transport
+    /// counterpart of [`try_run_resumable`](Self::try_run_resumable).
+    pub fn try_run_transport_resumable(
+        &self,
+        factory: &dyn TrainerFactory,
+        checkpoints: Option<&CheckpointStore>,
+        transport: &dyn Transport,
+        ft: &FaultTolerance,
+        control: &RunControl<'_>,
+        resume: Option<SearchSnapshot>,
+    ) -> Result<RunOutput, A4nnError> {
         if !transport.assembles_records() {
             return Err(A4nnError::Config(format!(
                 "transport {:?} delegates record assembly to bus services; \
@@ -343,9 +426,14 @@ impl A4nnWorkflow {
         }
         let cfg = &self.config;
         let pipeline = EvalPipeline::new(cfg, &self.space, factory, checkpoints, ft);
-        let out = self.run_loop(&mut |genomes, generation, base_id| {
-            pipeline.run(transport, genomes, generation, base_id)
-        })?;
+        let out = self.run_loop(
+            &pipeline,
+            &mut |genomes, generation, base_id| {
+                pipeline.run(transport, genomes, generation, base_id)
+            },
+            control,
+            resume,
+        )?;
         let fault_stats = FaultStats::from_records(&out.records);
         Ok(RunOutput {
             commons: DataCommons::new(out.records),
@@ -358,32 +446,109 @@ impl A4nnWorkflow {
             bus_stats: None,
             transport_stats: pipeline.transport_stats(transport.name()),
             fault_stats,
+            retry_ledger: out.retry_ledger,
+            metrics: pipeline.metrics_registry().snapshot(),
         })
     }
 
     /// The shared NSGA-Net generational loop; `evaluate` trains one
-    /// generation batch through the pipeline (on either transport).
-    fn run_loop(&self, evaluate: &mut GenerationEvaluator<'_>) -> Result<LoopOutput, A4nnError> {
+    /// generation batch through the pipeline (on any transport).
+    ///
+    /// With a `resume` snapshot, the loop reconstructs every piece of
+    /// state the snapshot's boundary committed — RNG stream, archive,
+    /// survivors, duplicate filter, cursors, ledgers — and continues
+    /// from the next generation; the remaining trajectory is bit-exact
+    /// because nothing outside the snapshot crosses a boundary. With a
+    /// `control.snapshot_dir`, the state is committed (manifest-last)
+    /// after every generation, then the cancel hook may stop the run.
+    fn run_loop(
+        &self,
+        pipeline: &EvalPipeline<'_>,
+        evaluate: &mut GenerationEvaluator<'_>,
+        control: &RunControl<'_>,
+        resume: Option<SearchSnapshot>,
+    ) -> Result<LoopOutput, A4nnError> {
         let cfg = &self.config;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-        let mut records: Vec<ModelRecord> = Vec::with_capacity(cfg.nas.total_models());
-        let mut archive: Vec<Individual<Genome>> = Vec::with_capacity(cfg.nas.total_models());
-        let mut schedules: Vec<ScheduleResult> = Vec::with_capacity(cfg.nas.generations);
-        let mut seen: HashSet<String> = HashSet::new();
-        let mut engine_seconds = 0.0f64;
-        let mut engine_interactions = 0u64;
-        let mut next_id = 0u64;
+        let snapshotting = control.snapshot_dir.is_some();
+        let cfg_hash = if snapshotting || resume.is_some() {
+            Some(config_hash(cfg)?)
+        } else {
+            None
+        };
 
-        // Generation 0: random initial population.
-        let mut genomes: Vec<Genome> = (0..cfg.nas.population)
-            .map(|_| self.space.random_genome(&mut rng))
-            .collect();
-        for g in &genomes {
-            seen.insert(g.to_compact_string());
+        let mut rng;
+        let mut records: Vec<ModelRecord>;
+        let mut archive: Vec<Individual<Genome>>;
+        let mut schedules: Vec<ScheduleResult>;
+        let mut seen: HashSet<String>;
+        let mut engine_seconds;
+        let mut engine_interactions;
+        let mut next_id;
+        let mut parents: Vec<usize>;
+        let mut ledger: RetryLedger;
+        let mut genomes: Vec<Genome>;
+        let start_generation;
+
+        match resume {
+            Some(snap) => {
+                // `SearchSnapshot::load` verifies version and config
+                // hash; re-check here so directly constructed snapshots
+                // cannot silently resume a different search.
+                if let Some(expected) = cfg_hash {
+                    if snap.config_hash != expected {
+                        return Err(A4nnError::Checkpoint(format!(
+                            "stale snapshot: state was produced by config {:016x} but this \
+                             run's configuration hashes to {:016x}",
+                            snap.config_hash, expected
+                        )));
+                    }
+                }
+                if snap.generations_done == 0 || snap.generations_done > cfg.nas.generations {
+                    return Err(A4nnError::Checkpoint(format!(
+                        "snapshot claims {} completed generation(s) of a {}-generation run",
+                        snap.generations_done, cfg.nas.generations
+                    )));
+                }
+                pipeline.restore_metrics(snap.metrics);
+                rng = rand::rngs::StdRng::from_state(snap.rng_state);
+                records = snap.records;
+                archive = snap.archive;
+                schedules = snap.schedules;
+                seen = snap.seen.into_iter().collect();
+                engine_seconds = snap.engine_seconds;
+                engine_interactions = snap.engine_interactions;
+                next_id = snap.next_id;
+                parents = snap.parents;
+                ledger = snap.retries;
+                // Offspring are regenerated from the archive inside the
+                // loop; generation 0's pre-drawn population is only
+                // needed on a fresh start.
+                genomes = Vec::new();
+                start_generation = snap.generations_done;
+            }
+            None => {
+                rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+                records = Vec::with_capacity(cfg.nas.total_models());
+                archive = Vec::with_capacity(cfg.nas.total_models());
+                schedules = Vec::with_capacity(cfg.nas.generations);
+                seen = HashSet::new();
+                engine_seconds = 0.0f64;
+                engine_interactions = 0u64;
+                next_id = 0u64;
+                ledger = RetryLedger::new();
+                // Generation 0: random initial population.
+                genomes = (0..cfg.nas.population)
+                    .map(|_| self.space.random_genome(&mut rng))
+                    .collect();
+                for g in &genomes {
+                    seen.insert(g.to_compact_string());
+                }
+                parents = Vec::new();
+                start_generation = 0;
+            }
         }
-        let mut parents: Vec<usize> = Vec::new();
 
-        for generation in 0..cfg.nas.generations {
+        for generation in start_generation..cfg.nas.generations {
             if generation > 0 {
                 // Rank current parents and vary into offspring.
                 let parent_objs: Vec<Objectives> = parents
@@ -432,6 +597,12 @@ impl A4nnWorkflow {
                 let (outcome, flops) = &batch.outcomes[k];
                 engine_seconds += outcome.engine_seconds;
                 engine_interactions += outcome.engine_interactions;
+                ledger.push(RetryEntry {
+                    model_id,
+                    generation,
+                    attempts: outcome.attempts,
+                    failed: outcome.failed,
+                });
                 archive.push(Individual {
                     id: model_id,
                     generation,
@@ -440,7 +611,22 @@ impl A4nnWorkflow {
                 });
                 generation_indices.push(archive.len() - 1);
             }
-            records.extend(batch.records);
+            if snapshotting && batch.records.is_empty() {
+                // Bus transports delegate record assembly to the
+                // recorder service, which only materializes trails at
+                // end of run. A snapshot must carry this generation's
+                // trails now, so assemble them inline — valid on any
+                // transport by the transport-equivalence contract.
+                records.extend(pipeline.assemble_records(
+                    &genomes,
+                    generation,
+                    base_id,
+                    &batch.outcomes,
+                    &batch.schedule,
+                ));
+            } else {
+                records.extend(batch.records);
+            }
             let schedule = batch.schedule;
             next_id += genomes.len() as u64;
             schedules.push(schedule);
@@ -453,6 +639,43 @@ impl A4nnWorkflow {
                 pool.extend_from_slice(&generation_indices);
                 parents = environmental_selection(&archive, &pool, cfg.nas.population);
             }
+
+            // Generation boundary: commit the full search state
+            // (state file first, manifest last — see resume.rs), then
+            // honor a cancellation request. A kill at any instant
+            // leaves either the previous committed pair or this one.
+            if let Some(dir) = &control.snapshot_dir {
+                let mut seen_sorted: Vec<String> = seen.iter().cloned().collect();
+                seen_sorted.sort_unstable();
+                let snap = SearchSnapshot {
+                    version: SNAPSHOT_VERSION,
+                    config_hash: cfg_hash.unwrap_or_default(),
+                    generations_done: generation + 1,
+                    rng_state: rng.state(),
+                    next_id,
+                    archive: archive.clone(),
+                    parents: parents.clone(),
+                    seen: seen_sorted,
+                    records: records.clone(),
+                    schedules: schedules.clone(),
+                    engine_seconds,
+                    engine_interactions,
+                    retries: ledger.clone(),
+                    metrics: pipeline.metrics_registry().snapshot(),
+                };
+                snap.save(dir)?;
+            }
+            if let Some(cancel) = control.cancel {
+                if cancel(generation + 1) {
+                    return Err(A4nnError::Interrupted(format!(
+                        "search stopped at the generation-{} boundary ({} of {} done); \
+                         resume from the snapshot directory to continue",
+                        generation + 1,
+                        generation + 1,
+                        cfg.nas.generations
+                    )));
+                }
+            }
         }
 
         Ok(LoopOutput {
@@ -460,6 +683,7 @@ impl A4nnWorkflow {
             schedules,
             engine_seconds,
             engine_interactions,
+            retry_ledger: ledger,
         })
     }
 }
@@ -475,6 +699,7 @@ struct LoopOutput {
     schedules: Vec<ScheduleResult>,
     engine_seconds: f64,
     engine_interactions: u64,
+    retry_ledger: RetryLedger,
 }
 
 #[cfg(test)]

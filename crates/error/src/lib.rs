@@ -62,6 +62,10 @@ pub enum A4nnError {
     /// Trainer panics *on* a worker are not `Net` errors — they flow
     /// back as failed training outcomes, exactly like local panics.
     Net(String),
+    /// A cancellation hook stopped the search at a generation boundary
+    /// after its state snapshot was committed. Not a failure of any
+    /// subsystem: the run directory is resumable via `--resume`.
+    Interrupted(String),
 }
 
 impl A4nnError {
@@ -87,6 +91,7 @@ impl A4nnError {
     /// | 7 | trainer crash past retries |
     /// | 8 | internal invariant broken |
     /// | 9 | network failure (worker lost, bad frame, handshake refused) |
+    /// | 10 | interrupted at a generation boundary (resumable) |
     pub fn exit_code(&self) -> i32 {
         match self {
             A4nnError::Config(_) => 3,
@@ -96,6 +101,7 @@ impl A4nnError {
             A4nnError::TrainerCrash { .. } => 7,
             A4nnError::Internal(_) => 8,
             A4nnError::Net(_) => 9,
+            A4nnError::Interrupted(_) => 10,
         }
     }
 }
@@ -117,6 +123,7 @@ impl fmt::Display for A4nnError {
             A4nnError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             A4nnError::Internal(msg) => write!(f, "internal error: {msg}"),
             A4nnError::Net(msg) => write!(f, "network failure: {msg}"),
+            A4nnError::Interrupted(msg) => write!(f, "search interrupted: {msg}"),
         }
     }
 }
@@ -157,9 +164,10 @@ mod tests {
             },
             A4nnError::Internal("i".into()),
             A4nnError::Net("n".into()),
+            A4nnError::Interrupted("stopped at generation 2".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(A4nnError::exit_code).collect();
-        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9, 10]);
         for c in codes {
             assert!(c != 0 && c != 1 && c != 2, "reserved code reused: {c}");
         }

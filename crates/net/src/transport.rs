@@ -1,5 +1,5 @@
 //! The coordinator side: [`SocketTransport`], a
-//! [`Transport`](a4nn_core::Transport) that shards each generation's
+//! [`Transport`] that shards each generation's
 //! trainer jobs across connected worker processes.
 //!
 //! Sharding is GPU-weighted: each connection advertises a job capacity

@@ -1,0 +1,162 @@
+//! The retry ledger: a serializable account of every model's attempt
+//! consumption, carried inside the search-state snapshot so a resumed
+//! run reports the same retry totals as an uninterrupted one.
+//!
+//! The pool's [`AttemptRecord`](crate::pool::AttemptRecord)s are live
+//! wall-time diagnostics and die with the process; the ledger is the
+//! durable summary — per model: generation, attempts consumed, and
+//! whether the model ultimately failed. It is exact integer data, so
+//! merging ledgers from before and after an interruption is trivially
+//! lossless.
+
+use serde::{Deserialize, Serialize};
+
+/// One model's attempt accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryEntry {
+    /// The model the attempts belong to.
+    pub model_id: u64,
+    /// Generation the model was evaluated in.
+    pub generation: usize,
+    /// Attempts consumed (1 = clean first attempt).
+    pub attempts: u32,
+    /// Whether the model exhausted its budget and failed terminally.
+    pub failed: bool,
+}
+
+impl RetryEntry {
+    /// Extra attempts beyond the first.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// The durable per-run retry account, ordered by model id.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryLedger {
+    /// One entry per evaluated model, in evaluation (model-id) order.
+    pub entries: Vec<RetryEntry>,
+}
+
+impl RetryLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one model's accounting.
+    pub fn push(&mut self, entry: RetryEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of models accounted for.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total retries (attempts beyond the first) across all models.
+    pub fn total_retries(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.retries())).sum()
+    }
+
+    /// Models that failed terminally.
+    pub fn models_failed(&self) -> u64 {
+        self.entries.iter().filter(|e| e.failed).count() as u64
+    }
+
+    /// Models that needed at least one retry but completed.
+    pub fn models_recovered(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.attempts > 1 && !e.failed)
+            .count() as u64
+    }
+
+    /// Append every entry of `other` (the resume path: the prior run's
+    /// ledger continues with the post-resume generations).
+    pub fn merge(&mut self, other: &RetryLedger) {
+        self.entries.extend(other.entries.iter().copied());
+    }
+
+    /// The CSV header matching [`to_csv`](Self::to_csv).
+    pub const CSV_HEADER: &'static str = "model_id,generation,attempts,failed";
+
+    /// One row per model, loadable beside the commons CSVs.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                e.model_id, e.generation, e.attempts, e.failed
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(model_id: u64, attempts: u32, failed: bool) -> RetryEntry {
+        RetryEntry {
+            model_id,
+            generation: 0,
+            attempts,
+            failed,
+        }
+    }
+
+    #[test]
+    fn totals_account_retries_failures_and_recoveries() {
+        let mut ledger = RetryLedger::new();
+        ledger.push(entry(0, 1, false));
+        ledger.push(entry(1, 3, false));
+        ledger.push(entry(2, 4, true));
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.total_retries(), 2 + 3);
+        assert_eq!(ledger.models_failed(), 1);
+        assert_eq!(ledger.models_recovered(), 1);
+    }
+
+    #[test]
+    fn merge_concatenates_in_order() {
+        let mut a = RetryLedger::new();
+        a.push(entry(0, 1, false));
+        let mut b = RetryLedger::new();
+        b.push(entry(1, 2, false));
+        a.merge(&b);
+        let ids: Vec<u64> = a.entries.iter().map(|e| e.model_id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(a.total_retries(), 1);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut ledger = RetryLedger::new();
+        ledger.push(entry(7, 2, true));
+        let csv = ledger.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(RetryLedger::CSV_HEADER));
+        assert_eq!(lines.next(), Some("7,0,2,true"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let mut ledger = RetryLedger::new();
+        ledger.push(entry(1, 2, false));
+        ledger.push(entry(2, 1, false));
+        let json = serde_json::to_vec(&ledger).unwrap();
+        let back: RetryLedger = serde_json::from_slice(&json).unwrap();
+        assert_eq!(back, ledger);
+    }
+}

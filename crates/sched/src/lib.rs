@@ -20,6 +20,7 @@
 #![warn(clippy::redundant_clone)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod des;
+pub mod ledger;
 pub mod pool;
 pub mod retry;
 pub mod trace;
@@ -28,6 +29,7 @@ pub use des::{
     schedule_fifo, schedule_fifo_retry, schedule_generations, Assignment, GenerationSchedule,
     RetryTask, ScheduleResult, Task, TaskOrdering,
 };
+pub use ledger::{RetryEntry, RetryLedger};
 pub use pool::{intra_op_threads, AttemptRecord, GpuPool, JobReport, JobStatus, RetryBatch};
 pub use retry::RetryPolicy;
 pub use trace::chrome_trace;

@@ -1,0 +1,327 @@
+//! The crash-determinism contract: interrupting a search at *any*
+//! generation boundary and resuming it from the committed snapshot
+//! reproduces the uninterrupted run byte for byte.
+//!
+//! For seeds 2023 (the paper's) and 7, under all three orchestrations
+//! (direct, bus, socket), the harness:
+//!
+//! 1. runs the search once, uninterrupted, to capture the golden
+//!    `models.csv` / `epochs.csv` bytes and the deterministic metric
+//!    counters;
+//! 2. for every boundary `b` in `1..=generations`, runs again with a
+//!    cancel hook that stops at `b` (the in-process analogue of SIGKILL
+//!    — the snapshot is already committed when the hook fires), asserts
+//!    the interruption surfaces as exit code 10, then resumes from the
+//!    snapshot directory and diffs the merged output against gold.
+//!
+//! Boundary `generations` is deliberately included: resuming a search
+//! whose last generation already committed must run zero loop
+//! iterations and still rebuild identical outputs from restored state.
+//!
+//! The stale-snapshot path is pinned too: resuming under a different
+//! configuration is a `Checkpoint` error (exit 5) naming both hashes.
+
+use a4nn_core::prelude::*;
+use a4nn_core::{SurrogateFactory, SurrogateParams};
+use a4nn_lineage::{epochs_csv, models_csv};
+use a4nn_metrics::names;
+use a4nn_net::{SocketOptions, SocketTransport, WorkerHandle, WorkerServer};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Quick-but-nontrivial search: 3 generations so the harness exercises
+/// an early, a middle, and the final boundary; the engine is on so
+/// early-termination decisions cross boundaries too.
+fn micro_config(seed: u64) -> WorkflowConfig {
+    WorkflowConfig {
+        nas: NasSettings {
+            population: 4,
+            offspring: 4,
+            generations: 3,
+            epochs: 8,
+            ..NasSettings::paper_defaults()
+        },
+        engine: Some(EngineConfig {
+            e_pred: 8,
+            ..EngineConfig::paper_defaults()
+        }),
+        gpus: 2,
+        beam: BeamIntensity::Medium,
+        seed,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("a4nn-resume-eq-{tag}-{}", std::process::id()))
+}
+
+fn csvs(out: &RunOutput) -> (String, String) {
+    (models_csv(&out.commons), epochs_csv(&out.commons))
+}
+
+/// The metric counters that must be deterministic per seed (wall-time
+/// histograms are excluded by design).
+const DETERMINISTIC_COUNTERS: &[&str] = &[
+    names::JOBS_DISPATCHED,
+    names::EPOCHS_TRAINED,
+    names::EARLY_TERMINATIONS,
+    names::MODELS_FAILED,
+    names::GENERATIONS,
+];
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Direct,
+    Bus,
+    Socket,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Direct => "direct",
+            Mode::Bus => "bus",
+            Mode::Socket => "socket",
+        }
+    }
+}
+
+/// Run the search in `mode` under `control`, optionally resuming from
+/// `snapshot`. Socket mode spawns a fresh two-worker fleet per call —
+/// resume must not depend on transport-side state surviving the kill.
+fn run_mode(
+    config: &WorkflowConfig,
+    mode: Mode,
+    control: &RunControl<'_>,
+    snapshot: Option<SearchSnapshot>,
+) -> Result<RunOutput, A4nnError> {
+    let factory = SurrogateFactory::new(config, SurrogateParams::for_beam(config.beam));
+    let workflow = A4nnWorkflow::new(config.clone());
+    let ft = FaultTolerance::default();
+    match mode {
+        Mode::Direct => workflow.try_run_resumable(
+            &factory,
+            None,
+            Orchestration::Direct,
+            &ft,
+            control,
+            snapshot,
+        ),
+        Mode::Bus => {
+            workflow.try_run_resumable(&factory, None, Orchestration::Bus, &ft, control, snapshot)
+        }
+        Mode::Socket => {
+            let workers: Vec<WorkerHandle> = (0..2)
+                .map(|_| WorkerServer::spawn("127.0.0.1:0", 1, 1).unwrap())
+                .collect();
+            let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+            let transport = SocketTransport::connect(
+                &addrs,
+                config,
+                &ft,
+                SocketOptions {
+                    heartbeat_deadline: Duration::from_secs(2),
+                    ..SocketOptions::default()
+                },
+            )?;
+            let result = workflow
+                .try_run_transport_resumable(&factory, None, &transport, &ft, control, snapshot);
+            drop(transport);
+            for w in workers {
+                let _ = w.join();
+            }
+            result
+        }
+    }
+}
+
+/// Interrupt at every boundary, resume, and diff against gold.
+fn assert_resume_equivalent(mode: Mode, seed: u64) {
+    let config = micro_config(seed);
+    let golden = run_mode(&config, mode, &RunControl::default(), None)
+        .unwrap_or_else(|e| panic!("{} seed {seed}: golden run failed: {e}", mode.label()));
+    let golden_csvs = csvs(&golden);
+
+    for boundary in 1..=config.nas.generations {
+        let dir = tmp_dir(&format!("{}-{seed}-b{boundary}", mode.label()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Phase 1: run with a cancel hook that "kills" the process at
+        // this boundary. The snapshot commits *before* the hook fires.
+        let cancel = move |done: usize| done == boundary;
+        let control = RunControl::snapshot_into(&dir).with_cancel(&cancel);
+        let err = match run_mode(&config, mode, &control, None) {
+            Err(e) => e,
+            Ok(_) => panic!(
+                "{} seed {seed}: cancel at boundary {boundary} must interrupt the run",
+                mode.label()
+            ),
+        };
+        assert_eq!(
+            err.exit_code(),
+            10,
+            "{} seed {seed} boundary {boundary}: interruption is exit 10: {err}",
+            mode.label()
+        );
+
+        // Phase 2: a fresh "process" loads the committed snapshot and
+        // resumes — still snapshotting, as the CLI would.
+        let snap = SearchSnapshot::load(&dir, &config).unwrap_or_else(|e| {
+            panic!(
+                "{} seed {seed} boundary {boundary}: committed snapshot loads: {e}",
+                mode.label()
+            )
+        });
+        assert_eq!(snap.generations_done, boundary);
+        let resumed = run_mode(&config, mode, &RunControl::snapshot_into(&dir), Some(snap))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} seed {seed} boundary {boundary}: resume failed: {e}",
+                    mode.label()
+                )
+            });
+
+        assert_eq!(
+            golden_csvs,
+            csvs(&resumed),
+            "{} seed {seed}: resume from boundary {boundary} drifted from the golden run",
+            mode.label()
+        );
+        assert_eq!(
+            golden.commons,
+            resumed.commons,
+            "{} seed {seed} boundary {boundary}: commons differ",
+            mode.label()
+        );
+        for name in DETERMINISTIC_COUNTERS {
+            assert_eq!(
+                golden.metrics.counter(name),
+                resumed.metrics.counter(name),
+                "{} seed {seed} boundary {boundary}: counter {name} drifted",
+                mode.label()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn direct_resume_is_bit_exact_across_all_boundaries() {
+    for seed in [2023u64, 7] {
+        assert_resume_equivalent(Mode::Direct, seed);
+    }
+}
+
+#[test]
+fn bus_resume_is_bit_exact_across_all_boundaries() {
+    for seed in [2023u64, 7] {
+        assert_resume_equivalent(Mode::Bus, seed);
+    }
+}
+
+#[test]
+fn socket_resume_is_bit_exact_across_all_boundaries() {
+    for seed in [2023u64, 7] {
+        assert_resume_equivalent(Mode::Socket, seed);
+    }
+}
+
+/// Cross-transport resume: a snapshot committed under one transport
+/// resumes under another and still matches gold — the snapshot is the
+/// whole state, not a transport-private artifact.
+#[test]
+fn snapshot_committed_on_bus_resumes_on_direct() {
+    let config = micro_config(2023);
+    let golden = run_mode(&config, Mode::Direct, &RunControl::default(), None).unwrap();
+    let dir = tmp_dir("cross-transport");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let cancel = |done: usize| done == 2;
+    let control = RunControl::snapshot_into(&dir).with_cancel(&cancel);
+    let err = run_mode(&config, Mode::Bus, &control, None).unwrap_err();
+    assert_eq!(err.exit_code(), 10);
+
+    let snap = SearchSnapshot::load(&dir, &config).unwrap();
+    let resumed = run_mode(&config, Mode::Direct, &RunControl::default(), Some(snap)).unwrap();
+    assert_eq!(csvs(&golden), csvs(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming under a different configuration is refused as a stale
+/// snapshot: `Checkpoint` class, exit 5, both fingerprints named.
+#[test]
+fn stale_snapshot_is_refused_with_exit_5() {
+    let config = micro_config(2023);
+    let dir = tmp_dir("stale");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let cancel = |done: usize| done == 1;
+    let control = RunControl::snapshot_into(&dir).with_cancel(&cancel);
+    let err = run_mode(&config, Mode::Direct, &control, None).unwrap_err();
+    assert_eq!(err.exit_code(), 10);
+
+    let mut other = config.clone();
+    other.seed = 7;
+    let err = SearchSnapshot::load(&dir, &other).unwrap_err();
+    assert_eq!(
+        err.exit_code(),
+        5,
+        "stale snapshot is Checkpoint-class: {err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("stale snapshot"),
+        "error names the failure mode: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The retry ledger survives the boundary: a model that consumed
+/// retries before the interruption still reports them after resume.
+#[test]
+fn retry_ledger_carries_across_resume() {
+    use a4nn_faults::FaultEvent;
+    let config = micro_config(2023);
+    let plan = FaultPlan::new(vec![FaultEvent::PanicAt {
+        model: 1,
+        epoch: 2,
+        failures: 1,
+    }]);
+    let run = |control: &RunControl<'_>, snapshot| {
+        let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+        let ft = FaultTolerance::new(RetryPolicy::with_retries(2), plan.clone());
+        A4nnWorkflow::new(config.clone()).try_run_resumable(
+            &factory,
+            None,
+            Orchestration::Direct,
+            &ft,
+            control,
+            snapshot,
+        )
+    };
+    let golden = run(&RunControl::default(), None).unwrap();
+    assert!(
+        golden.retry_ledger.total_retries() > 0,
+        "the injected panic must consume a retry"
+    );
+
+    let dir = tmp_dir("ledger");
+    std::fs::remove_dir_all(&dir).ok();
+    let cancel = |done: usize| done == 1;
+    let control = RunControl::snapshot_into(&dir).with_cancel(&cancel);
+    let err = run(&control, None).unwrap_err();
+    assert_eq!(err.exit_code(), 10);
+
+    let snap = SearchSnapshot::load(&dir, &config).unwrap();
+    let resumed = run(&RunControl::default(), Some(snap)).unwrap();
+    assert_eq!(
+        golden.retry_ledger.to_csv(),
+        resumed.retry_ledger.to_csv(),
+        "the retry ledger must survive the interruption byte for byte"
+    );
+    assert_eq!(
+        golden.metrics.counter(names::RETRIES),
+        resumed.metrics.counter(names::RETRIES)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,8 +14,8 @@ use rand::{Rng, RngCore, SeedableRng};
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -154,6 +154,59 @@ where
             self.whence
         );
     }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`prop_oneof!`]: one of several strategies over the same
+/// value type, chosen uniformly per case (upstream also supports
+/// per-arm weights, which this stand-in does not need).
+pub struct OneOf<T> {
+    choices: Vec<Arm<T>>,
+}
+
+/// One boxed generator arm of a [`OneOf`] strategy.
+pub type Arm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+impl<T> OneOf<T> {
+    /// Build from boxed generator closures; used by [`prop_oneof!`].
+    pub fn new(choices: Vec<Arm<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.choices.len());
+        (self.choices[idx])(rng)
+    }
+}
+
+/// Choose uniformly among several strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::OneOf::new(vec![
+            $({
+                let s = $strategy;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                    as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    }};
 }
 
 impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {

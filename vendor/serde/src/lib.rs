@@ -423,6 +423,18 @@ where
     }
 }
 
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.at(k))?)))
+                .collect(),
+            _ => Err(DeError::expected("object")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,9 @@ commands:
   export     write models.csv and epochs.csv from a commons
   stats      summarize a run directory offline (metrics, retries, resume state)
   worker     serve trainer jobs to a remote search coordinator over TCP
+  serve      serve batched classify requests from a commons' Pareto front
+  serve-bench  load-generate against a serve endpoint (or sweep batch
+             sizes in process) and write a bench report
   help       print this message
 
 common options:
@@ -70,6 +73,38 @@ worker options:
   --gpus <n>                 advertised concurrent job slots [1]
   --sessions <n>             serve this many coordinator sessions then
                              exit; 0 serves forever      [0]
+
+serve options:
+  --commons <dir>            commons directory with the Pareto front to
+                             serve (required); a checkpoints/ subdir
+                             supplies trained weights when present
+  --listen <addr>            bind address (required), e.g. 0.0.0.0:7463
+  --batch <n>                max requests per micro-batch     [8]
+  --queue <n>                admission queue capacity; requests beyond
+                             it are rejected with exit-class 11 [64]
+  --batch-workers <n>        batch worker threads             [1]
+  --ws-limit-mb <n>          workspace pool cap per worker, MiB [8]
+  --sessions <n>             serve this many connections then exit;
+                             0 serves forever                 [0]
+  --metrics-out <file>       write the metrics snapshot here after
+                             every connection closes
+
+serve-bench options:
+  --addr <addr>              target an already-running serve endpoint;
+                             without it, --commons sweeps batch sizes
+                             1,2,4,8 against in-process servers
+  --commons <dir>            commons to serve in-process and/or to
+                             verify responses against bitwise
+  --clients <n>              concurrent client connections    [4]
+  --requests <n>             requests per client              [50]
+  --height <n>               synthetic image height           [8]
+  --width <n>                synthetic image width            [8]
+  --verify-samples <n>       with --addr and --commons: classify this
+                             many seeded images per served model and
+                             require bitwise identity with direct
+                             evaluation                       [8]
+  --seed <u64>               synthetic pixel seed             [2023]
+  --out <file>               bench report path     [BENCH_serve.json]
 
 viz options:
   --commons <dir>            commons directory (required)
@@ -143,6 +178,10 @@ pub enum Command {
     Stats,
     /// `a4nn worker`
     Worker,
+    /// `a4nn serve`
+    Serve,
+    /// `a4nn serve-bench`
+    ServeBench,
     /// `a4nn help`
     Help,
 }
@@ -175,6 +214,17 @@ const VALUE_FLAGS: &[&str] = &[
     "--model",
     "--listen",
     "--sessions",
+    "--batch",
+    "--queue",
+    "--batch-workers",
+    "--ws-limit-mb",
+    "--metrics-out",
+    "--addr",
+    "--clients",
+    "--requests",
+    "--height",
+    "--width",
+    "--verify-samples",
 ];
 
 /// Boolean flags.
@@ -204,6 +254,8 @@ impl Parsed {
             Some("export") => Command::Export,
             Some("stats") => Command::Stats,
             Some("worker") => Command::Worker,
+            Some("serve") => Command::Serve,
+            Some("serve-bench") => Command::ServeBench,
             Some("help" | "--help" | "-h") => Command::Help,
             Some(other) => return Err(ArgError::UnknownCommand(other.to_string())),
         };

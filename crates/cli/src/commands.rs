@@ -31,7 +31,8 @@ impl CommandError {
     /// 3 = invalid value, 4 = I/O, and workflow errors carry their own
     /// class-specific codes (5 checkpoint — including a stale `--resume`
     /// snapshot, 6 bus, 7 trainer, 8 internal, 9 network,
-    /// 10 interrupted at a generation boundary).
+    /// 10 interrupted at a generation boundary, 11 serve admission
+    /// queue saturated).
     pub fn exit_code(&self) -> i32 {
         match self {
             CommandError::Args(_) => 2,
@@ -445,6 +446,131 @@ fn run_worker(parsed: &Parsed) -> Result<(), CommandError> {
     Ok(())
 }
 
+fn run_serve(parsed: &Parsed) -> Result<(), CommandError> {
+    let commons = parsed
+        .get("--commons")
+        .ok_or_else(|| CommandError::Invalid("--commons <dir> is required".into()))?;
+    let listen = parsed
+        .get("--listen")
+        .ok_or_else(|| CommandError::Invalid("--listen <addr> is required".into()))?;
+    let sessions = parsed.get_parse("--sessions", 0usize, "usize")?;
+    let cfg = a4nn_serve::ServeConfig {
+        batcher: a4nn_serve::BatcherConfig {
+            max_batch: parsed.get_parse("--batch", 8usize, "usize")?,
+            queue_cap: parsed.get_parse("--queue", 64usize, "usize")?,
+            workers: parsed.get_parse("--batch-workers", 1usize, "usize")?,
+            ws_limit_bytes: parsed.get_parse("--ws-limit-mb", 8usize, "usize")? * 1024 * 1024,
+        },
+        metrics_out: parsed.get("--metrics-out").map(PathBuf::from),
+    };
+    let repo = a4nn_serve::ModelRepo::load(&PathBuf::from(commons))?;
+    let menu = repo.infos();
+    let server =
+        a4nn_serve::ServeServer::bind(listen, repo, cfg, Arc::new(MetricsRegistry::new()))?;
+    println!(
+        "a4nn serve listening on {} ({} Pareto model(s), {})",
+        server.local_addr()?,
+        menu.len(),
+        if sessions == 0 {
+            "serving until killed".to_string()
+        } else {
+            format!("serving {sessions} connection(s)")
+        }
+    );
+    for m in &menu {
+        println!(
+            "  model {:>4}  fitness {:6.2}%  {:>12.0} FLOPs  {}{}",
+            m.model_id,
+            m.fitness,
+            m.flops,
+            m.arch_summary,
+            if m.default { "  [default]" } else { "" }
+        );
+    }
+    server.run(sessions)?;
+    Ok(())
+}
+
+fn run_serve_bench(parsed: &Parsed) -> Result<(), CommandError> {
+    let clients = parsed.get_parse("--clients", 4usize, "usize")?;
+    let requests = parsed.get_parse("--requests", 50usize, "usize")?;
+    let height = parsed.get_parse("--height", 8usize, "usize")?;
+    let width = parsed.get_parse("--width", 8usize, "usize")?;
+    let seed = parsed.get_parse("--seed", 2023u64, "u64")?;
+    let out = PathBuf::from(parsed.get("--out").unwrap_or("BENCH_serve.json"));
+
+    let report = match (parsed.get("--addr"), parsed.get("--commons")) {
+        (Some(addr), commons) => {
+            // Target a running endpoint; with a commons we can also
+            // verify responses bitwise against direct evaluation.
+            if let Some(commons) = commons {
+                let verify_samples = parsed.get_parse("--verify-samples", 8usize, "usize")?;
+                let checked = a4nn_serve::verify_against_direct(
+                    &PathBuf::from(commons),
+                    addr,
+                    verify_samples,
+                    height,
+                    width,
+                    seed,
+                )?;
+                println!(
+                    "verified {checked} classify response(s) bitwise against direct evaluation"
+                );
+            }
+            let load = a4nn_serve::run_load(&a4nn_serve::LoadSpec {
+                addr: addr.to_string(),
+                clients,
+                requests_per_client: requests,
+                height,
+                width,
+                seed,
+            })?;
+            a4nn_serve::BenchReport {
+                clients,
+                requests_per_client: requests,
+                height,
+                width,
+                seed,
+                points: vec![a4nn_serve::BatchPoint {
+                    max_batch: 0, // unknown: the remote server's setting
+                    report: load,
+                }],
+            }
+        }
+        (None, Some(commons)) => a4nn_serve::sweep_in_process(
+            &PathBuf::from(commons),
+            &[1, 2, 4, 8],
+            clients,
+            requests,
+            height,
+            width,
+            seed,
+        )?,
+        (None, None) => {
+            return Err(CommandError::Invalid(
+                "serve-bench needs --addr (live endpoint) or --commons (in-process sweep)".into(),
+            ))
+        }
+    };
+
+    for p in &report.points {
+        println!(
+            "batch {:>3}: {:8.1} req/s  p50 {:>6} us  p99 {:>6} us  ({} accepted, {} rejected)",
+            p.max_batch,
+            p.report.throughput_rps,
+            p.report.p50_us,
+            p.report.p99_us,
+            p.report.accepted,
+            p.report.rejected
+        );
+    }
+    let bytes = serde_json::to_vec_pretty(&report)
+        .map_err(|e| CommandError::Invalid(format!("serializing bench report: {e}")))?;
+    a4nn_lineage::write_atomic(&out, &bytes)?;
+    println!("bench report written to {}", out.display());
+    Ok(())
+}
+
 fn run_xpsi(parsed: &Parsed) -> Result<(), CommandError> {
     let beam = beam_of(parsed)?;
     let seed = parsed.get_parse("--seed", 2023u64, "u64")?;
@@ -602,6 +728,8 @@ pub fn run_command(parsed: &Parsed) -> Result<(), CommandError> {
         Command::Export => run_export(parsed),
         Command::Stats => run_stats(parsed),
         Command::Worker => run_worker(parsed),
+        Command::Serve => run_serve(parsed),
+        Command::ServeBench => run_serve_bench(parsed),
     }
 }
 

@@ -96,7 +96,7 @@ fn readme_exit_code_table_matches_the_code() {
     use a4nn_error::A4nnError;
 
     // The canonical table: every row the README must carry, verbatim.
-    let classes: [(i32, &str); 10] = [
+    let classes: [(i32, &str); 11] = [
         (0, "success"),
         (2, "argument parsing"),
         (
@@ -116,6 +116,7 @@ fn readme_exit_code_table_matches_the_code() {
             "network failure (worker lost, bad frame, handshake refused)",
         ),
         (10, "interrupted at a generation boundary (resumable)"),
+        (11, "serve admission queue saturated (back off and retry)"),
     ];
 
     // The canonical codes ARE the implementation's mapping.
@@ -136,6 +137,7 @@ fn readme_exit_code_table_matches_the_code() {
     assert_eq!(wf(A4nnError::Internal("x".into())), 8);
     assert_eq!(wf(A4nnError::Net("x".into())), 9);
     assert_eq!(wf(A4nnError::Interrupted("x".into())), 10);
+    assert_eq!(wf(A4nnError::Saturated("x".into())), 11);
 
     let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
     let readme = std::fs::read_to_string(readme_path).unwrap();

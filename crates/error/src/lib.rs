@@ -66,6 +66,12 @@ pub enum A4nnError {
     /// after its state snapshot was committed. Not a failure of any
     /// subsystem: the run directory is resumable via `--resume`.
     Interrupted(String),
+    /// An admission-controlled component (the inference server's bounded
+    /// request queue) refused work because it is at capacity. Not
+    /// machinery breakage: the caller should back off and retry, and a
+    /// load generator that saw *nothing but* rejections surfaces this
+    /// class instead of reporting an empty measurement.
+    Saturated(String),
 }
 
 impl A4nnError {
@@ -92,6 +98,7 @@ impl A4nnError {
     /// | 8 | internal invariant broken |
     /// | 9 | network failure (worker lost, bad frame, handshake refused) |
     /// | 10 | interrupted at a generation boundary (resumable) |
+    /// | 11 | admission queue saturated (back off and retry) |
     pub fn exit_code(&self) -> i32 {
         match self {
             A4nnError::Config(_) => 3,
@@ -102,6 +109,7 @@ impl A4nnError {
             A4nnError::Internal(_) => 8,
             A4nnError::Net(_) => 9,
             A4nnError::Interrupted(_) => 10,
+            A4nnError::Saturated(_) => 11,
         }
     }
 }
@@ -124,6 +132,7 @@ impl fmt::Display for A4nnError {
             A4nnError::Internal(msg) => write!(f, "internal error: {msg}"),
             A4nnError::Net(msg) => write!(f, "network failure: {msg}"),
             A4nnError::Interrupted(msg) => write!(f, "search interrupted: {msg}"),
+            A4nnError::Saturated(msg) => write!(f, "saturated: {msg}"),
         }
     }
 }
@@ -165,9 +174,10 @@ mod tests {
             A4nnError::Internal("i".into()),
             A4nnError::Net("n".into()),
             A4nnError::Interrupted("stopped at generation 2".into()),
+            A4nnError::Saturated("admission queue full".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(A4nnError::exit_code).collect();
-        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9, 10, 11]);
         for c in codes {
             assert!(c != 0 && c != 1 && c != 2, "reserved code reused: {c}");
         }
@@ -194,6 +204,10 @@ mod tests {
         assert_eq!(
             A4nnError::Net("worker 127.0.0.1:7001 missed 3 heartbeats".into()).to_string(),
             "network failure: worker 127.0.0.1:7001 missed 3 heartbeats"
+        );
+        assert_eq!(
+            A4nnError::Saturated("serve queue holds 64 request(s)".into()).to_string(),
+            "saturated: serve queue holds 64 request(s)"
         );
     }
 

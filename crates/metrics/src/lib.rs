@@ -360,6 +360,26 @@ pub mod names {
     pub const ROUND_TRIP_US: &str = "round_trip_us";
     /// Wall time a job waited for a free execution slot, microseconds.
     pub const QUEUE_WAIT_US: &str = "queue_wait_us";
+
+    // --- Inference server (`a4nn serve`) -------------------------------
+
+    /// Classify requests admitted into the serve queue.
+    pub const SERVE_REQUESTS: &str = "serve_requests";
+    /// Classify requests refused because the admission queue was full.
+    pub const SERVE_REJECTED: &str = "serve_rejected";
+    /// Micro-batches executed by the serve batcher.
+    pub const SERVE_BATCHES: &str = "serve_batches";
+    /// Requests per executed micro-batch (histogram of batch sizes).
+    pub const SERVE_BATCH_SIZE: &str = "serve_batch_size";
+    /// Wall time a request waited in the admission queue, microseconds.
+    pub const SERVE_QUEUE_WAIT_US: &str = "serve_queue_wait_us";
+    /// Submit→response wall time per request, microseconds.
+    pub const SERVE_LATENCY_US: &str = "serve_latency_us";
+    /// Forward-pass wall time per micro-batch, microseconds.
+    pub const SERVE_EVAL_US: &str = "serve_eval_us";
+    /// High-water mark of bytes parked in the batcher's workspace pool
+    /// (monotonic counter: updated by the delta since the last export).
+    pub const SERVE_WS_PEAK_BYTES: &str = "serve_ws_peak_bytes";
 }
 
 #[cfg(test)]

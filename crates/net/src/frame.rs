@@ -40,6 +40,12 @@ pub const HEADER_LEN: usize = 10;
 /// giant allocation.
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 
+/// Read granularity for payloads in [`read_message`]. The payload buffer
+/// grows by at most this much ahead of the bytes actually received, so a
+/// peer that announces a huge length but never sends the bytes costs the
+/// reader one chunk of memory, not [`MAX_PAYLOAD`].
+pub const READ_CHUNK: usize = 64 * 1024;
+
 /// Every way a frame or stream can be malformed. Converted into the
 /// workspace's `Net` failure class at the transport boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,16 +249,31 @@ pub fn read_message<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, Net
     if len > MAX_PAYLOAD {
         return Err(NetError::FrameTooLarge { len });
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            NetError::Truncated {
-                context: format!("inside a {len}-byte payload"),
+    // The length header is untrusted until the payload actually arrives:
+    // grow the buffer one bounded chunk at a time instead of
+    // preallocating `len` bytes up front, so a hostile or corrupt peer
+    // that announces MAX_PAYLOAD but sends nothing cannot force a 64 MiB
+    // allocation per frame. This codec fronts public serve connections,
+    // not just trusted workers.
+    let len = len as usize;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let old = payload.len();
+        let take = (len - old).min(READ_CHUNK);
+        payload.resize(old + take, 0);
+        let mut filled = old;
+        while filled < old + take {
+            match r.read(&mut payload[filled..old + take]) {
+                Ok(0) => {
+                    return Err(NetError::Truncated {
+                        context: format!("inside a {len}-byte payload after {filled} byte(s)"),
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) => return Err(NetError::Io(e.to_string())),
             }
-        } else {
-            NetError::Io(e.to_string())
         }
-    })?;
+    }
     serde_json::from_slice(&payload)
         .map(Some)
         .map_err(|e| NetError::Decode(e.to_string()))

@@ -40,7 +40,7 @@ pub mod worker;
 
 pub use frame::{
     encode, read_message, write_message, FrameDecoder, NetError, HEADER_LEN, MAGIC, MAX_PAYLOAD,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION, READ_CHUNK,
 };
 pub use protocol::Message;
 pub use transport::{SocketOptions, SocketTransport};

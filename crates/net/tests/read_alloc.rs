@@ -1,0 +1,97 @@
+//! Allocation guard for the blocking frame reader: the payload buffer
+//! must track the bytes *actually received*, never the untrusted length
+//! header. Before the incremental-read fix, `read_message` allocated
+//! `vec![0u8; len]` straight from the header — a hostile peer announcing
+//! `MAX_PAYLOAD` forced a 64 MiB allocation per frame without sending a
+//! single payload byte. Now that this codec fronts public serve
+//! connections, that is a remotely triggerable memory amplifier.
+//!
+//! A peak-tracking wrapper around the system allocator is installed for
+//! this test binary only (one test per binary, matching the
+//! alloc-regression idiom in `crates/nn`).
+
+use a4nn_net::{encode, read_message, NetError, HEADER_LEN, MAGIC, MAX_PAYLOAD, PROTOCOL_VERSION};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            on_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+/// A stream whose header announces the full 64 MiB cap but which carries
+/// only a few real bytes before EOF — the hostile-peer shape.
+fn hostile_frame(body_bytes: usize) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + body_bytes);
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    frame.extend_from_slice(&MAX_PAYLOAD.to_be_bytes());
+    frame.extend_from_slice(&vec![0x20; body_bytes]);
+    frame
+}
+
+#[test]
+fn announced_length_does_not_drive_allocation() {
+    // Large genuine payloads must still round-trip through the chunked
+    // reader (multiple READ_CHUNK refills) — correctness first.
+    let big: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+    let bytes = encode(&big).unwrap();
+    let got: Vec<u8> = read_message(&mut Cursor::new(bytes)).unwrap().unwrap();
+    assert_eq!(got, big);
+
+    // Now the attack: 64 MiB announced, 100 bytes delivered. The reader
+    // must fail with a typed truncation, and its peak allocation must be
+    // on the order of the delivered bytes + one read chunk — not the
+    // announced length.
+    let frame = hostile_frame(100);
+    let before_peak = PEAK.load(Ordering::Relaxed);
+    let live_before = LIVE.load(Ordering::Relaxed);
+    PEAK.store(live_before, Ordering::Relaxed);
+
+    let err = read_message::<_, Vec<u8>>(&mut Cursor::new(frame)).unwrap_err();
+    assert!(
+        matches!(err, NetError::Truncated { .. }),
+        "expected Truncated, got {err:?}"
+    );
+
+    let attack_peak = PEAK.load(Ordering::Relaxed) - live_before.min(PEAK.load(Ordering::Relaxed));
+    // Generous ceiling: a couple of read chunks plus slack for the error
+    // string. The pre-fix behavior allocated 64 MiB and fails this by
+    // two orders of magnitude.
+    assert!(
+        attack_peak < 1024 * 1024,
+        "hostile frame drove peak allocation to {attack_peak} bytes"
+    );
+    // Restore the global high-water mark invariant for any later test.
+    PEAK.fetch_max(before_peak, Ordering::Relaxed);
+}

@@ -17,9 +17,14 @@
 //!   [`give4`](Workspace::give4) / [`give2`](Workspace::give2) transfer it
 //!   back. Dropping a tensor instead of giving it back is always safe —
 //!   the pool just re-allocates later (warmup, not a leak).
-//! - The pool only grows: capacities are never shrunk, so once the largest
-//!   shape of a training step has passed through, every later request is
-//!   served without touching the allocator.
+//! - The pool never shrinks on its own: once the largest shape of a
+//!   training step has passed through, every later request is served
+//!   without touching the allocator. Long-running owners with *varied*
+//!   request shapes (the inference server) call
+//!   [`trim_to`](Workspace::trim_to) at quiet points to bound the parked
+//!   bytes; [`pooled_bytes`](Workspace::pooled_bytes) /
+//!   [`peak_pooled_bytes`](Workspace::peak_pooled_bytes) make the
+//!   high-water mark observable for metrics export.
 //! - A `Workspace` is single-threaded by design (`&mut` everywhere).
 //!   Parallel code hands plain slices to scoped threads and never shares
 //!   the pool across them.
@@ -50,6 +55,12 @@ pub struct Workspace {
     /// Total number of `f32` buffers ever allocated through this pool
     /// (diagnostic: stops growing once the pool is warm).
     allocations: usize,
+    /// Bytes currently parked in the pool (both buffer kinds), maintained
+    /// incrementally so the hot path never rescans the free lists.
+    pooled_bytes: usize,
+    /// High-water mark of `pooled_bytes` over the pool's lifetime;
+    /// unaffected by [`trim_to`](Workspace::trim_to).
+    peak_pooled_bytes: usize,
 }
 
 impl Clone for Workspace {
@@ -78,6 +89,61 @@ impl Workspace {
     #[inline]
     pub fn free_buffers(&self) -> usize {
         self.bufs.len()
+    }
+
+    /// Bytes currently parked in the pool across both buffer kinds.
+    /// Buffers checked out to live tensors are *not* counted — this is
+    /// idle capacity, the quantity [`trim_to`](Workspace::trim_to) bounds.
+    #[inline]
+    pub fn pooled_bytes(&self) -> usize {
+        self.pooled_bytes
+    }
+
+    /// Lifetime high-water mark of [`pooled_bytes`](Workspace::pooled_bytes).
+    /// Trimming does not reset it, so a metrics exporter sees the true
+    /// peak even when the pool is kept bounded.
+    #[inline]
+    pub fn peak_pooled_bytes(&self) -> usize {
+        self.peak_pooled_bytes
+    }
+
+    /// Drop parked buffers, smallest first, until at most `max_bytes`
+    /// remain pooled; returns the bytes released. Smallest-first keeps the
+    /// large warm buffers that best-fit can truncate down to any future
+    /// request, so a trim costs re-warming only the low end of the size
+    /// distribution. Checked-out buffers are untouched.
+    pub fn trim_to(&mut self, max_bytes: usize) -> usize {
+        let before = self.pooled_bytes;
+        while self.pooled_bytes > max_bytes {
+            let smallest_f32 = self
+                .bufs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, b)| (i, b.capacity() * std::mem::size_of::<f32>()));
+            let smallest_label = self
+                .label_bufs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, b)| (i, b.capacity() * std::mem::size_of::<usize>()));
+            match (smallest_f32, smallest_label) {
+                (Some((fi, fb)), Some((_, lb))) if fb <= lb => {
+                    self.bufs.swap_remove(fi);
+                    self.pooled_bytes -= fb;
+                }
+                (_, Some((li, lb))) => {
+                    self.label_bufs.swap_remove(li);
+                    self.pooled_bytes -= lb;
+                }
+                (Some((fi, fb)), None) => {
+                    self.bufs.swap_remove(fi);
+                    self.pooled_bytes -= fb;
+                }
+                (None, None) => break,
+            }
+        }
+        before - self.pooled_bytes
     }
 
     /// Take a buffer of exactly `len` elements with **arbitrary contents**
@@ -119,6 +185,8 @@ impl Workspace {
     /// they are placeholder `Vec`s, not real storage.
     pub fn give(&mut self, buf: Vec<f32>) {
         if buf.capacity() > 0 {
+            self.pooled_bytes += buf.capacity() * std::mem::size_of::<f32>();
+            self.peak_pooled_bytes = self.peak_pooled_bytes.max(self.pooled_bytes);
             self.bufs.push(buf);
         }
     }
@@ -133,7 +201,10 @@ impl Workspace {
                 best = Some((i, cap));
             }
         }
-        best.map(|(i, _)| self.bufs.swap_remove(i))
+        best.map(|(i, cap)| {
+            self.pooled_bytes -= cap * std::mem::size_of::<f32>();
+            self.bufs.swap_remove(i)
+        })
     }
 
     // --- Tensor wrappers ---------------------------------------------------
@@ -192,6 +263,7 @@ impl Workspace {
     /// Take a cleared label buffer (contents empty, capacity reused).
     pub fn take_labels(&mut self) -> Vec<usize> {
         let mut v = self.label_bufs.pop().unwrap_or_default();
+        self.pooled_bytes -= v.capacity() * std::mem::size_of::<usize>();
         v.clear();
         v
     }
@@ -199,6 +271,8 @@ impl Workspace {
     /// Return a label buffer to the pool.
     pub fn give_labels(&mut self, buf: Vec<usize>) {
         if buf.capacity() > 0 {
+            self.pooled_bytes += buf.capacity() * std::mem::size_of::<usize>();
+            self.peak_pooled_bytes = self.peak_pooled_bytes.max(self.pooled_bytes);
             self.label_bufs.push(buf);
         }
     }
@@ -294,6 +368,90 @@ mod tests {
         let l2 = ws.take_labels();
         assert!(l2.is_empty());
         assert_eq!(l2.capacity(), cap);
+    }
+
+    #[test]
+    fn pooled_bytes_tracks_parked_capacity_and_peak() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.pooled_bytes(), 0);
+        let a = ws.take_zeroed(100); // 400 bytes
+        let b = ws.take_zeroed(50); // 200 bytes
+        ws.give(a);
+        assert_eq!(ws.pooled_bytes(), 400);
+        ws.give(b);
+        assert_eq!(ws.pooled_bytes(), 600);
+        assert_eq!(ws.peak_pooled_bytes(), 600);
+
+        // Checking a buffer back out reduces pooled, not peak.
+        let c = ws.take_scratch(60); // takes the 100-cap buffer (best fit)
+        assert_eq!(ws.pooled_bytes(), 200);
+        assert_eq!(ws.peak_pooled_bytes(), 600);
+        ws.give(c);
+
+        // Label buffers count at usize width.
+        let mut l = ws.take_labels();
+        l.reserve_exact(8);
+        let lbytes = l.capacity() * std::mem::size_of::<usize>();
+        ws.give_labels(l);
+        assert_eq!(ws.pooled_bytes(), 600 + lbytes);
+        let _ = ws.take_labels();
+        assert_eq!(ws.pooled_bytes(), 600);
+    }
+
+    #[test]
+    fn trim_drops_smallest_first_and_preserves_peak() {
+        let mut ws = Workspace::new();
+        let small = ws.take_zeroed(25); // 100 bytes
+        let mid = ws.take_zeroed(100); // 400 bytes
+        let big = ws.take_zeroed(250); // 1000 bytes
+        let big_ptr = big.as_ptr();
+        ws.give(small);
+        ws.give(mid);
+        ws.give(big);
+        assert_eq!(ws.pooled_bytes(), 1500);
+
+        // Trimming to 1400 must shed the 100-byte buffer only.
+        assert_eq!(ws.trim_to(1400), 100);
+        assert_eq!(ws.pooled_bytes(), 1400);
+        // Then to 1000: the 400-byte buffer goes, the big one survives.
+        assert_eq!(ws.trim_to(1000), 400);
+        assert_eq!(ws.free_buffers(), 1);
+        let survivor = ws.take_scratch(250);
+        assert_eq!(survivor.as_ptr(), big_ptr, "largest buffer must survive");
+        ws.give(survivor);
+
+        // Peak is a lifetime high-water mark, untouched by trims.
+        assert_eq!(ws.peak_pooled_bytes(), 1500);
+        // Trim to zero empties the pool; further trims are no-ops.
+        assert_eq!(ws.trim_to(0), 1000);
+        assert_eq!(ws.pooled_bytes(), 0);
+        assert_eq!(ws.trim_to(0), 0);
+    }
+
+    #[test]
+    fn steady_state_with_trim_stays_bounded_and_allocation_free() {
+        // The serving pattern: a fixed working set of shapes, a trim after
+        // every "batch". Once warm, allocations stop AND the pool never
+        // exceeds the cap.
+        let mut ws = Workspace::new();
+        let cap = 8 * 1024;
+        let mut warm_allocs = 0;
+        for round in 0..10 {
+            let x = ws.t4_scratch(4, 1, 8, 8);
+            let y = ws.t2_scratch(4, 3);
+            ws.give4(x);
+            ws.give2(y);
+            ws.trim_to(cap);
+            assert!(ws.pooled_bytes() <= cap, "round {round} exceeded cap");
+            if round == 0 {
+                warm_allocs = ws.allocations();
+            }
+        }
+        assert_eq!(
+            ws.allocations(),
+            warm_allocs,
+            "trim above the working set must not force re-allocation"
+        );
     }
 
     #[test]

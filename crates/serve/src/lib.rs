@@ -1,0 +1,52 @@
+//! # a4nn-serve — batched Pareto-front inference under load
+//!
+//! The paper's workflow ends when the search writes its data commons;
+//! this crate is what production starts with: a long-running TCP server
+//! that loads the run's Pareto-front models and answers classify
+//! requests, micro-batching concurrent traffic through shared forward
+//! passes.
+//!
+//! Pipeline, in order:
+//!
+//! - [`model`] — [`ModelRepo`]: the fitness/FLOPs Pareto front out of a
+//!   commons directory, with trained weights from a `checkpoints/`
+//!   [`CheckpointStore`](a4nn_core::CheckpointStore) when present and a
+//!   deterministic genome rebuild otherwise.
+//! - [`batcher`] — [`Batcher`]: a bounded admission queue (full ⇒ typed
+//!   [`A4nnError::Saturated`](a4nn_error::A4nnError) rejection, CLI exit
+//!   code 11) feeding batch workers that fold same-model, same-shape
+//!   requests into single eval-mode forward passes over pooled
+//!   [`Workspace`](a4nn_nn::Workspace) arenas.
+//! - [`server`] / [`client`] — the TCP endpoint and its blocking client,
+//!   speaking [`protocol`] messages over the `a4nn-net` frame codec
+//!   (same magic, version, and typed frame errors as the distributed
+//!   search).
+//! - [`loadgen`] — the load generator, the throughput-vs-batch-size
+//!   sweep behind `BENCH_serve.json`, and the serve-vs-direct bitwise
+//!   verifier CI runs.
+//!
+//! The load-bearing property is the serving restatement of the
+//! workspace determinism argument: eval-mode forward treats every sample
+//! independently, so micro-batching, buffer reuse, worker placement, and
+//! the JSON wire codec (f32→f64 widening is exact, and the vendored
+//! serde_json round-trips f64) all preserve logits *bitwise*. A served
+//! answer is the answer a local single-request evaluation would give.
+
+#![warn(clippy::redundant_clone)]
+
+pub mod batcher;
+pub mod client;
+pub mod loadgen;
+pub mod model;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherConfig, Classification};
+pub use client::ServeClient;
+pub use loadgen::{
+    run_load, sweep_in_process, verify_against_direct, BatchPoint, BenchReport, LoadReport,
+    LoadSpec,
+};
+pub use model::{ModelRepo, ServedModel};
+pub use protocol::{ModelInfo, ServeRequest, ServeResponse};
+pub use server::{ServeConfig, ServeHandle, ServeServer};

@@ -1,0 +1,295 @@
+//! Load generator and bench harness for the serve endpoint.
+//!
+//! Three pieces:
+//!
+//! - [`run_load`]: `clients` concurrent connections each firing
+//!   `requests_per_client` seeded synthetic classify requests, measuring
+//!   per-request latency and counting typed rejections. Rejections are
+//!   part of the measurement, not failures — but a run that saw *only*
+//!   rejections surfaces [`A4nnError::Saturated`] instead of reporting
+//!   an empty percentile table.
+//! - [`sweep_in_process`]: the throughput-vs-batch-size bench — one
+//!   in-process server per batch size, same seeded load against each,
+//!   producing the [`BenchReport`] committed as `BENCH_serve.json`.
+//! - [`verify_against_direct`]: the correctness diff CI runs — every
+//!   served model gets seeded images classified over the wire and
+//!   forward-passed locally from an identically-loaded [`ModelRepo`];
+//!   logits must match *bitwise* (micro-batching, the JSON codec, and
+//!   worker placement are all equivalence-preserving by construction).
+
+use crate::client::ServeClient;
+use crate::model::ModelRepo;
+use crate::server::{ServeConfig, ServeServer};
+use a4nn_error::A4nnError;
+use a4nn_metrics::MetricsRegistry;
+use a4nn_nn::{Tensor4, Workspace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Serve endpoint to target, e.g. `127.0.0.1:7463`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Classify requests each client fires.
+    pub requests_per_client: usize,
+    /// Synthetic image height.
+    pub height: usize,
+    /// Synthetic image width.
+    pub width: usize,
+    /// Base seed for the synthetic pixels (client `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+/// Aggregated measurements from one load run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests fired.
+    pub requests: usize,
+    /// Requests answered with a classification.
+    pub accepted: usize,
+    /// Requests refused by admission control.
+    pub rejected: usize,
+    /// Wall time of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Accepted requests per second.
+    pub throughput_rps: f64,
+    /// Median accepted-request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile accepted-request latency, microseconds.
+    pub p99_us: u64,
+    /// Mean accepted-request latency, microseconds.
+    pub mean_us: f64,
+    /// Worst accepted-request latency, microseconds.
+    pub max_us: u64,
+}
+
+/// One point of the throughput-vs-batch-size sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// The server's `max_batch` for this point.
+    pub max_batch: usize,
+    /// The load measurements at that batch size.
+    pub report: LoadReport,
+}
+
+/// The committed bench artifact (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Concurrent client connections per point.
+    pub clients: usize,
+    /// Requests per client per point.
+    pub requests_per_client: usize,
+    /// Synthetic image height.
+    pub height: usize,
+    /// Synthetic image width.
+    pub width: usize,
+    /// Base pixel seed.
+    pub seed: u64,
+    /// One entry per swept batch size.
+    pub points: Vec<BatchPoint>,
+}
+
+/// Deterministic synthetic image for (seed, request index).
+fn synthetic_pixels(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Fire the load and aggregate the measurements.
+pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, A4nnError> {
+    if spec.clients == 0 || spec.requests_per_client == 0 {
+        return Err(A4nnError::Config(
+            "load generator needs at least one client and one request".into(),
+        ));
+    }
+    let started = Instant::now();
+    type ClientOutcome = Result<(Vec<u64>, usize), A4nnError>;
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|i| {
+                scope.spawn(move || -> ClientOutcome {
+                    let mut client = ServeClient::connect(&spec.addr)?;
+                    let menu = client.models()?;
+                    let default = menu
+                        .iter()
+                        .find(|m| m.default)
+                        .or_else(|| menu.first())
+                        .ok_or_else(|| {
+                            A4nnError::Net("serve endpoint advertises no models".into())
+                        })?;
+                    let channels = default.input_channels;
+                    let len = channels * spec.height * spec.width;
+                    let mut rng = StdRng::seed_from_u64(spec.seed + i as u64);
+                    let mut latencies = Vec::with_capacity(spec.requests_per_client);
+                    let mut rejected = 0usize;
+                    for _ in 0..spec.requests_per_client {
+                        let pixels = synthetic_pixels(&mut rng, len);
+                        let t0 = Instant::now();
+                        match client.classify(None, channels, spec.height, spec.width, pixels) {
+                            Ok(_) => {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                            }
+                            Err(A4nnError::Saturated(_)) => rejected += 1,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    let _ = client.goodbye();
+                    Ok((latencies, rejected))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(A4nnError::Internal("load client thread panicked".into()))
+                })
+            })
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut rejected = 0usize;
+    for outcome in outcomes {
+        let (lats, rej) = outcome?;
+        latencies.extend(lats);
+        rejected += rej;
+    }
+    let requests = spec.clients * spec.requests_per_client;
+    let accepted = latencies.len();
+    if accepted == 0 {
+        return Err(A4nnError::Saturated(format!(
+            "all {requests} request(s) were rejected; no latency to report"
+        )));
+    }
+    latencies.sort_unstable();
+    let sum: u64 = latencies.iter().sum();
+    Ok(LoadReport {
+        clients: spec.clients,
+        requests,
+        accepted,
+        rejected,
+        elapsed_s,
+        throughput_rps: accepted as f64 / elapsed_s.max(f64::EPSILON),
+        p50_us: percentile(&latencies, 50),
+        p99_us: percentile(&latencies, 99),
+        mean_us: sum as f64 / accepted as f64,
+        max_us: *latencies.last().unwrap_or(&0),
+    })
+}
+
+/// Run the throughput-vs-batch-size sweep: one in-process server per
+/// batch size, identical seeded load against each.
+pub fn sweep_in_process(
+    commons: &Path,
+    batch_sizes: &[usize],
+    clients: usize,
+    requests_per_client: usize,
+    height: usize,
+    width: usize,
+    seed: u64,
+) -> Result<BenchReport, A4nnError> {
+    let mut points = Vec::with_capacity(batch_sizes.len());
+    for &max_batch in batch_sizes {
+        let repo = ModelRepo::load(commons)?;
+        let cfg = ServeConfig {
+            batcher: crate::batcher::BatcherConfig {
+                max_batch,
+                // The sweep measures batching, not rejection: size the
+                // queue to the offered concurrency so admission control
+                // stays out of the way.
+                queue_cap: (clients * 2).max(64),
+                ..Default::default()
+            },
+            metrics_out: None,
+        };
+        let metrics = Arc::new(MetricsRegistry::new());
+        let handle = ServeServer::spawn("127.0.0.1:0", repo, cfg, metrics, clients)?;
+        let report = run_load(&LoadSpec {
+            addr: handle.addr().to_string(),
+            clients,
+            requests_per_client,
+            height,
+            width,
+            seed,
+        })?;
+        handle.join()?;
+        points.push(BatchPoint { max_batch, report });
+    }
+    Ok(BenchReport {
+        clients,
+        requests_per_client,
+        height,
+        width,
+        seed,
+        points,
+    })
+}
+
+/// Classify seeded images over the wire and diff the logits bitwise
+/// against a locally-loaded copy of the same models. Returns the number
+/// of comparisons made; any mismatch is an `Internal` error naming the
+/// first diverging model.
+pub fn verify_against_direct(
+    commons: &Path,
+    addr: &str,
+    samples_per_model: usize,
+    height: usize,
+    width: usize,
+    seed: u64,
+) -> Result<usize, A4nnError> {
+    let (infos, _, mut nets) = ModelRepo::load(commons)?.into_parts();
+    let mut client = ServeClient::connect(addr)?;
+    let mut ws = Workspace::new();
+    let mut checked = 0usize;
+    for (idx, info) in infos.iter().enumerate() {
+        let len = info.input_channels * height * width;
+        let mut rng = StdRng::seed_from_u64(seed ^ info.model_id);
+        for sample in 0..samples_per_model {
+            let pixels = synthetic_pixels(&mut rng, len);
+            let served = client.classify(
+                Some(info.model_id),
+                info.input_channels,
+                height,
+                width,
+                pixels.clone(),
+            )?;
+            let x = Tensor4::from_vec(1, info.input_channels, height, width, pixels);
+            let logits = nets[idx].forward_ws(&x, false, &mut ws);
+            let direct = logits.row(0);
+            let matches = served.logits.len() == direct.len()
+                && served
+                    .logits
+                    .iter()
+                    .zip(direct)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !matches {
+                return Err(A4nnError::Internal(format!(
+                    "serve response diverged from direct evaluation for model {} sample {sample}",
+                    info.model_id
+                )));
+            }
+            ws.give2(logits);
+            checked += 1;
+        }
+    }
+    let _ = client.goodbye();
+    Ok(checked)
+}

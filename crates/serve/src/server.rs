@@ -1,0 +1,220 @@
+//! The serve endpoint: a TCP listener in front of the micro-batcher.
+//!
+//! Structure mirrors the distributed-search worker server (bind /
+//! `local_addr` / `run(sessions)` / `spawn`), with one deliberate
+//! difference: sessions are served *concurrently*, one thread per
+//! accepted connection, because cross-connection micro-batching is the
+//! whole point — the batcher folds simultaneous requests from different
+//! clients into shared forward passes.
+//!
+//! Connection threads do no tensor work themselves: they decode frames,
+//! hand requests to the [`Batcher`], and write replies. All `f32`
+//! scratch lives in the batch workers' pooled arenas.
+//!
+//! When a metrics path is configured, the full registry snapshot is
+//! written atomically after *every* connection closes, so a server
+//! killed by a supervisor (or a CI job) still leaves its measurements on
+//! disk.
+
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::model::ModelRepo;
+use crate::protocol::{ServeRequest, ServeResponse};
+use a4nn_error::A4nnError;
+use a4nn_metrics::MetricsRegistry;
+use a4nn_net::{read_message, write_message, NetError, PROTOCOL_VERSION};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Server configuration: batcher knobs plus the metrics sink.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Admission-queue and batching knobs.
+    pub batcher: BatcherConfig,
+    /// Where to persist the metrics snapshot after each connection
+    /// closes (atomic tmp+rename), when set.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// A bound serve endpoint, ready to accept classify connections.
+pub struct ServeServer {
+    listener: TcpListener,
+    batcher: Arc<Batcher>,
+    metrics: Arc<MetricsRegistry>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl ServeServer {
+    /// Bind `addr` (port `0` picks a free port) and start the batch
+    /// workers over `repo`'s models.
+    pub fn bind(
+        addr: &str,
+        repo: ModelRepo,
+        cfg: ServeConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<Self, A4nnError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| A4nnError::Net(format!("binding serve listener on {addr}: {e}")))?;
+        let batcher = Arc::new(Batcher::start(repo, cfg.batcher, Arc::clone(&metrics))?);
+        Ok(ServeServer {
+            listener,
+            batcher,
+            metrics,
+            metrics_out: cfg.metrics_out,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> Result<SocketAddr, A4nnError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| A4nnError::Net(format!("reading serve listener address: {e}")))
+    }
+
+    /// Accept and serve connections, one thread each. `sessions == 0`
+    /// serves forever; otherwise the accept loop exits after that many
+    /// connections and waits for their threads to finish. A connection
+    /// that ends abnormally (dropped socket, bad frame) is logged and
+    /// counted, never fatal to the server.
+    pub fn run(&self, sessions: usize) -> Result<(), A4nnError> {
+        let mut accepted = 0usize;
+        let mut joins = Vec::new();
+        for stream in self.listener.incoming() {
+            let stream =
+                stream.map_err(|e| A4nnError::Net(format!("accepting serve connection: {e}")))?;
+            let batcher = Arc::clone(&self.batcher);
+            let metrics = Arc::clone(&self.metrics);
+            let metrics_out = self.metrics_out.clone();
+            joins.push(std::thread::spawn(move || {
+                if let Err(e) = serve_connection(stream, &batcher) {
+                    eprintln!("a4nn serve: connection ended abnormally: {e}");
+                }
+                if let Some(path) = metrics_out {
+                    if let Err(e) = persist_metrics(&metrics, &path) {
+                        eprintln!("a4nn serve: writing metrics to {}: {e}", path.display());
+                    }
+                }
+            }));
+            accepted += 1;
+            if sessions != 0 && accepted >= sessions {
+                break;
+            }
+        }
+        for join in joins {
+            let _ = join.join();
+        }
+        Ok(())
+    }
+
+    /// Bind and serve on a background thread — the in-process server the
+    /// tests and the bench sweep drive.
+    pub fn spawn(
+        addr: &str,
+        repo: ModelRepo,
+        cfg: ServeConfig,
+        metrics: Arc<MetricsRegistry>,
+        sessions: usize,
+    ) -> Result<ServeHandle, A4nnError> {
+        let server = ServeServer::bind(addr, repo, cfg, metrics)?;
+        let addr = server.local_addr()?;
+        let join = std::thread::spawn(move || server.run(sessions));
+        Ok(ServeHandle { addr, join })
+    }
+}
+
+/// Handle to a [`ServeServer::spawn`]ed background server.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<Result<(), A4nnError>>,
+}
+
+impl ServeHandle {
+    /// The server's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the server to finish its session budget.
+    pub fn join(self) -> Result<(), A4nnError> {
+        self.join
+            .join()
+            .map_err(|_| A4nnError::Internal("serve server thread panicked".into()))?
+    }
+}
+
+/// Atomically persist the registry snapshot as pretty JSON.
+fn persist_metrics(metrics: &MetricsRegistry, path: &std::path::Path) -> Result<(), A4nnError> {
+    a4nn_lineage::write_atomic(path, &metrics.snapshot().to_json()?)
+}
+
+/// Drive one client session over `stream`.
+fn serve_connection(stream: TcpStream, batcher: &Batcher) -> Result<(), NetError> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+
+    // Handshake: refuse foreign protocol revisions explicitly, exactly
+    // like the worker server does.
+    match read_message::<_, ServeRequest>(&mut reader)? {
+        Some(ServeRequest::Hello { version }) if version == PROTOCOL_VERSION => {}
+        Some(ServeRequest::Hello { version }) => {
+            let reason = format!(
+                "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, client v{version}"
+            );
+            let _ = write_message(&mut writer, &ServeResponse::Refused { reason });
+            return Err(NetError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: version,
+            });
+        }
+        other => {
+            return Err(NetError::Protocol(format!(
+                "expected Hello to open the session, got {other:?}"
+            )))
+        }
+    }
+    write_message(
+        &mut writer,
+        &ServeResponse::Welcome {
+            version: PROTOCOL_VERSION,
+            models: batcher.infos().len(),
+        },
+    )?;
+
+    loop {
+        match read_message::<_, ServeRequest>(&mut reader)? {
+            Some(ServeRequest::Classify {
+                model_id,
+                channels,
+                height,
+                width,
+                pixels,
+            }) => {
+                let response = match batcher.classify(model_id, channels, height, width, pixels) {
+                    Ok(c) => ServeResponse::Classified {
+                        model_id: c.model_id,
+                        class: c.class,
+                        logits: c.logits,
+                    },
+                    Err(A4nnError::Saturated(reason)) => ServeResponse::Rejected { reason },
+                    Err(e) => ServeResponse::Error {
+                        message: e.to_string(),
+                    },
+                };
+                write_message(&mut writer, &response)?;
+            }
+            Some(ServeRequest::Models) => {
+                write_message(
+                    &mut writer,
+                    &ServeResponse::Models(batcher.infos().to_vec()),
+                )?;
+            }
+            Some(ServeRequest::Goodbye) | None => return Ok(()),
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected mid-session request {other:?}"
+                )))
+            }
+        }
+    }
+}

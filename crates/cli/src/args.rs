@@ -86,8 +86,16 @@ serve options:
   --ws-limit-mb <n>          workspace pool cap per worker, MiB [8]
   --sessions <n>             serve this many connections then exit;
                              0 serves forever                 [0]
-  --metrics-out <file>       write the metrics snapshot here after
-                             every connection closes
+  --io <threads|reactor>     connection handling: one thread per
+                             connection, or one epoll event loop
+                             multiplexing all of them
+                             [reactor on Linux, threads elsewhere]
+  --idle-ms <n>              drop a connection with no read/write
+                             progress for this long       [30000]
+  --metrics-out <file>       write the metrics snapshot here as
+                             connections close (debounced) and at exit
+  --metrics-interval-ms <n>  persist the snapshot at most once per
+                             this interval                 [2000]
 
 serve-bench options:
   --addr <addr>              target an already-running serve endpoint;
@@ -105,6 +113,10 @@ serve-bench options:
                              evaluation                       [8]
   --seed <u64>               synthetic pixel seed             [2023]
   --out <file>               bench report path     [BENCH_serve.json]
+  --scaling                  with --commons (no --addr): append a
+                             connection-scaling sweep to the report —
+                             client counts 4,16,64,128,256 against
+                             each available --io mode
 
 viz options:
   --commons <dir>            commons directory (required)
@@ -218,7 +230,10 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue",
     "--batch-workers",
     "--ws-limit-mb",
+    "--io",
+    "--idle-ms",
     "--metrics-out",
+    "--metrics-interval-ms",
     "--addr",
     "--clients",
     "--requests",
@@ -228,7 +243,7 @@ const VALUE_FLAGS: &[&str] = &[
 ];
 
 /// Boolean flags.
-const BOOL_FLAGS: &[&str] = &["--real", "--dot"];
+const BOOL_FLAGS: &[&str] = &["--real", "--dot", "--scaling"];
 
 /// A parsed command line.
 #[derive(Debug, Clone)]

@@ -11,6 +11,7 @@ use a4nn_xfel::generate_split;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors surfaced to the user by the subcommands.
 #[derive(Debug)]
@@ -454,6 +455,10 @@ fn run_serve(parsed: &Parsed) -> Result<(), CommandError> {
         .get("--listen")
         .ok_or_else(|| CommandError::Invalid("--listen <addr> is required".into()))?;
     let sessions = parsed.get_parse("--sessions", 0usize, "usize")?;
+    let io = match parsed.get("--io") {
+        None => a4nn_serve::IoMode::default_for_platform(),
+        Some(raw) => a4nn_serve::IoMode::parse(raw)?,
+    };
     let cfg = a4nn_serve::ServeConfig {
         batcher: a4nn_serve::BatcherConfig {
             max_batch: parsed.get_parse("--batch", 8usize, "usize")?,
@@ -461,15 +466,23 @@ fn run_serve(parsed: &Parsed) -> Result<(), CommandError> {
             workers: parsed.get_parse("--batch-workers", 1usize, "usize")?,
             ws_limit_bytes: parsed.get_parse("--ws-limit-mb", 8usize, "usize")? * 1024 * 1024,
         },
+        io,
+        idle_timeout: Duration::from_millis(parsed.get_parse("--idle-ms", 30_000u64, "u64")?),
         metrics_out: parsed.get("--metrics-out").map(PathBuf::from),
+        metrics_interval: Duration::from_millis(parsed.get_parse(
+            "--metrics-interval-ms",
+            2_000u64,
+            "u64",
+        )?),
     };
     let repo = a4nn_serve::ModelRepo::load(&PathBuf::from(commons))?;
     let menu = repo.infos();
     let server =
         a4nn_serve::ServeServer::bind(listen, repo, cfg, Arc::new(MetricsRegistry::new()))?;
     println!(
-        "a4nn serve listening on {} ({} Pareto model(s), {})",
+        "a4nn serve listening on {} (--io {}, {} Pareto model(s), {})",
         server.local_addr()?,
+        io.as_str(),
         menu.len(),
         if sessions == 0 {
             "serving until killed".to_string()
@@ -535,17 +548,39 @@ fn run_serve_bench(parsed: &Parsed) -> Result<(), CommandError> {
                     max_batch: 0, // unknown: the remote server's setting
                     report: load,
                 }],
+                scaling: Vec::new(),
             }
         }
-        (None, Some(commons)) => a4nn_serve::sweep_in_process(
-            &PathBuf::from(commons),
-            &[1, 2, 4, 8],
-            clients,
-            requests,
-            height,
-            width,
-            seed,
-        )?,
+        (None, Some(commons)) => {
+            let commons = PathBuf::from(commons);
+            let mut report = a4nn_serve::sweep_in_process(
+                &commons,
+                &[1, 2, 4, 8],
+                clients,
+                requests,
+                height,
+                width,
+                seed,
+            )?;
+            if parsed.flag("--scaling") {
+                // Threads everywhere; the reactor where epoll exists.
+                let modes: &[a4nn_serve::IoMode] = if cfg!(target_os = "linux") {
+                    &[a4nn_serve::IoMode::Threads, a4nn_serve::IoMode::Reactor]
+                } else {
+                    &[a4nn_serve::IoMode::Threads]
+                };
+                report.scaling = a4nn_serve::scaling_sweep(
+                    &commons,
+                    modes,
+                    &[4, 16, 64, 128, 256],
+                    requests,
+                    height,
+                    width,
+                    seed,
+                )?;
+            }
+            report
+        }
         (None, None) => {
             return Err(CommandError::Invalid(
                 "serve-bench needs --addr (live endpoint) or --commons (in-process sweep)".into(),
@@ -557,6 +592,18 @@ fn run_serve_bench(parsed: &Parsed) -> Result<(), CommandError> {
         println!(
             "batch {:>3}: {:8.1} req/s  p50 {:>6} us  p99 {:>6} us  ({} accepted, {} rejected)",
             p.max_batch,
+            p.report.throughput_rps,
+            p.report.p50_us,
+            p.report.p99_us,
+            p.report.accepted,
+            p.report.rejected
+        );
+    }
+    for p in &report.scaling {
+        println!(
+            "{:>7} x{:>3} clients: {:8.1} req/s  p50 {:>6} us  p99 {:>6} us  ({} accepted, {} rejected)",
+            p.io,
+            p.clients,
             p.report.throughput_rps,
             p.report.p50_us,
             p.report.p99_us,

@@ -380,6 +380,25 @@ pub mod names {
     /// High-water mark of bytes parked in the batcher's workspace pool
     /// (monotonic counter: updated by the delta since the last export).
     pub const SERVE_WS_PEAK_BYTES: &str = "serve_ws_peak_bytes";
+
+    // --- Event-driven I/O reactor (`a4nn serve --io reactor`) -----------
+
+    /// `epoll_wait` returns, including deadline-only wakeups.
+    pub const REACTOR_WAKEUPS: &str = "reactor_wakeups";
+    /// Ready events delivered per `epoll_wait` return (histogram) — the
+    /// multiplexing ratio: how many sockets each wakeup services.
+    pub const REACTOR_READY_EVENTS: &str = "reactor_ready_events";
+    /// Connections the reactor accepted.
+    pub const REACTOR_CONNS_OPENED: &str = "reactor_conns_opened";
+    /// Connections the reactor closed (any reason).
+    pub const REACTOR_CONNS_CLOSED: &str = "reactor_conns_closed";
+    /// High-water mark of simultaneously live reactor connections
+    /// (monotonic counter: updated by the delta since the last export).
+    pub const REACTOR_CONNS_LIVE_PEAK: &str = "reactor_conns_live_peak";
+    /// Connections closed by the idle/stall deadline.
+    pub const REACTOR_IDLE_CLOSED: &str = "reactor_idle_closed";
+    /// Accept→first-byte wall time per connection, microseconds.
+    pub const REACTOR_ACCEPT_FIRST_BYTE_US: &str = "reactor_accept_first_byte_us";
 }
 
 #[cfg(test)]

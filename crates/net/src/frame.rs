@@ -158,9 +158,10 @@ impl FrameDecoder {
         self.buf.len()
     }
 
-    /// Pop the next complete message; `Ok(None)` means more bytes are
-    /// needed.
-    pub fn next_frame<T: Deserialize>(&mut self) -> Result<Option<T>, NetError> {
+    /// Validate the buffered header and return the full frame length
+    /// (header + payload) when the header is complete, `Ok(None)` when
+    /// more header bytes are needed.
+    fn frame_len(&self) -> Result<Option<usize>, NetError> {
         if self.buf.len() < HEADER_LEN {
             return Ok(None);
         }
@@ -180,14 +181,35 @@ impl FrameDecoder {
         if len > MAX_PAYLOAD {
             return Err(NetError::FrameTooLarge { len });
         }
-        let total = HEADER_LEN + len as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
+        Ok(Some(HEADER_LEN + len as usize))
+    }
+
+    /// Pop the next complete message; `Ok(None)` means more bytes are
+    /// needed.
+    pub fn next_frame<T: Deserialize>(&mut self) -> Result<Option<T>, NetError> {
+        let total = match self.frame_len()? {
+            Some(total) if self.buf.len() >= total => total,
+            _ => return Ok(None),
+        };
         let msg = serde_json::from_slice(&self.buf[HEADER_LEN..total])
             .map_err(|e| NetError::Decode(e.to_string()))?;
         self.buf.drain(..total);
         Ok(Some(msg))
+    }
+
+    /// Pop the next complete frame's *raw payload bytes* after header
+    /// validation, leaving deserialization to the caller. This is the
+    /// reactor's entry point: the event loop validates framing once and
+    /// hands the payload to a protocol handler that knows the message
+    /// type.
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        let total = match self.frame_len()? {
+            Some(total) if self.buf.len() >= total => total,
+            _ => return Ok(None),
+        };
+        let payload = self.buf[HEADER_LEN..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
     }
 
     /// Call when the stream reached clean EOF: leftover buffered bytes
@@ -277,6 +299,80 @@ pub fn read_message<R: Read, T: Deserialize>(r: &mut R) -> Result<Option<T>, Net
     serde_json::from_slice(&payload)
         .map(Some)
         .map_err(|e| NetError::Decode(e.to_string()))
+}
+
+/// Buffered outbound bytes for a nonblocking stream — the write-side
+/// twin of [`FrameDecoder`].
+///
+/// A nonblocking socket may accept any prefix of a `write` (including
+/// nothing); the queue owns whatever the kernel did not take, so a
+/// frame's bytes hit the wire exactly once and in order no matter how
+/// the writes are cut. The reactor re-registers write interest exactly
+/// while [`pending`](Self::pending) is nonzero.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WriteQueue::default()
+    }
+
+    /// Append one encoded frame's bytes (from [`encode`]).
+    pub fn enqueue(&mut self, frame: &[u8]) {
+        // Reclaim the consumed prefix before it dominates the buffer.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(frame);
+    }
+
+    /// Encode `msg` and queue its frame.
+    pub fn enqueue_message<T: Serialize>(&mut self, msg: &T) -> Result<(), NetError> {
+        let frame = encode(msg)?;
+        self.enqueue(&frame);
+        Ok(())
+    }
+
+    /// Bytes queued but not yet accepted by the sink.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every queued byte has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Write as much as the sink accepts. Returns `Ok(true)` when the
+    /// queue drained completely, `Ok(false)` when the sink stopped
+    /// taking bytes mid-queue (`WouldBlock`); short `Ok(n)` writes keep
+    /// going and `Interrupted` is retried, every other error is the
+    /// caller's to map. A sink returning `Ok(0)` with bytes still
+    /// pending is a closed pipe and surfaces as `WriteZero`.
+    pub fn flush_into<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes with frame data pending",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,12 @@
 //!   workers weighted by their advertised GPU counts, detects dead
 //!   workers by heartbeat deadline, and requeues their in-flight jobs
 //!   through the scheduler's existing retry machinery.
+//! - [`reactor`] (Linux) — the event-driven I/O layer: an epoll event
+//!   loop over hand-written syscall bindings ([`sys`]) that multiplexes
+//!   every connection through one thread, driving nonblocking state
+//!   machines built from the same [`FrameDecoder`] plus the buffered
+//!   partial-write [`WriteQueue`]. The serve endpoint runs on it by
+//!   default on Linux (`--io reactor`).
 //!
 //! The load-bearing property is *placement invariance*: the worker runs
 //! exactly the in-process training function on a purely
@@ -35,13 +41,21 @@
 
 pub mod frame;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
+#[cfg(target_os = "linux")]
+pub mod sys;
 pub mod transport;
 pub mod worker;
 
 pub use frame::{
-    encode, read_message, write_message, FrameDecoder, NetError, HEADER_LEN, MAGIC, MAX_PAYLOAD,
-    PROTOCOL_VERSION, READ_CHUNK,
+    encode, read_message, write_message, FrameDecoder, NetError, WriteQueue, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, PROTOCOL_VERSION, READ_CHUNK,
 };
 pub use protocol::Message;
+#[cfg(target_os = "linux")]
+pub use reactor::{
+    CloseReason, FrameHandler, HandlerAction, Reactor, ReactorConfig, ReactorHandle, Token,
+};
 pub use transport::{SocketOptions, SocketTransport};
 pub use worker::{WorkerHandle, WorkerServer};

@@ -172,6 +172,11 @@ fn serve_session(stream: TcpStream, gpus: usize) -> Result<(), NetError> {
             }
         });
 
+        // Per-job thread handles, reaped as jobs finish: a long session
+        // streaming thousands of jobs must not accumulate a handle per
+        // job it ever trained (the scope would otherwise hold them all
+        // until the session ends).
+        let mut jobs: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
         let loop_result = loop {
             match read_message::<_, Message>(&mut reader) {
                 Ok(Some(Message::Job {
@@ -180,13 +185,21 @@ fn serve_session(stream: TcpStream, gpus: usize) -> Result<(), NetError> {
                     dispatch_attempt,
                     genome,
                 })) => {
+                    let mut i = 0;
+                    while i < jobs.len() {
+                        if jobs[i].is_finished() {
+                            let _ = jobs.swap_remove(i).join();
+                        } else {
+                            i += 1;
+                        }
+                    }
                     let factory = &factory;
                     let ft = &ft;
                     let config = &config;
                     let writer = &writer;
                     let mute_until = &mute_until;
                     let done = &done;
-                    scope.spawn(move |_| {
+                    jobs.push(scope.spawn(move |_| {
                         let epochs = config.nas.epochs;
                         let stall_ms: u64 = (1..=epochs)
                             .map(|e| ft.plan.worker_stall_millis(model_id, e))
@@ -217,7 +230,7 @@ fn serve_session(stream: TcpStream, gpus: usize) -> Result<(), NetError> {
                                 outcome,
                             },
                         );
-                    });
+                    }));
                 }
                 Ok(Some(Message::Shutdown)) | Ok(None) => break Ok(()),
                 Ok(Some(other)) => {

@@ -67,6 +67,32 @@ pub struct Classification {
     pub logits: Vec<f32>,
 }
 
+/// Where a finished classification goes.
+///
+/// Connection threads block on a channel; the epoll reactor cannot
+/// block, so it hands the batcher a callback that posts the encoded
+/// response back through the reactor's completion doorbell. Either way
+/// the batch worker's job is the same: deliver one [`Classification`].
+pub enum ReplySink {
+    /// Send into a bounded channel (the blocking connection-thread path).
+    Channel(Sender<Classification>),
+    /// Invoke a closure on the batch worker thread (the reactor path —
+    /// the closure must be cheap: encode and notify, no tensor work).
+    Callback(Box<dyn FnOnce(Classification) + Send>),
+}
+
+impl ReplySink {
+    fn deliver(self, c: Classification) {
+        match self {
+            // A receiver that hung up (dead connection) is not an error.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(c);
+            }
+            ReplySink::Callback(f) => f(c),
+        }
+    }
+}
+
 /// A request parked in the admission queue.
 struct Pending {
     model_idx: usize,
@@ -75,7 +101,7 @@ struct Pending {
     width: usize,
     pixels: Vec<f32>,
     enqueued: Instant,
-    reply: Sender<Classification>,
+    reply: ReplySink,
 }
 
 impl Pending {
@@ -161,6 +187,30 @@ impl Batcher {
         width: usize,
         pixels: Vec<f32>,
     ) -> Result<Receiver<Classification>, A4nnError> {
+        let (tx, rx) = bounded(1);
+        self.submit_sink(
+            model_id,
+            channels,
+            height,
+            width,
+            pixels,
+            ReplySink::Channel(tx),
+        )?;
+        Ok(rx)
+    }
+
+    /// [`submit`](Self::submit) with an explicit reply sink — the
+    /// reactor's nonblocking entry point. Validation and admission
+    /// control are identical; only where the answer lands differs.
+    pub fn submit_sink(
+        &self,
+        model_id: Option<u64>,
+        channels: usize,
+        height: usize,
+        width: usize,
+        pixels: Vec<f32>,
+        reply: ReplySink,
+    ) -> Result<(), A4nnError> {
         let model_idx = match model_id {
             None => self.shared.default_idx,
             Some(id) => self
@@ -186,7 +236,6 @@ impl Batcher {
                 channels * height * width
             )));
         }
-        let (tx, rx) = bounded(1);
         let pending = Pending {
             model_idx,
             channels,
@@ -194,7 +243,7 @@ impl Batcher {
             width,
             pixels,
             enqueued: Instant::now(),
-            reply: tx,
+            reply,
         };
         {
             let mut q = self.shared.queue.lock();
@@ -213,7 +262,7 @@ impl Batcher {
         }
         self.shared.cond.notify_one();
         self.shared.metrics.add(names::SERVE_REQUESTS, 1);
-        Ok(rx)
+        Ok(())
     }
 
     /// Submit and block for the answer, recording end-to-end latency.
@@ -328,11 +377,10 @@ fn worker_loop(shared: &Shared, mut nets: Vec<Network>) {
             .observe_duration(names::SERVE_EVAL_US, t0.elapsed().as_secs_f64());
         ws.give4(x);
         let model_id = shared.infos[model_idx].model_id;
-        for (i, p) in batch.iter().enumerate() {
+        for (i, p) in batch.into_iter().enumerate() {
             let row = logits.row(i).to_vec();
             let class = argmax(&row);
-            // A receiver that hung up (dead connection) is not an error.
-            let _ = p.reply.send(Classification {
+            p.reply.deliver(Classification {
                 model_id,
                 class,
                 logits: row,

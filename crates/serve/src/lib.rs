@@ -20,10 +20,13 @@
 //! - [`server`] / [`client`] — the TCP endpoint and its blocking client,
 //!   speaking [`protocol`] messages over the `a4nn-net` frame codec
 //!   (same magic, version, and typed frame errors as the distributed
-//!   search).
-//! - [`loadgen`] — the load generator, the throughput-vs-batch-size
-//!   sweep behind `BENCH_serve.json`, and the serve-vs-direct bitwise
-//!   verifier CI runs.
+//!   search). Two interchangeable I/O layers (`--io threads|reactor`):
+//!   thread-per-connection, or the epoll reactor from
+//!   `a4nn_net::reactor` multiplexing every connection through one
+//!   thread (Linux default).
+//! - [`loadgen`] — the load generator, the throughput-vs-batch-size and
+//!   connection-scaling sweeps behind `BENCH_serve.json`, and the
+//!   serve-vs-direct bitwise verifier CI runs.
 //!
 //! The load-bearing property is the serving restatement of the
 //! workspace determinism argument: eval-mode forward treats every sample
@@ -41,12 +44,12 @@ pub mod model;
 pub mod protocol;
 pub mod server;
 
-pub use batcher::{Batcher, BatcherConfig, Classification};
+pub use batcher::{Batcher, BatcherConfig, Classification, ReplySink};
 pub use client::ServeClient;
 pub use loadgen::{
-    run_load, sweep_in_process, verify_against_direct, BatchPoint, BenchReport, LoadReport,
-    LoadSpec,
+    run_load, scaling_sweep, sweep_in_process, verify_against_direct, BatchPoint, BenchReport,
+    LoadReport, LoadSpec, ScalingPoint,
 };
 pub use model::{ModelRepo, ServedModel};
 pub use protocol::{ModelInfo, ServeRequest, ServeResponse};
-pub use server::{ServeConfig, ServeHandle, ServeServer};
+pub use server::{IoMode, ServeConfig, ServeHandle, ServeServer};

@@ -81,10 +81,22 @@ pub struct BatchPoint {
     pub report: LoadReport,
 }
 
+/// One point of the connection-scaling sweep: a fixed client count
+/// driven against one I/O mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// The server's I/O layer (`threads` or `reactor`).
+    pub io: String,
+    /// Concurrent client connections offered.
+    pub clients: usize,
+    /// The load measurements at that concurrency.
+    pub report: LoadReport,
+}
+
 /// The committed bench artifact (`BENCH_serve.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
-    /// Concurrent client connections per point.
+    /// Concurrent client connections per batch-size point.
     pub clients: usize,
     /// Requests per client per point.
     pub requests_per_client: usize,
@@ -96,6 +108,10 @@ pub struct BenchReport {
     pub seed: u64,
     /// One entry per swept batch size.
     pub points: Vec<BatchPoint>,
+    /// Connection-scaling sweep: client counts × I/O modes (absent in
+    /// reports written before the reactor existed).
+    #[serde(default)]
+    pub scaling: Vec<ScalingPoint>,
 }
 
 /// Deterministic synthetic image for (seed, request index).
@@ -218,7 +234,7 @@ pub fn sweep_in_process(
                 queue_cap: (clients * 2).max(64),
                 ..Default::default()
             },
-            metrics_out: None,
+            ..ServeConfig::default()
         };
         let metrics = Arc::new(MetricsRegistry::new());
         let handle = ServeServer::spawn("127.0.0.1:0", repo, cfg, metrics, clients)?;
@@ -240,7 +256,55 @@ pub fn sweep_in_process(
         width,
         seed,
         points,
+        scaling: Vec::new(),
     })
+}
+
+/// Run the connection-scaling sweep: every client count in
+/// `client_counts` against every I/O mode in `modes`, one in-process
+/// server per point. The admission queue is sized to the offered
+/// concurrency (as in [`sweep_in_process`]) so the sweep measures the
+/// I/O layer, not admission control.
+pub fn scaling_sweep(
+    commons: &Path,
+    modes: &[crate::server::IoMode],
+    client_counts: &[usize],
+    requests_per_client: usize,
+    height: usize,
+    width: usize,
+    seed: u64,
+) -> Result<Vec<ScalingPoint>, A4nnError> {
+    let mut points = Vec::with_capacity(modes.len() * client_counts.len());
+    for &io in modes {
+        for &clients in client_counts {
+            let repo = ModelRepo::load(commons)?;
+            let cfg = ServeConfig {
+                batcher: crate::batcher::BatcherConfig {
+                    queue_cap: (clients * 2).max(64),
+                    ..Default::default()
+                },
+                io,
+                ..ServeConfig::default()
+            };
+            let metrics = Arc::new(MetricsRegistry::new());
+            let handle = ServeServer::spawn("127.0.0.1:0", repo, cfg, metrics, clients)?;
+            let report = run_load(&LoadSpec {
+                addr: handle.addr().to_string(),
+                clients,
+                requests_per_client,
+                height,
+                width,
+                seed,
+            })?;
+            handle.join()?;
+            points.push(ScalingPoint {
+                io: io.as_str().to_string(),
+                clients,
+                report,
+            });
+        }
+    }
+    Ok(points)
 }
 
 /// Classify seeded images over the wire and diff the logits bitwise

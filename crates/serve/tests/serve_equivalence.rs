@@ -92,7 +92,7 @@ fn micro_batched_responses_match_single_request_eval_bitwise() {
             workers: 2,
             ..BatcherConfig::default()
         },
-        metrics_out: None,
+        ..ServeConfig::default()
     };
     let metrics = Arc::new(MetricsRegistry::new());
     let handle = ServeServer::spawn("127.0.0.1:0", serving, cfg, Arc::clone(&metrics), CLIENTS)

@@ -1,0 +1,130 @@
+//! Idle-deadline enforcement, in both I/O modes: a client that stalls
+//! mid-frame is disconnected at the idle deadline, and while it stalls
+//! it never blocks service to healthy connections.
+//!
+//! The stalled client sends *half* a frame and then goes silent — the
+//! worst case for a server, because the connection is mid-parse: a
+//! blocking reader would sit in `read` forever, and a naive reactor
+//! would keep the registration alive with no way to make progress.
+
+use a4nn_core::prelude::*;
+use a4nn_net::encode;
+use a4nn_serve::{
+    BatcherConfig, IoMode, ModelRepo, ServeClient, ServeConfig, ServeRequest, ServeServer,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn commons() -> &'static DataCommons {
+    static COMMONS: OnceLock<DataCommons> = OnceLock::new();
+    COMMONS.get_or_init(|| {
+        let cfg = WorkflowConfig {
+            nas: NasSettings {
+                population: 4,
+                offspring: 4,
+                generations: 1,
+                ..NasSettings::paper_defaults()
+            },
+            engine: Some(EngineConfig::paper_defaults()),
+            gpus: 1,
+            beam: BeamIntensity::Low,
+            seed: 2023,
+        };
+        let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
+        A4nnWorkflow::new(cfg).run(&factory).commons
+    })
+}
+
+fn repo() -> ModelRepo {
+    ModelRepo::from_commons(commons(), None).expect("search run must yield a servable front")
+}
+
+/// Stall a connection with half a frame on the wire; serve a healthy
+/// client meanwhile; require the healthy answer promptly and the
+/// stalled socket closed at the deadline.
+fn stalled_client_is_reaped_without_blocking_others(io: IoMode) {
+    const IDLE: Duration = Duration::from_millis(400);
+    let serving = repo();
+    let metrics = Arc::new(MetricsRegistry::new());
+    let cfg = ServeConfig {
+        batcher: BatcherConfig::default(),
+        io,
+        idle_timeout: IDLE,
+        ..ServeConfig::default()
+    };
+    // Session budget 2: the stalled connection and the healthy one.
+    let handle = ServeServer::spawn("127.0.0.1:0", serving, cfg, metrics, 2)
+        .expect("spawning the in-process serve endpoint");
+    let addr = handle.addr().to_string();
+
+    // The stalled client: half a Hello frame, then silence.
+    let mut stalled = TcpStream::connect(&addr).expect("stalled client connects");
+    let frame = encode(&ServeRequest::Hello { version: 1 }).expect("encoding Hello");
+    stalled
+        .write_all(&frame[..frame.len() / 2])
+        .expect("sending the partial frame");
+    stalled.flush().expect("flushing the partial frame");
+
+    // The healthy client, with the stall already in progress: full
+    // service, promptly — the stalled peer costs it nothing.
+    let healthy_started = Instant::now();
+    let mut client = ServeClient::connect(&addr).expect("healthy client connects");
+    let menu = client.models().expect("menu while another client stalls");
+    let default = menu
+        .iter()
+        .find(|m| m.default)
+        .expect("a served front has a default model");
+    let len = default.input_channels * 8 * 8;
+    let answer = client
+        .classify(None, default.input_channels, 8, 8, vec![0.25; len])
+        .expect("classification while another client stalls");
+    assert_eq!(answer.logits.len(), default.num_classes);
+    let healthy_elapsed = healthy_started.elapsed();
+    assert!(
+        healthy_elapsed < IDLE,
+        "--io {}: the healthy client waited {healthy_elapsed:?} — it was \
+         blocked behind the stalled one",
+        io.as_str()
+    );
+    client.goodbye().expect("clean goodbye");
+
+    // The server must close the stalled connection at the idle
+    // deadline: its socket reaches EOF without us ever completing the
+    // frame.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("setting the probe timeout");
+    let reap_started = Instant::now();
+    let mut probe = [0u8; 16];
+    let n = stalled
+        .read(&mut probe)
+        .expect("the server closes the socket rather than leaving it hanging");
+    assert_eq!(
+        n,
+        0,
+        "--io {}: expected EOF on the stalled socket, got {n} byte(s)",
+        io.as_str()
+    );
+    let reaped_after = reap_started.elapsed();
+    assert!(
+        reaped_after < Duration::from_secs(20),
+        "--io {}: the stalled connection outlived the idle deadline by {reaped_after:?}",
+        io.as_str()
+    );
+
+    // Both sessions count against the budget, so the server exits.
+    handle.join().expect("server drains its session budget");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_reaps_stalled_clients_without_blocking_others() {
+    stalled_client_is_reaped_without_blocking_others(IoMode::Reactor);
+}
+
+#[test]
+fn threads_reap_stalled_clients_without_blocking_others() {
+    stalled_client_is_reaped_without_blocking_others(IoMode::Threads);
+}

@@ -75,6 +75,11 @@ pub struct ModelCompleted {
     pub arch_summary: String,
     /// Estimated forward FLOPs.
     pub flops: f64,
+    /// Names of the objective set the run searches under, in objective
+    /// order. Empty when published by a pre-registry producer.
+    pub objective_names: Vec<String>,
+    /// The minimized objective values, aligned with `objective_names`.
+    pub objective_values: Vec<f64>,
     /// Fitness the NAS will use for selection.
     pub final_fitness: f64,
     /// The engine's converged prediction, if training stopped early.

@@ -272,6 +272,8 @@ impl LineageRecorderService {
                         genome: m.genome,
                         arch_summary: m.arch_summary,
                         flops: m.flops,
+                        objective_names: m.objective_names,
+                        objective_values: m.objective_values,
                         engine: engine.clone(),
                         epochs: trail,
                         final_fitness: m.final_fitness,
@@ -455,6 +457,8 @@ mod tests {
                     genome: genome.clone(),
                     arch_summary: "3 phases".into(),
                     flops: 500.0,
+                    objective_names: vec!["neg_fitness".into(), "flops".into()],
+                    objective_values: vec![-53.0, 500.0],
                     final_fitness: 53.0,
                     predicted_fitness: None,
                     terminated_early: false,
@@ -495,6 +499,9 @@ mod tests {
         assert_eq!(records[0].epochs[0].prediction, None);
         assert_eq!(records[0].engine.as_ref().unwrap().function, "exp-base");
         assert_eq!(records[0].beam, "medium");
+        // Objective fields ride the completion event into the record.
+        assert_eq!(records[0].objective_names, vec!["neg_fitness", "flops"]);
+        assert_eq!(records[0].objective_values, vec![-53.0, 500.0]);
     }
 
     #[test]
@@ -570,6 +577,8 @@ mod tests {
                 genome: genome.clone(),
                 arch_summary: "3 phases".into(),
                 flops: 500.0,
+                objective_names: Vec::new(),
+                objective_values: Vec::new(),
                 final_fitness: 53.0,
                 predicted_fitness: None,
                 terminated_early: false,
@@ -599,6 +608,8 @@ mod tests {
                 genome,
                 arch_summary: "3 phases".into(),
                 flops: 500.0,
+                objective_names: Vec::new(),
+                objective_values: Vec::new(),
                 final_fitness: 0.0,
                 predicted_fitness: None,
                 terminated_early: false,

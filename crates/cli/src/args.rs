@@ -38,6 +38,9 @@ search/baseline options (paper Table 2 defaults):
   --generations <n>          generations               [10]
   --epochs <n>               epoch budget per network  [25]
   --orchestration <mode>     direct|bus|socket task coupling [direct]
+  --objectives <name,...>    comma-separated NSGA objective set, each of
+                             neg_fitness|flops|params_bytes|macs|
+                             peak_ws_bytes   [neg_fitness,flops]
   --workers <addr,...>       comma-separated worker addresses for
                              --orchestration socket
   --heartbeat-ms <n>         declare a silent worker dead after this
@@ -209,6 +212,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--generations",
     "--epochs",
     "--orchestration",
+    "--objectives",
     "--workers",
     "--heartbeat-ms",
     "--max-retries",

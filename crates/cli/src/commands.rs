@@ -122,13 +122,43 @@ fn workflow_config(parsed: &Parsed, engine: bool) -> Result<WorkflowConfig, Comm
     } else {
         None
     };
+    // Typed registry lookup: an unknown objective name lists the whole
+    // registry in the error and exits 3 before any search state exists.
+    let objectives = match parsed.get("--objectives") {
+        None => ObjectiveSet::default(),
+        Some(spec) => ObjectiveSet::parse(spec)?,
+    };
     Ok(WorkflowConfig {
         nas,
         engine,
         gpus: parsed.get_parse("--gpus", 1usize, "usize")?,
         beam,
         seed,
+        objectives,
     })
+}
+
+/// Print one Pareto front, one `name=value` cell per configured
+/// objective (legacy records fall back to the `(neg_fitness, flops)`
+/// pair), sorted by FLOPs for a stable, cheap-to-expensive reading.
+fn print_objective_front(analyzer: &Analyzer<'_>) -> Result<(), CommandError> {
+    let mut front = analyzer.pareto_front_objectives()?;
+    front.sort_by(|a, b| a.flops.total_cmp(&b.flops));
+    for r in front {
+        let cells: Vec<String> = r
+            .objective_labels()
+            .iter()
+            .zip(r.objective_vector())
+            .map(|(name, value)| format!("{name}={value:.3}"))
+            .collect();
+        println!(
+            "  model {:>3} | {:>6.2}% | {}",
+            r.model_id,
+            r.final_fitness,
+            cells.join("  ")
+        );
+    }
+    Ok(())
 }
 
 fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
@@ -320,15 +350,8 @@ fn run_search(parsed: &Parsed, engine: bool) -> Result<(), CommandError> {
             stats.subscriber.dropped
         );
     }
-    println!("Pareto front:");
-    let mut front = analyzer.pareto_front();
-    front.sort_by(|a, b| a.flops.total_cmp(&b.flops));
-    for r in front {
-        println!(
-            "  model {:>3} | {:>8.1} MFLOPs | {:>6.2}%",
-            r.model_id, r.flops, r.final_fitness
-        );
-    }
+    println!("Pareto front ({}):", config.objectives);
+    print_objective_front(&analyzer)?;
     if let Some(dir) = &out_dir {
         output.commons.save_dir(dir)?;
         // Written beside the commons files, not through save_dir, so
@@ -387,6 +410,13 @@ fn run_stats(parsed: &Parsed) -> Result<(), CommandError> {
             analyzer.total_epochs(),
             100.0 * analyzer.early_termination_rate()
         );
+        if let Some(r) = commons.records.first() {
+            println!(
+                "objectives   : {} ({} model(s) on the front)",
+                r.objective_labels().join(","),
+                analyzer.pareto_front_objectives()?.len()
+            );
+        }
     }
 
     if let Ok(bytes) = std::fs::read(dir.join("metrics.json")) {
@@ -491,11 +521,17 @@ fn run_serve(parsed: &Parsed) -> Result<(), CommandError> {
         }
     );
     for m in &menu {
+        let objectives: Vec<String> = m
+            .objective_names
+            .iter()
+            .zip(&m.objective_values)
+            .map(|(name, value)| format!("{name}={value:.3}"))
+            .collect();
         println!(
-            "  model {:>4}  fitness {:6.2}%  {:>12.0} FLOPs  {}{}",
+            "  model {:>4}  fitness {:6.2}%  {}  {}{}",
             m.model_id,
             m.fitness,
-            m.flops,
+            objectives.join("  "),
             m.arch_summary,
             if m.default { "  [default]" } else { "" }
         );
@@ -692,15 +728,13 @@ fn run_analyze(parsed: &Parsed) -> Result<(), CommandError> {
     if let Some(c) = analyzer.flops_fitness_correlation() {
         println!("  FLOPs-accuracy corr.    : {c:+.3}");
     }
-    println!("  Pareto front:");
-    let mut front = analyzer.pareto_front();
-    front.sort_by(|a, b| a.flops.total_cmp(&b.flops));
-    for r in front {
-        println!(
-            "    model {:>3} | {:>8.1} MFLOPs | {:>6.2}%",
-            r.model_id, r.flops, r.final_fitness
-        );
-    }
+    let labels = commons
+        .records
+        .first()
+        .map(|r| r.objective_labels().join(","))
+        .unwrap_or_default();
+    println!("  Pareto front ({labels}):");
+    print_objective_front(&analyzer)?;
     Ok(())
 }
 

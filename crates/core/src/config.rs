@@ -1,5 +1,6 @@
 //! Workflow configuration: the paper's Tables 1 and 2 as data.
 
+use crate::objectives::ObjectiveSet;
 use a4nn_genome::SearchSpace;
 use a4nn_nsga::NsgaConfig;
 use a4nn_penguin::EngineConfig;
@@ -72,6 +73,13 @@ pub struct WorkflowConfig {
     /// Master seed: search, initialization, and surrogate curves all
     /// derive from it.
     pub seed: u64,
+    /// The named objective vector the NSGA engine minimizes
+    /// ([`ObjectiveSet`]). Defaults to the paper's pair
+    /// `(neg_fitness, flops)`; selected on the CLI via `--objectives`.
+    /// Part of the resume config fingerprint: a snapshot taken under a
+    /// different set is stale (exit 5).
+    #[serde(default)]
+    pub objectives: ObjectiveSet,
 }
 
 impl WorkflowConfig {
@@ -83,6 +91,7 @@ impl WorkflowConfig {
             gpus,
             beam,
             seed,
+            objectives: ObjectiveSet::default(),
         }
     }
 
@@ -95,6 +104,7 @@ impl WorkflowConfig {
             gpus: 1,
             beam,
             seed,
+            objectives: ObjectiveSet::default(),
         }
     }
 
@@ -145,6 +155,18 @@ mod tests {
         let nsga = nas.nsga_config(7);
         assert_eq!(nsga.total_evaluations(), 100);
         assert_eq!(nsga.seed, 7);
+    }
+
+    #[test]
+    fn legacy_config_json_defaults_to_the_paper_pair() {
+        // A config serialized before the objective registry existed has
+        // no `objectives` key and must load as (neg_fitness, flops).
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Low, 2, 1);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json.replace(",\"objectives\":[\"neg_fitness\",\"flops\"]", "");
+        assert_ne!(json, stripped, "objectives key must serialize");
+        let loaded: WorkflowConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(loaded.objectives.is_default());
     }
 
     #[test]

@@ -246,6 +246,7 @@ mod tests {
             gpus: 2,
             beam: BeamIntensity::Medium,
             seed,
+            objectives: crate::objectives::ObjectiveSet::default(),
         }
     }
 

@@ -86,6 +86,8 @@ mod tests {
                 .expect("valid genome"),
             arch_summary: String::new(),
             flops: 1.0,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: None,
             epochs: Vec::new(),
             final_fitness: 0.0,

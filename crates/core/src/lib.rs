@@ -34,6 +34,7 @@
 //!     gpus: 2,
 //!     beam: BeamIntensity::Medium,
 //!     seed: 42,
+//!     objectives: ObjectiveSet::default(),
 //! };
 //! let workflow = A4nnWorkflow::new(config.clone());
 //! let surrogate = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
@@ -50,6 +51,7 @@ pub mod config;
 pub mod drivers;
 pub mod fault;
 pub mod micro;
+pub mod objectives;
 pub mod pipeline;
 pub mod real;
 pub mod resume;
@@ -65,6 +67,7 @@ pub use config::{NasSettings, WorkflowConfig};
 pub use drivers::{AgingEvolutionWorkflow, RandomSearchWorkflow};
 pub use fault::{FaultStats, FaultTolerance};
 pub use micro::{micro_netspec, micro_random_search, MicroTrainerFactory};
+pub use objectives::{ModelCost, ObjectiveKind, ObjectiveSet};
 pub use pipeline::{
     train_resilient_direct, BatchResult, BusTransport, DirectTransport, EvalPipeline, Transport,
     TransportStats,
@@ -83,10 +86,10 @@ pub use workflow::{A4nnWorkflow, Orchestration, RunOutput};
 pub mod prelude {
     pub use crate::{
         netspec_from_arch, train_with_engine, A4nnError, A4nnWorkflow, CheckpointStore,
-        EpochResult, EvalPipeline, FaultStats, FaultTolerance, NasSettings, Orchestration,
-        RealTrainerFactory, RunControl, RunOutput, SearchSnapshot, SurrogateFactory,
-        SurrogateParams, Trainer, TrainerFactory, TrainingHyperparams, TrainingOutcome, Transport,
-        TransportStats, WorkflowConfig,
+        EpochResult, EvalPipeline, FaultStats, FaultTolerance, ModelCost, NasSettings,
+        ObjectiveKind, ObjectiveSet, Orchestration, RealTrainerFactory, RunControl, RunOutput,
+        SearchSnapshot, SurrogateFactory, SurrogateParams, Trainer, TrainerFactory,
+        TrainingHyperparams, TrainingOutcome, Transport, TransportStats, WorkflowConfig,
     };
     pub use a4nn_faults::{ChaosSpec, FaultEvent, FaultPlan};
     pub use a4nn_genome::{Genome, SearchSpace};

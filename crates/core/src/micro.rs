@@ -163,6 +163,8 @@ pub fn micro_random_search(
             genome: placeholder_genome.clone(),
             arch_summary: format!("micro cell {}", genome.to_compact_string()),
             flops: trainer.flops(),
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: None,
             epochs: outcome.epochs.clone(),
             final_fitness: outcome.final_fitness,

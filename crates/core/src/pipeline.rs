@@ -31,6 +31,7 @@
 use crate::checkpoint::CheckpointStore;
 use crate::config::WorkflowConfig;
 use crate::fault::FaultTolerance;
+use crate::objectives::ModelCost;
 use crate::trainer::TrainerFactory;
 use crate::training::{train_with_engine_fallible, AttemptProgress, TrainingOutcome};
 use a4nn_bus::{
@@ -128,8 +129,9 @@ struct MetricsSink {
 /// Result of evaluating one generation batch.
 #[derive(Debug)]
 pub struct BatchResult {
-    /// Per-genome training outcomes, in submission order.
-    pub outcomes: Vec<(TrainingOutcome, f64)>,
+    /// Per-genome training outcomes and measured cost vectors, in
+    /// submission order.
+    pub outcomes: Vec<(TrainingOutcome, ModelCost)>,
     /// The generation's cluster schedule.
     pub schedule: ScheduleResult,
     /// Completed record trails, in submission order — empty when the
@@ -156,7 +158,9 @@ pub fn engine_params_record(cfg: &WorkflowConfig) -> Option<EngineParamsRecord> 
 /// same simulated durations, same fault-plan consultation sites.
 pub trait Transport {
     /// Train every genome of the generation, returning
-    /// `(outcome, flops)` per genome in submission order.
+    /// `(outcome, cost)` per genome in submission order. The cost is the
+    /// trainer's post-training [`ModelCost`] — the objective registry
+    /// derives every non-fitness coordinate from it.
     ///
     /// Trainer panics are absorbed into the outcomes (retries, then a
     /// `failed` outcome); `Err` means the transport's own machinery
@@ -167,7 +171,7 @@ pub trait Transport {
         genomes: &[Genome],
         generation: usize,
         base_id: u64,
-    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError>;
+    ) -> Result<Vec<(TrainingOutcome, ModelCost)>, A4nnError>;
 
     /// Announce the completed generation (outcomes plus its cluster
     /// schedule) to any out-of-process listeners. The direct transport
@@ -178,7 +182,7 @@ pub trait Transport {
         genomes: &[Genome],
         generation: usize,
         base_id: u64,
-        outcomes: &[(TrainingOutcome, f64)],
+        outcomes: &[(TrainingOutcome, ModelCost)],
         schedule: &ScheduleResult,
     ) -> Result<(), A4nnError>;
 
@@ -376,7 +380,7 @@ impl<'a> EvalPipeline<'a> {
         genomes: &[Genome],
         generation: usize,
         base_id: u64,
-        outcomes: &[(TrainingOutcome, f64)],
+        outcomes: &[(TrainingOutcome, ModelCost)],
         schedule: &ScheduleResult,
     ) -> Vec<ModelRecord> {
         let engine_record = engine_params_record(self.cfg);
@@ -384,7 +388,7 @@ impl<'a> EvalPipeline<'a> {
             .iter()
             .zip(outcomes)
             .enumerate()
-            .map(|(k, (genome, (outcome, flops)))| {
+            .map(|(k, (genome, (outcome, cost)))| {
                 let model_id = base_id + k as u64;
                 // With retries the schedule holds one slot per attempt;
                 // the model's placement is its final attempt's GPU.
@@ -401,7 +405,9 @@ impl<'a> EvalPipeline<'a> {
                     gpu,
                     genome: genome.clone(),
                     arch_summary: arch.summary(),
-                    flops: *flops,
+                    flops: cost.flops,
+                    objective_names: self.cfg.objectives.names(),
+                    objective_values: self.cfg.objectives.values(outcome, cost),
                     engine: engine_record.clone(),
                     epochs: outcome.epochs.clone(),
                     final_fitness: outcome.final_fitness,
@@ -427,14 +433,14 @@ impl Transport for DirectTransport {
         genomes: &[Genome],
         _generation: usize,
         base_id: u64,
-    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError> {
+    ) -> Result<Vec<(TrainingOutcome, ModelCost)>, A4nnError> {
         Ok(genomes
             .par_iter()
             .enumerate()
             .map(|(k, genome)| {
                 let model_id = base_id + k as u64;
                 let started = std::time::Instant::now();
-                let (outcome, flops) = train_resilient_direct(
+                let (outcome, cost) = train_resilient_direct(
                     pipeline.cfg,
                     pipeline.factory,
                     genome,
@@ -447,7 +453,7 @@ impl Transport for DirectTransport {
                     0.0,
                     u64::from(outcome.attempts.saturating_sub(1)),
                 );
-                (outcome, flops)
+                (outcome, cost)
             })
             .collect())
     }
@@ -458,7 +464,7 @@ impl Transport for DirectTransport {
         _genomes: &[Genome],
         _generation: usize,
         _base_id: u64,
-        _outcomes: &[(TrainingOutcome, f64)],
+        _outcomes: &[(TrainingOutcome, ModelCost)],
         _schedule: &ScheduleResult,
     ) -> Result<(), A4nnError> {
         Ok(())
@@ -505,7 +511,7 @@ impl Transport for BusTransport<'_> {
         genomes: &[Genome],
         generation: usize,
         base_id: u64,
-    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError> {
+    ) -> Result<Vec<(TrainingOutcome, ModelCost)>, A4nnError> {
         let cfg = pipeline.cfg;
         let engine_enabled = cfg.engine.is_some();
         let partials: Mutex<HashMap<u64, Partial>> = Mutex::new(HashMap::new());
@@ -550,10 +556,10 @@ impl Transport for BusTransport<'_> {
             let attempts = reports[k].attempts;
             let partial = partials.remove(&model_id).unwrap_or_default();
             match output {
-                Some(Ok((mut outcome, flops))) => {
+                Some(Ok((mut outcome, cost))) => {
                     outcome.attempts = attempts;
                     outcome.failed_attempt_seconds = partial.failed_attempt_seconds;
-                    outcomes.push((outcome, flops));
+                    outcomes.push((outcome, cost));
                 }
                 // The attempt itself hit broken machinery (bus closed
                 // mid-run): abort the generation.
@@ -574,7 +580,7 @@ impl Transport for BusTransport<'_> {
                         engine_seconds: 0.0,
                         engine_interactions: 0,
                     };
-                    outcomes.push((outcome, partial.flops));
+                    outcomes.push((outcome, partial.cost));
                 }
             }
         }
@@ -587,16 +593,18 @@ impl Transport for BusTransport<'_> {
         genomes: &[Genome],
         generation: usize,
         base_id: u64,
-        outcomes: &[(TrainingOutcome, f64)],
+        outcomes: &[(TrainingOutcome, ModelCost)],
         schedule: &ScheduleResult,
     ) -> Result<(), A4nnError> {
-        for (k, (genome, (outcome, flops))) in genomes.iter().zip(outcomes).enumerate() {
+        for (k, (genome, (outcome, cost))) in genomes.iter().zip(outcomes).enumerate() {
             let event = Event::ModelCompleted(ModelCompleted {
                 model_id: base_id + k as u64,
                 generation,
                 genome: genome.clone(),
                 arch_summary: pipeline.space.decode(genome).summary(),
-                flops: *flops,
+                flops: cost.flops,
+                objective_names: pipeline.cfg.objectives.names(),
+                objective_values: pipeline.cfg.objectives.values(outcome, cost),
                 final_fitness: outcome.final_fitness,
                 predicted_fitness: outcome.predicted_fitness,
                 terminated_early: outcome.terminated_early,
@@ -649,7 +657,7 @@ impl Transport for BusTransport<'_> {
 fn generation_schedule(
     gpus: usize,
     base_id: u64,
-    outcomes: &[(TrainingOutcome, f64)],
+    outcomes: &[(TrainingOutcome, ModelCost)],
     policy: &RetryPolicy,
 ) -> ScheduleResult {
     if outcomes.iter().all(|(o, _)| o.attempts == 1) {
@@ -697,12 +705,11 @@ pub fn train_resilient_direct(
     model_id: u64,
     checkpoints: Option<&CheckpointStore>,
     ft: &FaultTolerance,
-) -> (TrainingOutcome, f64) {
+) -> (TrainingOutcome, ModelCost) {
     let mut failed_attempt_seconds = Vec::new();
     let mut attempt = 1u32;
     loop {
         let mut trainer = factory.make(genome, model_id, cfg.seed);
-        let flops = trainer.flops();
         let mut progress = AttemptProgress::default();
         let result = catch_unwind(AssertUnwindSafe(|| {
             train_with_engine_fallible(
@@ -714,11 +721,14 @@ pub fn train_resilient_direct(
                 &mut progress,
             )
         }));
+        // Read after training (or after the attempt's panic unwound):
+        // the workspace peak is a high-water mark over the epochs run.
+        let cost = trainer.cost();
         match result {
             Ok(mut outcome) => {
                 outcome.attempts = attempt;
                 outcome.failed_attempt_seconds = failed_attempt_seconds;
-                return (outcome, flops);
+                return (outcome, cost);
             }
             Err(_) if attempt < ft.retry.max_attempts.max(1) => {
                 failed_attempt_seconds.push(progress.train_seconds);
@@ -740,7 +750,7 @@ pub fn train_resilient_direct(
                     engine_seconds: 0.0,
                     engine_interactions: 0,
                 };
-                return (outcome, flops);
+                return (outcome, cost);
             }
         }
     }
@@ -753,7 +763,7 @@ pub fn train_resilient_direct(
 struct Partial {
     epochs: Vec<EpochRecord>,
     train_seconds: f64,
-    flops: f64,
+    cost: ModelCost,
     failed_attempt_seconds: Vec<f64>,
 }
 
@@ -777,7 +787,7 @@ fn train_over_bus(
     ft: &FaultTolerance,
     attempt: u32,
     partials: &Mutex<HashMap<u64, Partial>>,
-) -> Result<(TrainingOutcome, f64), A4nnError> {
+) -> Result<(TrainingOutcome, ModelCost), A4nnError> {
     // Subscribe to this model's verdicts before the first publish so no
     // reply can be missed. Capacity 1 suffices: the hand-off is
     // strictly request/reply, one verdict in flight per model.
@@ -788,7 +798,6 @@ fn train_over_bus(
         )
     });
     let mut trainer = factory.make(genome, model_id, cfg.seed);
-    let flops = trainer.flops();
     let max_epochs = cfg.nas.epochs;
     let mut epochs = Vec::with_capacity(max_epochs as usize);
     let mut train_seconds = 0.0;
@@ -808,7 +817,9 @@ fn train_over_bus(
             {
                 let mut map = partials.lock();
                 let partial = map.entry(model_id).or_default();
-                partial.flops = flops;
+                // Same read point as the direct path: the cost after the
+                // epochs this attempt actually ran.
+                partial.cost = trainer.cost();
                 if will_retry {
                     partial.failed_attempt_seconds.push(train_seconds);
                 } else {
@@ -901,7 +912,7 @@ fn train_over_bus(
             engine_seconds,
             engine_interactions,
         },
-        flops,
+        trainer.cost(),
     ))
 }
 
@@ -930,6 +941,14 @@ mod tests {
             assert_eq!(r.generation, 3);
             assert!(r.gpu.unwrap() < 2);
             assert!((r.wall_time_s - batch.outcomes[k].0.train_seconds).abs() < 1e-12);
+            assert_eq!(r.objective_names, vec!["neg_fitness", "flops"]);
+            assert_eq!(
+                r.objective_values,
+                vec![
+                    -batch.outcomes[k].0.final_fitness,
+                    batch.outcomes[k].1.flops
+                ]
+            );
         }
     }
 
@@ -999,7 +1018,10 @@ mod tests {
             engine_seconds: 0.0,
             engine_interactions: 0,
         };
-        let outcomes = vec![(outcome(30.0), 1.0), (outcome(10.0), 1.0)];
+        let outcomes = vec![
+            (outcome(30.0), ModelCost::from_flops(1.0)),
+            (outcome(10.0), ModelCost::from_flops(1.0)),
+        ];
         let tasks = vec![
             Task {
                 id: 5,
@@ -1064,7 +1086,7 @@ mod tests {
             backoff_base_s: 1.0,
             backoff_factor: 2.0,
         };
-        let schedule = generation_schedule(1, 0, &[(retried, 1.0)], &policy);
+        let schedule = generation_schedule(1, 0, &[(retried, ModelCost::from_flops(1.0))], &policy);
         // Failed 20 s attempt + 1 s backoff + 50 s success.
         assert_eq!(schedule.assignments.len(), 2);
         assert!((schedule.makespan - 71.0).abs() < 1e-9);

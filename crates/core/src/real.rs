@@ -2,8 +2,9 @@
 //! using the `a4nn-nn` CPU substrate, with measured wall times.
 
 use crate::bridge::netspec_from_arch;
+use crate::objectives::ModelCost;
 use crate::trainer::{EpochResult, Trainer, TrainerFactory};
-use a4nn_genome::{Genome, SearchSpace};
+use a4nn_genome::{estimate_macs, estimate_params_bytes, Genome, SearchSpace};
 use a4nn_nn::{train_epoch_ws, ConvImpl, Dataset, DenseImpl, Network, Sgd, Workspace};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -58,7 +59,9 @@ pub struct RealTrainer {
     train: Arc<Dataset>,
     val: Arc<Dataset>,
     hyper: TrainingHyperparams,
-    flops: f64,
+    /// Genome-derived cost components (flops, params, MACs); the
+    /// workspace peak is measured live in [`Trainer::cost`].
+    static_cost: ModelCost,
     rng: rand::rngs::StdRng,
     /// Scratch arena shared across this trainer's epochs: after the first
     /// batch, steady-state training and evaluation allocate nothing.
@@ -87,7 +90,16 @@ impl Trainer for RealTrainer {
     }
 
     fn flops(&self) -> f64 {
-        self.flops
+        self.static_cost.flops
+    }
+
+    fn cost(&self) -> ModelCost {
+        // The workspace pool's lifetime high-water mark is the measured
+        // `peak_ws_bytes` objective — read after training completes.
+        ModelCost {
+            peak_ws_bytes: self.ws.peak_pooled_bytes() as f64,
+            ..self.static_cost
+        }
     }
 
     fn snapshot(&mut self, epoch: u32) -> Option<a4nn_nn::ModelState> {
@@ -137,14 +149,20 @@ impl TrainerFactory for RealTrainerFactory {
         let mut net = Network::new(&spec, &mut rng);
         net.set_conv_impl(self.hyper.conv_impl);
         net.set_dense_impl(self.hyper.dense_impl);
-        let flops = net.flops((self.train.height, self.train.width)) / 1e6;
+        let hw = (self.train.height, self.train.width);
+        let static_cost = ModelCost {
+            flops: net.flops(hw) / 1e6,
+            params_bytes: estimate_params_bytes(&arch),
+            macs: estimate_macs(&arch, hw),
+            peak_ws_bytes: 0.0,
+        };
         Box::new(RealTrainer {
             net,
             opt: Sgd::new(self.hyper.lr, self.hyper.momentum, self.hyper.weight_decay),
             train: self.train.clone(),
             val: self.val.clone(),
             hyper: self.hyper,
-            flops,
+            static_cost,
             rng,
             ws: Workspace::new(),
         })
@@ -191,6 +209,13 @@ mod tests {
             last.train_acc
         );
         assert!(t.flops() > 0.0);
+        let cost = t.cost();
+        assert!(cost.params_bytes > 0.0);
+        assert!(cost.macs > 0.0);
+        assert!(
+            cost.peak_ws_bytes > 0.0,
+            "training must leave a workspace high-water mark"
+        );
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct SearchSnapshot {
     pub version: u32,
     /// [`config_hash`] of the run's configuration.
     pub config_hash: u64,
+    /// Names of the objective set the archive's vectors were measured
+    /// under, in objective order. Empty on snapshots written before the
+    /// objective registry existed (those are validated by archive
+    /// dimension alone).
+    #[serde(default)]
+    pub objective_names: Vec<String>,
     /// Generations fully completed (the next one to run).
     pub generations_done: usize,
     /// Raw xoshiro256** state words of the search RNG, captured after
@@ -253,6 +259,7 @@ mod tests {
         SearchSnapshot {
             version: SNAPSHOT_VERSION,
             config_hash: config_hash(cfg).unwrap(),
+            objective_names: cfg.objectives.names(),
             generations_done,
             rng_state: [1, 2, 3, 4],
             next_id: 10,
@@ -317,6 +324,22 @@ mod tests {
         let a = format!("{:016x}", config_hash(&cfg).unwrap());
         let b = format!("{:016x}", config_hash(&other).unwrap());
         assert!(msg.contains(&a) && msg.contains(&b), "got: {msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_objectives_make_the_snapshot_stale() {
+        // `objectives` is part of the serialized config, so resuming
+        // under a different --objectives set fails the fingerprint check
+        // — the existing exit-5 stale-snapshot path.
+        let cfg = WorkflowConfig::a4nn(BeamIntensity::Medium, 2, 5);
+        let dir = tmp("objset");
+        snapshot(&cfg, 1).save(&dir).unwrap();
+        let mut other = cfg;
+        other.objectives =
+            crate::objectives::ObjectiveSet::parse("neg_fitness,flops,peak_ws_bytes").unwrap();
+        let err = SearchSnapshot::load(&dir, &other).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "changed objectives must exit 5");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,8 +28,12 @@
 //! by the paper's 2,500-epoch ≈ 50 h standalone runs.
 
 use crate::config::WorkflowConfig;
+use crate::objectives::ModelCost;
 use crate::trainer::{EpochResult, Trainer, TrainerFactory};
-use a4nn_genome::{estimate_mflops, Genome, SearchSpace};
+use a4nn_genome::{
+    estimate_macs, estimate_mflops, estimate_params_bytes, estimate_peak_ws_bytes, Genome,
+    SearchSpace,
+};
 use a4nn_xfel::BeamIntensity;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -147,7 +151,7 @@ pub struct SurrogateTrainer {
     walk_sigma: f64,
     walk_level: f64,
     sigma: f64,
-    flops_mflops: f64,
+    cost: ModelCost,
     epoch_seconds: f64,
     rng: rand::rngs::StdRng,
 }
@@ -179,7 +183,11 @@ impl Trainer for SurrogateTrainer {
     }
 
     fn flops(&self) -> f64 {
-        self.flops_mflops
+        self.cost.flops
+    }
+
+    fn cost(&self) -> ModelCost {
+        self.cost
     }
 }
 
@@ -223,7 +231,15 @@ impl TrainerFactory for SurrogateFactory {
         let mut rng =
             rand::rngs::StdRng::seed_from_u64(seed ^ model_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let arch = self.space.decode(genome);
-        let flops_mflops = estimate_mflops(&arch, SURROGATE_INPUT_HW);
+        // Every cost component is genome-derived and closed-form, so
+        // direct, bus, and socket evaluation agree exactly.
+        let cost = ModelCost {
+            flops: estimate_mflops(&arch, SURROGATE_INPUT_HW),
+            params_bytes: estimate_params_bytes(&arch),
+            macs: estimate_macs(&arch, SURROGATE_INPUT_HW),
+            peak_ws_bytes: estimate_peak_ws_bytes(&arch, SURROGATE_INPUT_HW),
+        };
+        let flops_mflops = cost.flops;
         let active: usize = arch.phases.iter().map(|ph| ph.active_nodes()).sum();
         let capacity = active as f64 / self.max_nodes as f64;
 
@@ -268,7 +284,7 @@ impl TrainerFactory for SurrogateFactory {
             walk_sigma: 0.0,
             walk_level: 0.0,
             sigma: p.noise_sigma,
-            flops_mflops,
+            cost,
             epoch_seconds,
             rng,
         };
@@ -381,6 +397,26 @@ mod tests {
         };
         let dense = dense_space.random_genome(&mut rng);
         assert!(f.make(&dense, 0, 0).flops() > f.make(&sparse, 1, 0).flops());
+    }
+
+    #[test]
+    fn cost_vector_is_deterministic_and_complete() {
+        let f = factory(BeamIntensity::Medium);
+        let g = sample_genome(12);
+        let a = f.make(&g, 4, 9).cost();
+        let b = f.make(&g, 4, 9).cost();
+        assert_eq!(a, b, "cost must be a pure function of the genome");
+        assert!(a.flops > 0.0);
+        assert!(a.params_bytes > 0.0);
+        assert!(a.macs > 0.0);
+        assert!(a.peak_ws_bytes > 0.0);
+        // Training must not perturb the reported cost.
+        let mut t = f.make(&g, 4, 9);
+        let before = t.cost();
+        for e in 1..=5 {
+            t.train_epoch(e);
+        }
+        assert_eq!(t.cost(), before);
     }
 
     #[test]

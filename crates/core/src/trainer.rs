@@ -5,6 +5,7 @@
 //! the calibrated surrogate ([`crate::surrogate`]) — and would let it run
 //! on actual GPUs, were any attached.
 
+use crate::objectives::ModelCost;
 use a4nn_genome::Genome;
 
 /// Measurements produced by training one epoch.
@@ -26,6 +27,15 @@ pub trait Trainer: Send {
 
     /// Forward FLOPs of the network (the NAS's second objective).
     fn flops(&self) -> f64;
+
+    /// Full hardware-cost vector for the objective registry. Read
+    /// *after* training: `peak_ws_bytes` is a lifetime high-water mark.
+    /// The default carries only FLOPs, which suffices for the legacy
+    /// `(neg_fitness, flops)` pair; trainers backing hardware-aware
+    /// objectives override it.
+    fn cost(&self) -> ModelCost {
+        ModelCost::from_flops(self.flops())
+    }
 
     /// Capture the trainable state after `epoch` for checkpointing
     /// (§2.2.2). Trainers without materialized weights (the surrogate)

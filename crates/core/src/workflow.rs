@@ -509,6 +509,29 @@ impl A4nnWorkflow {
                         snap.generations_done, cfg.nas.generations
                     )));
                 }
+                // A snapshot from a run searched under different
+                // objectives is stale — its archive lives in a different
+                // objective space. Pre-registry snapshots carry no names
+                // (serde default: empty) and are validated by dimension
+                // alone.
+                if !snap.objective_names.is_empty() {
+                    cfg.objectives
+                        .check_snapshot_names(&snap.objective_names, "the snapshot")?;
+                }
+                if let Some(ind) = snap
+                    .archive
+                    .iter()
+                    .find(|ind| ind.objectives.len() != cfg.objectives.len())
+                {
+                    return Err(A4nnError::Checkpoint(format!(
+                        "stale snapshot: archived model {} carries {} objective value(s) but \
+                         this run is configured for {} ({})",
+                        ind.id,
+                        ind.objectives.len(),
+                        cfg.objectives.len(),
+                        cfg.objectives
+                    )));
+                }
                 pipeline.restore_metrics(snap.metrics);
                 rng = rand::rngs::StdRng::from_state(snap.rng_state);
                 records = snap.records;
@@ -594,7 +617,7 @@ impl A4nnWorkflow {
             let mut generation_indices = Vec::with_capacity(genomes.len());
             for (k, genome) in genomes.iter().enumerate() {
                 let model_id = base_id + k as u64;
-                let (outcome, flops) = &batch.outcomes[k];
+                let (outcome, cost) = &batch.outcomes[k];
                 engine_seconds += outcome.engine_seconds;
                 engine_interactions += outcome.engine_interactions;
                 ledger.push(RetryEntry {
@@ -607,7 +630,7 @@ impl A4nnWorkflow {
                     id: model_id,
                     generation,
                     genome: genome.clone(),
-                    objectives: Objectives::new(vec![-outcome.final_fitness, *flops]),
+                    objectives: cfg.objectives.vector(outcome, cost),
                 });
                 generation_indices.push(archive.len() - 1);
             }
@@ -650,6 +673,7 @@ impl A4nnWorkflow {
                 let snap = SearchSnapshot {
                     version: SNAPSHOT_VERSION,
                     config_hash: cfg_hash.unwrap_or_default(),
+                    objective_names: cfg.objectives.names(),
                     generations_done: generation + 1,
                     rng_state: rng.state(),
                     next_id,
@@ -723,6 +747,7 @@ mod tests {
             gpus,
             beam: BeamIntensity::Medium,
             seed,
+            objectives: crate::objectives::ObjectiveSet::default(),
         }
     }
 
@@ -860,6 +885,35 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max);
         let overall_best = analyzer.best_by_fitness().unwrap().final_fitness;
         assert!(overall_best >= gen0_best);
+    }
+
+    #[test]
+    fn hardware_objectives_thread_into_archive_and_records() {
+        let mut config = small_config(true, 2, 13);
+        config.objectives =
+            crate::objectives::ObjectiveSet::parse("neg_fitness,flops,peak_ws_bytes").unwrap();
+        let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+        let out = A4nnWorkflow::new(config).run(&factory);
+        for r in &out.commons.records {
+            assert_eq!(
+                r.objective_names,
+                vec!["neg_fitness", "flops", "peak_ws_bytes"]
+            );
+            assert_eq!(r.objective_values.len(), 3);
+            assert_eq!(r.objective_values[0], -r.final_fitness);
+            assert_eq!(r.objective_values[1], r.flops);
+            assert!(r.objective_values[2] > 0.0, "surrogate peak ws is positive");
+        }
+        // The bus transport reproduces the 3-objective run byte for byte.
+        let config3 = {
+            let mut c = small_config(true, 2, 13);
+            c.objectives =
+                crate::objectives::ObjectiveSet::parse("neg_fitness,flops,peak_ws_bytes").unwrap();
+            c
+        };
+        let factory3 = SurrogateFactory::new(&config3, SurrogateParams::for_beam(config3.beam));
+        let bus = A4nnWorkflow::new(config3).run_with(&factory3, Orchestration::Bus);
+        assert_eq!(out.commons, bus.commons);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Closed-form hardware-cost estimation for decoded architectures.
+//!
+//! Besides FLOPs ([`crate::flops`]), the hardware-aware objectives need
+//! parameter footprint, multiply–accumulate count, and a workspace
+//! high-water estimate — all deterministic functions of the genome, so
+//! every transport (direct, bus, socket worker) computes identical
+//! values by construction. All three walk the phase DAG exactly like
+//! [`estimate_flops`](crate::flops::estimate_flops): each phase is a
+//! stem block plus `active_nodes().max(1)` node blocks, phases are
+//! separated by 2×2 pooling, and the network ends in global average
+//! pooling plus a dense classifier.
+//!
+//! The integer arithmetic stays exact in `f64` (all counts are far below
+//! 2⁵³), which is what lets the values ride through JSON and CSV in the
+//! byte-identity harnesses.
+
+use crate::arch::{ArchSpec, NodeOp, PhaseSpec};
+
+/// Bytes per trainable parameter (the substrate trains in `f32`).
+const BYTES_PER_PARAM: u64 = 4;
+
+/// Trainable parameters of one conv→BN→ReLU block: conv weights
+/// (`k²·c_in·c_out`) and bias (`c_out`), plus batch-norm gamma and beta
+/// (`2·c_out`) — mirroring the `a4nn-nn` layer inventory.
+fn conv_block_params(kernel: usize, c_in: usize, c_out: usize) -> u64 {
+    (kernel * kernel * c_in * c_out + 3 * c_out) as u64
+}
+
+/// Blocks instantiated by one phase as `(kernel, c_in, c_out)` triples:
+/// the stem plus `active_nodes().max(1)` width-preserving node blocks.
+fn phase_blocks(phase: &PhaseSpec) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+    let NodeOp::ConvBnRelu { kernel } = phase.op;
+    let nodes = phase.active_nodes().max(1);
+    std::iter::once((kernel, phase.in_channels, phase.out_channels)).chain(std::iter::repeat_n(
+        (kernel, phase.out_channels, phase.out_channels),
+        nodes,
+    ))
+}
+
+/// Trainable-parameter footprint of `arch` in bytes (`f32` storage).
+/// Spatial size does not enter: parameters are resolution-independent.
+pub fn estimate_params_bytes(arch: &ArchSpec) -> f64 {
+    let mut params: u64 = 0;
+    for phase in &arch.phases {
+        for (kernel, c_in, c_out) in phase_blocks(phase) {
+            params += conv_block_params(kernel, c_in, c_out);
+        }
+    }
+    let c_last = arch
+        .phases
+        .last()
+        .map(|p| p.out_channels)
+        .unwrap_or(arch.input_channels);
+    // Dense classifier: weights + bias.
+    params += (c_last * arch.num_classes + arch.num_classes) as u64;
+    (params * BYTES_PER_PARAM) as f64
+}
+
+/// Multiply–accumulate count of one forward pass of `arch` on an
+/// `input_hw.0 × input_hw.1` image. Only conv and dense contribute MACs
+/// (one per weight application); pooling, BN, ReLU, and elementwise
+/// joins are additions or compares, not multiply–accumulates.
+pub fn estimate_macs(arch: &ArchSpec, input_hw: (usize, usize)) -> f64 {
+    let (mut h, mut w) = input_hw;
+    let mut macs: u64 = 0;
+    for phase in &arch.phases {
+        for (kernel, c_in, c_out) in phase_blocks(phase) {
+            macs += (kernel * kernel * c_in * c_out * h * w) as u64;
+        }
+        h = (h / 2).max(1);
+        w = (w / 2).max(1);
+    }
+    let c_last = arch
+        .phases
+        .last()
+        .map(|p| p.out_channels)
+        .unwrap_or(arch.input_channels);
+    macs += (c_last * arch.num_classes) as u64;
+    macs as f64
+}
+
+/// Deterministic estimate of the peak workspace bytes one forward pass
+/// needs: the largest single conv block's working set — input plane,
+/// output plane, and the im2col patch buffer the GEMM path materializes
+/// (`k²·c_in·h·w`), all `f32`. This is the genome-derived stand-in for
+/// the measured `Workspace::peak_pooled_bytes` a real trainer reports;
+/// the surrogate uses it so remote and local evaluation agree exactly.
+pub fn estimate_peak_ws_bytes(arch: &ArchSpec, input_hw: (usize, usize)) -> f64 {
+    let (mut h, mut w) = input_hw;
+    let mut peak: u64 = 0;
+    for phase in &arch.phases {
+        for (kernel, c_in, c_out) in phase_blocks(phase) {
+            let working_set = ((c_in + c_out + kernel * kernel * c_in) * h * w) as u64 * 4;
+            peak = peak.max(working_set);
+        }
+        h = (h / 2).max(1);
+        w = (w / 2).max(1);
+    }
+    peak as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{Genome, PhaseGenome};
+    use crate::space::SearchSpace;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper_defaults()
+    }
+
+    fn genome_with_density(density: f64, seed: u64) -> Genome {
+        let s = SearchSpace {
+            init_density: density,
+            ..space()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        s.random_genome(&mut rng)
+    }
+
+    #[test]
+    fn denser_genomes_cost_more_on_every_axis() {
+        let sparse = space().decode(&genome_with_density(0.12, 3));
+        let dense = space().decode(&genome_with_density(0.95, 3));
+        assert!(estimate_params_bytes(&dense) > estimate_params_bytes(&sparse));
+        assert!(estimate_macs(&dense, (32, 32)) > estimate_macs(&sparse, (32, 32)));
+    }
+
+    #[test]
+    fn costs_are_positive_even_for_empty_genome() {
+        let zeros = Genome {
+            phases: vec![PhaseGenome::zeros(4); 3],
+        };
+        let arch = space().decode(&zeros);
+        assert!(estimate_params_bytes(&arch) > 0.0);
+        assert!(estimate_macs(&arch, (32, 32)) > 0.0);
+        assert!(estimate_peak_ws_bytes(&arch, (32, 32)) > 0.0);
+    }
+
+    #[test]
+    fn params_are_resolution_independent_macs_are_not() {
+        let arch = space().decode(&genome_with_density(0.5, 9));
+        assert_eq!(estimate_params_bytes(&arch), estimate_params_bytes(&arch));
+        let m32 = estimate_macs(&arch, (32, 32));
+        let m64 = estimate_macs(&arch, (64, 64));
+        let ratio = m64 / m32;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "doubling the side should ~4× the MACs, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn conv_block_params_formula() {
+        // 3×3, 1→8 channels: weights 9·1·8 = 72, bias 8, BN 16.
+        assert_eq!(conv_block_params(3, 1, 8), 72 + 8 + 16);
+    }
+
+    #[test]
+    fn macs_are_half_the_conv_flops() {
+        // The FLOPs estimate counts a MAC as two ops plus 3 ops/element
+        // of BN+ReLU overhead, so conv MACs are bounded by flops/2.
+        let arch = space().decode(&genome_with_density(0.5, 10));
+        let flops = crate::flops::estimate_flops(&arch, (32, 32));
+        let macs = estimate_macs(&arch, (32, 32));
+        assert!(macs < flops / 2.0);
+        assert!(macs > flops / 4.0, "macs {macs} vs flops {flops}");
+    }
+
+    #[test]
+    fn peak_ws_tracks_the_widest_early_block() {
+        // The first-phase node blocks run at full resolution with the
+        // widest channel product, so shrinking the input shrinks the peak.
+        let arch = space().decode(&genome_with_density(0.5, 11));
+        let p32 = estimate_peak_ws_bytes(&arch, (32, 32));
+        let p16 = estimate_peak_ws_bytes(&arch, (16, 16));
+        assert!(p32 > p16);
+    }
+}

@@ -21,12 +21,15 @@
 //!   layer DAG a training substrate can instantiate,
 //! - [`flops`] — closed-form FLOPs estimates per architecture (NSGA-Net's
 //!   second objective),
+//! - [`cost`] — closed-form hardware costs (parameter bytes, MACs, peak
+//!   workspace bytes) for the hardware-aware objective providers,
 //! - [`viz`] — ASCII and Graphviz-DOT renderings of decoded architectures
 //!   (the paper's Figures 3 and 10).
 
 #![warn(clippy::redundant_clone)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod arch;
+pub mod cost;
 pub mod encoding;
 pub mod flops;
 pub mod micro;
@@ -34,6 +37,7 @@ pub mod space;
 pub mod viz;
 
 pub use arch::{ArchSpec, NodeOp, PhaseSpec};
+pub use cost::{estimate_macs, estimate_params_bytes, estimate_peak_ws_bytes};
 pub use encoding::{Genome, PhaseGenome};
 pub use flops::{estimate_flops, estimate_mflops};
 pub use micro::{MicroGene, MicroGenome, MicroSearchSpace, MICRO_OPS, MICRO_OP_NAMES};

@@ -8,6 +8,8 @@
 
 use crate::commons::DataCommons;
 use crate::record::ModelRecord;
+use a4nn_error::A4nnError;
+use a4nn_nsga::{Dominance, Objectives};
 
 /// Read-only analysis view over a commons.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +121,57 @@ impl<'a> Analyzer<'a> {
             .collect()
     }
 
+    /// Pareto-optimal records over each record's *full* objective vector
+    /// (N-dimensional). Legacy records report the reconstructed
+    /// `(−final_fitness, flops)` pair, so on pre-registry commons this
+    /// agrees with [`pareto_front`](Self::pareto_front).
+    ///
+    /// A commons mixing objective dimensions (e.g. merged from runs with
+    /// different `--objectives` sets) is a foreign-data condition and
+    /// returns a typed [`A4nnError::Config`] instead of panicking inside
+    /// the dominance comparison.
+    pub fn pareto_front_objectives(&self) -> Result<Vec<&'a ModelRecord>, A4nnError> {
+        let rs = &self.commons.records;
+        let vectors: Vec<Objectives> = rs
+            .iter()
+            .map(|r| Objectives::new(r.objective_vector()))
+            .collect();
+        if let Some(first) = vectors.first() {
+            let dim = first.len();
+            if let Some((i, bad)) = vectors.iter().enumerate().find(|(_, v)| v.len() != dim) {
+                return Err(A4nnError::Config(format!(
+                    "commons mixes objective dimensions: model {} has {} objectives, model {} has {}",
+                    rs[0].model_id,
+                    dim,
+                    rs[i].model_id,
+                    bad.len(),
+                )));
+            }
+        }
+        let mut front = Vec::new();
+        for (i, a) in vectors.iter().enumerate() {
+            let mut dominated = false;
+            for (j, b) in vectors.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                // Dimensions verified uniform above; a mismatch here is
+                // unreachable, but stay on the fallible path anyway.
+                let cmp = a
+                    .try_compare(b)
+                    .map_err(|e| A4nnError::Config(format!("objective comparison failed: {e}")))?;
+                if cmp == Dominance::DominatedBy {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                front.push(&rs[i]);
+            }
+        }
+        Ok(front)
+    }
+
     /// The most accurate model. NaN fitness (failed trainings) ranks
     /// strictly worst rather than poisoning the comparison.
     pub fn best_by_fitness(&self) -> Option<&'a ModelRecord> {
@@ -186,6 +239,8 @@ mod tests {
             genome: Genome::from_compact_string("0000000").unwrap(),
             arch_summary: String::new(),
             flops,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: Some(EngineParamsRecord {
                 function: "exp-base".into(),
                 c_min: 3,
@@ -256,6 +311,51 @@ mod tests {
         // (85,300) (90,400) (95,600) (99,900) are non-dominated;
         // (80,800) is dominated by (95,600).
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn objective_front_agrees_with_legacy_front_on_untagged_records() {
+        let c = commons();
+        let a = Analyzer::new(&c);
+        let legacy: Vec<u64> = a.pareto_front().iter().map(|r| r.model_id).collect();
+        let nd: Vec<u64> = a
+            .pareto_front_objectives()
+            .unwrap()
+            .iter()
+            .map(|r| r.model_id)
+            .collect();
+        assert_eq!(legacy, nd);
+    }
+
+    #[test]
+    fn objective_front_uses_the_full_vector() {
+        // Two records with identical (fitness, flops) but differing
+        // peak-workspace: the 3-objective front keeps only the smaller.
+        let mut a = record(0, 90.0, 400.0, None);
+        a.objective_names = vec!["neg_fitness".into(), "flops".into(), "peak_ws_bytes".into()];
+        a.objective_values = vec![-90.0, 400.0, 1024.0];
+        let mut b = record(1, 90.0, 400.0, None);
+        b.objective_names = a.objective_names.clone();
+        b.objective_values = vec![-90.0, 400.0, 4096.0];
+        let c = DataCommons::new(vec![a, b]);
+        let front: Vec<u64> = Analyzer::new(&c)
+            .pareto_front_objectives()
+            .unwrap()
+            .iter()
+            .map(|r| r.model_id)
+            .collect();
+        assert_eq!(front, vec![0]);
+    }
+
+    #[test]
+    fn mixed_dimension_commons_is_a_typed_config_error() {
+        let mut tagged = record(1, 90.0, 400.0, None);
+        tagged.objective_names = vec!["neg_fitness".into(), "flops".into(), "macs".into()];
+        tagged.objective_values = vec![-90.0, 400.0, 1e8];
+        let c = DataCommons::new(vec![record(0, 85.0, 300.0, None), tagged]);
+        let err = Analyzer::new(&c).pareto_front_objectives().unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("mixes objective dimensions"));
     }
 
     #[test]

@@ -171,6 +171,8 @@ mod tests {
             genome: Genome::from_compact_string("0000000").unwrap(),
             arch_summary: "1 phase".into(),
             flops: 100.0,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: Some(EngineParamsRecord {
                 function: "exp-base".into(),
                 c_min: 3,

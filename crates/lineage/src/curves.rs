@@ -165,6 +165,8 @@ mod tests {
             genome: Genome::from_compact_string("0000000").unwrap(),
             arch_summary: String::new(),
             flops: 1.0,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: None,
             epochs: (1..=n)
                 .map(|e| EpochRecord {

@@ -10,14 +10,33 @@ use crate::commons::DataCommons;
 use std::fmt::Write as _;
 
 /// One-row-per-model summary CSV.
+///
+/// Runs searched under the objective registry append one `obj_<name>`
+/// column per configured objective (in objective order) after the fixed
+/// columns. Commons written before the registry carry no objective
+/// names, and their export stays byte-identical to the legacy 14-column
+/// schema.
 pub fn models_csv(commons: &DataCommons) -> String {
     let mut out = String::with_capacity(commons.len() * 96 + 128);
+    // The objective columns of the run: the first tagged record's names
+    // (every record of one run shares the configured set).
+    let obj_names: Option<Vec<String>> = commons
+        .records
+        .iter()
+        .find(|r| !r.objective_names.is_empty())
+        .map(|r| r.objective_names.clone());
     out.push_str(
         "model_id,generation,gpu,beam,genome,flops_mflops,epochs_trained,final_fitness,\
-         predicted_fitness,terminated_early,termination_epoch,wall_time_s,status,attempts\n",
+         predicted_fitness,terminated_early,termination_epoch,wall_time_s,status,attempts",
     );
+    if let Some(names) = &obj_names {
+        for name in names {
+            let _ = write!(out, ",obj_{name}");
+        }
+    }
+    out.push('\n');
     for r in &commons.records {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.model_id,
@@ -39,6 +58,24 @@ pub fn models_csv(commons: &DataCommons) -> String {
             r.termination.as_str(),
             r.attempts,
         );
+        if let Some(names) = &obj_names {
+            // A record from a foreign objective set (merged commons)
+            // leaves its cells empty rather than misaligning columns.
+            let vals = if r.objective_labels() == *names {
+                r.objective_vector()
+            } else {
+                Vec::new()
+            };
+            for i in 0..names.len() {
+                match vals.get(i) {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -78,6 +115,8 @@ mod tests {
             genome: Genome::from_compact_string("1000001").unwrap(),
             arch_summary: "x".into(),
             flops: 123.5,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: None,
             epochs: vec![
                 EpochRecord {
@@ -123,6 +162,46 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[1], "3,1,60,58,2,");
         assert_eq!(lines[2], "3,2,70,66,2.1,91.5");
+    }
+
+    #[test]
+    fn tagged_records_grow_named_objective_columns() {
+        let mut commons = commons();
+        let r = &mut commons.records[0];
+        r.objective_names = vec!["neg_fitness".into(), "flops".into(), "peak_ws_bytes".into()];
+        r.objective_values = vec![-91.5, 123.5, 4096.0];
+        let csv = models_csv(&commons);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(",obj_neg_fitness,obj_flops,obj_peak_ws_bytes"));
+        assert!(lines[1].ends_with(",-91.5,123.5,4096"));
+    }
+
+    #[test]
+    fn legacy_records_keep_the_14_column_schema() {
+        // Pre-registry commons must export byte-identically to the old
+        // exporter: no objective columns at all.
+        let csv = models_csv(&commons());
+        let header = csv.lines().next().unwrap();
+        assert!(!header.contains("obj_"));
+        assert_eq!(header.split(',').count(), 14);
+    }
+
+    #[test]
+    fn foreign_objective_records_export_empty_cells() {
+        let mut c = commons();
+        let mut other = c.records[0].clone();
+        other.model_id = 4;
+        other.objective_names = vec!["neg_fitness".into(), "macs".into()];
+        other.objective_values = vec![-91.5, 1e8];
+        c.records.push(other);
+        let csv = models_csv(&c);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header comes from the first tagged record (model 4).
+        assert!(lines[0].ends_with(",obj_neg_fitness,obj_macs"));
+        // The untagged legacy record reports the legacy pair, which has
+        // different labels — its cells stay empty.
+        assert!(lines[1].ends_with(",early,1,,"));
+        assert!(lines[2].ends_with(",-91.5,100000000"));
     }
 
     #[test]

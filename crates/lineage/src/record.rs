@@ -101,6 +101,15 @@ pub struct ModelRecord {
     pub arch_summary: String,
     /// Estimated forward FLOPs (the NAS's second objective).
     pub flops: f64,
+    /// Names of the objective set the run searched under, in objective
+    /// order. Empty on records written before the objective registry;
+    /// consumers fall back to the legacy `(neg_fitness, flops)` pair
+    /// via [`objective_labels`](Self::objective_labels).
+    #[serde(default)]
+    pub objective_names: Vec<String>,
+    /// The minimized objective values, aligned with `objective_names`.
+    #[serde(default)]
+    pub objective_values: Vec<f64>,
     /// Engine configuration, absent for standalone-NAS runs.
     pub engine: Option<EngineParamsRecord>,
     /// Per-epoch entries, in order.
@@ -160,6 +169,29 @@ impl ModelRecord {
         let measured = self.epochs.last()?.val_acc;
         Some((predicted - measured).abs())
     }
+
+    /// The objective names this record was measured under. Records
+    /// written before the objective registry carry none and report the
+    /// legacy pair.
+    pub fn objective_labels(&self) -> Vec<String> {
+        if self.objective_names.is_empty() {
+            vec!["neg_fitness".to_string(), "flops".to_string()]
+        } else {
+            self.objective_names.clone()
+        }
+    }
+
+    /// The minimized objective vector, aligned with
+    /// [`objective_labels`](Self::objective_labels). Legacy records
+    /// reconstruct the pair `(−final_fitness, flops)` the search
+    /// actually minimized.
+    pub fn objective_vector(&self) -> Vec<f64> {
+        if self.objective_values.is_empty() {
+            vec![-self.final_fitness, self.flops]
+        } else {
+            self.objective_values.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +217,8 @@ mod tests {
             genome,
             arch_summary: "3 phases".into(),
             flops: 500.0,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: Some(EngineParamsRecord {
                 function: "exp-base".into(),
                 c_min: 3,
@@ -268,5 +302,33 @@ mod tests {
         let back: ModelRecord = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.termination, Terminated::Completed);
         assert_eq!(back.attempts, 1);
+    }
+
+    #[test]
+    fn legacy_records_fall_back_to_the_paper_objective_pair() {
+        let r = sample_record(9, false, 3);
+        assert!(r.objective_names.is_empty());
+        assert_eq!(r.objective_labels(), vec!["neg_fitness", "flops"]);
+        assert_eq!(r.objective_vector(), vec![-r.final_fitness, r.flops]);
+
+        let mut tagged = sample_record(10, false, 3);
+        tagged.objective_names = vec!["neg_fitness".into(), "macs".into()];
+        tagged.objective_values = vec![-51.0, 1e8];
+        assert_eq!(tagged.objective_labels(), tagged.objective_names);
+        assert_eq!(tagged.objective_vector(), vec![-51.0, 1e8]);
+    }
+
+    #[test]
+    fn legacy_json_without_objective_fields_deserializes() {
+        let r = sample_record(11, false, 2);
+        let json = serde_json::to_string(&r).unwrap();
+        let stripped = json
+            .replace("\"objective_names\":[],", "")
+            .replace("\"objective_values\":[],", "");
+        assert_ne!(json, stripped);
+        let back: ModelRecord = serde_json::from_str(&stripped).unwrap();
+        assert!(back.objective_names.is_empty());
+        assert!(back.objective_values.is_empty());
+        assert_eq!(back, r);
     }
 }

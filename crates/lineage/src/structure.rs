@@ -218,6 +218,8 @@ mod tests {
             genome,
             arch_summary: String::new(),
             flops: 100.0,
+            objective_names: Vec::new(),
+            objective_values: Vec::new(),
             engine: None,
             epochs: vec![EpochRecord {
                 epoch: 1,

@@ -20,7 +20,7 @@
 //! which is what lets the socket transport hold byte-identical commons
 //! with the in-process transports.
 
-use a4nn_core::{TrainingOutcome, WorkflowConfig};
+use a4nn_core::{ModelCost, TrainingOutcome, WorkflowConfig};
 use a4nn_faults::FaultPlan;
 use a4nn_genome::Genome;
 use a4nn_sched::RetryPolicy;
@@ -81,8 +81,11 @@ pub enum Message {
     JobDone {
         /// Which job this answers.
         model_id: u64,
-        /// The trained architecture's MFLOPs.
-        flops: f64,
+        /// The trained architecture's full static/dynamic cost vector
+        /// (MFLOPs, parameter bytes, MACs, peak workspace bytes) —
+        /// measured worker-side so every configured objective is
+        /// computed where the training ran.
+        cost: ModelCost,
         /// The full training outcome, including worker-side retry
         /// accounting.
         outcome: TrainingOutcome,

@@ -21,7 +21,9 @@
 
 use crate::frame::{read_message, write_message, PROTOCOL_VERSION};
 use crate::protocol::Message;
-use a4nn_core::{EvalPipeline, FaultTolerance, TrainingOutcome, Transport, WorkflowConfig};
+use a4nn_core::{
+    EvalPipeline, FaultTolerance, ModelCost, TrainingOutcome, Transport, WorkflowConfig,
+};
 use a4nn_error::A4nnError;
 use a4nn_genome::Genome;
 use a4nn_sched::{GpuPool, RetryPolicy, ScheduleResult};
@@ -123,7 +125,7 @@ impl Router {
 #[derive(Default)]
 struct ConnState {
     alive: bool,
-    pending: HashMap<u64, channel::Sender<Option<(TrainingOutcome, f64)>>>,
+    pending: HashMap<u64, channel::Sender<Option<(TrainingOutcome, ModelCost)>>>,
 }
 
 struct Connection {
@@ -253,12 +255,12 @@ impl SocketTransport {
                             Ok(Some(Message::Heartbeat)) => {}
                             Ok(Some(Message::JobDone {
                                 model_id,
-                                flops,
+                                cost,
                                 outcome,
                             })) => {
                                 let sender = reader_state.lock().pending.remove(&model_id);
                                 if let Some(tx) = sender {
-                                    let _ = tx.send(Some((outcome, flops)));
+                                    let _ = tx.send(Some((outcome, cost)));
                                 }
                             }
                             // Clean close, heartbeat-deadline timeout,
@@ -316,7 +318,7 @@ impl SocketTransport {
         generation: usize,
         dispatch_attempt: u32,
         genome: &Genome,
-    ) -> Option<(TrainingOutcome, f64)> {
+    ) -> Option<(TrainingOutcome, ModelCost)> {
         let conn = &self.connections[conn_idx];
         let (tx, rx) = channel::bounded(1);
         {
@@ -357,7 +359,7 @@ impl Transport for SocketTransport {
         genomes: &[Genome],
         generation: usize,
         base_id: u64,
-    ) -> Result<Vec<(TrainingOutcome, f64)>, A4nnError> {
+    ) -> Result<Vec<(TrainingOutcome, ModelCost)>, A4nnError> {
         if pipeline.checkpoints().is_some() {
             return Err(A4nnError::Config(
                 "the socket transport cannot stream checkpoints back from workers; \
@@ -378,7 +380,9 @@ impl Transport for SocketTransport {
             .enumerate()
             .map(|(k, genome)| {
                 let model_id = base_id + k as u64;
-                move |_worker: usize, attempt: u32| -> Result<(TrainingOutcome, f64), A4nnError> {
+                move |_worker: usize,
+                      attempt: u32|
+                      -> Result<(TrainingOutcome, ModelCost), A4nnError> {
                     let queued = Instant::now();
                     let Some(conn_idx) = self.router.acquire() else {
                         return Err(A4nnError::Net(format!(
@@ -436,7 +440,7 @@ impl Transport for SocketTransport {
         _genomes: &[Genome],
         _generation: usize,
         _base_id: u64,
-        _outcomes: &[(TrainingOutcome, f64)],
+        _outcomes: &[(TrainingOutcome, ModelCost)],
         _schedule: &ScheduleResult,
     ) -> Result<(), A4nnError> {
         Ok(())

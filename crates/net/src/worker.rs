@@ -220,13 +220,13 @@ fn serve_session(stream: TcpStream, gpus: usize) -> Result<(), NetError> {
                             let _ = writer.lock().shutdown(Shutdown::Both);
                             return;
                         }
-                        let (outcome, flops) =
+                        let (outcome, cost) =
                             train_resilient_direct(config, factory, &genome, model_id, None, ft);
                         let _ = write_message(
                             &mut *writer.lock(),
                             &Message::JobDone {
                                 model_id,
-                                flops,
+                                cost,
                                 outcome,
                             },
                         );

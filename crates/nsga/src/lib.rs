@@ -58,7 +58,7 @@ pub use crowding::crowding_distance;
 pub use evolve::{
     environmental_selection, EvalContext, Individual, Nsga2, NsgaConfig, Problem, RunResult,
 };
-pub use objectives::{cmp_objective, Dominance, Objectives};
+pub use objectives::{cmp_objective, DimensionMismatch, Dominance, Objectives};
 pub use select::{tournament_select, RankedIndividual};
 pub use sort::{fast_non_dominated_sort, ranks_from_fronts};
 

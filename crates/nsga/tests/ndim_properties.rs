@@ -1,0 +1,147 @@
+//! Property-based tests of dominance and crowding beyond two objectives.
+//!
+//! The objective registry lets a search minimize 3-to-5-dimensional
+//! vectors (e.g. `neg_fitness, flops, peak_ws_bytes`), so the NSGA-II
+//! primitives must hold their contracts at those dimensions and under
+//! wildly mixed objective scales (accuracy percentages next to byte
+//! counts in the hundreds of millions).
+//!
+//! Vectors are generated at the maximum dimension (5) and truncated to
+//! the case's `dim` — the stand-in proptest has no flat-map, and the
+//! truncation keeps every row in a case the same length by construction.
+
+use a4nn_nsga::{crowding_distance, Dominance, Objectives};
+use proptest::prelude::*;
+
+const MAX_DIM: usize = 5;
+
+fn row() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, MAX_DIM)
+}
+
+fn rows(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-1e3f64..1e3, MAX_DIM), 1..max)
+}
+
+fn truncate(v: Vec<f64>, dim: usize) -> Objectives {
+    Objectives::new(v[..dim].to_vec())
+}
+
+fn truncate_all(rows: Vec<Vec<f64>>, dim: usize) -> Vec<Objectives> {
+    rows.into_iter().map(|r| truncate(r, dim)).collect()
+}
+
+/// Apply per-objective positive affine maps — the rescalings that turn a
+/// toy front into a (neg_fitness, flops, peak_ws_bytes) front.
+fn rescaled(points: &[Objectives], scales: &[f64], offsets: &[f64]) -> Vec<Objectives> {
+    points
+        .iter()
+        .map(|p| {
+            Objectives::new(
+                p.values()
+                    .iter()
+                    .zip(scales.iter().zip(offsets))
+                    .map(|(&v, (&s, &o))| v * s + o)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dominance stays antisymmetric at 3–5 objectives: a beats b and
+    /// b beats a never both hold, and `compare` mirrors exactly.
+    #[test]
+    fn ndim_dominance_is_antisymmetric(dim in 3usize..=MAX_DIM, a in row(), b in row()) {
+        let a = truncate(a, dim);
+        let b = truncate(b, dim);
+        prop_assert!(!(a.dominates(&b) && b.dominates(&a)));
+        let mirrored = match a.compare(&b) {
+            Dominance::Dominates => Dominance::DominatedBy,
+            Dominance::DominatedBy => Dominance::Dominates,
+            Dominance::Indifferent => Dominance::Indifferent,
+        };
+        prop_assert_eq!(b.compare(&a), mirrored);
+    }
+
+    /// Dominance stays transitive at 3–5 objectives.
+    #[test]
+    fn ndim_dominance_is_transitive(
+        dim in 3usize..=MAX_DIM, a in row(), b in row(), c in row(),
+    ) {
+        let a = truncate(a, dim);
+        let b = truncate(b, dim);
+        let c = truncate(c, dim);
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    /// Poisoning any single coordinate with NaN ranks the vector worse:
+    /// the original dominates the poisoned copy, never the reverse — a
+    /// crashed model cannot win a tournament on any objective count.
+    #[test]
+    fn ndim_nan_ranks_strictly_worst(
+        dim in 3usize..=MAX_DIM, v in row(), which in 0usize..MAX_DIM,
+    ) {
+        let mut v = v[..dim].to_vec();
+        let clean = Objectives::new(v.clone());
+        v[which % dim] = f64::NAN;
+        let poisoned = Objectives::new(v);
+        prop_assert_eq!(clean.compare(&poisoned), Dominance::Dominates);
+        prop_assert_eq!(poisoned.compare(&clean), Dominance::DominatedBy);
+        prop_assert!(!poisoned.dominates(&poisoned.clone()));
+    }
+
+    /// Crowding distances stay well-formed (no NaN, non-negative, ≥ 2
+    /// infinite boundaries on fronts of size ≥ 3) at 3–5 objectives.
+    #[test]
+    fn ndim_crowding_is_sane(dim in 3usize..=MAX_DIM, raw in rows(30)) {
+        let points = truncate_all(raw, dim);
+        let front: Vec<usize> = (0..points.len()).collect();
+        let d = crowding_distance(&points, &front);
+        prop_assert_eq!(d.len(), front.len());
+        for v in &d {
+            prop_assert!(!v.is_nan());
+            prop_assert!(*v >= 0.0);
+        }
+        if front.len() > 2 {
+            prop_assert!(
+                d.iter().filter(|v| v.is_infinite()).count() >= 2,
+                "each objective's boundary pair must be preserved"
+            );
+        }
+    }
+
+    /// Crowding is invariant under per-objective positive affine maps:
+    /// measuring FLOPs in MFLOPs or workspace in bytes vs MiB must not
+    /// change which individuals count as crowded. (This is what lets one
+    /// front mix percent-scale fitness with 1e8-scale byte counts.)
+    #[test]
+    fn crowding_survives_mixed_objective_scales(
+        dim in 3usize..=MAX_DIM,
+        raw in rows(25),
+        scales in proptest::collection::vec(1e-3f64..1e9, MAX_DIM),
+        offsets in proptest::collection::vec(-1e6f64..1e6, MAX_DIM),
+    ) {
+        let points = truncate_all(raw, dim);
+        let front: Vec<usize> = (0..points.len()).collect();
+        let base = crowding_distance(&points, &front);
+        let scaled_pts = rescaled(&points, &scales[..dim], &offsets[..dim]);
+        let scaled = crowding_distance(&scaled_pts, &front);
+        prop_assert_eq!(base.len(), scaled.len());
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert_eq!(b.is_infinite(), s.is_infinite(),
+                "boundary structure must be scale-invariant");
+            if b.is_finite() {
+                // Normalized gaps are ratios, so the affine map cancels
+                // up to floating-point rounding.
+                let tol = 1e-6 * (1.0 + b.abs());
+                prop_assert!((b - s).abs() <= tol,
+                    "distance drifted under rescale: {} vs {}", b, s);
+            }
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //! non-failed record on the fitness/FLOPs Pareto front becomes a served
 //! model:
 //!
-//! - with a checkpoint: the highest-epoch [`ModelState`] is restored —
+//! - with a checkpoint: the highest-epoch [`a4nn_nn::ModelState`] is
+//!   restored —
 //!   the trained weights the search actually measured;
 //! - without: the network is rebuilt deterministically from the genome
 //!   (paper-default search space, model-id-seeded init), so a repo
@@ -65,7 +66,13 @@ impl ModelRepo {
         let analyzer = Analyzer::new(commons);
         let space = SearchSpace::paper_defaults();
         let mut models = Vec::new();
-        for record in analyzer.pareto_front() {
+        // The front is computed over each record's full objective
+        // vector; legacy commons (no objective columns) fall back to
+        // the reconstructed (−fitness, flops) pair inside
+        // `objective_vector`, so pre-registry runs serve the same menu
+        // they always did. A commons mixing objective dimensions is
+        // surfaced as the typed config error instead of a panic.
+        for record in analyzer.pareto_front_objectives()? {
             if record.failed() || record.final_fitness.is_nan() {
                 continue;
             }
@@ -90,6 +97,8 @@ impl ModelRepo {
                     model_id: record.model_id,
                     fitness: record.final_fitness,
                     flops: record.flops,
+                    objective_names: record.objective_labels(),
+                    objective_values: record.objective_vector(),
                     arch_summary: record.arch_summary.clone(),
                     input_channels: spec.input_channels,
                     num_classes: spec.num_classes,

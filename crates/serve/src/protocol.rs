@@ -53,6 +53,16 @@ pub struct ModelInfo {
     pub fitness: f64,
     /// Estimated forward FLOPs — the cost axis of the Pareto front.
     pub flops: f64,
+    /// Names of the objectives the source search minimized, in
+    /// objective order. Empty when the commons predates the objective
+    /// registry; consumers then assume the legacy
+    /// `(neg_fitness, flops)` pair.
+    #[serde(default)]
+    pub objective_names: Vec<String>,
+    /// The record's minimized objective vector, aligned with
+    /// `objective_names`.
+    #[serde(default)]
+    pub objective_values: Vec<f64>,
     /// Human-readable architecture summary from the record trail.
     pub arch_summary: String,
     /// Input channels the model expects.

@@ -32,6 +32,7 @@ fn commons() -> &'static DataCommons {
             gpus: 2,
             beam: BeamIntensity::Low,
             seed: 2023,
+            objectives: a4nn_core::ObjectiveSet::default(),
         };
         let factory = SurrogateFactory::new(&cfg, SurrogateParams::for_beam(cfg.beam));
         A4nnWorkflow::new(cfg).run(&factory).commons

@@ -46,6 +46,7 @@ fn main() {
         gpus: 2,
         beam,
         seed: 42,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     println!(
         "searching {} architectures ({} generations, engine: F(x) = a - b^(c-x))...",

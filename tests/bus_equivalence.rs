@@ -18,6 +18,7 @@ fn run(seed: u64, engine: bool, orchestration: Orchestration) -> RunOutput {
         gpus: 4,
         beam: BeamIntensity::Medium,
         seed,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
     A4nnWorkflow::new(config).run_with(&factory, orchestration)

@@ -21,6 +21,7 @@ fn config(seed: u64) -> WorkflowConfig {
         gpus: 2,
         beam: BeamIntensity::Medium,
         seed,
+        objectives: a4nn_core::ObjectiveSet::default(),
     }
 }
 

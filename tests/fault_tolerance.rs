@@ -37,6 +37,7 @@ fn config(seed: u64, engine: bool) -> WorkflowConfig {
         gpus: 2,
         beam: BeamIntensity::Medium,
         seed,
+        objectives: a4nn_core::ObjectiveSet::default(),
     }
 }
 

@@ -17,7 +17,8 @@ use a4nn_lineage::{epochs_csv, models_csv};
 use std::path::PathBuf;
 
 const MODELS_HEADER: &str = "model_id,generation,gpu,beam,genome,flops_mflops,epochs_trained,\
-     final_fitness,predicted_fitness,terminated_early,termination_epoch,wall_time_s,status,attempts";
+     final_fitness,predicted_fitness,terminated_early,termination_epoch,wall_time_s,status,attempts,\
+     obj_neg_fitness,obj_flops";
 const EPOCHS_HEADER: &str = "model_id,epoch,train_acc,val_acc,duration_s,prediction";
 
 fn paper_run() -> RunOutput {
@@ -117,6 +118,7 @@ fn row_format_survives_a_failed_model() {
         gpus: 2,
         beam: BeamIntensity::Medium,
         seed: 2023,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
     let ft = FaultTolerance::new(

@@ -26,6 +26,7 @@ fn tiny_real_run(engine: bool) -> a4nn_core::RunOutput {
         gpus: 2,
         beam: BeamIntensity::High,
         seed: 21,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     let factory = RealTrainerFactory::new(
         config.search_space(),
@@ -113,6 +114,7 @@ fn checkpointed_workflow_records_every_epoch_state() {
         gpus: 1,
         beam: BeamIntensity::High,
         seed: 31,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     let factory = RealTrainerFactory::new(
         config.search_space(),

@@ -48,6 +48,7 @@ fn micro_config(seed: u64) -> WorkflowConfig {
         gpus: 2,
         beam: BeamIntensity::Medium,
         seed,
+        objectives: a4nn_core::ObjectiveSet::default(),
     }
 }
 
@@ -273,6 +274,68 @@ fn stale_snapshot_is_refused_with_exit_5() {
         msg.contains("stale snapshot"),
         "error names the failure mode: {msg}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A 3-objective search survives the kill/resume cycle bit-exactly on
+/// every transport: the snapshot carries the objective names and the
+/// hardware-objective values, so a resumed search reproduces the same
+/// Pareto pressure the killed one was applying.
+#[test]
+fn three_objective_resume_is_bit_exact_across_transports() {
+    let mut config = micro_config(2023);
+    config.objectives = a4nn_core::ObjectiveSet::parse("neg_fitness,flops,peak_ws_bytes").unwrap();
+    for mode in [Mode::Direct, Mode::Bus, Mode::Socket] {
+        let golden = run_mode(&config, mode, &RunControl::default(), None)
+            .unwrap_or_else(|e| panic!("{}: 3-objective golden run failed: {e}", mode.label()));
+        let dir = tmp_dir(&format!("3obj-{}", mode.label()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let cancel = |done: usize| done == 2;
+        let control = RunControl::snapshot_into(&dir).with_cancel(&cancel);
+        let err = run_mode(&config, mode, &control, None).unwrap_err();
+        assert_eq!(err.exit_code(), 10);
+
+        let snap = SearchSnapshot::load(&dir, &config).unwrap();
+        let resumed = run_mode(&config, mode, &RunControl::default(), Some(snap)).unwrap();
+        assert_eq!(
+            csvs(&golden),
+            csvs(&resumed),
+            "{}: 3-objective resume drifted from the golden run",
+            mode.label()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Changing `--objectives` between kill and resume is refused as a
+/// stale snapshot (exit 5): the archive's objective vectors are only
+/// meaningful under the set that produced them.
+#[test]
+fn changed_objectives_on_resume_are_refused_with_exit_5() {
+    let config = micro_config(2023);
+    let dir = tmp_dir("stale-objectives");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let cancel = |done: usize| done == 1;
+    let control = RunControl::snapshot_into(&dir).with_cancel(&cancel);
+    let err = run_mode(&config, Mode::Direct, &control, None).unwrap_err();
+    assert_eq!(err.exit_code(), 10);
+
+    let mut widened = config.clone();
+    widened.objectives = a4nn_core::ObjectiveSet::parse("neg_fitness,flops,peak_ws_bytes").unwrap();
+    let err = SearchSnapshot::load(&dir, &widened).unwrap_err();
+    assert_eq!(
+        err.exit_code(),
+        5,
+        "changed objective set is Checkpoint-class: {err}"
+    );
+    assert!(
+        err.to_string().contains("stale snapshot"),
+        "error names the failure mode: {err}"
+    );
+    // The unchanged set still loads.
+    assert!(SearchSnapshot::load(&dir, &config).is_ok());
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -80,7 +80,42 @@ fn micro_config(seed: u64) -> WorkflowConfig {
         gpus: 2,
         beam: BeamIntensity::Medium,
         seed,
+        objectives: a4nn_core::ObjectiveSet::default(),
     }
+}
+
+/// A hardware-aware 3-objective search is transport-invariant too:
+/// `neg_fitness,flops,peak_ws_bytes` produces byte-identical commons
+/// under direct, bus, and socket orchestration, and the export carries
+/// the named objective columns. The peak-workspace objective is read
+/// from the training substrate itself, so this is the test that proves
+/// hardware measurement doesn't leak placement into the search.
+#[test]
+fn three_objective_search_is_transport_invariant() {
+    let mut config = micro_config(2023);
+    config.objectives = a4nn_core::ObjectiveSet::parse("neg_fitness,flops,peak_ws_bytes").unwrap();
+    let ft = FaultTolerance::new(RetryPolicy::with_retries(0), FaultPlan::none());
+
+    let direct = csvs(&direct_run(&config, &ft));
+    let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(config.beam));
+    let bus = csvs(&A4nnWorkflow::new(config.clone()).run_resilient(
+        &factory,
+        None,
+        Orchestration::Bus,
+        &ft,
+    ));
+    let socket = csvs(
+        &socket_run(&config, &ft, &[2, 2], Duration::from_secs(2))
+            .expect("healthy 3-objective socket run succeeds"),
+    );
+
+    assert_eq!(direct, bus, "3-objective bus drifted from direct");
+    assert_eq!(direct, socket, "3-objective socket drifted from direct");
+    let header = direct.0.lines().next().unwrap().to_string();
+    assert!(
+        header.ends_with("obj_neg_fitness,obj_flops,obj_peak_ws_bytes"),
+        "export must carry the named objective columns: {header}"
+    );
 }
 
 /// Direct == Bus == Socket, byte for byte, at the paper's full Table
@@ -235,6 +270,7 @@ fn heartbeat_deadline_detects_a_stalled_worker() {
         gpus: 1,
         beam: BeamIntensity::Medium,
         seed: 2023,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     // Mute heartbeats for 4 s against a 250 ms deadline; the stall
     // re-fires wherever the job lands, so both workers eventually die.

@@ -18,6 +18,7 @@ fn run(beam: BeamIntensity, engine: bool, gpus: usize, seed: u64) -> a4nn_core::
         gpus,
         beam,
         seed,
+        objectives: a4nn_core::ObjectiveSet::default(),
     };
     let factory = SurrogateFactory::new(&config, SurrogateParams::for_beam(beam));
     A4nnWorkflow::new(config).run(&factory)
